@@ -1,0 +1,255 @@
+//! Bulk TCP transfer: a sender and a sink, with the retransmission
+//! accounting experiment E3 lives on.
+
+use std::net::Ipv4Addr;
+
+use gateway::world::App;
+use gateway::Host;
+use netstack::stack::{SockId, StackAction};
+use netstack::tcp::{TcbStats, TcpConfig};
+use sim::{SimDuration, SimTime};
+
+/// Results of one bulk send.
+#[derive(Debug, Default)]
+pub struct BulkSendReport {
+    /// When the connect was issued.
+    pub started_at: Option<SimTime>,
+    /// When every byte (and the FIN) was acknowledged.
+    pub finished_at: Option<SimTime>,
+    /// Octets requested.
+    pub bytes: usize,
+    /// Final TCB statistics (segments, retransmissions, RTO…).
+    pub tcb: TcbStats,
+    /// True if the connection was reset rather than closed.
+    pub reset: bool,
+}
+
+impl BulkSendReport {
+    /// Transfer duration, if it completed.
+    pub fn duration(&self) -> Option<SimDuration> {
+        Some(self.finished_at?.saturating_since(self.started_at?))
+    }
+
+    /// Goodput in bits per second, if it completed.
+    pub fn goodput_bps(&self) -> Option<f64> {
+        let d = self.duration()?.as_secs_f64();
+        (d > 0.0).then(|| self.bytes as f64 * 8.0 / d)
+    }
+}
+
+/// A one-shot bulk sender.
+pub struct BulkSender {
+    dst: Ipv4Addr,
+    port: u16,
+    total: usize,
+    tcp_cfg: Option<TcpConfig>,
+    start_delay: SimDuration,
+    start_at: Option<SimTime>,
+    sock: Option<SockId>,
+    connected: bool,
+    sent: usize,
+    closed: bool,
+    report: crate::Shared<BulkSendReport>,
+}
+
+impl BulkSender {
+    /// Sends `total` octets to `dst:port` once started.
+    pub fn new(dst: Ipv4Addr, port: u16, total: usize) -> BulkSender {
+        BulkSender {
+            dst,
+            port,
+            total,
+            tcp_cfg: None,
+            start_delay: SimDuration::ZERO,
+            start_at: None,
+            sock: None,
+            connected: false,
+            sent: 0,
+            closed: false,
+            report: crate::shared(BulkSendReport::default()),
+        }
+    }
+
+    /// Uses a specific TCP configuration (fixed vs adaptive RTO).
+    pub fn with_tcp(mut self, cfg: TcpConfig) -> BulkSender {
+        self.tcp_cfg = Some(cfg);
+        self
+    }
+
+    /// Delays the connect after world start.
+    pub fn with_start_delay(mut self, d: SimDuration) -> BulkSender {
+        self.start_delay = d;
+        self
+    }
+
+    /// The shared report handle.
+    pub fn report(&self) -> crate::Shared<BulkSendReport> {
+        self.report.clone()
+    }
+
+    /// The socket in use, once connected (diagnostics).
+    pub fn socket(&self) -> Option<SockId> {
+        self.sock
+    }
+
+    fn pattern_chunk(&self, offset: usize, len: usize) -> Vec<u8> {
+        (offset..offset + len).map(|i| (i % 251) as u8).collect()
+    }
+
+    fn push_data(&mut self, now: SimTime, host: &mut Host) {
+        let Some(sock) = self.sock else {
+            return;
+        };
+        // Keep the report's TCB statistics live (diagnostics read them
+        // mid-transfer; the values are final once finished_at is set).
+        self.report.borrow_mut().tcb = host.stack.tcp_stats(sock);
+        if !self.connected {
+            return;
+        }
+        while self.sent < self.total {
+            let cap = host.stack.tcp_send_capacity(sock);
+            if cap == 0 {
+                break;
+            }
+            let n = cap.min(self.total - self.sent).min(2048);
+            let chunk = self.pattern_chunk(self.sent, n);
+            let accepted = host.tcp_send(now, sock, &chunk);
+            self.sent += accepted;
+            if accepted == 0 {
+                break;
+            }
+        }
+        if self.sent >= self.total && !self.closed {
+            self.closed = true;
+            host.tcp_close(now, sock);
+        }
+        // Completion: everything (data + FIN) acknowledged.
+        if self.closed && self.report.borrow().finished_at.is_none() {
+            let backlog = host.stack.tcp_send_backlog(sock);
+            let state = host.stack.tcp_state(sock);
+            use netstack::tcp::TcpState;
+            if backlog == 0
+                && matches!(
+                    state,
+                    TcpState::FinWait2 | TcpState::TimeWait | TcpState::Closed
+                )
+            {
+                let mut r = self.report.borrow_mut();
+                r.finished_at = Some(now);
+                r.tcb = host.stack.tcp_stats(sock);
+            }
+        }
+    }
+}
+
+impl App for BulkSender {
+    fn on_start(&mut self, now: SimTime, _host: &mut Host) {
+        self.start_at = Some(now + self.start_delay);
+    }
+
+    fn poll(&mut self, now: SimTime, host: &mut Host) {
+        if let Some(at) = self.start_at {
+            if at <= now && self.sock.is_none() {
+                self.start_at = None;
+                let mut r = self.report.borrow_mut();
+                r.started_at = Some(now);
+                r.bytes = self.total;
+                drop(r);
+                let result = match self.tcp_cfg {
+                    Some(cfg) => host.tcp_connect_with(now, self.dst, self.port, cfg),
+                    None => host.tcp_connect(now, self.dst, self.port),
+                };
+                self.sock = result.ok();
+            }
+        }
+        self.push_data(now, host);
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        match event {
+            StackAction::TcpConnected(sock) if Some(*sock) == self.sock => {
+                self.connected = true;
+                self.push_data(now, host);
+            }
+            StackAction::TcpClosed { sock, reset } if Some(*sock) == self.sock => {
+                let mut r = self.report.borrow_mut();
+                r.reset = *reset;
+                if r.finished_at.is_none() && !reset {
+                    r.finished_at = Some(now);
+                }
+                r.tcb = host.stack.tcp_stats(*sock);
+            }
+            _ => {}
+        }
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.start_at
+    }
+}
+
+/// Results of a bulk sink.
+#[derive(Debug, Default)]
+pub struct BulkSinkReport {
+    /// Octets received, verified against the sender's pattern.
+    pub bytes: usize,
+    /// True if any byte broke the pattern.
+    pub corrupt: bool,
+    /// When the peer's close completed.
+    pub eof_at: Option<SimTime>,
+}
+
+/// A listener that drains and verifies one or more bulk transfers.
+pub struct BulkSink {
+    port: u16,
+    socks: Vec<(SockId, usize)>,
+    report: crate::Shared<BulkSinkReport>,
+}
+
+impl BulkSink {
+    /// Listens on `port`.
+    pub fn new(port: u16) -> BulkSink {
+        BulkSink {
+            port,
+            socks: Vec::new(),
+            report: crate::shared(BulkSinkReport::default()),
+        }
+    }
+
+    /// The shared report handle.
+    pub fn report(&self) -> crate::Shared<BulkSinkReport> {
+        self.report.clone()
+    }
+}
+
+impl App for BulkSink {
+    fn on_start(&mut self, _now: SimTime, host: &mut Host) {
+        host.stack.tcp_listen(self.port).expect("sink port");
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        match event {
+            StackAction::TcpAccepted { sock, .. } => {
+                self.socks.push((*sock, 0));
+            }
+            StackAction::TcpReadable(sock) => {
+                if let Some(entry) = self.socks.iter_mut().find(|(s, _)| s == sock) {
+                    let data = host.tcp_recv(now, *sock);
+                    let mut r = self.report.borrow_mut();
+                    for b in &data {
+                        if *b != (entry.1 % 251) as u8 {
+                            r.corrupt = true;
+                        }
+                        entry.1 += 1;
+                    }
+                    r.bytes += data.len();
+                }
+            }
+            StackAction::TcpPeerClosed(sock) if self.socks.iter().any(|(s, _)| s == sock) => {
+                self.report.borrow_mut().eof_at = Some(now);
+                host.tcp_close(now, *sock);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! §5's distributed callbook service, over UDP.
+//!
+//! *"With a distributed callbook server, data for a particular country,
+//! or part of a country, could be maintained on a system local to that
+//! area. Given a call sign, an application running on a PC could
+//! determine what area the call sign is from, and then send off a query
+//! to the appropriate server."* Protocol: `?CALL` queries; a server
+//! answers `OK CALL <record>`, refers with `REFER <ip>`, or `ERR`.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use gateway::world::App;
+use gateway::Host;
+use netstack::stack::{StackAction, UdpId};
+use sim::SimTime;
+
+/// The well-known callbook port.
+pub const CALLBOOK_PORT: u16 = 1235;
+
+/// Server counters.
+#[derive(Debug, Default)]
+pub struct CallbookServerReport {
+    /// Queries answered from the local database.
+    pub answered: u64,
+    /// Queries referred elsewhere.
+    pub referred: u64,
+    /// Queries that failed.
+    pub unknown: u64,
+}
+
+/// One region's callbook server.
+pub struct CallbookServer {
+    udp: Option<UdpId>,
+    /// Local records: callsign → holder.
+    db: HashMap<String, String>,
+    /// Referrals: callsign-prefix → server address.
+    referrals: Vec<(String, Ipv4Addr)>,
+    report: crate::Shared<CallbookServerReport>,
+}
+
+impl CallbookServer {
+    /// Creates a server with local records and prefix referrals.
+    pub fn new(db: &[(&str, &str)], referrals: &[(&str, Ipv4Addr)]) -> CallbookServer {
+        CallbookServer {
+            udp: None,
+            db: db
+                .iter()
+                .map(|(c, r)| (c.to_string(), r.to_string()))
+                .collect(),
+            referrals: referrals
+                .iter()
+                .map(|(p, ip)| (p.to_string(), *ip))
+                .collect(),
+            report: crate::shared(CallbookServerReport::default()),
+        }
+    }
+
+    /// The shared report handle.
+    pub fn report(&self) -> crate::Shared<CallbookServerReport> {
+        self.report.clone()
+    }
+}
+
+impl App for CallbookServer {
+    fn on_start(&mut self, _now: SimTime, host: &mut Host) {
+        self.udp = Some(host.stack.udp_bind(CALLBOOK_PORT).expect("callbook port"));
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        let StackAction::UdpReadable(udp) = event else {
+            return;
+        };
+        if Some(*udp) != self.udp {
+            return;
+        }
+        for (src, sport, payload) in host.stack.udp_recv(*udp) {
+            let query = String::from_utf8_lossy(&payload).trim().to_string();
+            let Some(call) = query.strip_prefix('?') else {
+                continue;
+            };
+            let reply = if let Some(record) = self.db.get(call) {
+                self.report.borrow_mut().answered += 1;
+                format!("OK {call} {record}")
+            } else if let Some((_, ip)) = self
+                .referrals
+                .iter()
+                .find(|(prefix, _)| call.starts_with(prefix.as_str()))
+            {
+                self.report.borrow_mut().referred += 1;
+                format!("REFER {ip}")
+            } else {
+                self.report.borrow_mut().unknown += 1;
+                "ERR unknown callsign".to_string()
+            };
+            host.udp_send(now, *udp, src, sport, reply.into_bytes());
+        }
+    }
+}
+
+/// Client outcome.
+#[derive(Debug, Default)]
+pub struct CallbookClientReport {
+    /// The final answer line, if any.
+    pub answer: Option<String>,
+    /// Servers contacted along the way.
+    pub hops: u32,
+    /// Lookup finished.
+    pub done: bool,
+}
+
+/// A client that resolves one callsign, following referrals.
+pub struct CallbookClient {
+    first_server: Ipv4Addr,
+    callsign: String,
+    udp: Option<UdpId>,
+    local_port: u16,
+    report: crate::Shared<CallbookClientReport>,
+}
+
+impl CallbookClient {
+    /// Looks up `callsign` starting at `first_server`.
+    pub fn new(first_server: Ipv4Addr, callsign: &str, local_port: u16) -> CallbookClient {
+        CallbookClient {
+            first_server,
+            callsign: callsign.to_string(),
+            udp: None,
+            local_port,
+            report: crate::shared(CallbookClientReport::default()),
+        }
+    }
+
+    /// The shared report handle.
+    pub fn report(&self) -> crate::Shared<CallbookClientReport> {
+        self.report.clone()
+    }
+
+    fn query(&mut self, now: SimTime, server: Ipv4Addr, host: &mut Host) {
+        let Some(udp) = self.udp else {
+            return;
+        };
+        self.report.borrow_mut().hops += 1;
+        let q = format!("?{}", self.callsign);
+        host.udp_send(now, udp, server, CALLBOOK_PORT, q.into_bytes());
+    }
+}
+
+impl App for CallbookClient {
+    fn on_start(&mut self, now: SimTime, host: &mut Host) {
+        self.udp = host.stack.udp_bind(self.local_port).ok();
+        let server = self.first_server;
+        self.query(now, server, host);
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        let StackAction::UdpReadable(udp) = event else {
+            return;
+        };
+        if Some(*udp) != self.udp {
+            return;
+        }
+        for (_src, _sport, payload) in host.stack.udp_recv(*udp) {
+            let line = String::from_utf8_lossy(&payload).trim().to_string();
+            if let Some(target) = line.strip_prefix("REFER ") {
+                if let Ok(ip) = target.parse::<Ipv4Addr>() {
+                    self.query(now, ip, host);
+                    continue;
+                }
+            }
+            let mut r = self.report.borrow_mut();
+            r.answer = Some(line);
+            r.done = true;
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! A TCP echo server: everything received goes straight back.
+
+use std::collections::HashSet;
+
+use gateway::world::App;
+use gateway::Host;
+use netstack::stack::{SockId, StackAction};
+use sim::SimTime;
+
+/// Echo server counters.
+#[derive(Debug, Default)]
+pub struct EchoReport {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Octets echoed.
+    pub bytes_echoed: u64,
+}
+
+/// A TCP echo server on one port.
+pub struct EchoServer {
+    port: u16,
+    socks: HashSet<SockId>,
+    report: crate::Shared<EchoReport>,
+}
+
+impl EchoServer {
+    /// Creates a server for `port`.
+    pub fn new(port: u16) -> EchoServer {
+        EchoServer {
+            port,
+            socks: HashSet::new(),
+            report: crate::shared(EchoReport::default()),
+        }
+    }
+
+    /// The shared report handle.
+    pub fn report(&self) -> crate::Shared<EchoReport> {
+        self.report.clone()
+    }
+}
+
+impl App for EchoServer {
+    fn on_start(&mut self, _now: SimTime, host: &mut Host) {
+        host.stack
+            .tcp_listen(self.port)
+            .expect("echo port available");
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        match event {
+            StackAction::TcpAccepted { sock, .. } => {
+                self.socks.insert(*sock);
+                self.report.borrow_mut().accepted += 1;
+            }
+            StackAction::TcpReadable(sock) if self.socks.contains(sock) => {
+                let data = host.tcp_recv(now, *sock);
+                if !data.is_empty() {
+                    self.report.borrow_mut().bytes_echoed += data.len() as u64;
+                    host.tcp_send(now, *sock, &data);
+                }
+            }
+            StackAction::TcpPeerClosed(sock) if self.socks.contains(sock) => {
+                host.tcp_close(now, *sock);
+            }
+            StackAction::TcpClosed { sock, .. } => {
+                self.socks.remove(sock);
+            }
+            _ => {}
+        }
+    }
+}

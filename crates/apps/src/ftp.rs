@@ -1,0 +1,263 @@
+//! A file transfer in the spirit of FTP (single-connection GET).
+//!
+//! §2.3: "Since then we have used the gateway for file transfer…". The
+//! protocol here is a deliberately simple GET: the client sends
+//! `GET <name>\n`, the server answers `OK <len>\n` followed by the file
+//! bytes and closes. File contents are a deterministic pattern seeded by
+//! the name, so the client can verify every byte.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use gateway::world::App;
+use gateway::Host;
+use netstack::stack::{SockId, StackAction};
+use sim::{SimDuration, SimTime};
+
+/// Deterministic file contents: byte `i` of file `name`.
+fn file_byte(name: &str, i: usize) -> u8 {
+    let seed: u32 = name.bytes().fold(0x811C9DC5u32, |h, b| {
+        (h ^ u32::from(b)).wrapping_mul(16777619)
+    });
+    ((seed as usize).wrapping_add(i.wrapping_mul(131)) % 251) as u8
+}
+
+/// File server counters.
+#[derive(Debug, Default)]
+pub struct FileServerReport {
+    /// GETs served.
+    pub serves: u64,
+    /// Octets shipped.
+    pub bytes_sent: u64,
+    /// Requests for unknown files.
+    pub not_found: u64,
+}
+
+/// The file server: name → size catalogue.
+pub struct FileServer {
+    port: u16,
+    catalogue: HashMap<String, usize>,
+    sessions: HashMap<SockId, Vec<u8>>,
+    /// Sends in progress: socket → (name, next offset, size).
+    sending: HashMap<SockId, (String, usize, usize)>,
+    report: crate::Shared<FileServerReport>,
+}
+
+impl FileServer {
+    /// Creates a server for `port` with the given catalogue.
+    pub fn new(port: u16, files: &[(&str, usize)]) -> FileServer {
+        FileServer {
+            port,
+            catalogue: files.iter().map(|(n, s)| (n.to_string(), *s)).collect(),
+            sessions: HashMap::new(),
+            sending: HashMap::new(),
+            report: crate::shared(FileServerReport::default()),
+        }
+    }
+
+    /// The shared report handle.
+    pub fn report(&self) -> crate::Shared<FileServerReport> {
+        self.report.clone()
+    }
+
+    fn pump_send(&mut self, now: SimTime, sock: SockId, host: &mut Host) {
+        let Some((name, offset, size)) = self.sending.get_mut(&sock) else {
+            return;
+        };
+        while *offset < *size {
+            let cap = host.stack.tcp_send_capacity(sock);
+            if cap == 0 {
+                return;
+            }
+            let n = cap.min(*size - *offset).min(2048);
+            let chunk: Vec<u8> = (*offset..*offset + n).map(|i| file_byte(name, i)).collect();
+            let accepted = host.tcp_send(now, sock, &chunk);
+            *offset += accepted;
+            self.report.borrow_mut().bytes_sent += accepted as u64;
+            if accepted == 0 {
+                return;
+            }
+        }
+        self.sending.remove(&sock);
+        host.tcp_close(now, sock);
+    }
+}
+
+impl App for FileServer {
+    fn on_start(&mut self, _now: SimTime, host: &mut Host) {
+        host.stack.tcp_listen(self.port).expect("ftp port");
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        match event {
+            StackAction::TcpAccepted { sock, .. } => {
+                self.sessions.insert(*sock, Vec::new());
+            }
+            StackAction::TcpReadable(sock) => {
+                let data = host.tcp_recv(now, *sock);
+                let Some(buf) = self.sessions.get_mut(sock) else {
+                    return;
+                };
+                buf.extend_from_slice(&data);
+                if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = buf.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line).trim().to_string();
+                    if let Some(name) = line.strip_prefix("GET ") {
+                        match self.catalogue.get(name) {
+                            Some(&size) => {
+                                self.report.borrow_mut().serves += 1;
+                                let header = format!("OK {size}\n");
+                                host.tcp_send(now, *sock, header.as_bytes());
+                                self.sending.insert(*sock, (name.to_string(), 0, size));
+                                self.pump_send(now, *sock, host);
+                            }
+                            None => {
+                                self.report.borrow_mut().not_found += 1;
+                                host.tcp_send(now, *sock, b"ERR no such file\n");
+                                host.tcp_close(now, *sock);
+                            }
+                        }
+                    }
+                }
+            }
+            StackAction::TcpPeerClosed(sock)
+                if self.sessions.remove(sock).is_some() && !self.sending.contains_key(sock) =>
+            {
+                host.tcp_close(now, *sock);
+            }
+            StackAction::TcpClosed { sock, .. } => {
+                self.sessions.remove(sock);
+                self.sending.remove(sock);
+            }
+            _ => {}
+        }
+    }
+
+    fn poll(&mut self, now: SimTime, host: &mut Host) {
+        let socks: Vec<SockId> = self.sending.keys().copied().collect();
+        for sock in socks {
+            self.pump_send(now, sock, host);
+        }
+    }
+}
+
+/// Results of one GET.
+#[derive(Debug, Default)]
+pub struct FileClientReport {
+    /// Announced size from the OK header.
+    pub announced: usize,
+    /// Octets of body received.
+    pub received: usize,
+    /// Every byte matched the expected pattern.
+    pub intact: bool,
+    /// Transfer completed (EOF after full body).
+    pub done: bool,
+    /// Server said "no such file".
+    pub not_found: bool,
+    /// When the connect was issued.
+    pub started_at: Option<SimTime>,
+    /// When the transfer completed.
+    pub finished_at: Option<SimTime>,
+}
+
+impl FileClientReport {
+    /// Transfer duration, if complete.
+    pub fn duration(&self) -> Option<SimDuration> {
+        Some(self.finished_at?.saturating_since(self.started_at?))
+    }
+}
+
+/// A one-file GET client.
+pub struct FileClient {
+    dst: Ipv4Addr,
+    port: u16,
+    name: String,
+    sock: Option<SockId>,
+    buf: Vec<u8>,
+    header_done: bool,
+    mismatch: bool,
+    report: crate::Shared<FileClientReport>,
+}
+
+impl FileClient {
+    /// Fetches `name` from `dst:port`.
+    pub fn new(dst: Ipv4Addr, port: u16, name: &str) -> FileClient {
+        FileClient {
+            dst,
+            port,
+            name: name.to_string(),
+            sock: None,
+            buf: Vec::new(),
+            header_done: false,
+            mismatch: false,
+            report: crate::shared(FileClientReport::default()),
+        }
+    }
+
+    /// The shared report handle.
+    pub fn report(&self) -> crate::Shared<FileClientReport> {
+        self.report.clone()
+    }
+}
+
+impl App for FileClient {
+    fn on_start(&mut self, now: SimTime, host: &mut Host) {
+        self.report.borrow_mut().started_at = Some(now);
+        self.sock = host.tcp_connect(now, self.dst, self.port).ok();
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        match event {
+            StackAction::TcpConnected(sock) if Some(*sock) == self.sock => {
+                let req = format!("GET {}\n", self.name);
+                host.tcp_send(now, *sock, req.as_bytes());
+            }
+            StackAction::TcpReadable(sock) if Some(*sock) == self.sock => {
+                let data = host.tcp_recv(now, *sock);
+                self.buf.extend_from_slice(&data);
+                if !self.header_done {
+                    if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                        let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                        let line = String::from_utf8_lossy(&line).trim().to_string();
+                        self.header_done = true;
+                        if let Some(size) = line.strip_prefix("OK ") {
+                            self.report.borrow_mut().announced = size.parse().unwrap_or(0);
+                        } else {
+                            self.report.borrow_mut().not_found = true;
+                        }
+                    }
+                }
+                if self.header_done {
+                    let mut r = self.report.borrow_mut();
+                    for b in self.buf.drain(..) {
+                        if b != file_byte(&self.name, r.received) {
+                            self.mismatch = true;
+                        }
+                        r.received += 1;
+                    }
+                }
+            }
+            StackAction::TcpPeerClosed(sock) if Some(*sock) == self.sock => {
+                host.tcp_close(now, *sock);
+                let mut r = self.report.borrow_mut();
+                r.finished_at = Some(now);
+                r.intact = !self.mismatch && r.received == r.announced;
+                r.done = r.intact && r.announced > 0;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_bytes_are_deterministic_and_name_dependent() {
+        assert_eq!(file_byte("a.txt", 5), file_byte("a.txt", 5));
+        let a: Vec<u8> = (0..64).map(|i| file_byte("a.txt", i)).collect();
+        let b: Vec<u8> = (0..64).map(|i| file_byte("b.txt", i)).collect();
+        assert_ne!(a, b);
+    }
+}

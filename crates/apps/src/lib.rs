@@ -1,0 +1,45 @@
+//! Scripted application endpoints for the testbed.
+//!
+//! §2.3 of the paper validates the gateway by using it: *"we were able to
+//! telnet from an isolated IBM PC to a system that was on our Ethernet by
+//! way of the new gateway. Since then we have used the gateway for file
+//! transfer, electronic mail, and remote login in both directions."*
+//! These modules script those uses as [`gateway::world::App`]
+//! implementations, so the end-to-end experiments (E6) are repeatable:
+//!
+//! * [`ping`] — an ICMP echo workload with RTT recording (E1, E4, E7);
+//! * [`echo`] — a TCP echo server;
+//! * [`bulk`] — a bulk TCP sender/sink pair with retransmission
+//!   accounting (E2, E3);
+//! * [`telnet`] — a login-style interactive session (remote login);
+//! * [`ftp`] — a file transfer with integrity checking;
+//! * [`smtp`] — electronic mail exchange;
+//! * [`callbook`] — §5's proposed distributed callbook over UDP;
+//! * [`ax25chat`] — connected-mode AX.25 endpoints: the BBS and terminal
+//!   users that the §2.4 application gateway serves.
+//!
+//! Each app publishes its results through a [`Shared`] report handle that
+//! survives the app being boxed into the world.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub mod ax25chat;
+pub mod bulk;
+pub mod callbook;
+pub mod echo;
+pub mod ftp;
+pub mod ping;
+pub mod smtp;
+pub mod telnet;
+
+/// Shared, interiorly mutable report cell (single-threaded simulation).
+pub type Shared<T> = Rc<RefCell<T>>;
+
+/// Creates a [`Shared`] report.
+pub fn shared<T>(value: T) -> Shared<T> {
+    Rc::new(RefCell::new(value))
+}

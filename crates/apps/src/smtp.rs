@@ -1,0 +1,256 @@
+//! Electronic mail: a minimal SMTP exchange.
+//!
+//! §2.3's third service ("electronic mail"). The dialogue is the classic
+//! HELO / MAIL FROM / RCPT TO / DATA / "." / QUIT, enough to move one
+//! message across the gateway in either direction.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use gateway::world::App;
+use gateway::Host;
+use netstack::stack::{SockId, StackAction};
+use sim::SimTime;
+
+/// One delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mail {
+    /// Envelope sender.
+    pub from: String,
+    /// Envelope recipient.
+    pub to: String,
+    /// Message body lines.
+    pub body: Vec<String>,
+}
+
+/// Server-side mailbox and counters.
+#[derive(Debug, Default)]
+pub struct SmtpServerReport {
+    /// Messages accepted.
+    pub mailbox: Vec<Mail>,
+    /// Sessions seen.
+    pub sessions: u64,
+}
+
+#[derive(Debug, Default)]
+struct SmtpSession {
+    buf: Vec<u8>,
+    from: String,
+    to: String,
+    in_data: bool,
+    body: Vec<String>,
+}
+
+/// A minimal SMTP server.
+pub struct SmtpServer {
+    port: u16,
+    hostname: String,
+    sessions: HashMap<SockId, SmtpSession>,
+    report: crate::Shared<SmtpServerReport>,
+}
+
+impl SmtpServer {
+    /// Creates a server on `port` announcing `hostname`.
+    pub fn new(port: u16, hostname: &str) -> SmtpServer {
+        SmtpServer {
+            port,
+            hostname: hostname.to_string(),
+            sessions: HashMap::new(),
+            report: crate::shared(SmtpServerReport::default()),
+        }
+    }
+
+    /// The shared report handle.
+    pub fn report(&self) -> crate::Shared<SmtpServerReport> {
+        self.report.clone()
+    }
+
+    fn handle_line(&mut self, sock: SockId, line: &str) -> (String, bool) {
+        let session = self.sessions.entry(sock).or_default();
+        if session.in_data {
+            if line == "." {
+                session.in_data = false;
+                let mail = Mail {
+                    from: session.from.clone(),
+                    to: session.to.clone(),
+                    body: std::mem::take(&mut session.body),
+                };
+                self.report.borrow_mut().mailbox.push(mail);
+                return ("250 Ok: queued\r\n".to_string(), false);
+            }
+            session.body.push(line.to_string());
+            return (String::new(), false);
+        }
+        let upper = line.to_ascii_uppercase();
+        if upper.starts_with("HELO") {
+            (format!("250 {} Hello\r\n", self.hostname), false)
+        } else if upper.starts_with("MAIL FROM:") {
+            session.from = line[10..].trim().to_string();
+            ("250 Ok\r\n".to_string(), false)
+        } else if upper.starts_with("RCPT TO:") {
+            session.to = line[8..].trim().to_string();
+            ("250 Ok\r\n".to_string(), false)
+        } else if upper.starts_with("DATA") {
+            session.in_data = true;
+            ("354 End data with .\r\n".to_string(), false)
+        } else if upper.starts_with("QUIT") {
+            ("221 Bye\r\n".to_string(), true)
+        } else {
+            ("500 Unrecognized\r\n".to_string(), false)
+        }
+    }
+}
+
+impl App for SmtpServer {
+    fn on_start(&mut self, _now: SimTime, host: &mut Host) {
+        host.stack.tcp_listen(self.port).expect("smtp port");
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        match event {
+            StackAction::TcpAccepted { sock, .. } => {
+                self.report.borrow_mut().sessions += 1;
+                self.sessions.insert(*sock, SmtpSession::default());
+                let banner = format!("220 {} SMTP ready\r\n", self.hostname);
+                host.tcp_send(now, *sock, banner.as_bytes());
+            }
+            StackAction::TcpReadable(sock) => {
+                if !self.sessions.contains_key(sock) {
+                    return;
+                }
+                let data = host.tcp_recv(now, *sock);
+                self.sessions
+                    .get_mut(sock)
+                    .expect("checked")
+                    .buf
+                    .extend_from_slice(&data);
+                while let Some(session) = self.sessions.get_mut(sock) {
+                    let Some(pos) = session.buf.iter().position(|&b| b == b'\n') else {
+                        break;
+                    };
+                    let raw: Vec<u8> = session.buf.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&raw).trim_end().to_string();
+                    let (reply, close) = self.handle_line(*sock, &line);
+                    if !reply.is_empty() {
+                        host.tcp_send(now, *sock, reply.as_bytes());
+                    }
+                    if close {
+                        host.tcp_close(now, *sock);
+                        self.sessions.remove(sock);
+                        break;
+                    }
+                }
+            }
+            StackAction::TcpPeerClosed(sock) if self.sessions.remove(sock).is_some() => {
+                host.tcp_close(now, *sock);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Client-side outcome.
+#[derive(Debug, Default)]
+pub struct SmtpClientReport {
+    /// Server replies, in order.
+    pub replies: Vec<String>,
+    /// The message was accepted (250 after DATA).
+    pub delivered: bool,
+    /// Session finished.
+    pub done: bool,
+    /// When it finished.
+    pub finished_at: Option<SimTime>,
+}
+
+/// A client that submits one message.
+pub struct SmtpClient {
+    dst: Ipv4Addr,
+    port: u16,
+    mail: Mail,
+    sock: Option<SockId>,
+    buf: Vec<u8>,
+    step: usize,
+    report: crate::Shared<SmtpClientReport>,
+}
+
+impl SmtpClient {
+    /// Sends `mail` to `dst:port`.
+    pub fn new(dst: Ipv4Addr, port: u16, mail: Mail) -> SmtpClient {
+        SmtpClient {
+            dst,
+            port,
+            mail,
+            sock: None,
+            buf: Vec::new(),
+            step: 0,
+            report: crate::shared(SmtpClientReport::default()),
+        }
+    }
+
+    /// The shared report handle.
+    pub fn report(&self) -> crate::Shared<SmtpClientReport> {
+        self.report.clone()
+    }
+
+    fn next_command(&mut self) -> Option<String> {
+        let cmd = match self.step {
+            0 => Some("HELO pc.ampr.org\r\n".to_string()),
+            1 => Some(format!("MAIL FROM:{}\r\n", self.mail.from)),
+            2 => Some(format!("RCPT TO:{}\r\n", self.mail.to)),
+            3 => Some("DATA\r\n".to_string()),
+            4 => {
+                let mut s = String::new();
+                for line in &self.mail.body {
+                    s.push_str(line);
+                    s.push_str("\r\n");
+                }
+                s.push_str(".\r\n");
+                Some(s)
+            }
+            5 => Some("QUIT\r\n".to_string()),
+            _ => None,
+        };
+        self.step += 1;
+        cmd
+    }
+}
+
+impl App for SmtpClient {
+    fn on_start(&mut self, now: SimTime, host: &mut Host) {
+        self.sock = host.tcp_connect(now, self.dst, self.port).ok();
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        match event {
+            StackAction::TcpReadable(sock) if Some(*sock) == self.sock => {
+                let data = host.tcp_recv(now, *sock);
+                self.buf.extend_from_slice(&data);
+                while let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                    let raw: Vec<u8> = self.buf.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&raw).trim_end().to_string();
+                    {
+                        let mut r = self.report.borrow_mut();
+                        // "250 Ok: queued" after the DATA body means delivery.
+                        if self.step == 5 && line.starts_with("250") {
+                            r.delivered = true;
+                        }
+                        r.replies.push(line.clone());
+                    }
+                    // Every server reply advances the script one command.
+                    if line.starts_with("2") || line.starts_with("3") {
+                        if let Some(cmd) = self.next_command() {
+                            host.tcp_send(now, *sock, cmd.as_bytes());
+                        }
+                    }
+                    if line.starts_with("221") {
+                        host.tcp_close(now, *sock);
+                        let mut r = self.report.borrow_mut();
+                        r.done = true;
+                        r.finished_at = Some(now);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

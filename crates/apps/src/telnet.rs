@@ -1,0 +1,251 @@
+//! A telnet-style remote login: scripted client, canned login server.
+//!
+//! This is the paper's flagship demonstration: *"we were able to telnet
+//! from an isolated IBM PC to a system that was on our Ethernet by way of
+//! the new gateway"* (§2.3). The server mimics a 4.3BSD login dialogue;
+//! the client walks an expect/send script and keeps a transcript.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use gateway::world::App;
+use gateway::Host;
+use netstack::stack::{SockId, StackAction};
+use sim::SimTime;
+
+/// Per-session server state.
+enum LoginState {
+    AwaitLogin,
+    AwaitPassword,
+    Shell,
+}
+
+/// Telnet server counters.
+#[derive(Debug, Default)]
+pub struct TelnetServerReport {
+    /// Sessions accepted.
+    pub sessions: u64,
+    /// Commands executed at the fake shell.
+    pub commands: u64,
+}
+
+/// A canned login server ("vax2").
+pub struct TelnetServer {
+    port: u16,
+    hostname: String,
+    sessions: HashMap<SockId, (LoginState, Vec<u8>)>,
+    report: crate::Shared<TelnetServerReport>,
+}
+
+impl TelnetServer {
+    /// Creates a server for `port` announcing `hostname`.
+    pub fn new(port: u16, hostname: &str) -> TelnetServer {
+        TelnetServer {
+            port,
+            hostname: hostname.to_string(),
+            sessions: HashMap::new(),
+            report: crate::shared(TelnetServerReport::default()),
+        }
+    }
+
+    /// The shared report handle.
+    pub fn report(&self) -> crate::Shared<TelnetServerReport> {
+        self.report.clone()
+    }
+
+    fn respond(&mut self, state: &mut LoginState, line: &str) -> (String, bool) {
+        match state {
+            LoginState::AwaitLogin => {
+                *state = LoginState::AwaitPassword;
+                ("Password:".to_string(), false)
+            }
+            LoginState::AwaitPassword => {
+                *state = LoginState::Shell;
+                (
+                    format!("Last login: Tue Jun 14 09:21:03\r\n{}% ", self.hostname),
+                    false,
+                )
+            }
+            LoginState::Shell => {
+                self.report.borrow_mut().commands += 1;
+                match line.trim() {
+                    "date" => (
+                        format!("Tue Jun 14 09:22:41 PDT 1988\r\n{}% ", self.hostname),
+                        false,
+                    ),
+                    "who" => (
+                        format!(
+                            "bcn  ttyp0  (kb7dz via packet radio)\r\n{}% ",
+                            self.hostname
+                        ),
+                        false,
+                    ),
+                    "logout" | "exit" => ("Connection closed.\r\n".to_string(), true),
+                    other => (
+                        format!("{other}: Command not found.\r\n{}% ", self.hostname),
+                        false,
+                    ),
+                }
+            }
+        }
+    }
+}
+
+impl App for TelnetServer {
+    fn on_start(&mut self, _now: SimTime, host: &mut Host) {
+        host.stack.tcp_listen(self.port).expect("telnet port");
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        match event {
+            StackAction::TcpAccepted { sock, .. } => {
+                self.report.borrow_mut().sessions += 1;
+                self.sessions
+                    .insert(*sock, (LoginState::AwaitLogin, Vec::new()));
+                let banner = format!("4.3 BSD UNIX ({})\r\n\r\nlogin: ", self.hostname);
+                host.tcp_send(now, *sock, banner.as_bytes());
+            }
+            StackAction::TcpReadable(sock) => {
+                if !self.sessions.contains_key(sock) {
+                    return;
+                }
+                let data = host.tcp_recv(now, *sock);
+                let Some((mut state, mut buf)) = self.sessions.remove(sock) else {
+                    return;
+                };
+                buf.extend_from_slice(&data);
+                let mut closing = false;
+                // Terminals send \r, IP clients send \n: accept both, and
+                // skip the empty remainder of a \r\n pair.
+                while let Some(pos) = buf.iter().position(|&b| b == b'\n' || b == b'\r') {
+                    let line: Vec<u8> = buf.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line).trim().to_string();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let (reply, close) = self.respond(&mut state, &line);
+                    host.tcp_send(now, *sock, reply.as_bytes());
+                    if close {
+                        closing = true;
+                        host.tcp_close(now, *sock);
+                        break;
+                    }
+                }
+                if !closing {
+                    self.sessions.insert(*sock, (state, buf));
+                }
+            }
+            StackAction::TcpPeerClosed(sock) if self.sessions.remove(sock).is_some() => {
+                host.tcp_close(now, *sock);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Results of a scripted telnet session.
+#[derive(Debug, Default)]
+pub struct TelnetClientReport {
+    /// Everything the server sent.
+    pub transcript: String,
+    /// Script lines actually sent.
+    pub lines_sent: usize,
+    /// Session finished (connection closed after script).
+    pub done: bool,
+    /// When the session ended.
+    pub finished_at: Option<SimTime>,
+}
+
+/// A scripted telnet client: waits for each expected prompt, sends the
+/// paired line.
+pub struct TelnetClient {
+    dst: Ipv4Addr,
+    port: u16,
+    /// (expect substring, line to send) pairs, in order.
+    script: Vec<(String, String)>,
+    step: usize,
+    sock: Option<SockId>,
+    /// Unmatched server output (prompts are consumed as they match).
+    pending: String,
+    report: crate::Shared<TelnetClientReport>,
+}
+
+impl TelnetClient {
+    /// Creates a client that walks `script` against `dst:port`.
+    pub fn new(dst: Ipv4Addr, port: u16, script: Vec<(&str, &str)>) -> TelnetClient {
+        TelnetClient {
+            dst,
+            port,
+            script: script
+                .into_iter()
+                .map(|(e, s)| (e.to_string(), s.to_string()))
+                .collect(),
+            step: 0,
+            sock: None,
+            pending: String::new(),
+            report: crate::shared(TelnetClientReport::default()),
+        }
+    }
+
+    /// The standard demo script: log in, run `date` and `who`, log out.
+    pub fn standard_session(dst: Ipv4Addr, port: u16) -> TelnetClient {
+        TelnetClient::new(
+            dst,
+            port,
+            vec![
+                ("login: ", "bcn\n"),
+                ("Password:", "radio\n"),
+                ("% ", "date\n"),
+                ("% ", "who\n"),
+                ("% ", "logout\n"),
+            ],
+        )
+    }
+
+    /// The shared report handle.
+    pub fn report(&self) -> crate::Shared<TelnetClientReport> {
+        self.report.clone()
+    }
+
+    fn try_advance(&mut self, now: SimTime, host: &mut Host) {
+        let Some(sock) = self.sock else {
+            return;
+        };
+        while let Some((expect, send)) = self.script.get(self.step) {
+            let Some(pos) = self.pending.find(expect.as_str()) else {
+                break;
+            };
+            // Consume through the prompt so it is not matched twice.
+            self.pending.drain(..pos + expect.len());
+            self.report.borrow_mut().lines_sent += 1;
+            let line = send.clone();
+            self.step += 1;
+            host.tcp_send(now, sock, line.as_bytes());
+        }
+    }
+}
+
+impl App for TelnetClient {
+    fn on_start(&mut self, now: SimTime, host: &mut Host) {
+        self.sock = host.tcp_connect(now, self.dst, self.port).ok();
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        match event {
+            StackAction::TcpReadable(sock) if Some(*sock) == self.sock => {
+                let data = host.tcp_recv(now, *sock);
+                let text = String::from_utf8_lossy(&data).to_string();
+                self.pending.push_str(&text);
+                self.report.borrow_mut().transcript.push_str(&text);
+                self.try_advance(now, host);
+            }
+            StackAction::TcpPeerClosed(sock) if Some(*sock) == self.sock => {
+                host.tcp_close(now, *sock);
+                let mut r = self.report.borrow_mut();
+                r.done = self.step >= self.script.len();
+                r.finished_at = Some(now);
+            }
+            _ => {}
+        }
+    }
+}

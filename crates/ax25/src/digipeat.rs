@@ -1,0 +1,135 @@
+//! The digipeater relay rule.
+//!
+//! §1 of the paper: *"Relay stations were set up in strategic locations so
+//! that messages could be received and passed along to their destination.
+//! These relays are known as digipeaters"*, with up to eight hops of
+//! source routing in the AX.25 address field. A digipeater retransmits a
+//! frame when it is the **first not-yet-repeated** entry in the path,
+//! marking its own entry with the H bit.
+
+use crate::addr::Ax25Addr;
+use crate::frame::Frame;
+
+/// What a station should do with a heard frame, from the digipeater rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DigipeatDecision {
+    /// Not addressed through this station; ignore.
+    NotForUs,
+    /// This station is the next hop: retransmit the returned frame (our
+    /// entry now carries the H bit).
+    Repeat(Box<Frame>),
+    /// The path is fully traversed and the destination may consume it.
+    Deliverable,
+}
+
+/// Applies the digipeater rule for the station `me` to a heard `frame`.
+///
+/// # Examples
+///
+/// ```
+/// use ax25::addr::Ax25Addr;
+/// use ax25::digipeat::{decide, DigipeatDecision};
+/// use ax25::frame::{Frame, Pid};
+///
+/// let digi = Ax25Addr::parse_or_panic("WA6BEV-1");
+/// let f = Frame::ui(
+///     Ax25Addr::parse_or_panic("KB7DZ"),
+///     Ax25Addr::parse_or_panic("N7AKR"),
+///     Pid::Text,
+///     vec![],
+/// )
+/// .via(&[digi]);
+///
+/// match decide(&f, digi) {
+///     DigipeatDecision::Repeat(out) => assert!(out.digipeaters[0].repeated),
+///     other => panic!("expected Repeat, got {other:?}"),
+/// }
+/// ```
+pub fn decide(frame: &Frame, me: Ax25Addr) -> DigipeatDecision {
+    match frame.digipeaters.iter().position(|d| !d.repeated) {
+        None => DigipeatDecision::Deliverable,
+        Some(next) if frame.digipeaters[next].addr == me => {
+            let mut out = frame.clone();
+            out.digipeaters[next].repeated = true;
+            DigipeatDecision::Repeat(Box::new(out))
+        }
+        Some(_) => DigipeatDecision::NotForUs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Pid;
+
+    fn a(s: &str) -> Ax25Addr {
+        Ax25Addr::parse_or_panic(s)
+    }
+
+    fn frame_via(path: &[Ax25Addr]) -> Frame {
+        Frame::ui(a("DEST"), a("SRC"), Pid::Text, b"x".to_vec()).via(path)
+    }
+
+    #[test]
+    fn no_digipeaters_is_deliverable() {
+        assert_eq!(
+            decide(&frame_via(&[]), a("ANY")),
+            DigipeatDecision::Deliverable
+        );
+    }
+
+    #[test]
+    fn first_hop_repeats_and_marks() {
+        let f = frame_via(&[a("D1"), a("D2")]);
+        match decide(&f, a("D1")) {
+            DigipeatDecision::Repeat(out) => {
+                assert!(out.digipeaters[0].repeated);
+                assert!(!out.digipeaters[1].repeated);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_hop_waits_its_turn() {
+        let f = frame_via(&[a("D1"), a("D2")]);
+        // D2 hears the original transmission but must not repeat yet.
+        assert_eq!(decide(&f, a("D2")), DigipeatDecision::NotForUs);
+    }
+
+    #[test]
+    fn chain_completes_in_order() {
+        let path = [a("D1"), a("D2"), a("D3")];
+        let mut f = frame_via(&path);
+        for hop in path {
+            match decide(&f, hop) {
+                DigipeatDecision::Repeat(out) => f = *out,
+                other => panic!("at {hop}: {other:?}"),
+            }
+        }
+        assert!(f.fully_repeated());
+        assert_eq!(decide(&f, a("DEST")), DigipeatDecision::Deliverable);
+    }
+
+    #[test]
+    fn unrelated_station_ignores() {
+        let f = frame_via(&[a("D1")]);
+        assert_eq!(decide(&f, a("NOBODY")), DigipeatDecision::NotForUs);
+    }
+
+    #[test]
+    fn already_repeated_entry_is_not_repeated_again() {
+        let mut f = frame_via(&[a("D1"), a("D2")]);
+        f.digipeaters[0].repeated = true;
+        // D1 hears its own repeat (or a copy); its entry is done.
+        assert_eq!(decide(&f, a("D1")), DigipeatDecision::NotForUs);
+        assert!(matches!(decide(&f, a("D2")), DigipeatDecision::Repeat(_)));
+    }
+
+    #[test]
+    fn ssid_distinguishes_stations() {
+        let f = frame_via(&[a("D1-7")]);
+        assert_eq!(decide(&f, a("D1")), DigipeatDecision::NotForUs);
+        assert!(matches!(decide(&f, a("D1-7")), DigipeatDecision::Repeat(_)));
+    }
+}

@@ -1,0 +1,99 @@
+//! The AX.25 frame check sequence (CRC-16/X.25, a.k.a. CRC-CCITT).
+//!
+//! On real hardware the FCS is computed by the HDLC chip in the TNC — the
+//! paper notes the KISS code "calculates the necessary checksums" (§2.1) —
+//! so KISS frames on the serial line carry **no** FCS. The radio-channel
+//! model in this workspace appends it on the air side so corruption (from
+//! collisions or bit errors) is detected exactly where the real system
+//! detects it: in the receiving TNC.
+
+/// Computes the CRC-16/X.25 over `data` (poly 0x1021 reflected = 0x8408,
+/// init 0xFFFF, final XOR 0xFFFF), returned in the little-endian bit order
+/// AX.25 transmits.
+///
+/// # Examples
+///
+/// ```
+/// use ax25::fcs::crc16_x25;
+///
+/// // The classic check value: CRC of "123456789" is 0x906E.
+/// assert_eq!(crc16_x25(b"123456789"), 0x906E);
+/// ```
+pub fn crc16_x25(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= u16::from(byte);
+        for _ in 0..8 {
+            if crc & 1 != 0 {
+                crc = (crc >> 1) ^ 0x8408;
+            } else {
+                crc >>= 1;
+            }
+        }
+    }
+    !crc
+}
+
+/// Appends the two FCS octets (low byte first, per HDLC) to `frame`.
+pub fn append_fcs(frame: &mut Vec<u8>) {
+    let crc = crc16_x25(frame);
+    frame.push((crc & 0xFF) as u8);
+    frame.push((crc >> 8) as u8);
+}
+
+/// Checks and strips a trailing FCS; returns the frame body on success.
+pub fn verify_and_strip_fcs(frame: &[u8]) -> Option<&[u8]> {
+    if frame.len() < 2 {
+        return None;
+    }
+    let (body, fcs) = frame.split_at(frame.len() - 2);
+    let expect = crc16_x25(body);
+    let got = u16::from(fcs[0]) | (u16::from(fcs[1]) << 8);
+    (expect == got).then_some(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_value() {
+        assert_eq!(crc16_x25(b"123456789"), 0x906E);
+    }
+
+    #[test]
+    fn empty_input() {
+        // CRC-16/X.25 of the empty string is 0x0000.
+        assert_eq!(crc16_x25(b""), 0x0000);
+    }
+
+    #[test]
+    fn append_then_verify_roundtrips() {
+        let mut f = b"the quick brown fox".to_vec();
+        append_fcs(&mut f);
+        assert_eq!(
+            verify_and_strip_fcs(&f),
+            Some(b"the quick brown fox".as_ref())
+        );
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected() {
+        let mut f = b"payload bytes".to_vec();
+        append_fcs(&mut f);
+        for bit in 0..f.len() * 8 {
+            let mut corrupted = f.clone();
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                verify_and_strip_fcs(&corrupted).is_none(),
+                "flip of bit {bit} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn short_frames_rejected() {
+        assert!(verify_and_strip_fcs(&[]).is_none());
+        assert!(verify_and_strip_fcs(&[0x12]).is_none());
+    }
+}

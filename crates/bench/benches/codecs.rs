@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks for the wire codecs: the per-packet work a
+//! real kernel driver would do in interrupt context.
+
+use ax25::addr::Ax25Addr;
+use ax25::fcs::crc16_x25;
+use ax25::frame::{Frame, Pid};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use netstack::ip::{Ipv4Packet, Proto};
+use netstack::tcp::{TcpFlags, TcpSegment};
+use netstack::udp::UdpDatagram;
+use sim::wire::internet_checksum;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn sample_frame(info_len: usize) -> Frame {
+    Frame::ui(
+        Ax25Addr::parse_or_panic("N7AKR-1"),
+        Ax25Addr::parse_or_panic("KB7DZ"),
+        Pid::Ip,
+        vec![0xA5; info_len],
+    )
+    .via(&[
+        Ax25Addr::parse_or_panic("WA6BEV-1"),
+        Ax25Addr::parse_or_panic("K3MC-2"),
+    ])
+}
+
+fn bench_kiss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kiss");
+    let payload: Vec<u8> = (0..256).map(|i| (i % 256) as u8).collect();
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("encode_256B", |b| {
+        b.iter(|| kiss::encode(0, kiss::Command::Data, black_box(&payload)))
+    });
+    let wire = kiss::encode(0, kiss::Command::Data, &payload);
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("deframe_256B_per_byte", |b| {
+        b.iter_batched(
+            kiss::Deframer::new,
+            |mut d| {
+                let mut out = None;
+                for &byte in &wire {
+                    if let Some(f) = d.push(byte) {
+                        out = Some(f);
+                    }
+                }
+                black_box(out)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_ax25(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ax25");
+    let frame = sample_frame(200);
+    g.bench_function("frame_encode", |b| b.iter(|| black_box(&frame).encode()));
+    let bytes = frame.encode();
+    g.bench_function("frame_decode", |b| {
+        b.iter(|| Frame::decode(black_box(&bytes)).unwrap())
+    });
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("crc16_x25", |b| b.iter(|| crc16_x25(black_box(&bytes))));
+    g.finish();
+}
+
+fn bench_ip_tcp_udp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inet");
+    let src = Ipv4Addr::new(44, 24, 0, 5);
+    let dst = Ipv4Addr::new(128, 95, 1, 4);
+    let packet = Ipv4Packet::new(src, dst, Proto::Tcp, vec![0x42; 512]);
+    g.bench_function("ipv4_encode_512B", |b| {
+        b.iter(|| black_box(&packet).encode())
+    });
+    let bytes = packet.encode();
+    g.bench_function("ipv4_decode_512B", |b| {
+        b.iter(|| Ipv4Packet::decode(black_box(&bytes)).unwrap())
+    });
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("internet_checksum_532B", |b| {
+        b.iter(|| internet_checksum(&[black_box(&bytes)]))
+    });
+
+    let seg = TcpSegment {
+        src_port: 1025,
+        dst_port: 23,
+        seq: 1,
+        ack: 2,
+        flags: TcpFlags {
+            ack: true,
+            psh: true,
+            ..TcpFlags::default()
+        },
+        window: 4096,
+        mss: None,
+        payload: vec![0x55; 512],
+    };
+    g.bench_function("tcp_encode_512B", |b| {
+        b.iter(|| black_box(&seg).encode(src, dst))
+    });
+    let tbytes = seg.encode(src, dst);
+    g.bench_function("tcp_decode_512B", |b| {
+        b.iter(|| TcpSegment::decode(black_box(&tbytes), src, dst).unwrap())
+    });
+
+    let dg = UdpDatagram {
+        src_port: 2001,
+        dst_port: 1235,
+        payload: vec![9; 128],
+    };
+    g.bench_function("udp_roundtrip_128B", |b| {
+        b.iter(|| {
+            let e = black_box(&dg).encode(src, dst);
+            UdpDatagram::decode(&e, src, dst).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kiss, bench_ax25, bench_ip_tcp_udp);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benchmark for the paper's "most difficult routine": the
+//! per-character receive interrupt handler (`rint`), measured over a full
+//! frame — the work the gateway's CPU does for every frame a promiscuous
+//! TNC passes up (§2.2/§3).
+
+use ax25::addr::Ax25Addr;
+use ax25::frame::{Frame, Pid};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gateway::prdriver::{PacketRadioDriver, PrConfig};
+use netstack::ip::{Ipv4Packet, Proto};
+use sim::SimTime;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn wire_for(dest: &str, payload_len: usize) -> Vec<u8> {
+    let ip = Ipv4Packet::new(
+        Ipv4Addr::new(44, 24, 0, 5),
+        Ipv4Addr::new(44, 24, 0, 28),
+        Proto::Udp,
+        vec![0x33; payload_len],
+    );
+    let frame = Frame::ui(
+        Ax25Addr::parse_or_panic(dest),
+        Ax25Addr::parse_or_panic("KB7DZ"),
+        Pid::Ip,
+        ip.encode(),
+    );
+    kiss::encode(0, kiss::Command::Data, &frame.encode())
+}
+
+fn bench_rint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("driver_rint");
+    for (label, dest) in [("frame_for_us", "N7AKR-1"), ("frame_for_other", "W1GOH")] {
+        let wire = wire_for(dest, 180);
+        g.throughput(Throughput::Bytes(wire.len() as u64));
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    PacketRadioDriver::new(
+                        PrConfig::new(Ax25Addr::parse_or_panic("N7AKR-1")),
+                        Ipv4Addr::new(44, 24, 0, 28),
+                    )
+                },
+                |mut drv| {
+                    let mut out = None;
+                    for &byte in &wire {
+                        let (ev, _tx) = drv.rint(SimTime::ZERO, byte);
+                        if ev.is_some() {
+                            out = ev;
+                        }
+                    }
+                    black_box(out)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_output(c: &mut Criterion) {
+    let mut g = c.benchmark_group("driver_output");
+    g.bench_function("encapsulate_ip_cached_arp", |b| {
+        b.iter_batched(
+            || {
+                let mut drv = PacketRadioDriver::new(
+                    PrConfig::new(Ax25Addr::parse_or_panic("N7AKR-1")),
+                    Ipv4Addr::new(44, 24, 0, 28),
+                );
+                drv.arp_mut().insert_static(
+                    Ipv4Addr::new(44, 24, 0, 5),
+                    gateway::hwaddr::Ax25Hw::direct(Ax25Addr::parse_or_panic("KB7DZ")).encode(),
+                );
+                drv
+            },
+            |mut drv| {
+                let p = Ipv4Packet::new(
+                    Ipv4Addr::new(44, 24, 0, 28),
+                    Ipv4Addr::new(44, 24, 0, 5),
+                    Proto::Udp,
+                    vec![7; 180],
+                );
+                black_box(drv.output(SimTime::ZERO, p, Ipv4Addr::new(44, 24, 0, 5)))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rint, bench_output);
+criterion_main!(benches);

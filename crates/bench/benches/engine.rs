@@ -1,0 +1,121 @@
+//! Criterion benchmarks for the simulation engine itself: event queue
+//! operations, TCP state-machine steps, and a whole simulated second of
+//! the paper topology — the costs that bound how fast experiments run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use netstack::tcp::{Tcb, TcpConfig};
+use sim::{EventQueue, SimDuration, SimTime};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+    g.bench_function("schedule_cancel_half_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = (0..1000u64)
+                .map(|i| q.schedule(SimTime::from_nanos(i), i))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                q.cancel(*id);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_tcp_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp_machine");
+    let a = (Ipv4Addr::new(10, 0, 0, 1), 1025u16);
+    let b_addr = (Ipv4Addr::new(10, 0, 0, 2), 23u16);
+    g.bench_function("handshake_and_1k_transfer", |b| {
+        b.iter(|| {
+            let now = SimTime::ZERO;
+            let (mut alice, ev) = Tcb::connect(now, a, b_addr, 1000, TcpConfig::default());
+            let syn = match &ev[0] {
+                netstack::tcp::TcbEvent::Transmit(s) => s.clone(),
+                _ => unreachable!(),
+            };
+            let (mut bob, ev) = Tcb::accept(now, b_addr, a, &syn, 9000, TcpConfig::default());
+            let synack = match &ev[0] {
+                netstack::tcp::TcbEvent::Transmit(s) => s.clone(),
+                _ => unreachable!(),
+            };
+            let mut to_bob: Vec<netstack::tcp::TcpSegment> = Vec::new();
+            for e in alice.on_segment(now, &synack) {
+                if let netstack::tcp::TcbEvent::Transmit(s) = e {
+                    to_bob.push(s);
+                }
+            }
+            let (_, ev) = alice.send(now, &[0xAA; 1024]);
+            for e in ev {
+                if let netstack::tcp::TcbEvent::Transmit(s) = e {
+                    to_bob.push(s);
+                }
+            }
+            // One relay round is enough to exercise the hot paths.
+            let mut to_alice = Vec::new();
+            for s in &to_bob {
+                for e in bob.on_segment(now, s) {
+                    if let netstack::tcp::TcbEvent::Transmit(s) = e {
+                        to_alice.push(s);
+                    }
+                }
+            }
+            for s in &to_alice {
+                let _ = alice.on_segment(now, s);
+            }
+            black_box((alice.state(), bob.recv_available()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_world(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world");
+    g.sample_size(20);
+    g.bench_function("paper_topology_60s_with_ping", |b| {
+        b.iter_batched(
+            || {
+                let mut s =
+                    gateway::scenario::paper_topology(gateway::scenario::PaperConfig::default(), 1);
+                let p = apps::ping::Pinger::new(
+                    gateway::scenario::ETHER_HOST_IP,
+                    1,
+                    3,
+                    SimDuration::from_secs(15),
+                    32,
+                );
+                s.world.add_app(s.pc, Box::new(p));
+                s
+            },
+            |mut s| {
+                s.world.run_for(SimDuration::from_secs(60));
+                black_box(s.world.now)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_tcp_machine, bench_world);
+criterion_main!(benches);

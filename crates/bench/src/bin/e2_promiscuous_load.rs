@@ -1,0 +1,119 @@
+//! E2 — §3 ¶2: "the gateway slows considerably as traffic on the packet
+//! radio subnet climbs. Part of the reason for this is that the present
+//! code running inside the TNC passes every packet it receives to the
+//! packet radio driver regardless of the destination address."
+//!
+//! Background stations load the channel while the PC pings through the
+//! gateway. For each offered load we run the gateway's TNC both
+//! promiscuous (stock 1988) and address-filtered (the paper's proposed
+//! fix), reporting:
+//!
+//! * the RTT of the gateway's own traffic (rises with load — the
+//!   "slows considerably" part; mostly channel contention);
+//! * the characters and packets the gateway host is forced to process
+//!   (the interrupt-load part the filter eliminates);
+//! * the gateway CPU utilization attributable to the radio port.
+
+use apps::ping::Pinger;
+use ax25::addr::Ax25Addr;
+use bench::banner;
+use gateway::scenario::{paper_topology, PaperConfig, ETHER_HOST_IP};
+use radio::csma::MacConfig;
+use radio::tnc::RxMode;
+use radio::traffic::BeaconConfig;
+use sim::stats::Sweep;
+use sim::{SimDuration, SimTime};
+
+struct Outcome {
+    rtt_ms: f64,
+    p95_ms: f64,
+    delivered: u32,
+    gw_chars: u64,
+    gw_packets: u64,
+    gw_cpu_pct: f64,
+    filtered: u64,
+    channel_util: f64,
+}
+
+fn run(mode: RxMode, stations: usize) -> Outcome {
+    let cfg = PaperConfig {
+        tnc_mode: mode,
+        // TNC-2-era serial: barely above the channel rate, so unwanted
+        // promiscuous traffic competes with wanted frames on the RS-232.
+        serial_baud: 2400,
+        acl: false,
+        ..PaperConfig::default()
+    };
+    let mut s = paper_topology(cfg, 2000 + stations as u64);
+    for i in 0..stations {
+        s.world.add_beacon(
+            s.chan,
+            BeaconConfig {
+                from: Ax25Addr::parse_or_panic(&format!("BG{}", i + 1)),
+                to: Ax25Addr::parse_or_panic("CHAT"),
+                frame_len: 120,
+                mean_interval: SimDuration::from_secs(8),
+                start: SimTime::ZERO,
+                mac: MacConfig::default(),
+            },
+        );
+    }
+    let pinger = Pinger::new(ETHER_HOST_IP, 1, 20, SimDuration::from_secs(60), 32);
+    let report = pinger.report();
+    s.world.add_app(s.pc, Box::new(pinger));
+    let horizon = SimDuration::from_secs(1500);
+    s.world.run_for(horizon);
+
+    let mut r = report.borrow_mut();
+    let gw = s.world.host(s.gw);
+    Outcome {
+        rtt_ms: r.rtts.mean().map(|d| d.as_millis_f64()).unwrap_or(f64::NAN),
+        p95_ms: r
+            .rtts
+            .quantile(0.95)
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN),
+        delivered: r.received,
+        gw_chars: gw.cpu.stats().char_interrupts,
+        gw_packets: gw.cpu.stats().packets,
+        gw_cpu_pct: gw.cpu.utilization(s.world.now) * 100.0,
+        filtered: s.world.tnc(s.gw_tnc).stats().filtered,
+        channel_util: s.world.channel(s.chan).offered_utilization(s.world.now),
+    }
+}
+
+fn main() {
+    banner(
+        "E2",
+        "gateway under promiscuous subnet load vs TNC address filtering",
+        "\"the gateway slows considerably as traffic on the packet radio subnet \
+         climbs\" because the TNC \"passes every packet it receives\" (§3)",
+    );
+    println!("(20 pings PC→vax2, 25 min of background chatter per point; serial 2400 Bd)\n");
+
+    let mut sweep = Sweep::new("bg_stations");
+    for stations in [0usize, 2, 4, 6, 8, 12] {
+        let p = run(RxMode::Promiscuous, stations);
+        let f = run(RxMode::AddressFilter, stations);
+        sweep
+            .row(stations as f64)
+            .set("chan_util_%", p.channel_util * 100.0)
+            .set("rtt_prom_ms", p.rtt_ms)
+            .set("rtt_filt_ms", f.rtt_ms)
+            .set("p95_prom_ms", p.p95_ms)
+            .set("ok_prom", f64::from(p.delivered))
+            .set("gw_chars_prom", p.gw_chars as f64)
+            .set("gw_chars_filt", f.gw_chars as f64)
+            .set("gw_cpu_prom_%", p.gw_cpu_pct)
+            .set("gw_cpu_filt_%", f.gw_cpu_pct)
+            .set("tnc_filtered", f.filtered as f64)
+            .set("gw_pkts_prom", p.gw_packets as f64);
+    }
+    println!("{}", sweep.render());
+    println!("expected shape:");
+    println!(" * rtt rises steeply with load in BOTH modes (channel contention — the");
+    println!("   dominant slowdown), reproducing \"slows considerably\";");
+    println!(" * gw_chars/gw_cpu in promiscuous mode scale with the background load");
+    println!("   while the filtered TNC holds them flat at the gateway's own traffic —");
+    println!("   the paper's proposed fix eliminates the per-character interrupt tax.");
+}

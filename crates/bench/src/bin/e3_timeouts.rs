@@ -1,0 +1,139 @@
+//! E3 — §4.1: "Hosts on the Ethernet side expect fast response … the
+//! system on the Ethernet side initially retransmits packets several
+//! times before a response makes it back. This results in wasted
+//! bandwidth … Since these retransmissions are queued at the gateway,
+//! they delay other packets. Fortunately, many implementations of TCP
+//! dynamically adjust their timeout values."
+//!
+//! An Ethernet host pushes a bulk transfer to the radio-side PC through
+//! the gateway, once per retransmission policy: fixed RTOs of several
+//! sizes (the naive implementations) and the adaptive Jacobson/Karn
+//! policy. Reported per policy: segments, retransmissions, wasted
+//! bytes, transfer time, goodput, learned RTO, and the gateway queue
+//! high-water mark.
+
+use apps::bulk::{BulkSender, BulkSink};
+use bench::banner;
+use gateway::scenario::{paper_topology, PaperConfig, ETHER_HOST_IP, GW_RADIO_IP, PC_IP};
+use netstack::icmp::IcmpMessage;
+use netstack::tcp::{RtoPolicy, TcpConfig};
+use sim::stats::render_table;
+use sim::SimDuration;
+
+const BYTES: usize = 20_000;
+
+struct Outcome {
+    segments: u64,
+    rtx: u64,
+    bytes_sent: u64,
+    bytes_rtx: u64,
+    duration_s: f64,
+    goodput_bps: f64,
+    final_rto_s: f64,
+    srtt_s: f64,
+    gw_queue_peak: usize,
+    done: bool,
+}
+
+fn run(policy: RtoPolicy, seed: u64) -> Outcome {
+    let mut s = paper_topology(PaperConfig::default(), seed);
+    // Authorize the inbound direction (§4.3) before the transfer starts.
+    let now = s.world.now;
+    s.world.host_mut(s.pc).send_gate_message(
+        now,
+        GW_RADIO_IP,
+        IcmpMessage::GateOpen {
+            amateur: PC_IP,
+            foreign: ETHER_HOST_IP,
+            ttl_secs: 14_400,
+            auth: None,
+        },
+    );
+    let sink = BulkSink::new(6000);
+    let sink_report = sink.report();
+    s.world.add_app(s.pc, Box::new(sink));
+    let cfg = TcpConfig {
+        rto: policy,
+        ..TcpConfig::default()
+    };
+    let sender = BulkSender::new(PC_IP, 6000, BYTES)
+        .with_tcp(cfg)
+        .with_start_delay(SimDuration::from_secs(15));
+    let report = sender.report();
+    s.world.add_app(s.ether_host, Box::new(sender));
+    s.world.run_for(SimDuration::from_secs(4 * 3600));
+
+    let r = report.borrow();
+    Outcome {
+        segments: r.tcb.segments_sent,
+        rtx: r.tcb.retransmissions,
+        bytes_sent: r.tcb.bytes_sent,
+        bytes_rtx: r.tcb.bytes_retransmitted,
+        duration_s: r.duration().map(|d| d.as_secs_f64()).unwrap_or(f64::NAN),
+        goodput_bps: r.goodput_bps().unwrap_or(f64::NAN),
+        final_rto_s: r.tcb.rto_secs,
+        srtt_s: r.tcb.srtt_secs,
+        gw_queue_peak: s.world.host(s.gw).input_queue_peak(),
+        done: r.finished_at.is_some() && sink_report.borrow().bytes == BYTES,
+    }
+}
+
+fn main() {
+    banner(
+        "E3",
+        "fixed vs adaptive TCP retransmission over the gateway",
+        "fast-side hosts with fixed timeouts waste bandwidth on needless \
+         retransmissions; adaptive implementations learn the path (§4.1)",
+    );
+    println!("(20 kB transfer, Ethernet host → gateway → 1200 bit/s radio → PC)\n");
+
+    let policies: Vec<(&str, RtoPolicy)> = vec![
+        ("fixed 1.0s", RtoPolicy::Fixed(SimDuration::from_secs(1))),
+        (
+            "fixed 1.5s",
+            RtoPolicy::Fixed(SimDuration::from_millis(1500)),
+        ),
+        ("fixed 3.0s", RtoPolicy::Fixed(SimDuration::from_secs(3))),
+        ("fixed 6.0s", RtoPolicy::Fixed(SimDuration::from_secs(6))),
+        ("adaptive", RtoPolicy::Adaptive),
+    ];
+
+    let mut rows = vec![vec![
+        "policy".to_string(),
+        "segs".to_string(),
+        "rtx".to_string(),
+        "wasted_%".to_string(),
+        "time_s".to_string(),
+        "goodput_bps".to_string(),
+        "srtt_s".to_string(),
+        "rto_s".to_string(),
+        "gwq_peak".to_string(),
+        "done".to_string(),
+    ]];
+    for (name, policy) in policies {
+        let o = run(policy, 3001);
+        let wasted = if o.bytes_sent > 0 {
+            o.bytes_rtx as f64 / o.bytes_sent as f64 * 100.0
+        } else {
+            f64::NAN
+        };
+        rows.push(vec![
+            name.to_string(),
+            o.segments.to_string(),
+            o.rtx.to_string(),
+            format!("{wasted:.1}"),
+            format!("{:.0}", o.duration_s),
+            format!("{:.0}", o.goodput_bps),
+            format!("{:.1}", o.srtt_s),
+            format!("{:.1}", o.final_rto_s),
+            o.gw_queue_peak.to_string(),
+            o.done.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+    println!("expected shape: short fixed RTOs retransmit heavily (wasted bandwidth,");
+    println!("deeper gateway queues, longer completion); the adaptive policy converges");
+    println!("on a multi-second SRTT and stops retransmitting — \"when the system on");
+    println!("the Ethernet side learns the correct timeout value, the frequency of");
+    println!("unnecessary packet retransmissions is reduced.\"");
+}

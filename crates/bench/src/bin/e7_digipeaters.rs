@@ -1,0 +1,70 @@
+//! E7 — §1's digipeaters: "the specification of up to eight digipeaters
+//! through which a packet is to pass." Every hop retransmits on the same
+//! frequency, so each hop roughly doubles a packet's airtime. This sweep
+//! measures ping RTT and TCP goodput through chains of 0–8 digipeaters.
+
+use apps::bulk::{BulkSender, BulkSink};
+use apps::ping::Pinger;
+use bench::banner;
+use gateway::scenario::{digi_chain_topology, PaperConfig, GW_RADIO_IP, PC_IP};
+use sim::stats::Sweep;
+use sim::SimDuration;
+
+fn main() {
+    banner(
+        "E7",
+        "source-routed digipeating cost vs chain length",
+        "up to eight digipeaters may relay a frame; every relay re-occupies \
+         the shared channel (§1)",
+    );
+    println!("(PC ⇄ far host through a line of digipeaters with hidden ends)\n");
+
+    let cfg = PaperConfig {
+        acl: false,
+        ..PaperConfig::default()
+    };
+
+    let mut sweep = Sweep::new("digipeaters");
+    for n in 0..=8usize {
+        let mut s = digi_chain_topology(n, cfg.clone(), 7000 + n as u64);
+        let pinger = Pinger::new(GW_RADIO_IP, 1, 4, SimDuration::from_secs(90), 32);
+        let ping_report = pinger.report();
+        s.world.add_app(s.pc, Box::new(pinger));
+        s.world.run_for(SimDuration::from_secs(600));
+
+        // A small transfer over the same chain.
+        let sink = BulkSink::new(7100);
+        let sink_report = sink.report();
+        s.world.add_app(s.gw, Box::new(sink));
+        let sender = BulkSender::new(GW_RADIO_IP, 7100, 800);
+        let send_report = sender.report();
+        s.world.add_app(s.pc, Box::new(sender));
+        s.world.run_for(SimDuration::from_secs(6 * 3600));
+
+        let mut pr = ping_report.borrow_mut();
+        let tx = send_report.borrow();
+        let airtime = s.world.channel(s.chan).stats().airtime_ns as f64 / 1e9;
+        sweep
+            .row(n as f64)
+            .set(
+                "warm_rtt_s",
+                pr.rtts.min().map(|d| d.as_secs_f64()).unwrap_or(f64::NAN),
+            )
+            .set("ping_ok", f64::from(pr.received))
+            .set("goodput_bps", tx.goodput_bps().unwrap_or(f64::NAN))
+            .set(
+                "xfer_ok",
+                f64::from(u8::from(sink_report.borrow().bytes == 800)),
+            )
+            .set("airtime_s", airtime);
+        let _ = PC_IP;
+    }
+    println!("{}", sweep.render());
+    println!("expected shape: ping RTT grows linearly with hop count (each frame");
+    println!("serializes once per hop on the same shared channel) and stays reliable");
+    println!("even at the protocol maximum of 8 hops. TCP goodput falls much faster");
+    println!("than 1/(hops+1) and melts down entirely beyond ~5 hops — retransmission");
+    println!("bursts collide with digipeater relays on the one frequency, which is");
+    println!("why 1980s operators used NET/ROM backbones instead of long digi chains");
+    println!("(the very development the paper's §1 recounts).");
+}

@@ -1,0 +1,121 @@
+//! E9 — the MTU mismatch the gateway lives with: Ethernet carries 1500
+//! octets, the AX.25 info field 256 (§2.2's driver uses the standard N1).
+//! Ethernet-side datagrams bigger than the radio MTU must fragment at
+//! the gateway and reassemble at the PC. This sweep measures the cost,
+//! and compares TCP with fragment-sized vs MSS-clamped segments.
+
+use apps::bulk::{BulkSender, BulkSink};
+use apps::ping::Pinger;
+use bench::banner;
+use gateway::scenario::{paper_topology, PaperConfig, ETHER_HOST_IP, GW_RADIO_IP, PC_IP};
+use netstack::icmp::IcmpMessage;
+use netstack::tcp::TcpConfig;
+use sim::stats::Sweep;
+use sim::SimDuration;
+
+fn authorize(s: &mut gateway::scenario::PaperScenario) {
+    let now = s.world.now;
+    s.world.host_mut(s.pc).send_gate_message(
+        now,
+        GW_RADIO_IP,
+        IcmpMessage::GateOpen {
+            amateur: PC_IP,
+            foreign: ETHER_HOST_IP,
+            ttl_secs: 14_400,
+            auth: None,
+        },
+    );
+}
+
+fn main() {
+    banner(
+        "E9",
+        "Ethernet (1500) to AX.25 (256) MTU mismatch at the gateway",
+        "the driver encapsulates IP in 256-octet AX.25 frames; bigger \
+         Ethernet-side packets fragment at the gateway (§2.2)",
+    );
+    println!("(pings Ethernet host → PC, payload sweep; gateway fragments onto pr0)\n");
+
+    let mut sweep = Sweep::new("icmp_payload_B");
+    for payload in [64usize, 200, 400, 600, 1000, 1400] {
+        let mut s = paper_topology(PaperConfig::default(), 9000 + payload as u64);
+        authorize(&mut s);
+        // Warm ARP both ways first.
+        let now = s.world.now;
+        s.world.host_mut(s.pc).ping(now, ETHER_HOST_IP, 1, 1, 8);
+        s.world.run_for(SimDuration::from_secs(30));
+
+        let frags_before = s.world.host(s.gw).pr_driver().unwrap().stats().ip_out;
+        let pinger = Pinger::new(PC_IP, 2, 2, SimDuration::from_secs(120), payload);
+        let report = pinger.report();
+        s.world.add_app(s.ether_host, Box::new(pinger));
+        s.world.run_for(SimDuration::from_secs(400));
+
+        let mut r = report.borrow_mut();
+        let frags = s.world.host(s.gw).pr_driver().unwrap().stats().ip_out - frags_before;
+        sweep
+            .row(payload as f64)
+            .set("replies", f64::from(r.received))
+            .set(
+                "warm_rtt_s",
+                r.rtts.min().map(|d| d.as_secs_f64()).unwrap_or(f64::NAN),
+            )
+            .set("radio_pkts/ping", frags as f64 / 2.0)
+            .set(
+                "overhead_B/ping",
+                // Extra IP(20) + AX.25(18) header bytes per extra fragment.
+                ((frags as f64 / 2.0) - 1.0).max(0.0) * 38.0,
+            );
+    }
+    println!("{}", sweep.render());
+
+    // TCP comparison: default MSS 536 (fragments on pr0) vs MSS clamped
+    // to fit the radio MTU (no fragmentation).
+    println!("TCP 4 kB transfer Ethernet→PC, MSS variants:");
+    let mut rows = vec![vec![
+        "mss".to_string(),
+        "segments".to_string(),
+        "radio_ip_pkts".to_string(),
+        "time_s".to_string(),
+        "goodput_bps".to_string(),
+        "ok".to_string(),
+    ]];
+    for mss in [536u16, 216] {
+        let mut s = paper_topology(PaperConfig::default(), 9100 + u64::from(mss));
+        authorize(&mut s);
+        let sink = BulkSink::new(6100);
+        let sink_report = sink.report();
+        s.world.add_app(s.pc, Box::new(sink));
+        let sender = BulkSender::new(PC_IP, 6100, 4000)
+            .with_tcp(TcpConfig {
+                mss,
+                ..TcpConfig::default()
+            })
+            .with_start_delay(SimDuration::from_secs(10));
+        let send_report = sender.report();
+        s.world.add_app(s.ether_host, Box::new(sender));
+        s.world.run_for(SimDuration::from_secs(2 * 3600));
+        let tx = send_report.borrow();
+        let radio_pkts = s.world.host(s.gw).pr_driver().unwrap().stats().ip_out;
+        rows.push(vec![
+            mss.to_string(),
+            tx.tcb.segments_sent.to_string(),
+            radio_pkts.to_string(),
+            tx.duration()
+                .map(|d| format!("{:.0}", d.as_secs_f64()))
+                .unwrap_or("-".into()),
+            tx.goodput_bps()
+                .map(|g| format!("{g:.0}"))
+                .unwrap_or("-".into()),
+            (sink_report.borrow().bytes == 4000).to_string(),
+        ]);
+    }
+    println!("{}", sim::stats::render_table(&rows));
+    println!("expected shape: payloads ≤ ~200 B cross in one radio frame; larger pings");
+    println!("split into ceil((28+payload)/232) fragments each way, and every one");
+    println!("reassembles (replies=2 throughout) with RTT growing linearly in the");
+    println!("fragment count. For TCP the trade is close: a 536-octet MSS fragments on");
+    println!("the radio leg (more radio frames per segment) while a clamped MSS sends");
+    println!("more segments and therefore more ACKs across the same half-duplex");
+    println!("channel — measured, the larger MSS wins clearly. Both arrive intact.");
+}

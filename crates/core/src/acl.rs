@@ -1,0 +1,459 @@
+//! §4.3's access-control table.
+//!
+//! FCC rules require that *"any communication must be initiated by
+//! licensed amateurs"*. The paper's design: *"maintain a table of
+//! authorized addresses on the non-amateur side of the gateway …
+//! Whenever a packet is received on the amateur side destined for a
+//! non-amateur host, an entry is made in the table, enabling the
+//! non-amateur host to send packets in the other direction. After a
+//! certain period of time, these entries are removed if packets have not
+//! been received from the amateur side."* The proposed ICMP extensions
+//! (force-remove and authenticated add) are implemented too.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use netstack::icmp::{GateAuth, IcmpMessage};
+use netstack::ip::Ipv4Packet;
+use netstack::route::Prefix;
+use sim::{SimDuration, SimTime};
+
+/// ACL policy parameters.
+#[derive(Debug, Clone)]
+pub struct AclConfig {
+    /// The amateur network (44/8 in the paper).
+    pub amateur_net: Prefix,
+    /// How long an entry lives without amateur-side refresh.
+    pub entry_ttl: SimDuration,
+    /// Control operators authorized to manage entries from the
+    /// non-amateur side: callsign → password.
+    pub operators: HashMap<String, String>,
+}
+
+impl Default for AclConfig {
+    fn default() -> Self {
+        AclConfig {
+            amateur_net: Prefix::amprnet(),
+            entry_ttl: SimDuration::from_secs(600),
+            operators: HashMap::new(),
+        }
+    }
+}
+
+/// ACL counters, reported by experiment E5.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AclStats {
+    /// Amateur→foreign packets that opened or refreshed an entry.
+    pub openings: u64,
+    /// Foreign→amateur packets allowed by a live entry.
+    pub allowed_inbound: u64,
+    /// Foreign→amateur packets denied (no entry).
+    pub denied_inbound: u64,
+    /// Entries removed by TTL expiry.
+    pub expired: u64,
+    /// Entries removed by GateClose.
+    pub forced_closed: u64,
+    /// Entries added by authorized GateOpen.
+    pub opened_by_message: u64,
+    /// Control messages rejected for bad/missing credentials.
+    pub auth_failures: u64,
+}
+
+/// The verdict on one forwarded packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AclVerdict {
+    /// Forward it.
+    Allow,
+    /// Drop it (and, per taste, send ICMP admin-prohibited).
+    Deny,
+}
+
+/// Outcome of a gateway-control message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateOutcome {
+    /// The table was updated.
+    Applied,
+    /// Credentials were missing or wrong.
+    AuthFailed,
+    /// Nothing to do (e.g. closing a nonexistent entry).
+    NoEntry,
+}
+
+/// The access-control table of the gateway.
+///
+/// # Examples
+///
+/// ```
+/// use gateway::acl::{AclConfig, AclVerdict, GatewayAcl};
+/// use netstack::ip::{Ipv4Packet, Proto};
+/// use sim::SimTime;
+/// use std::net::Ipv4Addr;
+///
+/// let mut acl = GatewayAcl::new(AclConfig::default());
+/// let amateur = Ipv4Addr::new(44, 24, 0, 5);
+/// let foreign = Ipv4Addr::new(128, 95, 1, 4);
+/// let inbound = Ipv4Packet::new(foreign, amateur, Proto::Tcp, vec![]);
+/// // Unsolicited inbound is denied …
+/// assert_eq!(acl.check(SimTime::ZERO, &inbound), AclVerdict::Deny);
+/// // … until the amateur side initiates.
+/// let outbound = Ipv4Packet::new(amateur, foreign, Proto::Tcp, vec![]);
+/// acl.check(SimTime::ZERO, &outbound);
+/// assert_eq!(acl.check(SimTime::ZERO, &inbound), AclVerdict::Allow);
+/// ```
+#[derive(Debug)]
+pub struct GatewayAcl {
+    cfg: AclConfig,
+    /// (amateur host, foreign host) → expiry.
+    table: HashMap<(Ipv4Addr, Ipv4Addr), SimTime>,
+    stats: AclStats,
+}
+
+impl GatewayAcl {
+    /// Creates an empty table ("initially the table starts off empty").
+    pub fn new(cfg: AclConfig) -> GatewayAcl {
+        GatewayAcl {
+            cfg,
+            table: HashMap::new(),
+            stats: AclStats::default(),
+        }
+    }
+
+    /// True if `ip` is on the amateur side.
+    pub fn is_amateur(&self, ip: Ipv4Addr) -> bool {
+        self.cfg.amateur_net.contains(ip)
+    }
+
+    /// Judges a packet the gateway is about to forward, updating the
+    /// table per the paper's rules.
+    pub fn check(&mut self, now: SimTime, packet: &Ipv4Packet) -> AclVerdict {
+        let src_am = self.is_amateur(packet.src);
+        let dst_am = self.is_amateur(packet.dst);
+        match (src_am, dst_am) {
+            // Amateur-initiated: open/refresh the return path.
+            (true, false) => {
+                self.stats.openings += 1;
+                self.table
+                    .insert((packet.src, packet.dst), now + self.cfg.entry_ttl);
+                AclVerdict::Allow
+            }
+            // Inbound to the amateur side: allowed only pairwise.
+            (false, true) => match self.table.get(&(packet.dst, packet.src)) {
+                Some(expiry) if *expiry > now => {
+                    self.stats.allowed_inbound += 1;
+                    AclVerdict::Allow
+                }
+                Some(_) => {
+                    self.table.remove(&(packet.dst, packet.src));
+                    self.stats.expired += 1;
+                    self.stats.denied_inbound += 1;
+                    AclVerdict::Deny
+                }
+                None => {
+                    self.stats.denied_inbound += 1;
+                    AclVerdict::Deny
+                }
+            },
+            // Amateur↔amateur (digipeating through the gateway's subnets)
+            // and foreign↔foreign transit are not this table's concern.
+            _ => AclVerdict::Allow,
+        }
+    }
+
+    fn auth_ok(&self, from_amateur_side: bool, auth: &Option<GateAuth>) -> bool {
+        if from_amateur_side {
+            // §4.3: messages from the amateur side are inherently from a
+            // licensed operator (the FCC identification requirement).
+            return true;
+        }
+        match auth {
+            Some(a) => self
+                .cfg
+                .operators
+                .get(&a.callsign)
+                .is_some_and(|pw| *pw == a.password),
+            None => false,
+        }
+    }
+
+    /// Applies a gateway-control ICMP message (§4.3's proposed
+    /// extensions). `from_amateur_side` is judged by the ingress
+    /// interface, not the claimed source address.
+    pub fn on_gate_message(
+        &mut self,
+        now: SimTime,
+        from_amateur_side: bool,
+        msg: &IcmpMessage,
+    ) -> GateOutcome {
+        match msg {
+            IcmpMessage::GateOpen {
+                amateur,
+                foreign,
+                ttl_secs,
+                auth,
+            } => {
+                if !self.auth_ok(from_amateur_side, auth) {
+                    self.stats.auth_failures += 1;
+                    return GateOutcome::AuthFailed;
+                }
+                self.stats.opened_by_message += 1;
+                let ttl = SimDuration::from_secs(u64::from(*ttl_secs));
+                self.table.insert((*amateur, *foreign), now + ttl);
+                GateOutcome::Applied
+            }
+            IcmpMessage::GateClose {
+                amateur,
+                foreign,
+                auth,
+            } => {
+                if !self.auth_ok(from_amateur_side, auth) {
+                    self.stats.auth_failures += 1;
+                    return GateOutcome::AuthFailed;
+                }
+                if self.table.remove(&(*amateur, *foreign)).is_some() {
+                    self.stats.forced_closed += 1;
+                    GateOutcome::Applied
+                } else {
+                    GateOutcome::NoEntry
+                }
+            }
+            _ => GateOutcome::NoEntry,
+        }
+    }
+
+    /// Removes expired entries ("after a certain period of time, these
+    /// entries are removed"); returns how many were dropped.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let before = self.table.len();
+        self.table.retain(|_, expiry| *expiry > now);
+        let dropped = before - self.table.len();
+        self.stats.expired += dropped as u64;
+        dropped
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> AclStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netstack::ip::Proto;
+
+    fn amateur(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(44, 24, 0, n)
+    }
+
+    fn foreign(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(128, 95, 1, n)
+    }
+
+    fn pkt(src: Ipv4Addr, dst: Ipv4Addr) -> Ipv4Packet {
+        Ipv4Packet::new(src, dst, Proto::Tcp, vec![0; 8])
+    }
+
+    fn acl_with_op() -> GatewayAcl {
+        let mut cfg = AclConfig::default();
+        cfg.operators
+            .insert("N7AKR".to_string(), "secret".to_string());
+        GatewayAcl::new(cfg)
+    }
+
+    #[test]
+    fn unsolicited_inbound_is_denied() {
+        let mut acl = acl_with_op();
+        let v = acl.check(SimTime::ZERO, &pkt(foreign(4), amateur(5)));
+        assert_eq!(v, AclVerdict::Deny);
+        assert_eq!(acl.stats().denied_inbound, 1);
+    }
+
+    #[test]
+    fn amateur_initiation_opens_the_return_path() {
+        let mut acl = acl_with_op();
+        let now = SimTime::ZERO;
+        assert_eq!(
+            acl.check(now, &pkt(amateur(5), foreign(4))),
+            AclVerdict::Allow
+        );
+        assert_eq!(
+            acl.check(now, &pkt(foreign(4), amateur(5))),
+            AclVerdict::Allow
+        );
+        // Pairwise only: another foreign host is still blocked.
+        assert_eq!(
+            acl.check(now, &pkt(foreign(9), amateur(5))),
+            AclVerdict::Deny
+        );
+        // And another amateur host is not opened either.
+        assert_eq!(
+            acl.check(now, &pkt(foreign(4), amateur(6))),
+            AclVerdict::Deny
+        );
+    }
+
+    #[test]
+    fn entries_expire_without_refresh() {
+        let mut acl = acl_with_op();
+        let t0 = SimTime::ZERO;
+        acl.check(t0, &pkt(amateur(5), foreign(4)));
+        let before = t0 + SimDuration::from_secs(599);
+        assert_eq!(
+            acl.check(before, &pkt(foreign(4), amateur(5))),
+            AclVerdict::Allow
+        );
+        let after = t0 + SimDuration::from_secs(601);
+        assert_eq!(
+            acl.check(after, &pkt(foreign(4), amateur(5))),
+            AclVerdict::Deny
+        );
+    }
+
+    #[test]
+    fn amateur_traffic_refreshes_ttl() {
+        let mut acl = acl_with_op();
+        let t0 = SimTime::ZERO;
+        acl.check(t0, &pkt(amateur(5), foreign(4)));
+        let t1 = t0 + SimDuration::from_secs(500);
+        acl.check(t1, &pkt(amateur(5), foreign(4))); // refresh
+        let t2 = t0 + SimDuration::from_secs(900); // 400s after refresh
+        assert_eq!(
+            acl.check(t2, &pkt(foreign(4), amateur(5))),
+            AclVerdict::Allow
+        );
+    }
+
+    #[test]
+    fn expire_sweeps_the_table() {
+        let mut acl = acl_with_op();
+        let t0 = SimTime::ZERO;
+        acl.check(t0, &pkt(amateur(5), foreign(4)));
+        acl.check(t0, &pkt(amateur(6), foreign(4)));
+        assert_eq!(acl.len(), 2);
+        assert_eq!(acl.expire(t0 + SimDuration::from_secs(700)), 2);
+        assert!(acl.is_empty());
+    }
+
+    #[test]
+    fn gate_close_from_amateur_side_needs_no_auth() {
+        let mut acl = acl_with_op();
+        let now = SimTime::ZERO;
+        acl.check(now, &pkt(amateur(5), foreign(4)));
+        let msg = IcmpMessage::GateClose {
+            amateur: amateur(5),
+            foreign: foreign(4),
+            auth: None,
+        };
+        assert_eq!(acl.on_gate_message(now, true, &msg), GateOutcome::Applied);
+        assert_eq!(
+            acl.check(now, &pkt(foreign(4), amateur(5))),
+            AclVerdict::Deny
+        );
+        assert_eq!(acl.stats().forced_closed, 1);
+    }
+
+    #[test]
+    fn gate_messages_from_foreign_side_require_credentials() {
+        let mut acl = acl_with_op();
+        let now = SimTime::ZERO;
+        let open = |auth| IcmpMessage::GateOpen {
+            amateur: amateur(5),
+            foreign: foreign(4),
+            ttl_secs: 300,
+            auth,
+        };
+        assert_eq!(
+            acl.on_gate_message(now, false, &open(None)),
+            GateOutcome::AuthFailed
+        );
+        assert_eq!(
+            acl.on_gate_message(
+                now,
+                false,
+                &open(Some(GateAuth {
+                    callsign: "N7AKR".into(),
+                    password: "wrong".into()
+                }))
+            ),
+            GateOutcome::AuthFailed
+        );
+        assert_eq!(acl.stats().auth_failures, 2);
+        assert_eq!(
+            acl.on_gate_message(
+                now,
+                false,
+                &open(Some(GateAuth {
+                    callsign: "N7AKR".into(),
+                    password: "secret".into()
+                }))
+            ),
+            GateOutcome::Applied
+        );
+        assert_eq!(
+            acl.check(now, &pkt(foreign(4), amateur(5))),
+            AclVerdict::Allow
+        );
+    }
+
+    #[test]
+    fn gate_open_honours_requested_ttl() {
+        let mut acl = acl_with_op();
+        let now = SimTime::ZERO;
+        let msg = IcmpMessage::GateOpen {
+            amateur: amateur(5),
+            foreign: foreign(4),
+            ttl_secs: 60,
+            auth: None,
+        };
+        acl.on_gate_message(now, true, &msg);
+        let at59 = now + SimDuration::from_secs(59);
+        assert_eq!(
+            acl.check(at59, &pkt(foreign(4), amateur(5))),
+            AclVerdict::Allow
+        );
+        let at61 = now + SimDuration::from_secs(61);
+        assert_eq!(
+            acl.check(at61, &pkt(foreign(4), amateur(5))),
+            AclVerdict::Deny
+        );
+    }
+
+    #[test]
+    fn close_of_missing_entry_reports_no_entry() {
+        let mut acl = acl_with_op();
+        let msg = IcmpMessage::GateClose {
+            amateur: amateur(5),
+            foreign: foreign(4),
+            auth: None,
+        };
+        assert_eq!(
+            acl.on_gate_message(SimTime::ZERO, true, &msg),
+            GateOutcome::NoEntry
+        );
+    }
+
+    #[test]
+    fn non_gateway_traffic_is_ignored_by_the_table() {
+        let mut acl = acl_with_op();
+        let now = SimTime::ZERO;
+        assert_eq!(
+            acl.check(now, &pkt(amateur(1), amateur(2))),
+            AclVerdict::Allow
+        );
+        assert_eq!(
+            acl.check(now, &pkt(foreign(1), foreign(2))),
+            AclVerdict::Allow
+        );
+        assert!(acl.is_empty());
+    }
+}

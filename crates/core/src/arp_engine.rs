@@ -1,0 +1,427 @@
+//! The per-driver ARP resolver.
+//!
+//! §2.3: *"ARP lookup occurs at layer two, and thus, gets called inside
+//! either the Ethernet driver, or the AX.25 driver. The routing tables at
+//! the IP layer determine which driver is called. Since the ARP lookup
+//! occurs inside our code, a separate routine that deals specifically
+//! with AX.25 addresses can be called."* Each driver owns one
+//! [`ArpEngine`]; the engine is agnostic to the hardware-address format
+//! (opaque bytes — [`crate::hwaddr`] for AX.25, a MAC for Ethernet) and
+//! provides the classic cache + pending-packet-queue + request/retry
+//! machinery of RFC 826 implementations.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use netstack::arp::{ArpOp, ArpPacket};
+use netstack::ip::Ipv4Packet;
+use sim::{SimDuration, SimTime};
+
+/// Engine parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ArpConfig {
+    /// Cache entry lifetime.
+    pub entry_ttl: SimDuration,
+    /// Gap between repeated requests for the same address.
+    pub retry_interval: SimDuration,
+    /// Packets held per unresolved address (4.3BSD held exactly one).
+    pub max_held: usize,
+}
+
+impl Default for ArpConfig {
+    fn default() -> Self {
+        ArpConfig {
+            entry_ttl: SimDuration::from_secs(20 * 60),
+            retry_interval: SimDuration::from_secs(5),
+            max_held: 4,
+        }
+    }
+}
+
+/// Engine counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArpStats {
+    /// Cache hits on resolve.
+    pub hits: u64,
+    /// Resolve calls that had to queue the packet.
+    pub misses: u64,
+    /// Requests transmitted.
+    pub requests_sent: u64,
+    /// Replies transmitted.
+    pub replies_sent: u64,
+    /// Entries learned or refreshed from traffic.
+    pub learned: u64,
+    /// Held packets dropped (queue full or entry never resolved).
+    pub held_dropped: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    hw: Vec<u8>,
+    expires: SimTime,
+}
+
+#[derive(Debug)]
+struct Waiting {
+    packets: Vec<Ipv4Packet>,
+    last_request: Option<SimTime>,
+}
+
+/// What to do with a packet handed to [`ArpEngine::resolve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// Transmit the packet to this hardware address.
+    Send(Vec<u8>, Ipv4Packet),
+    /// The packet is held; transmit this ARP request (if `Some`).
+    Pending(Option<ArpPacket>),
+    /// The packet was dropped (hold queue full).
+    Dropped,
+}
+
+/// A link-type-agnostic ARP resolver for one interface.
+#[derive(Debug)]
+pub struct ArpEngine {
+    cfg: ArpConfig,
+    hw_type: u16,
+    my_hw: Vec<u8>,
+    my_ip: Ipv4Addr,
+    cache: HashMap<Ipv4Addr, CacheEntry>,
+    waiting: HashMap<Ipv4Addr, Waiting>,
+    stats: ArpStats,
+}
+
+impl ArpEngine {
+    /// Creates an engine for an interface with hardware address `my_hw`
+    /// (already encoded) and protocol address `my_ip`.
+    pub fn new(hw_type: u16, my_hw: Vec<u8>, my_ip: Ipv4Addr, cfg: ArpConfig) -> ArpEngine {
+        ArpEngine {
+            cfg,
+            hw_type,
+            my_hw,
+            my_ip,
+            cache: HashMap::new(),
+            waiting: HashMap::new(),
+            stats: ArpStats::default(),
+        }
+    }
+
+    /// Installs a permanent (never-expiring) entry; the paper's gateway
+    /// seeds digipeater paths this way, since a path cannot be learned
+    /// from a broadcast reply alone.
+    pub fn insert_static(&mut self, ip: Ipv4Addr, hw: Vec<u8>) {
+        self.cache.insert(
+            ip,
+            CacheEntry {
+                hw,
+                expires: SimTime::MAX,
+            },
+        );
+    }
+
+    /// Installs or refreshes a dynamically learned entry with the normal
+    /// TTL (the driver uses this for path-aware AX.25 addresses that the
+    /// flat ARP wire format cannot carry).
+    pub fn insert_learned(&mut self, now: SimTime, ip: Ipv4Addr, hw: Vec<u8>) {
+        self.stats.learned += 1;
+        self.cache.insert(
+            ip,
+            CacheEntry {
+                hw,
+                expires: now + self.cfg.entry_ttl,
+            },
+        );
+    }
+
+    /// Releases any packets held for `ip` (paired with
+    /// [`ArpEngine::insert_learned`]).
+    pub fn release_held(&mut self, ip: Ipv4Addr) -> Vec<Ipv4Packet> {
+        self.waiting
+            .remove(&ip)
+            .map(|w| w.packets)
+            .unwrap_or_default()
+    }
+
+    /// Looks up an address without side effects.
+    pub fn lookup(&self, now: SimTime, ip: Ipv4Addr) -> Option<&[u8]> {
+        self.cache
+            .get(&ip)
+            .filter(|e| e.expires > now)
+            .map(|e| e.hw.as_slice())
+    }
+
+    /// Resolves `next_hop` for `packet`: either releases it with a
+    /// hardware address, or holds it and (rate-limited) asks who-has.
+    pub fn resolve(&mut self, now: SimTime, next_hop: Ipv4Addr, packet: Ipv4Packet) -> Resolution {
+        if let Some(entry) = self.cache.get(&next_hop) {
+            if entry.expires > now {
+                self.stats.hits += 1;
+                return Resolution::Send(entry.hw.clone(), packet);
+            }
+            self.cache.remove(&next_hop);
+        }
+        self.stats.misses += 1;
+        let w = self.waiting.entry(next_hop).or_insert(Waiting {
+            packets: Vec::new(),
+            last_request: None,
+        });
+        if w.packets.len() >= self.cfg.max_held {
+            self.stats.held_dropped += 1;
+            return Resolution::Dropped;
+        }
+        w.packets.push(packet);
+        let ask = match w.last_request {
+            None => true,
+            Some(at) => now.saturating_since(at) >= self.cfg.retry_interval,
+        };
+        if ask {
+            w.last_request = Some(now);
+            self.stats.requests_sent += 1;
+            Resolution::Pending(Some(ArpPacket::request(
+                self.hw_type,
+                self.my_hw.clone(),
+                self.my_ip,
+                next_hop,
+            )))
+        } else {
+            Resolution::Pending(None)
+        }
+    }
+
+    /// Processes an incoming ARP packet. Returns an optional reply to
+    /// transmit and any held packets now released as `(hw, packet)`.
+    pub fn on_arp(
+        &mut self,
+        now: SimTime,
+        arp: &ArpPacket,
+    ) -> (Option<ArpPacket>, Vec<(Vec<u8>, Ipv4Packet)>) {
+        if arp.hw != self.hw_type {
+            return (None, Vec::new());
+        }
+        let mut released = Vec::new();
+        // RFC 826 merge: refresh if we know the sender; add if we are the
+        // target (or we were waiting on them).
+        let for_us = arp.target_ip == self.my_ip;
+        let known = self.cache.contains_key(&arp.sender_ip);
+        let wanted = self.waiting.contains_key(&arp.sender_ip);
+        if for_us || known || wanted {
+            self.stats.learned += 1;
+            self.cache.insert(
+                arp.sender_ip,
+                CacheEntry {
+                    hw: arp.sender_hw.clone(),
+                    expires: now + self.cfg.entry_ttl,
+                },
+            );
+            if let Some(w) = self.waiting.remove(&arp.sender_ip) {
+                for p in w.packets {
+                    released.push((arp.sender_hw.clone(), p));
+                }
+            }
+        }
+        let reply = if for_us && arp.op == ArpOp::Request {
+            self.stats.replies_sent += 1;
+            Some(arp.reply_to(self.my_hw.clone()))
+        } else {
+            None
+        };
+        (reply, released)
+    }
+
+    /// Re-issues requests for stale waits and drops hopeless ones; call
+    /// periodically (e.g. once a second).
+    pub fn age(&mut self, now: SimTime, give_up_after: SimDuration) -> Vec<ArpPacket> {
+        let mut requests = Vec::new();
+        let mut dead = Vec::new();
+        // Deterministic iteration order: HashMap order varies between
+        // processes, and the simulation must not.
+        let mut entries: Vec<(&Ipv4Addr, &mut Waiting)> = self.waiting.iter_mut().collect();
+        entries.sort_by_key(|(ip, _)| u32::from(**ip));
+        for (ip, w) in entries {
+            let last = w.last_request.unwrap_or(SimTime::ZERO);
+            if now.saturating_since(last) >= give_up_after {
+                dead.push(*ip);
+            } else if now.saturating_since(last) >= self.cfg.retry_interval {
+                w.last_request = Some(now);
+                requests.push(ArpPacket::request(
+                    self.hw_type,
+                    self.my_hw.clone(),
+                    self.my_ip,
+                    *ip,
+                ));
+            }
+        }
+        for ip in dead {
+            if let Some(w) = self.waiting.remove(&ip) {
+                self.stats.held_dropped += w.packets.len() as u64;
+            }
+        }
+        self.stats.requests_sent += requests.len() as u64;
+        requests
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ArpStats {
+        self.stats
+    }
+
+    /// Number of live cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Number of addresses with packets waiting on resolution.
+    pub fn pending_resolutions(&self) -> usize {
+        self.waiting.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netstack::arp::hw_type;
+    use netstack::ip::Proto;
+
+    fn ipa(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(44, 24, 0, n)
+    }
+
+    fn pkt(dst: Ipv4Addr) -> Ipv4Packet {
+        Ipv4Packet::new(ipa(28), dst, Proto::Udp, vec![1, 2, 3])
+    }
+
+    fn engine() -> ArpEngine {
+        ArpEngine::new(hw_type::AX25, b"GW".to_vec(), ipa(28), ArpConfig::default())
+    }
+
+    #[test]
+    fn miss_queues_and_requests_then_reply_releases() {
+        let mut e = engine();
+        let now = SimTime::ZERO;
+        let r = e.resolve(now, ipa(5), pkt(ipa(5)));
+        let Resolution::Pending(Some(req)) = r else {
+            panic!("{r:?}");
+        };
+        assert_eq!(req.target_ip, ipa(5));
+        assert_eq!(req.op, ArpOp::Request);
+        // Reply arrives.
+        let reply = ArpPacket {
+            hw: hw_type::AX25,
+            op: ArpOp::Reply,
+            sender_hw: b"PC".to_vec(),
+            sender_ip: ipa(5),
+            target_hw: b"GW".to_vec(),
+            target_ip: ipa(28),
+        };
+        let (resp, released) = e.on_arp(now, &reply);
+        assert!(resp.is_none());
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].0, b"PC".to_vec());
+        // Next resolve is a hit.
+        let r = e.resolve(now, ipa(5), pkt(ipa(5)));
+        assert!(matches!(r, Resolution::Send(hw, _) if hw == b"PC".to_vec()));
+        assert_eq!(e.stats().hits, 1);
+    }
+
+    #[test]
+    fn repeated_misses_rate_limit_requests() {
+        let mut e = engine();
+        let now = SimTime::ZERO;
+        assert!(matches!(
+            e.resolve(now, ipa(5), pkt(ipa(5))),
+            Resolution::Pending(Some(_))
+        ));
+        assert!(matches!(
+            e.resolve(now + SimDuration::from_secs(1), ipa(5), pkt(ipa(5))),
+            Resolution::Pending(None)
+        ));
+        assert!(matches!(
+            e.resolve(now + SimDuration::from_secs(6), ipa(5), pkt(ipa(5))),
+            Resolution::Pending(Some(_))
+        ));
+        assert_eq!(e.stats().requests_sent, 2);
+    }
+
+    #[test]
+    fn hold_queue_bounded() {
+        let mut e = engine();
+        let now = SimTime::ZERO;
+        for _ in 0..4 {
+            let r = e.resolve(now, ipa(5), pkt(ipa(5)));
+            assert!(matches!(r, Resolution::Pending(_)));
+        }
+        assert_eq!(e.resolve(now, ipa(5), pkt(ipa(5))), Resolution::Dropped);
+        assert_eq!(e.stats().held_dropped, 1);
+    }
+
+    #[test]
+    fn request_for_us_draws_reply_and_learns() {
+        let mut e = engine();
+        let req = ArpPacket::request(hw_type::AX25, b"PC".to_vec(), ipa(5), ipa(28));
+        let (reply, released) = e.on_arp(SimTime::ZERO, &req);
+        let reply = reply.expect("must answer who-has for our IP");
+        assert_eq!(reply.op, ArpOp::Reply);
+        assert_eq!(reply.sender_hw, b"GW".to_vec());
+        assert_eq!(reply.target_ip, ipa(5));
+        assert!(released.is_empty());
+        // We learned the asker.
+        assert_eq!(e.lookup(SimTime::ZERO, ipa(5)), Some(b"PC".as_ref()));
+    }
+
+    #[test]
+    fn request_not_for_us_is_not_answered_or_learned() {
+        let mut e = engine();
+        let req = ArpPacket::request(hw_type::AX25, b"PC".to_vec(), ipa(5), ipa(99));
+        let (reply, _) = e.on_arp(SimTime::ZERO, &req);
+        assert!(reply.is_none());
+        assert_eq!(e.lookup(SimTime::ZERO, ipa(5)), None);
+    }
+
+    #[test]
+    fn wrong_hw_type_ignored() {
+        let mut e = engine();
+        let req = ArpPacket::request(hw_type::ETHERNET, vec![1; 6], ipa(5), ipa(28));
+        let (reply, released) = e.on_arp(SimTime::ZERO, &req);
+        assert!(reply.is_none());
+        assert!(released.is_empty());
+    }
+
+    #[test]
+    fn entries_expire() {
+        let mut e = engine();
+        let now = SimTime::ZERO;
+        e.on_arp(
+            now,
+            &ArpPacket::request(hw_type::AX25, b"PC".to_vec(), ipa(5), ipa(28)),
+        );
+        assert!(e.lookup(now, ipa(5)).is_some());
+        let later = now + SimDuration::from_secs(21 * 60);
+        assert!(e.lookup(later, ipa(5)).is_none());
+        // Resolve after expiry re-queues.
+        assert!(matches!(
+            e.resolve(later, ipa(5), pkt(ipa(5))),
+            Resolution::Pending(Some(_))
+        ));
+    }
+
+    #[test]
+    fn static_entries_never_expire() {
+        let mut e = engine();
+        e.insert_static(ipa(7), b"DIGIPATH".to_vec());
+        let far = SimTime::from_secs(1_000_000);
+        assert_eq!(e.lookup(far, ipa(7)), Some(b"DIGIPATH".as_ref()));
+    }
+
+    #[test]
+    fn age_retries_then_gives_up() {
+        let mut e = engine();
+        let t0 = SimTime::ZERO;
+        e.resolve(t0, ipa(5), pkt(ipa(5)));
+        let t1 = t0 + SimDuration::from_secs(6);
+        let reqs = e.age(t1, SimDuration::from_secs(30));
+        assert_eq!(reqs.len(), 1);
+        let t2 = t1 + SimDuration::from_secs(31);
+        let reqs = e.age(t2, SimDuration::from_secs(30));
+        assert!(reqs.is_empty());
+        assert_eq!(e.stats().held_dropped, 1);
+    }
+}

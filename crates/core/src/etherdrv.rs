@@ -1,0 +1,252 @@
+//! The Ethernet (DEQNA-style) driver: the gateway's other leg.
+//!
+//! §2.2: the packet radio driver "supports the same calls as the drivers
+//! for other network devices such as the DEQNA". This is that DEQNA-side
+//! driver: Ethernet encapsulation plus the *untouched* Ethernet ARP that
+//! the paper was careful not to modify ("because we did not want to
+//! modify the code for our system that is used on the Ethernet side of
+//! the gateway").
+
+use ether::{EtherFrame, EtherType, MacAddr};
+use netstack::arp::{hw_type, ArpPacket};
+use netstack::ip::Ipv4Packet;
+use sim::SimTime;
+use std::net::Ipv4Addr;
+
+use crate::arp_engine::{ArpConfig, ArpEngine, Resolution};
+use crate::ifnet::IfNet;
+
+/// Driver counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EtherDrvStats {
+    /// Frames received.
+    pub frames_in: u64,
+    /// IP packets passed up.
+    pub ip_in: u64,
+    /// ARP packets consumed.
+    pub arp_in: u64,
+    /// Frames with unhandled EtherTypes.
+    pub other_in: u64,
+    /// IP packets transmitted.
+    pub ip_out: u64,
+}
+
+/// The Ethernet driver for one NIC.
+#[derive(Debug)]
+pub struct EtherDriver {
+    /// The `if_net` entry ("qe0").
+    pub ifnet: IfNet,
+    mac: MacAddr,
+    arp: ArpEngine,
+    stats: EtherDrvStats,
+}
+
+impl EtherDriver {
+    /// Creates the driver for a NIC with address `mac` numbered `my_ip`.
+    pub fn new(mac: MacAddr, my_ip: Ipv4Addr, arp: ArpConfig) -> EtherDriver {
+        EtherDriver {
+            ifnet: IfNet::new("qe0", ether::MTU),
+            mac,
+            arp: ArpEngine::new(hw_type::ETHERNET, mac.octets().to_vec(), my_ip, arp),
+            stats: EtherDrvStats::default(),
+        }
+    }
+
+    /// The NIC's MAC address.
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// Driver counters.
+    pub fn stats(&self) -> EtherDrvStats {
+        self.stats
+    }
+
+    /// The driver's ARP engine.
+    pub fn arp_mut(&mut self) -> &mut ArpEngine {
+        &mut self.arp
+    }
+
+    /// Processes a received frame. Returns the decapsulated IP packet
+    /// bytes (if any) and frames the driver wants transmitted (ARP
+    /// replies, released holds).
+    pub fn input(
+        &mut self,
+        now: SimTime,
+        frame: &EtherFrame,
+    ) -> (Option<Vec<u8>>, Vec<EtherFrame>) {
+        self.stats.frames_in += 1;
+        self.ifnet.stats.ipackets += 1;
+        match frame.ethertype {
+            EtherType::Ipv4 => {
+                self.stats.ip_in += 1;
+                (Some(frame.payload.clone()), Vec::new())
+            }
+            EtherType::Arp => {
+                self.stats.arp_in += 1;
+                let Ok(arp) = ArpPacket::decode(&frame.payload) else {
+                    self.ifnet.stats.ierrors += 1;
+                    return (None, Vec::new());
+                };
+                let (reply, released) = self.arp.on_arp(now, &arp);
+                let mut tx = Vec::new();
+                if let Some(reply) = reply {
+                    let dst = mac_from_bytes(&reply.target_hw);
+                    tx.push(self.build_frame(dst, EtherType::Arp, reply.encode()));
+                }
+                for (hw, packet) in released {
+                    let dst = mac_from_bytes(&hw);
+                    self.stats.ip_out += 1;
+                    tx.push(self.build_frame(dst, EtherType::Ipv4, packet.encode()));
+                }
+                (None, tx)
+            }
+            EtherType::Other(_) => {
+                self.stats.other_in += 1;
+                (None, Vec::new())
+            }
+        }
+    }
+
+    /// Outputs an IP packet toward `next_hop`, resolving its MAC; returns
+    /// frames to transmit (possibly an ARP request while the packet
+    /// waits).
+    pub fn output(
+        &mut self,
+        now: SimTime,
+        packet: Ipv4Packet,
+        next_hop: Ipv4Addr,
+    ) -> Vec<EtherFrame> {
+        match self.arp.resolve(now, next_hop, packet) {
+            Resolution::Send(hw, packet) => {
+                self.stats.ip_out += 1;
+                let dst = mac_from_bytes(&hw);
+                vec![self.build_frame(dst, EtherType::Ipv4, packet.encode())]
+            }
+            Resolution::Pending(Some(request)) => {
+                vec![self.build_frame(MacAddr::BROADCAST, EtherType::Arp, request.encode())]
+            }
+            Resolution::Pending(None) => Vec::new(),
+            Resolution::Dropped => {
+                self.ifnet.stats.oerrors += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Periodic ARP maintenance; returns requests to retransmit.
+    pub fn age_arp(&mut self, now: SimTime) -> Vec<EtherFrame> {
+        self.arp
+            .age(now, sim::SimDuration::from_secs(30))
+            .into_iter()
+            .map(|r| self.build_frame(MacAddr::BROADCAST, EtherType::Arp, r.encode()))
+            .collect()
+    }
+
+    fn build_frame(&mut self, dst: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> EtherFrame {
+        self.ifnet.stats.opackets += 1;
+        EtherFrame::new(dst, self.mac, ethertype, payload)
+    }
+}
+
+fn mac_from_bytes(bytes: &[u8]) -> MacAddr {
+    let mut octets = [0u8; 6];
+    let n = bytes.len().min(6);
+    octets[..n].copy_from_slice(&bytes[..n]);
+    MacAddr::new(octets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netstack::ip::Proto;
+
+    fn ipa(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(128, 95, 1, n)
+    }
+
+    fn driver() -> EtherDriver {
+        EtherDriver::new(MacAddr::local(1), ipa(100), ArpConfig::default())
+    }
+
+    #[test]
+    fn ip_frames_pass_up() {
+        let mut drv = driver();
+        let p = Ipv4Packet::new(ipa(4), ipa(100), Proto::Udp, vec![1; 10]);
+        let f = EtherFrame::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            EtherType::Ipv4,
+            p.encode(),
+        );
+        let (ip, tx) = drv.input(SimTime::ZERO, &f);
+        assert!(tx.is_empty());
+        assert_eq!(ip.unwrap(), p.encode());
+        assert_eq!(drv.stats().ip_in, 1);
+    }
+
+    #[test]
+    fn arp_request_answered_and_cache_primed() {
+        let mut drv = driver();
+        let req = ArpPacket::request(
+            hw_type::ETHERNET,
+            MacAddr::local(2).octets().to_vec(),
+            ipa(4),
+            ipa(100),
+        );
+        let f = EtherFrame::new(
+            MacAddr::BROADCAST,
+            MacAddr::local(2),
+            EtherType::Arp,
+            req.encode(),
+        );
+        let (ip, tx) = drv.input(SimTime::ZERO, &f);
+        assert!(ip.is_none());
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].dst, MacAddr::local(2));
+        assert_eq!(tx[0].ethertype, EtherType::Arp);
+        // Now output to that host is a cache hit.
+        let p = Ipv4Packet::new(ipa(100), ipa(4), Proto::Udp, vec![0; 4]);
+        let frames = drv.output(SimTime::ZERO, p, ipa(4));
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].ethertype, EtherType::Ipv4);
+        assert_eq!(frames[0].dst, MacAddr::local(2));
+    }
+
+    #[test]
+    fn unresolved_output_broadcasts_request_then_releases() {
+        let mut drv = driver();
+        let p = Ipv4Packet::new(ipa(100), ipa(4), Proto::Udp, vec![9; 8]);
+        let frames = drv.output(SimTime::ZERO, p.clone(), ipa(4));
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].dst, MacAddr::BROADCAST);
+        assert_eq!(frames[0].ethertype, EtherType::Arp);
+        // Reply releases the packet.
+        let req = ArpPacket::decode(&frames[0].payload).unwrap();
+        let reply = req.reply_to(MacAddr::local(7).octets().to_vec());
+        let rf = EtherFrame::new(
+            MacAddr::local(1),
+            MacAddr::local(7),
+            EtherType::Arp,
+            reply.encode(),
+        );
+        let (_, tx) = drv.input(SimTime::ZERO, &rf);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].dst, MacAddr::local(7));
+        assert_eq!(tx[0].payload, p.encode());
+    }
+
+    #[test]
+    fn unknown_ethertype_counted() {
+        let mut drv = driver();
+        let f = EtherFrame::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            EtherType::Other(0x6004),
+            vec![0; 10],
+        );
+        let (ip, tx) = drv.input(SimTime::ZERO, &f);
+        assert!(ip.is_none() && tx.is_empty());
+        assert_eq!(drv.stats().other_in, 1);
+    }
+}

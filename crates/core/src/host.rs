@@ -1,0 +1,661 @@
+//! A complete simulated machine: stack + drivers + CPU + queues.
+//!
+//! Three shapes of host appear in the paper, and all three are
+//! configurations of this one type:
+//!
+//! * the **isolated PC** "connected to only a power outlet and a radio"
+//!   (§2.3) — a radio interface only;
+//! * ordinary **Ethernet hosts** on the department LAN and beyond;
+//! * the **MicroVAX gateway** itself — both interfaces, IP forwarding,
+//!   and the §4.3 access-control table.
+//!
+//! The receive path is CPU-gated to reproduce §3: every serial character
+//! costs an interrupt, every packet costs protocol time, and IP inputs
+//! wait in a bounded `ifqueue` until the simulated CPU gets to them.
+
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+use ax25::addr::Ax25Addr;
+use ax25::frame::Frame;
+use ether::{EtherFrame, MacAddr};
+use netstack::icmp::IcmpMessage;
+use netstack::stack::{IfaceConfig, IfaceId, NetStack, SockId, StackAction, StackConfig};
+use netstack::NetError;
+use sim::SimTime;
+
+use crate::acl::{AclConfig, AclVerdict, GatewayAcl};
+use crate::arp_engine::ArpConfig;
+use crate::cpu::{Cpu, CpuConfig};
+use crate::etherdrv::EtherDriver;
+use crate::ifnet::{IfQueue, IFQ_MAXLEN};
+use crate::prdriver::{PacketRadioDriver, PrConfig, PrEvent, AX25_MTU};
+
+/// Radio interface parameters for a host.
+#[derive(Debug, Clone)]
+pub struct RadioIfConfig {
+    /// The station callsign.
+    pub call: Ax25Addr,
+    /// The interface's AMPRnet address.
+    pub ip: Ipv4Addr,
+    /// Subnet prefix length.
+    pub prefix_len: u8,
+}
+
+/// Ethernet interface parameters for a host.
+#[derive(Debug, Clone)]
+pub struct EtherIfConfig {
+    /// The NIC's MAC address.
+    pub mac: MacAddr,
+    /// The interface's IP address.
+    pub ip: Ipv4Addr,
+    /// Subnet prefix length.
+    pub prefix_len: u8,
+}
+
+/// Full host configuration.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Hostname for traces.
+    pub name: String,
+    /// Stack configuration (forwarding on for gateways).
+    pub stack: StackConfig,
+    /// CPU cost model.
+    pub cpu: CpuConfig,
+    /// Radio interface, if any.
+    pub radio: Option<RadioIfConfig>,
+    /// Ethernet interface, if any.
+    pub ether: Option<EtherIfConfig>,
+    /// §4.3 access control (gateways only).
+    pub acl: Option<AclConfig>,
+}
+
+impl HostConfig {
+    /// A named host with no interfaces (add them via the fields).
+    pub fn named(name: &str) -> HostConfig {
+        HostConfig {
+            name: name.to_string(),
+            stack: StackConfig::default(),
+            cpu: CpuConfig::default(),
+            radio: None,
+            ether: None,
+            acl: None,
+        }
+    }
+}
+
+/// Link-layer output produced by a host, routed by the world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostOut {
+    /// Bytes for the serial line to the TNC.
+    SerialTx(Vec<u8>),
+    /// A frame for the Ethernet segment.
+    EtherTx(EtherFrame),
+}
+
+/// A simulated machine.
+#[derive(Debug)]
+pub struct Host {
+    /// Hostname.
+    pub name: String,
+    /// The TCP/IP stack.
+    pub stack: NetStack,
+    /// The CPU cost model.
+    pub cpu: Cpu,
+    pr: Option<(IfaceId, PacketRadioDriver)>,
+    eth: Option<(IfaceId, EtherDriver)>,
+    /// §4.3 access control, present on gateways.
+    pub acl: Option<GatewayAcl>,
+    /// The bounded IP input queue (CPU-gated).
+    input_queue: IfQueue<(IfaceId, Vec<u8>)>,
+    /// Non-IP frames diverted for user programs (§2.4).
+    tty_queue: VecDeque<Frame>,
+    outbox: Vec<HostOut>,
+    events: Vec<StackAction>,
+    last_arp_age: SimTime,
+}
+
+impl Host {
+    /// Builds a host from its configuration.
+    pub fn new(cfg: HostConfig) -> Host {
+        let mut stack = NetStack::new(cfg.stack);
+        let pr = cfg.radio.map(|r| {
+            let iface = stack.add_iface(IfaceConfig {
+                name: "pr0".into(),
+                addr: r.ip,
+                prefix_len: r.prefix_len,
+                mtu: AX25_MTU,
+            });
+            (
+                iface,
+                PacketRadioDriver::new(
+                    PrConfig {
+                        my_call: r.call,
+                        broadcast: vec![Ax25Addr::broadcast()],
+                        arp: ArpConfig::default(),
+                    },
+                    r.ip,
+                ),
+            )
+        });
+        let eth = cfg.ether.map(|e| {
+            let iface = stack.add_iface(IfaceConfig {
+                name: "qe0".into(),
+                addr: e.ip,
+                prefix_len: e.prefix_len,
+                mtu: ether::MTU,
+            });
+            (iface, EtherDriver::new(e.mac, e.ip, ArpConfig::default()))
+        });
+        Host {
+            name: cfg.name,
+            stack,
+            cpu: Cpu::new(cfg.cpu),
+            pr,
+            eth,
+            acl: cfg.acl.map(GatewayAcl::new),
+            input_queue: IfQueue::new(IFQ_MAXLEN),
+            tty_queue: VecDeque::new(),
+            outbox: Vec::new(),
+            events: Vec::new(),
+            last_arp_age: SimTime::ZERO,
+        }
+    }
+
+    /// The radio interface id, if the host has one.
+    pub fn radio_iface(&self) -> Option<IfaceId> {
+        self.pr.as_ref().map(|(i, _)| *i)
+    }
+
+    /// The Ethernet interface id, if the host has one.
+    pub fn ether_iface(&self) -> Option<IfaceId> {
+        self.eth.as_ref().map(|(i, _)| *i)
+    }
+
+    /// The packet radio driver, if present.
+    pub fn pr_driver(&self) -> Option<&PacketRadioDriver> {
+        self.pr.as_ref().map(|(_, d)| d)
+    }
+
+    /// Mutable packet radio driver (static ARP entries, etc.).
+    pub fn pr_driver_mut(&mut self) -> Option<&mut PacketRadioDriver> {
+        self.pr.as_mut().map(|(_, d)| d)
+    }
+
+    /// The Ethernet driver, if present.
+    pub fn ether_driver(&self) -> Option<&EtherDriver> {
+        self.eth.as_ref().map(|(_, d)| d)
+    }
+
+    /// The station callsign, if the host has a radio.
+    pub fn callsign(&self) -> Option<Ax25Addr> {
+        self.pr.as_ref().map(|(_, d)| d.my_call())
+    }
+
+    /// The NIC MAC, if the host has Ethernet.
+    pub fn mac(&self) -> Option<MacAddr> {
+        self.eth.as_ref().map(|(_, d)| d.mac())
+    }
+
+    /// Input-queue depth (for E3's gateway-queue measurements).
+    pub fn input_queue_len(&self) -> usize {
+        self.input_queue.len()
+    }
+
+    /// Input-queue drop count.
+    pub fn input_queue_drops(&self) -> u64 {
+        self.input_queue.drops()
+    }
+
+    /// Input-queue high-water mark.
+    pub fn input_queue_peak(&self) -> usize {
+        self.input_queue.peak()
+    }
+
+    // --- Link input ---------------------------------------------------------
+
+    /// Receives serial characters from the TNC (the tty interrupt path).
+    pub fn on_serial_bytes(&mut self, now: SimTime, bytes: &[u8]) {
+        for &b in bytes {
+            let after_char = self.cpu.charge_char(now);
+            let Some((iface, ref mut drv)) = self.pr else {
+                continue;
+            };
+            let (event, tx) = drv.rint(now, b);
+            for t in tx {
+                self.outbox.push(HostOut::SerialTx(t));
+            }
+            match event {
+                Some(PrEvent::IpPacket(ip_bytes)) => {
+                    let ready = self.cpu.charge_packet(after_char);
+                    if !self.input_queue.push(ready, (iface, ip_bytes)) {
+                        drv.ifnet.stats.iqdrops += 1;
+                    }
+                }
+                Some(PrEvent::Divert(frame)) => {
+                    self.tty_queue.push_back(frame);
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// Receives a frame from the Ethernet segment (DMA: packet cost only).
+    pub fn on_ether_frame(&mut self, now: SimTime, frame: &EtherFrame) {
+        let Some((iface, ref mut drv)) = self.eth else {
+            return;
+        };
+        let (ip, tx) = drv.input(now, frame);
+        for t in tx {
+            self.outbox.push(HostOut::EtherTx(t));
+        }
+        if let Some(ip_bytes) = ip {
+            let ready = self.cpu.charge_packet(now);
+            if !self.input_queue.push(ready, (iface, ip_bytes)) {
+                drv.ifnet.stats.iqdrops += 1;
+            }
+        }
+    }
+
+    // --- Progress ------------------------------------------------------------
+
+    /// The earliest time this host has self-scheduled work.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        let mut fold = |t: Option<SimTime>| {
+            best = match (best, t) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        };
+        fold(self.stack.next_deadline());
+        fold(self.input_queue.next_ready());
+        let arp_pending = self
+            .pr
+            .as_ref()
+            .map(|(_, d)| d.arp().pending_resolutions() > 0)
+            .unwrap_or(false);
+        if arp_pending {
+            fold(Some(self.last_arp_age + sim::SimDuration::from_secs(1)));
+        }
+        best
+    }
+
+    /// Advances the host to `now`: drains due input-queue items through
+    /// the stack, fires stack timers, ages ARP.
+    pub fn advance(&mut self, now: SimTime) {
+        while let Some((iface, bytes)) = self.input_queue.pop_due(now) {
+            let actions = self.stack.input(now, iface, &bytes);
+            self.handle_actions(now, actions);
+        }
+        let actions = self.stack.poll(now);
+        self.handle_actions(now, actions);
+        if now.saturating_since(self.last_arp_age) >= sim::SimDuration::from_secs(1) {
+            self.last_arp_age = now;
+            if let Some((_, drv)) = &mut self.pr {
+                for tx in drv.age_arp(now) {
+                    self.outbox.push(HostOut::SerialTx(tx));
+                }
+            }
+            if let Some((_, drv)) = &mut self.eth {
+                for f in drv.age_arp(now) {
+                    self.outbox.push(HostOut::EtherTx(f));
+                }
+            }
+        }
+    }
+
+    /// Takes pending link-layer output.
+    pub fn take_outbox(&mut self) -> Vec<HostOut> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Takes application-visible stack events.
+    pub fn take_events(&mut self) -> Vec<StackAction> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Takes diverted non-IP frames (the §2.4 tty queue).
+    pub fn take_tty_frames(&mut self) -> Vec<Frame> {
+        self.tty_queue.drain(..).collect()
+    }
+
+    // --- User-level operations ---------------------------------------------
+
+    /// Handles stack actions: egress goes to drivers, forwards pass the
+    /// ACL, app events accumulate for [`Host::take_events`].
+    pub fn handle_actions(&mut self, now: SimTime, actions: Vec<StackAction>) {
+        let mut work: VecDeque<StackAction> = actions.into();
+        while let Some(act) = work.pop_front() {
+            match act {
+                StackAction::Egress {
+                    iface,
+                    next_hop,
+                    packet,
+                } => {
+                    self.route_output(now, iface, next_hop, packet);
+                }
+                StackAction::ForwardNeeded { ingress, packet } => {
+                    let verdict = match &mut self.acl {
+                        Some(acl) => acl.check(now, &packet),
+                        None => AclVerdict::Allow,
+                    };
+                    if verdict == AclVerdict::Allow {
+                        let mut more = Vec::new();
+                        self.stack.forward(packet, &mut more);
+                        work.extend(more);
+                    }
+                    let _ = ingress;
+                }
+                StackAction::GateControl {
+                    from,
+                    ingress,
+                    message,
+                } => {
+                    if let Some(acl) = &mut self.acl {
+                        let from_amateur_side = Some(ingress) == self.pr.as_ref().map(|(i, _)| *i);
+                        acl.on_gate_message(now, from_amateur_side, &message);
+                    }
+                    // Keep it visible to tests/apps as well.
+                    self.events.push(StackAction::GateControl {
+                        from,
+                        ingress,
+                        message,
+                    });
+                }
+                other => self.events.push(other),
+            }
+        }
+    }
+
+    fn route_output(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        next_hop: Ipv4Addr,
+        packet: netstack::ip::Ipv4Packet,
+    ) {
+        if let Some((pr_if, drv)) = &mut self.pr {
+            if *pr_if == iface {
+                for tx in drv.output(now, packet, next_hop) {
+                    self.outbox.push(HostOut::SerialTx(tx));
+                }
+                return;
+            }
+        }
+        if let Some((eth_if, drv)) = &mut self.eth {
+            if *eth_if == iface {
+                for f in drv.output(now, packet, next_hop) {
+                    self.outbox.push(HostOut::EtherTx(f));
+                }
+            }
+        }
+    }
+
+    /// Sends a ping.
+    pub fn ping(&mut self, now: SimTime, dst: Ipv4Addr, id: u16, seq: u16, len: usize) {
+        let mut out = Vec::new();
+        self.stack.ping(dst, id, seq, len, &mut out);
+        self.handle_actions(now, out);
+    }
+
+    /// Opens a TCP connection.
+    pub fn tcp_connect(
+        &mut self,
+        now: SimTime,
+        dst: Ipv4Addr,
+        port: u16,
+    ) -> Result<SockId, NetError> {
+        let mut out = Vec::new();
+        let r = self.stack.tcp_connect(now, dst, port, &mut out);
+        self.handle_actions(now, out);
+        r
+    }
+
+    /// Opens a TCP connection with an explicit TCP configuration.
+    pub fn tcp_connect_with(
+        &mut self,
+        now: SimTime,
+        dst: Ipv4Addr,
+        port: u16,
+        cfg: netstack::tcp::TcpConfig,
+    ) -> Result<SockId, NetError> {
+        let mut out = Vec::new();
+        let r = self.stack.tcp_connect_with(now, dst, port, cfg, &mut out);
+        self.handle_actions(now, out);
+        r
+    }
+
+    /// Sends on a TCP socket; returns octets accepted.
+    pub fn tcp_send(&mut self, now: SimTime, sock: SockId, data: &[u8]) -> usize {
+        let mut out = Vec::new();
+        let n = self.stack.tcp_send(now, sock, data, &mut out);
+        self.handle_actions(now, out);
+        n
+    }
+
+    /// Reads from a TCP socket.
+    pub fn tcp_recv(&mut self, now: SimTime, sock: SockId) -> Vec<u8> {
+        let mut out = Vec::new();
+        let data = self.stack.tcp_recv(now, sock, &mut out);
+        self.handle_actions(now, out);
+        data
+    }
+
+    /// Closes a TCP socket's send side.
+    pub fn tcp_close(&mut self, now: SimTime, sock: SockId) {
+        let mut out = Vec::new();
+        self.stack.tcp_close(now, sock, &mut out);
+        self.handle_actions(now, out);
+    }
+
+    /// Sends a UDP datagram from a bound socket.
+    pub fn udp_send(
+        &mut self,
+        now: SimTime,
+        udp: netstack::stack::UdpId,
+        dst: Ipv4Addr,
+        port: u16,
+        payload: Vec<u8>,
+    ) {
+        let mut out = Vec::new();
+        self.stack.udp_send(udp, dst, port, payload, &mut out);
+        self.handle_actions(now, out);
+    }
+
+    /// Sends a §4.3 gateway-control message toward `dst`.
+    pub fn send_gate_message(&mut self, now: SimTime, dst: Ipv4Addr, msg: IcmpMessage) {
+        let mut out = Vec::new();
+        self.stack.send_icmp(dst, msg, &mut out);
+        self.handle_actions(now, out);
+    }
+
+    /// Sends a raw AX.25 frame from "user space" via the radio driver
+    /// (the §2.4 path back down the tty).
+    pub fn send_raw_ax25(&mut self, _now: SimTime, frame: &Frame) {
+        if let Some((_, drv)) = &mut self.pr {
+            let tx = drv.send_raw_frame(frame);
+            self.outbox.push(HostOut::SerialTx(tx));
+        }
+    }
+
+    /// Injects an IP packet into the host's input path, as if it had
+    /// arrived on the radio interface. Used by user-space encapsulation
+    /// services (the NET/ROM router) that receive IP datagrams through
+    /// the tty divert queue.
+    pub fn inject_ip(&mut self, now: SimTime, bytes: Vec<u8>) {
+        let Some(iface) = self.radio_iface().or_else(|| self.ether_iface()) else {
+            return;
+        };
+        let ready = self.cpu.charge_packet(now);
+        if !self.input_queue.push(ready, (iface, bytes)) {
+            if let Some((_, drv)) = &mut self.pr {
+                drv.ifnet.stats.iqdrops += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax25::frame::Pid;
+    use netstack::ip::{Ipv4Packet, Proto};
+
+    fn a(s: &str) -> Ax25Addr {
+        Ax25Addr::parse_or_panic(s)
+    }
+
+    fn radio_host(name: &str, call: &str, ip: [u8; 4]) -> Host {
+        let mut cfg = HostConfig::named(name);
+        cfg.radio = Some(RadioIfConfig {
+            call: a(call),
+            ip: Ipv4Addr::from(ip),
+            prefix_len: 16,
+        });
+        Host::new(cfg)
+    }
+
+    #[test]
+    fn serial_ip_frame_is_cpu_gated_through_the_ifqueue() {
+        let mut h = radio_host("pc", "KB7DZ", [44, 24, 0, 5]);
+        let ip = Ipv4Packet::new(
+            Ipv4Addr::new(44, 24, 0, 28),
+            Ipv4Addr::new(44, 24, 0, 5),
+            Proto::Icmp,
+            netstack::icmp::IcmpMessage::EchoRequest {
+                id: 1,
+                seq: 1,
+                payload: vec![0; 8],
+            }
+            .encode(),
+        );
+        let frame = Frame::ui(a("KB7DZ"), a("N7AKR-1"), Pid::Ip, ip.encode());
+        let wire = kiss::encode(0, kiss::Command::Data, &frame.encode());
+        let now = SimTime::ZERO;
+        h.on_serial_bytes(now, &wire);
+        assert_eq!(h.input_queue_len(), 1);
+        // Not processed until the CPU is done.
+        h.advance(now);
+        assert_eq!(h.stack.stats().ip_in, 0);
+        let ready = h.next_deadline().expect("queued work");
+        assert!(ready > now, "CPU gating delays processing");
+        h.advance(ready);
+        assert_eq!(h.stack.stats().ip_in, 1);
+        // It was an echo request: a reply is in the outbox as serial bytes.
+        let out = h.take_outbox();
+        assert!(!out.is_empty());
+        assert!(matches!(out[0], HostOut::SerialTx(_)));
+    }
+
+    #[test]
+    fn divert_frames_reach_the_tty_queue() {
+        let mut h = radio_host("pc", "KB7DZ", [44, 24, 0, 5]);
+        let frame = Frame::ui(a("KB7DZ"), a("W1GOH"), Pid::Text, b"hello om".to_vec());
+        let wire = kiss::encode(0, kiss::Command::Data, &frame.encode());
+        h.on_serial_bytes(SimTime::ZERO, &wire);
+        let frames = h.take_tty_frames();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].info, b"hello om");
+    }
+
+    #[test]
+    fn raw_ax25_send_goes_out_the_serial_port() {
+        let mut h = radio_host("pc", "KB7DZ", [44, 24, 0, 5]);
+        let frame = Frame::ui(a("W1GOH"), a("KB7DZ"), Pid::Text, b"cq".to_vec());
+        h.send_raw_ax25(SimTime::ZERO, &frame);
+        let out = h.take_outbox();
+        let [HostOut::SerialTx(bytes)] = &out[..] else {
+            panic!("{out:?}");
+        };
+        let frames = kiss::decode_stream(bytes);
+        assert_eq!(Frame::decode(&frames[0].payload).unwrap(), frame);
+    }
+
+    #[test]
+    fn ping_from_radio_host_emits_arp_first() {
+        let mut h = radio_host("pc", "KB7DZ", [44, 24, 0, 5]);
+        h.ping(SimTime::ZERO, Ipv4Addr::new(44, 24, 0, 28), 1, 1, 32);
+        let out = h.take_outbox();
+        assert_eq!(out.len(), 1);
+        let HostOut::SerialTx(bytes) = &out[0] else {
+            panic!()
+        };
+        let frames = kiss::decode_stream(bytes);
+        let f = Frame::decode(&frames[0].payload).unwrap();
+        assert_eq!(f.pid, Some(Pid::Arp));
+        assert_eq!(f.dest, Ax25Addr::broadcast());
+    }
+
+    #[test]
+    fn gateway_acl_blocks_unsolicited_forwarding() {
+        let mut cfg = HostConfig::named("gw");
+        cfg.stack.forwarding = true;
+        cfg.radio = Some(RadioIfConfig {
+            call: a("N7AKR-1"),
+            ip: Ipv4Addr::new(44, 24, 0, 28),
+            prefix_len: 16,
+        });
+        cfg.ether = Some(EtherIfConfig {
+            mac: MacAddr::local(1),
+            ip: Ipv4Addr::new(128, 95, 1, 100),
+            prefix_len: 24,
+        });
+        cfg.acl = Some(AclConfig::default());
+        let mut gw = Host::new(cfg);
+        // Unsolicited foreign->amateur packet arrives on Ethernet.
+        let p = Ipv4Packet::new(
+            Ipv4Addr::new(128, 95, 1, 4),
+            Ipv4Addr::new(44, 24, 0, 5),
+            Proto::Udp,
+            vec![0; 8],
+        );
+        let eth_if = gw.ether_iface().unwrap();
+        let actions = gw.stack.input(SimTime::ZERO, eth_if, &p.encode());
+        gw.handle_actions(SimTime::ZERO, actions);
+        assert!(gw.take_outbox().is_empty(), "denied: nothing forwarded");
+        assert_eq!(gw.acl.as_ref().unwrap().stats().denied_inbound, 1);
+    }
+
+    #[test]
+    fn ether_host_shape() {
+        let mut cfg = HostConfig::named("vax2");
+        cfg.ether = Some(EtherIfConfig {
+            mac: MacAddr::local(9),
+            ip: Ipv4Addr::new(128, 95, 1, 4),
+            prefix_len: 24,
+        });
+        let mut h = Host::new(cfg);
+        assert!(h.radio_iface().is_none());
+        assert!(h.ether_iface().is_some());
+        assert_eq!(h.mac(), Some(MacAddr::local(9)));
+        // Pinging a neighbour emits an Ethernet ARP broadcast.
+        h.ping(SimTime::ZERO, Ipv4Addr::new(128, 95, 1, 1), 1, 1, 8);
+        let out = h.take_outbox();
+        let [HostOut::EtherTx(f)] = &out[..] else {
+            panic!("{out:?}");
+        };
+        assert_eq!(f.ethertype, ether::EtherType::Arp);
+        assert!(f.dst.is_broadcast());
+    }
+
+    #[test]
+    fn input_queue_overflow_drops() {
+        let mut h = radio_host("pc", "KB7DZ", [44, 24, 0, 5]);
+        let ip = Ipv4Packet::new(
+            Ipv4Addr::new(44, 24, 0, 28),
+            Ipv4Addr::new(44, 24, 0, 5),
+            Proto::Udp,
+            vec![0; 8],
+        );
+        let frame = Frame::ui(a("KB7DZ"), a("N7AKR-1"), Pid::Ip, ip.encode());
+        let wire = kiss::encode(0, kiss::Command::Data, &frame.encode());
+        // Never advance: the queue (IFQ_MAXLEN=50) fills and then drops.
+        for _ in 0..60 {
+            h.on_serial_bytes(SimTime::ZERO, &wire);
+        }
+        assert_eq!(h.input_queue_len(), IFQ_MAXLEN);
+        assert_eq!(h.input_queue_drops(), 10);
+        assert_eq!(h.pr_driver().unwrap().ifnet.stats.iqdrops, 10);
+    }
+}

@@ -1,0 +1,562 @@
+//! The packet radio pseudo-device driver — the heart of the paper.
+//!
+//! §2.2: *"a pseudo-device driver for the packet radio controller was
+//! implemented … Since the packet controller does not sit on the bus,
+//! communication with it is through a serial line, and hence the driver
+//! is a pseudo-driver."* The pieces reproduced here, faithfully:
+//!
+//! * [`PacketRadioDriver::rint`] — the per-character receive interrupt
+//!   handler, *"the most difficult routine to write"*: characters are
+//!   buffered as they arrive, *"escaped frame end characters that are
+//!   embedded in the packet are decoded"* on the fly (the incremental
+//!   KISS deframer), and on the final frame end the header is checked —
+//!   recipient callsign must be *"either its own, or the broadcast
+//!   address"* — and the protocol ID field demultiplexed: IP packets go
+//!   up to the IP input queue, anything else is diverted to a tty-style
+//!   queue a user program can read (§2.4's application-gateway hook).
+//! * [`PacketRadioDriver::output`] — encapsulates IP packets in AX.25 UI
+//!   frames and KISS-frames them for the serial line, resolving the
+//!   destination with the driver's own AX.25 ARP (digipeater paths
+//!   included).
+
+use ax25::addr::Ax25Addr;
+use ax25::frame::{Frame, Pid};
+use kiss::{Command, Deframer};
+use netstack::arp::{hw_type, ArpPacket};
+use netstack::ip::Ipv4Packet;
+use sim::SimTime;
+use std::net::Ipv4Addr;
+
+use crate::arp_engine::{ArpConfig, ArpEngine, Resolution};
+use crate::hwaddr::Ax25Hw;
+use crate::ifnet::IfNet;
+
+/// AX.25 interface MTU: the default N1 info-field limit.
+pub const AX25_MTU: usize = 256;
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct PrConfig {
+    /// This station's callsign (the interface's link address).
+    pub my_call: Ax25Addr,
+    /// Destination addresses accepted as broadcast.
+    pub broadcast: Vec<Ax25Addr>,
+    /// ARP engine parameters.
+    pub arp: ArpConfig,
+}
+
+impl PrConfig {
+    /// A driver for `my_call` accepting `QST` broadcasts.
+    pub fn new(my_call: Ax25Addr) -> PrConfig {
+        PrConfig {
+            my_call,
+            broadcast: vec![Ax25Addr::broadcast()],
+            arp: ArpConfig::default(),
+        }
+    }
+}
+
+/// Driver counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrStats {
+    /// Characters pushed through the interrupt handler.
+    pub rint_chars: u64,
+    /// Complete frames assembled.
+    pub frames_in: u64,
+    /// Frames discarded: not our callsign or broadcast.
+    pub not_for_us: u64,
+    /// Frames discarded: still carrying an untraversed digipeater path.
+    pub not_repeated: u64,
+    /// Frames discarded: undecodable AX.25.
+    pub bad_frames: u64,
+    /// IP packets passed up.
+    pub ip_in: u64,
+    /// ARP packets consumed.
+    pub arp_in: u64,
+    /// Non-IP frames diverted to the tty queue (§2.4).
+    pub diverted: u64,
+    /// IP packets encapsulated and transmitted.
+    pub ip_out: u64,
+}
+
+/// What `rint` hands the rest of the kernel when a frame completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrEvent {
+    /// An encapsulated IP packet (raw bytes for the IP input queue).
+    IpPacket(Vec<u8>),
+    /// A non-IP frame for the tty divert queue (§2.4).
+    Divert(Frame),
+}
+
+/// The packet radio pseudo-device driver.
+#[derive(Debug)]
+pub struct PacketRadioDriver {
+    /// The `if_net` entry ("pr0").
+    pub ifnet: IfNet,
+    cfg: PrConfig,
+    deframer: Deframer,
+    arp: ArpEngine,
+    stats: PrStats,
+}
+
+impl PacketRadioDriver {
+    /// Creates the driver for an interface numbered `my_ip`.
+    pub fn new(cfg: PrConfig, my_ip: Ipv4Addr) -> PacketRadioDriver {
+        let my_hw = Ax25Hw::direct(cfg.my_call).encode();
+        let arp = ArpEngine::new(hw_type::AX25, my_hw, my_ip, cfg.arp);
+        PacketRadioDriver {
+            ifnet: IfNet::new("pr0", AX25_MTU),
+            cfg,
+            deframer: Deframer::new(),
+            arp,
+            stats: PrStats::default(),
+        }
+    }
+
+    /// The interface's callsign.
+    pub fn my_call(&self) -> Ax25Addr {
+        self.cfg.my_call
+    }
+
+    /// Driver counters.
+    pub fn stats(&self) -> PrStats {
+        self.stats
+    }
+
+    /// The driver's ARP engine (for static digipeater-path entries, per
+    /// §2.3's "some entries may contain additional callsigns for
+    /// digipeaters").
+    pub fn arp_mut(&mut self) -> &mut ArpEngine {
+        &mut self.arp
+    }
+
+    /// The ARP engine, read-only.
+    pub fn arp(&self) -> &ArpEngine {
+        &self.arp
+    }
+
+    /// Accepts an additional destination address as broadcast (e.g. the
+    /// `NODES` address a NET/ROM router listens to).
+    pub fn add_broadcast_addr(&mut self, addr: Ax25Addr) {
+        if !self.cfg.broadcast.contains(&addr) {
+            self.cfg.broadcast.push(addr);
+        }
+    }
+
+    // --- Receive path ------------------------------------------------------
+
+    /// The per-character receive interrupt handler.
+    ///
+    /// Feed one serial character; when it completes a frame, the
+    /// classified result comes back along with any frames the driver
+    /// itself wants transmitted (ARP replies, packets released by an ARP
+    /// resolution). Transmissions are returned as KISS-framed serial
+    /// byte strings.
+    pub fn rint(&mut self, now: SimTime, byte: u8) -> (Option<PrEvent>, Vec<Vec<u8>>) {
+        self.stats.rint_chars += 1;
+        let Some(kiss_frame) = self.deframer.push(byte) else {
+            return (None, Vec::new());
+        };
+        if kiss_frame.command != Command::Data {
+            return (None, Vec::new());
+        }
+        self.stats.frames_in += 1;
+        let frame = match Frame::decode(&kiss_frame.payload) {
+            Ok(f) => f,
+            Err(_) => {
+                self.stats.bad_frames += 1;
+                self.ifnet.stats.ierrors += 1;
+                return (None, Vec::new());
+            }
+        };
+        // A frame still being digipeated is not ours to consume even if
+        // our callsign is the final destination.
+        if !frame.fully_repeated() {
+            self.stats.not_repeated += 1;
+            return (None, Vec::new());
+        }
+        let for_us = frame.dest == self.cfg.my_call || self.cfg.broadcast.contains(&frame.dest);
+        if !for_us {
+            self.stats.not_for_us += 1;
+            return (None, Vec::new());
+        }
+        self.ifnet.stats.ipackets += 1;
+        match frame.pid {
+            Some(Pid::Ip) => {
+                self.stats.ip_in += 1;
+                // Glean a path-aware ARP entry from digipeated IP traffic
+                // (§2.3): the sender is reachable back through the
+                // reversed relay list, which no broadcast ARP could teach
+                // us across the hidden segment.
+                let mut tx = Vec::new();
+                if !frame.digipeaters.is_empty() {
+                    if let Some(src_ip) = ip_source(&frame.info) {
+                        let path: Vec<Ax25Addr> =
+                            frame.digipeaters.iter().rev().map(|d| d.addr).collect();
+                        let hw = Ax25Hw::via(frame.source, &path);
+                        self.arp.insert_learned(now, src_ip, hw.encode());
+                        for p in self.arp.release_held(src_ip) {
+                            tx.push(self.encapsulate_ip(&p, &hw));
+                        }
+                    }
+                }
+                (Some(PrEvent::IpPacket(frame.info)), tx)
+            }
+            Some(Pid::Arp) => {
+                self.stats.arp_in += 1;
+                // §2.3: ARP entries "may contain additional callsigns for
+                // digipeaters". A digipeated request teaches us the
+                // reverse path to the sender, so only the originating
+                // station needs manual path configuration.
+                let reverse_path: Vec<Ax25Addr> =
+                    frame.digipeaters.iter().rev().map(|d| d.addr).collect();
+                let tx = self.handle_arp_info(now, &frame.info, frame.source, &reverse_path);
+                (None, tx)
+            }
+            _ => {
+                // "Packets that are received from the TNC that are not of
+                // type IP can be placed on the input queue for the
+                // appropriate tty line." (§2.4)
+                self.stats.diverted += 1;
+                (Some(PrEvent::Divert(frame)), Vec::new())
+            }
+        }
+    }
+
+    fn handle_arp_info(
+        &mut self,
+        now: SimTime,
+        info: &[u8],
+        link_source: Ax25Addr,
+        reverse_path: &[Ax25Addr],
+    ) -> Vec<Vec<u8>> {
+        let Ok(arp) = ArpPacket::decode(info) else {
+            self.stats.bad_frames += 1;
+            return Vec::new();
+        };
+        // When the frame was digipeated, the sender's usable hardware
+        // address is its link address plus the reversed relay path — the
+        // flat ARP wire format cannot carry that, so the path-aware entry
+        // is learned here, out of band.
+        let path_override = (!reverse_path.is_empty()
+            && reverse_path.len() <= ax25::MAX_DIGIPEATERS
+            && Ax25Hw::decode(&arp.sender_hw)
+                .map(|hw| hw.station == link_source)
+                .unwrap_or(false))
+        .then(|| Ax25Hw::via(link_source, reverse_path));
+
+        let (reply, released) = self.arp.on_arp(now, &arp);
+        let mut tx = Vec::new();
+        let mut released: Vec<(Vec<u8>, netstack::ip::Ipv4Packet)> = released;
+        if let Some(hw) = &path_override {
+            self.arp.insert_learned(now, arp.sender_ip, hw.encode());
+            for p in self.arp.release_held(arp.sender_ip) {
+                released.push((hw.encode(), p));
+            }
+        }
+        if let Some(reply) = reply {
+            // Reply directly to the asker, via the learned path if any.
+            let dest_hw = match &path_override {
+                Some(hw) => Some(hw.clone()),
+                None => Ax25Hw::decode(&reply.target_hw).ok(),
+            };
+            if let Some(hw) = dest_hw {
+                tx.push(self.encapsulate_arp(&reply, &hw));
+            }
+        }
+        for (hw_bytes, packet) in released {
+            if let Ok(hw) = Ax25Hw::decode(&hw_bytes) {
+                tx.push(self.encapsulate_ip(&packet, &hw));
+            }
+        }
+        tx
+    }
+
+    // --- Transmit path --------------------------------------------------------
+
+    /// Outputs an IP packet toward `next_hop`, resolving its AX.25
+    /// address; returns KISS-framed serial bytes to transmit (possibly an
+    /// ARP request while the packet waits).
+    pub fn output(&mut self, now: SimTime, packet: Ipv4Packet, next_hop: Ipv4Addr) -> Vec<Vec<u8>> {
+        match self.arp.resolve(now, next_hop, packet) {
+            Resolution::Send(hw_bytes, packet) => match Ax25Hw::decode(&hw_bytes) {
+                Ok(hw) => vec![self.encapsulate_ip(&packet, &hw)],
+                Err(_) => {
+                    self.ifnet.stats.oerrors += 1;
+                    Vec::new()
+                }
+            },
+            Resolution::Pending(Some(request)) => {
+                vec![self.broadcast_arp(&request)]
+            }
+            Resolution::Pending(None) => Vec::new(),
+            Resolution::Dropped => {
+                self.ifnet.stats.oerrors += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Periodic ARP maintenance; returns requests to retransmit.
+    pub fn age_arp(&mut self, now: SimTime) -> Vec<Vec<u8>> {
+        let reqs = self.arp.age(now, sim::SimDuration::from_secs(30));
+        reqs.iter().map(|r| self.broadcast_arp(r)).collect()
+    }
+
+    /// Sends a raw AX.25 frame from "user space" (the §2.4 application
+    /// gateway writing back down the tty).
+    pub fn send_raw_frame(&mut self, frame: &Frame) -> Vec<u8> {
+        self.ifnet.stats.opackets += 1;
+        kiss::encode(0, Command::Data, &frame.encode())
+    }
+
+    fn encapsulate_ip(&mut self, packet: &Ipv4Packet, hw: &Ax25Hw) -> Vec<u8> {
+        self.stats.ip_out += 1;
+        self.ifnet.stats.opackets += 1;
+        let frame = Frame::ui(hw.station, self.cfg.my_call, Pid::Ip, packet.encode()).via(&hw.path);
+        kiss::encode(0, Command::Data, &frame.encode())
+    }
+
+    fn encapsulate_arp(&mut self, arp: &ArpPacket, hw: &Ax25Hw) -> Vec<u8> {
+        self.ifnet.stats.opackets += 1;
+        let frame = Frame::ui(hw.station, self.cfg.my_call, Pid::Arp, arp.encode()).via(&hw.path);
+        kiss::encode(0, Command::Data, &frame.encode())
+    }
+
+    fn broadcast_arp(&mut self, arp: &ArpPacket) -> Vec<u8> {
+        self.ifnet.stats.opackets += 1;
+        let frame = Frame::ui(
+            Ax25Addr::broadcast(),
+            self.cfg.my_call,
+            Pid::Arp,
+            arp.encode(),
+        );
+        kiss::encode(0, Command::Data, &frame.encode())
+    }
+}
+
+/// Extracts the source address of an IPv4 header without a full decode.
+fn ip_source(bytes: &[u8]) -> Option<Ipv4Addr> {
+    if bytes.len() < 20 || bytes[0] >> 4 != 4 {
+        return None;
+    }
+    Some(Ipv4Addr::new(bytes[12], bytes[13], bytes[14], bytes[15]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netstack::ip::Proto;
+
+    fn a(s: &str) -> Ax25Addr {
+        Ax25Addr::parse_or_panic(s)
+    }
+
+    fn gw_ip() -> Ipv4Addr {
+        Ipv4Addr::new(44, 24, 0, 28)
+    }
+
+    fn pc_ip() -> Ipv4Addr {
+        Ipv4Addr::new(44, 24, 0, 5)
+    }
+
+    fn driver() -> PacketRadioDriver {
+        PacketRadioDriver::new(PrConfig::new(a("N7AKR-1")), gw_ip())
+    }
+
+    fn feed(drv: &mut PacketRadioDriver, bytes: &[u8]) -> (Vec<PrEvent>, Vec<Vec<u8>>) {
+        let mut events = Vec::new();
+        let mut tx = Vec::new();
+        for &b in bytes {
+            let (ev, mut t) = drv.rint(SimTime::ZERO, b);
+            events.extend(ev);
+            tx.append(&mut t);
+        }
+        (events, tx)
+    }
+
+    fn kiss_bytes(frame: &Frame) -> Vec<u8> {
+        kiss::encode(0, Command::Data, &frame.encode())
+    }
+
+    #[test]
+    fn ip_frame_for_us_goes_to_ip_queue() {
+        let mut drv = driver();
+        let ip = Ipv4Packet::new(pc_ip(), gw_ip(), Proto::Udp, vec![9; 16]);
+        let frame = Frame::ui(a("N7AKR-1"), a("KB7DZ"), Pid::Ip, ip.encode());
+        let (events, tx) = feed(&mut drv, &kiss_bytes(&frame));
+        assert_eq!(events, vec![PrEvent::IpPacket(ip.encode())]);
+        assert!(tx.is_empty());
+        assert_eq!(drv.stats().ip_in, 1);
+        assert_eq!(drv.ifnet.stats.ipackets, 1);
+    }
+
+    #[test]
+    fn broadcast_destination_is_accepted() {
+        let mut drv = driver();
+        let ip = Ipv4Packet::new(pc_ip(), gw_ip(), Proto::Udp, vec![1]);
+        let frame = Frame::ui(Ax25Addr::broadcast(), a("KB7DZ"), Pid::Ip, ip.encode());
+        let (events, _) = feed(&mut drv, &kiss_bytes(&frame));
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn frames_for_others_are_dropped_and_counted() {
+        let mut drv = driver();
+        let frame = Frame::ui(a("W1GOH"), a("KB7DZ"), Pid::Ip, vec![0x45; 21]);
+        let (events, _) = feed(&mut drv, &kiss_bytes(&frame));
+        assert!(events.is_empty());
+        assert_eq!(drv.stats().not_for_us, 1);
+        assert_eq!(drv.ifnet.stats.ipackets, 0, "not charged as input");
+    }
+
+    #[test]
+    fn undigipeated_frames_are_not_consumed() {
+        let mut drv = driver();
+        let frame =
+            Frame::ui(a("N7AKR-1"), a("KB7DZ"), Pid::Ip, vec![0x45; 21]).via(&[a("WA6BEV")]);
+        let (events, _) = feed(&mut drv, &kiss_bytes(&frame));
+        assert!(events.is_empty());
+        assert_eq!(drv.stats().not_repeated, 1);
+    }
+
+    #[test]
+    fn non_ip_frames_divert_to_tty_queue() {
+        let mut drv = driver();
+        let frame = Frame::ui(a("N7AKR-1"), a("KB7DZ"), Pid::Text, b"hi om".to_vec());
+        let (events, _) = feed(&mut drv, &kiss_bytes(&frame));
+        let [PrEvent::Divert(f)] = &events[..] else {
+            panic!("{events:?}");
+        };
+        assert_eq!(f.info, b"hi om");
+        assert_eq!(drv.stats().diverted, 1);
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_and_count_errors() {
+        let mut drv = driver();
+        let mut wire = vec![kiss::FEND, 0x00];
+        wire.extend(vec![0xAA; 30]);
+        wire.push(kiss::FEND);
+        let (events, _) = feed(&mut drv, &wire);
+        assert!(events.is_empty());
+        assert_eq!(drv.stats().bad_frames, 1);
+        assert_eq!(drv.ifnet.stats.ierrors, 1);
+    }
+
+    #[test]
+    fn output_unresolved_broadcasts_arp_then_sends_on_reply() {
+        let mut drv = driver();
+        let now = SimTime::ZERO;
+        let packet = Ipv4Packet::new(gw_ip(), pc_ip(), Proto::Udp, vec![7; 32]);
+        let tx = drv.output(now, packet.clone(), pc_ip());
+        assert_eq!(tx.len(), 1);
+        // The transmitted frame is an ARP who-has to QST.
+        let frames = kiss::decode_stream(&tx[0]);
+        let f = Frame::decode(&frames[0].payload).unwrap();
+        assert_eq!(f.dest, Ax25Addr::broadcast());
+        assert_eq!(f.pid, Some(Pid::Arp));
+        let req = ArpPacket::decode(&f.info).unwrap();
+        assert_eq!(req.target_ip, pc_ip());
+
+        // The PC answers; the held packet is released.
+        let pc_hw = Ax25Hw::direct(a("KB7DZ")).encode();
+        let reply = req.reply_to(pc_hw);
+        let reply_frame = Frame::ui(a("N7AKR-1"), a("KB7DZ"), Pid::Arp, reply.encode());
+        let (events, tx) = feed(&mut drv, &kiss_bytes(&reply_frame));
+        assert!(events.is_empty());
+        assert_eq!(tx.len(), 1, "released IP packet transmitted");
+        let frames = kiss::decode_stream(&tx[0]);
+        let f = Frame::decode(&frames[0].payload).unwrap();
+        assert_eq!(f.dest, a("KB7DZ"));
+        assert_eq!(f.pid, Some(Pid::Ip));
+        assert_eq!(f.info, packet.encode());
+    }
+
+    #[test]
+    fn incoming_arp_request_is_answered_directly() {
+        let mut drv = driver();
+        let pc_hw = Ax25Hw::direct(a("KB7DZ")).encode();
+        let req = ArpPacket::request(hw_type::AX25, pc_hw, pc_ip(), gw_ip());
+        let req_frame = Frame::ui(Ax25Addr::broadcast(), a("KB7DZ"), Pid::Arp, req.encode());
+        let (events, tx) = feed(&mut drv, &kiss_bytes(&req_frame));
+        assert!(events.is_empty());
+        assert_eq!(tx.len(), 1);
+        let frames = kiss::decode_stream(&tx[0]);
+        let f = Frame::decode(&frames[0].payload).unwrap();
+        assert_eq!(f.dest, a("KB7DZ"), "reply is unicast to the asker");
+        let rep = ArpPacket::decode(&f.info).unwrap();
+        assert_eq!(rep.sender_ip, gw_ip());
+        assert_eq!(
+            Ax25Hw::decode(&rep.sender_hw).unwrap().station,
+            a("N7AKR-1")
+        );
+    }
+
+    #[test]
+    fn static_digipeater_path_is_used_on_output() {
+        let mut drv = driver();
+        let hw = Ax25Hw::via(a("KD7NM"), &[a("WA6BEV-1"), a("K3MC")]);
+        drv.arp_mut().insert_static(pc_ip(), hw.encode());
+        let packet = Ipv4Packet::new(gw_ip(), pc_ip(), Proto::Udp, vec![1]);
+        let tx = drv.output(SimTime::ZERO, packet, pc_ip());
+        assert_eq!(tx.len(), 1);
+        let frames = kiss::decode_stream(&tx[0]);
+        let f = Frame::decode(&frames[0].payload).unwrap();
+        assert_eq!(f.dest, a("KD7NM"));
+        assert_eq!(f.digipeaters.len(), 2);
+        assert_eq!(f.digipeaters[0].addr, a("WA6BEV-1"));
+        assert!(!f.digipeaters[0].repeated);
+    }
+
+    #[test]
+    fn raw_frames_from_user_space_are_kiss_encoded() {
+        let mut drv = driver();
+        let frame = Frame::ui(a("KB7DZ"), a("N7AKR-1"), Pid::Text, b"bbs".to_vec());
+        let wire = drv.send_raw_frame(&frame);
+        let frames = kiss::decode_stream(&wire);
+        assert_eq!(Frame::decode(&frames[0].payload).unwrap(), frame);
+    }
+
+    #[test]
+    fn digipeated_arp_request_teaches_the_reverse_path() {
+        // The PC asks who-has via two digipeaters; our reply — and all
+        // subsequent IP to the PC — must retrace the reversed path even
+        // though we never configured it.
+        let mut drv = driver();
+        let pc_hw = Ax25Hw::direct(a("KB7DZ")).encode();
+        let req = ArpPacket::request(hw_type::AX25, pc_hw, pc_ip(), gw_ip());
+        let mut req_frame = Frame::ui(Ax25Addr::broadcast(), a("KB7DZ"), Pid::Arp, req.encode())
+            .via(&[a("D1"), a("D2")]);
+        for d in &mut req_frame.digipeaters {
+            d.repeated = true; // fully traversed when we hear it
+        }
+        let (_, tx) = feed(&mut drv, &kiss_bytes(&req_frame));
+        assert_eq!(tx.len(), 1, "reply goes out");
+        let frames = kiss::decode_stream(&tx[0]);
+        let reply = Frame::decode(&frames[0].payload).unwrap();
+        assert_eq!(reply.dest, a("KB7DZ"));
+        assert_eq!(
+            reply.digipeaters.iter().map(|d| d.addr).collect::<Vec<_>>(),
+            vec![a("D2"), a("D1")],
+            "reply retraces the reversed digipeater path"
+        );
+        // And outgoing IP now uses the learned path too.
+        let packet = Ipv4Packet::new(gw_ip(), pc_ip(), Proto::Udp, vec![1]);
+        let tx = drv.output(SimTime::ZERO, packet, pc_ip());
+        let frames = kiss::decode_stream(&tx[0]);
+        let f = Frame::decode(&frames[0].payload).unwrap();
+        assert_eq!(f.dest, a("KB7DZ"));
+        assert_eq!(f.digipeaters.len(), 2);
+        assert_eq!(f.digipeaters[0].addr, a("D2"));
+    }
+
+    #[test]
+    fn rint_counts_every_character() {
+        let mut drv = driver();
+        let frame = Frame::ui(a("W1GOH"), a("KB7DZ"), Pid::Ip, vec![0x45; 21]);
+        let wire = kiss_bytes(&frame);
+        feed(&mut drv, &wire);
+        assert_eq!(drv.stats().rint_chars, wire.len() as u64);
+    }
+}

@@ -1,0 +1,322 @@
+//! Canned topologies, starting with the paper's own setup.
+//!
+//! The flagship layout reproduces Figure 1 plus the department Ethernet:
+//!
+//! ```text
+//!  PC (KB7DZ, 44.24.0.5)                    MicroVAX gateway
+//!   └─ DZ serial ─ KISS TNC ─ 1200 b/s ─ TNC ─ DZ serial ─┤ N7AKR-1
+//!                              radio                      │ 44.24.0.28 (pr0)
+//!                                                         │ 128.95.1.100 (qe0)
+//!                                    10 Mb/s Ethernet ────┤
+//!                                                         └─ vax2 (128.95.1.4)
+//! ```
+//!
+//! The gateway's radio address 44.24.0.28 is the paper's own (§2.3: "the
+//! packet radio interface was enabled at the Internet address of
+//! 44.24.0.28").
+
+use std::net::Ipv4Addr;
+
+use ax25::addr::Ax25Addr;
+use ether::MacAddr;
+use netstack::route::Prefix;
+use radio::csma::MacConfig;
+use radio::tnc::RxMode;
+use sim::Bandwidth;
+
+use crate::acl::AclConfig;
+use crate::cpu::CpuConfig;
+use crate::host::{EtherIfConfig, HostConfig, RadioIfConfig};
+use crate::world::{ChanId, HostId, SegId, TncId, World};
+
+/// The gateway's radio-side address (the paper's actual assignment).
+pub const GW_RADIO_IP: Ipv4Addr = Ipv4Addr::new(44, 24, 0, 28);
+/// The gateway's Ethernet-side address.
+pub const GW_ETHER_IP: Ipv4Addr = Ipv4Addr::new(128, 95, 1, 100);
+/// The isolated PC's AMPRnet address.
+pub const PC_IP: Ipv4Addr = Ipv4Addr::new(44, 24, 0, 5);
+/// The Ethernet host's address.
+pub const ETHER_HOST_IP: Ipv4Addr = Ipv4Addr::new(128, 95, 1, 4);
+
+/// Tunables for the paper topology.
+#[derive(Debug, Clone)]
+pub struct PaperConfig {
+    /// Radio channel bit rate (1200 bit/s in 1988).
+    pub radio_rate: Bandwidth,
+    /// Host⇄TNC serial speed.
+    pub serial_baud: u32,
+    /// TNC receive mode (§3's contrast).
+    pub tnc_mode: RxMode,
+    /// CSMA parameters.
+    pub mac: MacConfig,
+    /// CPU cost model for the gateway and PC.
+    pub cpu: CpuConfig,
+    /// Install the §4.3 access-control table on the gateway.
+    pub acl: bool,
+}
+
+impl Default for PaperConfig {
+    fn default() -> Self {
+        PaperConfig {
+            radio_rate: Bandwidth::RADIO_1200,
+            serial_baud: 9600,
+            tnc_mode: RxMode::Promiscuous,
+            mac: MacConfig::default(),
+            cpu: CpuConfig::default(),
+            acl: true,
+        }
+    }
+}
+
+/// The built paper topology.
+pub struct PaperScenario {
+    /// The world.
+    pub world: World,
+    /// The radio channel.
+    pub chan: ChanId,
+    /// The Ethernet segment.
+    pub seg: SegId,
+    /// The isolated PC.
+    pub pc: HostId,
+    /// The MicroVAX gateway.
+    pub gw: HostId,
+    /// A host on the department Ethernet.
+    pub ether_host: HostId,
+    /// The PC's TNC.
+    pub pc_tnc: TncId,
+    /// The gateway's TNC.
+    pub gw_tnc: TncId,
+}
+
+/// Builds the paper's Figure-1 topology.
+///
+/// # Examples
+///
+/// ```
+/// use gateway::scenario::{paper_topology, PaperConfig, ETHER_HOST_IP};
+/// use sim::SimDuration;
+///
+/// let mut s = paper_topology(PaperConfig::default(), 42);
+/// let now = s.world.now;
+/// s.world.host_mut(s.pc).ping(now, ETHER_HOST_IP, 1, 1, 32);
+/// s.world.run_for(SimDuration::from_secs(60));
+/// // The gateway forwarded the request and the reply.
+/// assert!(s.world.host(s.gw).stack.stats().forwarded >= 2);
+/// ```
+pub fn paper_topology(cfg: PaperConfig, seed: u64) -> PaperScenario {
+    let mut world = World::new(seed);
+    let chan = world.add_channel(cfg.radio_rate);
+    let seg = world.add_segment(Bandwidth::ETHERNET_10M);
+
+    // The isolated PC: "connected to only a power outlet and a radio".
+    let mut pc_cfg = HostConfig::named("pc");
+    pc_cfg.cpu = cfg.cpu;
+    pc_cfg.radio = Some(RadioIfConfig {
+        call: Ax25Addr::parse_or_panic("KB7DZ"),
+        ip: PC_IP,
+        prefix_len: 16,
+    });
+    let pc = world.add_host(pc_cfg);
+    let pc_tnc = world.attach_radio(pc, chan, cfg.serial_baud, cfg.tnc_mode, cfg.mac);
+
+    // The MicroVAX gateway.
+    let mut gw_cfg = HostConfig::named("gw");
+    gw_cfg.cpu = cfg.cpu;
+    gw_cfg.stack.forwarding = true;
+    gw_cfg.radio = Some(RadioIfConfig {
+        call: Ax25Addr::parse_or_panic("N7AKR-1"),
+        ip: GW_RADIO_IP,
+        prefix_len: 16,
+    });
+    gw_cfg.ether = Some(EtherIfConfig {
+        mac: MacAddr::local(1),
+        ip: GW_ETHER_IP,
+        prefix_len: 24,
+    });
+    if cfg.acl {
+        gw_cfg.acl = Some(AclConfig::default());
+    }
+    let gw = world.add_host(gw_cfg);
+    let gw_tnc = world.attach_radio(gw, chan, cfg.serial_baud, cfg.tnc_mode, cfg.mac);
+    world.attach_ether(gw, seg);
+
+    // A host on the department Ethernet.
+    let mut eh_cfg = HostConfig::named("vax2");
+    eh_cfg.cpu = CpuConfig::free(); // not the machine under study
+    eh_cfg.ether = Some(EtherIfConfig {
+        mac: MacAddr::local(2),
+        ip: ETHER_HOST_IP,
+        prefix_len: 24,
+    });
+    let ether_host = world.add_host(eh_cfg);
+    world.attach_ether(ether_host, seg);
+
+    // Routing: "the routing table of another system on our Ethernet was
+    // modified so it knew that 44.24.0.28 was the address of a gateway to
+    // net 44" (§2.3).
+    let pc_if = world.host(pc).radio_iface().expect("pc radio");
+    world
+        .host_mut(pc)
+        .stack
+        .routes_mut()
+        .add(Prefix::default_route(), Some(GW_RADIO_IP), pc_if);
+    let eh_if = world.host(ether_host).ether_iface().expect("vax2 ether");
+    world
+        .host_mut(ether_host)
+        .stack
+        .routes_mut()
+        .add(Prefix::amprnet(), Some(GW_ETHER_IP), eh_if);
+
+    PaperScenario {
+        world,
+        chan,
+        seg,
+        pc,
+        gw,
+        ether_host,
+        pc_tnc,
+        gw_tnc,
+    }
+}
+
+/// A PC and a gateway joined by a chain of `n` digipeaters (experiment
+/// E7). Source routing is seeded as static ARP entries on both ends, per
+/// §2.3's digipeater-path ARP entries.
+pub struct DigiScenario {
+    /// The world.
+    pub world: World,
+    /// The radio channel.
+    pub chan: ChanId,
+    /// The PC end.
+    pub pc: HostId,
+    /// The gateway end.
+    pub gw: HostId,
+}
+
+/// Builds a digipeater-chain topology with hidden ends: the PC and the
+/// far host only hear their adjacent digipeaters, so every frame must
+/// traverse the whole chain.
+pub fn digi_chain_topology(n: usize, cfg: PaperConfig, seed: u64) -> DigiScenario {
+    assert!(n <= ax25::MAX_DIGIPEATERS);
+    let mut world = World::new(seed);
+    let chan = world.add_channel(cfg.radio_rate);
+
+    let mut pc_cfg = HostConfig::named("pc");
+    pc_cfg.cpu = cfg.cpu;
+    pc_cfg.radio = Some(RadioIfConfig {
+        call: Ax25Addr::parse_or_panic("KB7DZ"),
+        ip: PC_IP,
+        prefix_len: 16,
+    });
+    let pc = world.add_host(pc_cfg);
+    world.attach_radio(pc, chan, cfg.serial_baud, cfg.tnc_mode, cfg.mac);
+
+    let mut gw_cfg = HostConfig::named("gw");
+    gw_cfg.cpu = cfg.cpu;
+    gw_cfg.radio = Some(RadioIfConfig {
+        call: Ax25Addr::parse_or_panic("N7AKR-1"),
+        ip: GW_RADIO_IP,
+        prefix_len: 16,
+    });
+    let gw = world.add_host(gw_cfg);
+    world.attach_radio(gw, chan, cfg.serial_baud, cfg.tnc_mode, cfg.mac);
+
+    let digis: Vec<Ax25Addr> = (0..n)
+        .map(|i| Ax25Addr::parse_or_panic(&format!("DIGI-{}", i + 1)))
+        .collect();
+    for &d in &digis {
+        world.add_digipeater(chan, d, cfg.mac);
+    }
+
+    // Static ARP entries with the digipeater path, both directions.
+    use crate::hwaddr::Ax25Hw;
+    let fwd = Ax25Hw::via(Ax25Addr::parse_or_panic("N7AKR-1"), &digis);
+    let mut rev_path = digis.clone();
+    rev_path.reverse();
+    let rev = Ax25Hw::via(Ax25Addr::parse_or_panic("KB7DZ"), &rev_path);
+    world
+        .host_mut(pc)
+        .pr_driver_mut()
+        .expect("radio")
+        .arp_mut()
+        .insert_static(GW_RADIO_IP, fwd.encode());
+    world
+        .host_mut(gw)
+        .pr_driver_mut()
+        .expect("radio")
+        .arp_mut()
+        .insert_static(PC_IP, rev.encode());
+
+    if n > 0 {
+        // Hide the ends from each other so the chain is load-bearing:
+        // stations are added in order pc(0), gw(1), digis(2..2+n).
+        let c = world.channel_mut(chan);
+        let pc_sta = radio::channel::StationId(0);
+        let gw_sta = radio::channel::StationId(1);
+        c.set_hears(pc_sta, gw_sta, false);
+        c.set_hears(gw_sta, pc_sta, false);
+        // Each end hears only its adjacent digipeater; digipeaters hear
+        // their neighbours (a line topology).
+        for i in 0..n {
+            let d_sta = radio::channel::StationId(2 + i);
+            if i != 0 {
+                c.set_hears(pc_sta, d_sta, false);
+                c.set_hears(d_sta, pc_sta, false);
+            }
+            if i != n - 1 {
+                c.set_hears(gw_sta, d_sta, false);
+                c.set_hears(d_sta, gw_sta, false);
+            }
+            for j in 0..n {
+                let e_sta = radio::channel::StationId(2 + j);
+                if i.abs_diff(j) > 1 {
+                    c.set_hears(d_sta, e_sta, false);
+                }
+            }
+        }
+    }
+
+    DigiScenario {
+        world,
+        chan,
+        pc,
+        gw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netstack::stack::StackAction;
+    use sim::{SimDuration, SimTime};
+
+    #[test]
+    fn digi_chain_ping_traverses_the_chain() {
+        let mut s = digi_chain_topology(2, PaperConfig::default(), 3);
+        let now = s.world.now;
+        s.world.host_mut(s.pc).ping(now, GW_RADIO_IP, 5, 1, 16);
+        s.world.run_for(SimDuration::from_secs(120));
+        let events = s.world.take_events();
+        let rtt = events
+            .iter()
+            .find_map(|(h, t, e)| match e {
+                StackAction::PingReply { id: 5, .. } if *h == s.pc => Some(*t),
+                _ => None,
+            })
+            .expect("reply via digipeaters");
+        // Each direction crosses the channel 3 times (pc->d1->d2->gw).
+        assert!(rtt > SimTime::from_secs(2), "rtt {rtt}");
+    }
+
+    #[test]
+    fn zero_digi_chain_still_works_direct() {
+        let mut s = digi_chain_topology(0, PaperConfig::default(), 3);
+        let now = s.world.now;
+        s.world.host_mut(s.pc).ping(now, GW_RADIO_IP, 5, 1, 16);
+        s.world.run_for(SimDuration::from_secs(60));
+        let events = s.world.take_events();
+        assert!(events
+            .iter()
+            .any(|(h, _, e)| matches!(e, StackAction::PingReply { .. }) && *h == s.pc));
+    }
+}

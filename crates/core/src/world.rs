@@ -1,0 +1,651 @@
+//! The event-driven testbed: hosts, serial lines, TNCs, radio channels,
+//! digipeaters, Ethernet segments, and applications under one clock.
+//!
+//! The world advances by repeatedly finding the earliest deadline any
+//! component has self-reported, jumping the clock there, and then letting
+//! every due component act — routing its outputs (serial characters,
+//! radio receptions, Ethernet deliveries, host link output, stack events)
+//! until the instant is quiescent. All components are sans-io state
+//! machines from the substrate crates; this module is the only place
+//! where they touch.
+
+use ax25::addr::Ax25Addr;
+use ether::{NicId, Segment};
+use netstack::stack::StackAction;
+use radio::channel::{Channel, StationId};
+use radio::csma::MacConfig;
+use radio::digi::Digipeater;
+use radio::tnc::{RxMode, Tnc, TncConfig};
+use radio::traffic::{BeaconConfig, BeaconStation};
+use serial::{End, SerialConfig, SerialLine};
+use sim::trace::Trace;
+use sim::{Bandwidth, SimRng, SimTime};
+
+use crate::host::{Host, HostConfig, HostOut};
+
+/// Handle to a radio channel in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChanId(usize);
+
+/// Handle to an Ethernet segment in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegId(usize);
+
+/// Handle to a host in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostId(usize);
+
+/// Handle to a TNC in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TncId(usize);
+
+/// Handle to a digipeater in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DigiId(usize);
+
+/// Handle to a background traffic station in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BeaconId(usize);
+
+/// An application running "on" a host, driven by stack events.
+///
+/// Implementations live in the `apps` crate; the world calls these hooks
+/// with the owning [`Host`] borrowed mutably so the app can use the
+/// socket API directly.
+pub trait App {
+    /// Called once when the world first runs.
+    fn on_start(&mut self, now: SimTime, host: &mut Host) {
+        let _ = (now, host);
+    }
+
+    /// Called for every stack event on the owning host.
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        let _ = (now, event, host);
+    }
+
+    /// Called on every quiescence pass and at [`App::next_deadline`].
+    fn poll(&mut self, now: SimTime, host: &mut Host) {
+        let _ = (now, host);
+    }
+
+    /// An optional wake-up time (timers, scripted actions).
+    fn next_deadline(&self) -> Option<SimTime> {
+        None
+    }
+}
+
+struct TncEntry {
+    tnc: Tnc,
+    chan: ChanId,
+    line: usize,
+}
+
+struct DigiEntry {
+    digi: Digipeater,
+    chan: ChanId,
+}
+
+struct BeaconEntry {
+    beacon: BeaconStation,
+    chan: ChanId,
+}
+
+struct HostEntry {
+    host: Host,
+    /// Serial line index whose A end this host holds.
+    serial: Option<usize>,
+    /// Ethernet attachment.
+    nic: Option<(SegId, NicId)>,
+}
+
+struct AppEntry {
+    host: HostId,
+    app: Box<dyn App>,
+    started: bool,
+}
+
+/// The simulation world. See the [module docs](self).
+pub struct World {
+    /// Current simulated time.
+    pub now: SimTime,
+    rng: SimRng,
+    /// Optional event trace (disabled by default).
+    pub trace: Trace,
+    channels: Vec<Channel>,
+    segments: Vec<Segment>,
+    lines: Vec<SerialLine>,
+    tncs: Vec<TncEntry>,
+    digis: Vec<DigiEntry>,
+    beacons: Vec<BeaconEntry>,
+    hosts: Vec<HostEntry>,
+    apps: Vec<AppEntry>,
+    /// Recorded (host, time, event) triples when enabled.
+    pub record_events: bool,
+    events: Vec<(HostId, SimTime, StackAction)>,
+}
+
+impl World {
+    /// Creates an empty world with a deterministic seed.
+    pub fn new(seed: u64) -> World {
+        World {
+            now: SimTime::ZERO,
+            rng: SimRng::seed_from(seed),
+            trace: Trace::disabled(),
+            channels: Vec::new(),
+            segments: Vec::new(),
+            lines: Vec::new(),
+            tncs: Vec::new(),
+            digis: Vec::new(),
+            beacons: Vec::new(),
+            hosts: Vec::new(),
+            apps: Vec::new(),
+            record_events: true,
+            events: Vec::new(),
+        }
+    }
+
+    // --- Topology building -------------------------------------------------
+
+    /// Adds a radio channel.
+    pub fn add_channel(&mut self, rate: Bandwidth) -> ChanId {
+        self.channels.push(Channel::new(rate));
+        ChanId(self.channels.len() - 1)
+    }
+
+    /// Adds a radio channel with byte errors.
+    pub fn add_noisy_channel(&mut self, rate: Bandwidth, byte_error_rate: f64) -> ChanId {
+        let rng = self.rng.fork();
+        self.channels
+            .push(Channel::new(rate).with_byte_errors(byte_error_rate, rng));
+        ChanId(self.channels.len() - 1)
+    }
+
+    /// Adds an Ethernet segment.
+    pub fn add_segment(&mut self, rate: Bandwidth) -> SegId {
+        self.segments.push(Segment::new(rate));
+        SegId(self.segments.len() - 1)
+    }
+
+    /// Adds a host (attach its links separately).
+    pub fn add_host(&mut self, cfg: HostConfig) -> HostId {
+        self.hosts.push(HostEntry {
+            host: Host::new(cfg),
+            serial: None,
+            nic: None,
+        });
+        HostId(self.hosts.len() - 1)
+    }
+
+    /// Attaches a host's radio interface to `chan` through a serial line
+    /// at `baud` and a TNC in `mode` with `mac` parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host has no radio interface.
+    pub fn attach_radio(
+        &mut self,
+        host: HostId,
+        chan: ChanId,
+        baud: u32,
+        mode: RxMode,
+        mac: MacConfig,
+    ) -> TncId {
+        let call = self.hosts[host.0]
+            .host
+            .callsign()
+            .expect("host has no radio interface");
+        let line_idx = self.lines.len();
+        self.lines.push(SerialLine::new(SerialConfig::baud(baud)));
+        self.hosts[host.0].serial = Some(line_idx);
+        let station = self.channels[chan.0].add_station();
+        let cfg = TncConfig::new(call).with_mode(mode).with_mac(mac);
+        self.tncs.push(TncEntry {
+            tnc: Tnc::new(cfg, station),
+            chan,
+            line: line_idx,
+        });
+        TncId(self.tncs.len() - 1)
+    }
+
+    /// Attaches a host's Ethernet interface to `seg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host has no Ethernet interface.
+    pub fn attach_ether(&mut self, host: HostId, seg: SegId) {
+        let mac = self.hosts[host.0]
+            .host
+            .mac()
+            .expect("host has no Ethernet interface");
+        let nic = self.segments[seg.0].attach(mac);
+        self.hosts[host.0].nic = Some((seg, nic));
+    }
+
+    /// Adds a standalone digipeater station on `chan`.
+    pub fn add_digipeater(&mut self, chan: ChanId, call: Ax25Addr, mac: MacConfig) -> DigiId {
+        let station = self.channels[chan.0].add_station();
+        self.digis.push(DigiEntry {
+            digi: Digipeater::new(call, station, mac),
+            chan,
+        });
+        DigiId(self.digis.len() - 1)
+    }
+
+    /// Adds a background traffic station on `chan`.
+    pub fn add_beacon(&mut self, chan: ChanId, cfg: BeaconConfig) -> BeaconId {
+        let station = self.channels[chan.0].add_station();
+        let rng = self.rng.fork();
+        self.beacons.push(BeaconEntry {
+            beacon: BeaconStation::new(cfg, station, rng),
+            chan,
+        });
+        BeaconId(self.beacons.len() - 1)
+    }
+
+    /// Installs an application on a host.
+    pub fn add_app(&mut self, host: HostId, app: Box<dyn App>) {
+        self.apps.push(AppEntry {
+            host,
+            app,
+            started: false,
+        });
+    }
+
+    // --- Access ---------------------------------------------------------------
+
+    /// A host, immutably.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.0].host
+    }
+
+    /// A host, mutably (socket operations, route edits…).
+    pub fn host_mut(&mut self, id: HostId) -> &mut Host {
+        &mut self.hosts[id.0].host
+    }
+
+    /// A radio channel.
+    pub fn channel(&self, id: ChanId) -> &Channel {
+        &self.channels[id.0]
+    }
+
+    /// A radio channel, mutably (hearing matrix edits).
+    pub fn channel_mut(&mut self, id: ChanId) -> &mut Channel {
+        &mut self.channels[id.0]
+    }
+
+    /// An Ethernet segment.
+    pub fn segment(&self, id: SegId) -> &Segment {
+        &self.segments[id.0]
+    }
+
+    /// A TNC.
+    pub fn tnc(&self, id: TncId) -> &Tnc {
+        &self.tncs[id.0].tnc
+    }
+
+    /// A TNC, mutably (mode switches).
+    pub fn tnc_mut(&mut self, id: TncId) -> &mut Tnc {
+        &mut self.tncs[id.0].tnc
+    }
+
+    /// A digipeater.
+    pub fn digipeater(&self, id: DigiId) -> &Digipeater {
+        &self.digis[id.0].digi
+    }
+
+    /// A background station.
+    pub fn beacon(&self, id: BeaconId) -> &BeaconStation {
+        &self.beacons[id.0].beacon
+    }
+
+    /// The serial line attached to a host, if any.
+    pub fn host_serial_line(&self, id: HostId) -> Option<&SerialLine> {
+        self.hosts[id.0].serial.map(|i| &self.lines[i])
+    }
+
+    /// Drains recorded stack events.
+    pub fn take_events(&mut self) -> Vec<(HostId, SimTime, StackAction)> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Recorded events, in place.
+    pub fn events(&self) -> &[(HostId, SimTime, StackAction)] {
+        &self.events
+    }
+
+    // --- Running -----------------------------------------------------------------
+
+    /// The earliest self-reported deadline of any component.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        let mut fold = |t: Option<SimTime>| {
+            if let Some(t) = t {
+                best = Some(best.map_or(t, |b: SimTime| b.min(t)));
+            }
+        };
+        for l in &self.lines {
+            fold(l.next_deadline());
+        }
+        for c in &self.channels {
+            fold(c.next_deadline());
+        }
+        for s in &self.segments {
+            fold(s.next_deadline());
+        }
+        for t in &self.tncs {
+            fold(t.tnc.next_deadline());
+        }
+        for d in &self.digis {
+            fold(d.digi.next_deadline());
+        }
+        for b in &self.beacons {
+            fold(b.beacon.next_deadline());
+        }
+        for h in &self.hosts {
+            fold(h.host.next_deadline());
+        }
+        for a in &self.apps {
+            fold(a.app.next_deadline());
+        }
+        best
+    }
+
+    /// Runs the world up to (and including) deadlines at `t`; the clock
+    /// finishes exactly at `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.start_apps();
+        self.settle();
+        while let Some(d) = self.next_deadline() {
+            if d > t {
+                break;
+            }
+            self.now = self.now.max(d);
+            self.settle();
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs for `d` more simulated time.
+    pub fn run_for(&mut self, d: sim::SimDuration) {
+        self.run_until(self.now + d);
+    }
+
+    /// Runs until no component has any pending work (or `limit` passes).
+    pub fn run_until_idle(&mut self, limit: SimTime) {
+        self.start_apps();
+        self.settle();
+        while let Some(d) = self.next_deadline() {
+            if d > limit {
+                break;
+            }
+            self.now = self.now.max(d);
+            self.settle();
+        }
+    }
+
+    fn start_apps(&mut self) {
+        let now = self.now;
+        let mut apps = std::mem::take(&mut self.apps);
+        for entry in &mut apps {
+            if !entry.started {
+                entry.started = true;
+                entry.app.on_start(now, &mut self.hosts[entry.host.0].host);
+            }
+        }
+        self.apps = apps;
+    }
+
+    /// Processes everything due at `self.now` until the instant is quiet.
+    fn settle(&mut self) {
+        let now = self.now;
+        for _pass in 0..10_000 {
+            let mut progressed = false;
+
+            // 1. Serial lines: finish due characters, route rx bytes.
+            for li in 0..self.lines.len() {
+                if self.lines[li].next_deadline().is_some_and(|t| t <= now) {
+                    self.lines[li].advance(now);
+                }
+                // Host side (End::A).
+                let host_bytes = self.lines[li].take_rx(End::A);
+                if !host_bytes.is_empty() {
+                    progressed = true;
+                    if let Some(h) = self.hosts.iter_mut().find(|h| h.serial == Some(li)) {
+                        h.host.on_serial_bytes(now, &host_bytes);
+                    }
+                }
+                // TNC side (End::B).
+                let tnc_bytes = self.lines[li].take_rx(End::B);
+                if !tnc_bytes.is_empty() {
+                    progressed = true;
+                    if let Some(t) = self.tncs.iter_mut().find(|t| t.line == li) {
+                        for b in tnc_bytes {
+                            t.tnc.on_serial_byte(b);
+                        }
+                    }
+                }
+            }
+
+            // 2. Radio channels: completed transmissions become receptions.
+            for ci in 0..self.channels.len() {
+                if self.channels[ci].next_deadline().is_none_or(|t| t > now) {
+                    continue;
+                }
+                let receptions = self.channels[ci].advance(now);
+                if !receptions.is_empty() {
+                    progressed = true;
+                }
+                for rx in receptions {
+                    self.route_reception(now, ChanId(ci), rx.to, &rx);
+                }
+            }
+
+            // 3. MAC polls (TNCs, digipeaters, beacons).
+            for t in &mut self.tncs {
+                t.tnc.poll(now, &mut self.channels[t.chan.0], &mut self.rng);
+            }
+            for d in &mut self.digis {
+                d.digi
+                    .poll(now, &mut self.channels[d.chan.0], &mut self.rng);
+            }
+            for b in &mut self.beacons {
+                b.beacon.poll(now, &mut self.channels[b.chan.0]);
+            }
+
+            // 4. Ethernet segments.
+            for si in 0..self.segments.len() {
+                if self.segments[si].next_deadline().is_none_or(|t| t > now) {
+                    continue;
+                }
+                let deliveries = self.segments[si].advance(now);
+                if !deliveries.is_empty() {
+                    progressed = true;
+                }
+                for (nic, frame) in deliveries {
+                    if let Some(h) = self
+                        .hosts
+                        .iter_mut()
+                        .find(|h| h.nic == Some((SegId(si), nic)))
+                    {
+                        h.host.on_ether_frame(now, &frame);
+                    }
+                }
+            }
+
+            // 5. Hosts: CPU-gated stack work, then route their output.
+            for hi in 0..self.hosts.len() {
+                if self.hosts[hi]
+                    .host
+                    .next_deadline()
+                    .is_some_and(|t| t <= now)
+                {
+                    self.hosts[hi].host.advance(now);
+                }
+                progressed |= self.flush_host(now, HostId(hi));
+            }
+
+            // 6. Applications.
+            progressed |= self.run_apps(now);
+
+            if !progressed {
+                return;
+            }
+        }
+        panic!("world did not settle at {now}");
+    }
+
+    fn route_reception(
+        &mut self,
+        now: SimTime,
+        chan: ChanId,
+        to: StationId,
+        rx: &radio::channel::Reception,
+    ) {
+        if self.trace.is_enabled() {
+            self.trace.record(
+                now,
+                sim::trace::Category::Radio,
+                format!("sta{}", to.0),
+                format!(
+                    "heard {}B from sta{}{}",
+                    rx.data.len(),
+                    rx.from.0,
+                    if rx.corrupted { " (corrupted)" } else { "" }
+                ),
+            );
+        }
+        for t in &mut self.tncs {
+            if t.chan == chan && t.tnc.station() == to {
+                if let Some(bytes) = t.tnc.on_reception(rx) {
+                    if self.trace.is_enabled() {
+                        self.trace.record(
+                            now,
+                            sim::trace::Category::Kiss,
+                            format!("tnc:{}", t.tnc.addr()),
+                            format!("passed {}B frame up the serial line", bytes.len()),
+                        );
+                    }
+                    self.lines[t.line].send(now, End::B, &bytes);
+                }
+                return;
+            }
+        }
+        for d in &mut self.digis {
+            if d.chan == chan && d.digi.station() == to {
+                d.digi.on_reception(rx);
+                return;
+            }
+        }
+        // Beacons ignore receptions.
+    }
+
+    /// Routes a host's outbox and records/dispatches its events.
+    fn flush_host(&mut self, now: SimTime, id: HostId) -> bool {
+        let mut progressed = false;
+        let outs = self.hosts[id.0].host.take_outbox();
+        let serial = self.hosts[id.0].serial;
+        let nic = self.hosts[id.0].nic;
+        for out in outs {
+            progressed = true;
+            match out {
+                HostOut::SerialTx(bytes) => {
+                    if let Some(li) = serial {
+                        self.lines[li].send(now, End::A, &bytes);
+                    }
+                }
+                HostOut::EtherTx(frame) => {
+                    if let Some((seg, nic)) = nic {
+                        self.segments[seg.0].send(now, nic, frame);
+                    }
+                }
+            }
+        }
+        let events = self.hosts[id.0].host.take_events();
+        if !events.is_empty() {
+            progressed = true;
+            let mut apps = std::mem::take(&mut self.apps);
+            for ev in events {
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        now,
+                        sim::trace::Category::App,
+                        self.hosts[id.0].host.name.clone(),
+                        format!("{ev:?}"),
+                    );
+                }
+                for entry in apps.iter_mut().filter(|a| a.host == id) {
+                    entry.app.on_event(now, &ev, &mut self.hosts[id.0].host);
+                }
+                if self.record_events {
+                    self.events.push((id, now, ev));
+                }
+            }
+            self.apps = apps;
+        }
+        progressed
+    }
+
+    fn run_apps(&mut self, now: SimTime) -> bool {
+        let mut progressed = false;
+        let mut apps = std::mem::take(&mut self.apps);
+        for entry in &mut apps {
+            entry.app.poll(now, &mut self.hosts[entry.host.0].host);
+        }
+        self.apps = apps;
+        // App activity shows up as host outbox/event work.
+        for hi in 0..self.hosts.len() {
+            progressed |= self.flush_host(now, HostId(hi));
+        }
+        progressed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+    use sim::SimDuration;
+
+    #[test]
+    fn paper_topology_ping_pc_to_ether_host() {
+        let mut s = scenario::paper_topology(scenario::PaperConfig::default(), 42);
+        let eth_ip = s
+            .world
+            .host(s.ether_host)
+            .stack
+            .iface(s.world.host(s.ether_host).ether_iface().unwrap())
+            .addr;
+        let now = s.world.now;
+        s.world.host_mut(s.pc).ping(now, eth_ip, 7, 1, 32);
+        s.world.run_for(SimDuration::from_secs(60));
+        let events = s.world.take_events();
+        let reply = events.iter().find_map(|(h, t, e)| match e {
+            StackAction::PingReply { id: 7, seq: 1, .. } if *h == s.pc => Some(*t),
+            _ => None,
+        });
+        let rtt = reply.expect("ping reply must arrive");
+        // At 1200 bit/s the ~90-byte request takes >0.5s each way.
+        assert!(rtt > SimTime::from_millis(500), "rtt {rtt}");
+        assert!(rtt < SimTime::from_secs(20), "rtt {rtt}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut s = scenario::paper_topology(scenario::PaperConfig::default(), 7);
+            let eth_ip = scenario::ETHER_HOST_IP;
+            let now = s.world.now;
+            s.world.host_mut(s.pc).ping(now, eth_ip, 1, 1, 64);
+            s.world.run_for(SimDuration::from_secs(60));
+            s.world
+                .take_events()
+                .iter()
+                .filter_map(|(_, t, e)| match e {
+                    StackAction::PingReply { .. } => Some(t.as_nanos()),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,508 @@
+//! The KISS host-to-TNC framing protocol.
+//!
+//! The paper (§2.1) replaces the TNC's ROM firmware with *"a stripped down
+//! version of the software for it known as the KISS TNC code"* — the
+//! protocol of Chepponis & Karn, *The KISS TNC: A Simple Host-to-TNC
+//! Communications Protocol* (6th ARRL CNC, 1987). KISS delimits frames on
+//! the serial line with `FEND` (0xC0) and escapes embedded `FEND`/`FESC`
+//! bytes; the first byte of every frame is a command/port nibble pair.
+//!
+//! Two halves matter for the reproduction:
+//!
+//! * [`encode`] — what the driver's output path and the TNC's receive path
+//!   produce;
+//! * [`Deframer`] — an **incremental, one-byte-at-a-time** decoder. The
+//!   paper's hardest routine (§2.2) is the tty interrupt handler that is
+//!   called *"for each character in the packet"* and decodes *"escaped
+//!   frame end characters … on the fly"*; `Deframer::push` is exactly that
+//!   routine, and the gateway driver calls it from its simulated interrupt
+//!   handler.
+//!
+//! # Examples
+//!
+//! ```
+//! use kiss::{encode, Command, Deframer};
+//!
+//! let wire = encode(0, Command::Data, &[0x01, 0xC0, 0x02]);
+//! let mut d = Deframer::new();
+//! let mut frames = Vec::new();
+//! for b in wire {
+//!     if let Some(f) = d.push(b) {
+//!         frames.push(f);
+//!     }
+//! }
+//! assert_eq!(frames.len(), 1);
+//! assert_eq!(frames[0].payload, vec![0x01, 0xC0, 0x02]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Frame delimiter.
+pub const FEND: u8 = 0xC0;
+/// Escape byte.
+pub const FESC: u8 = 0xDB;
+/// Escaped `FEND` (sent as `FESC TFEND`).
+pub const TFEND: u8 = 0xDC;
+/// Escaped `FESC` (sent as `FESC TFESC`).
+pub const TFESC: u8 = 0xDD;
+
+/// KISS command codes (the low nibble of the type byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Data frame: the payload is an AX.25 frame without FCS.
+    Data,
+    /// Transmitter keyup delay, in 10 ms units.
+    TxDelay,
+    /// CSMA persistence parameter `p` scaled to 0–255.
+    Persistence,
+    /// CSMA slot interval, in 10 ms units.
+    SlotTime,
+    /// Time to hold the transmitter after the frame, in 10 ms units.
+    TxTail,
+    /// Full-duplex flag (0 = CSMA half duplex).
+    FullDuplex,
+    /// Hardware-specific escape.
+    SetHardware,
+    /// Exit KISS mode and return to the TNC's normal firmware.
+    Return,
+}
+
+impl Command {
+    /// Wire encoding of the command nibble.
+    pub fn code(self) -> u8 {
+        match self {
+            Command::Data => 0x0,
+            Command::TxDelay => 0x1,
+            Command::Persistence => 0x2,
+            Command::SlotTime => 0x3,
+            Command::TxTail => 0x4,
+            Command::FullDuplex => 0x5,
+            Command::SetHardware => 0x6,
+            Command::Return => 0xF,
+        }
+    }
+
+    /// Decodes a command nibble.
+    pub fn from_code(code: u8) -> Option<Command> {
+        match code & 0x0F {
+            0x0 => Some(Command::Data),
+            0x1 => Some(Command::TxDelay),
+            0x2 => Some(Command::Persistence),
+            0x3 => Some(Command::SlotTime),
+            0x4 => Some(Command::TxTail),
+            0x5 => Some(Command::FullDuplex),
+            0x6 => Some(Command::SetHardware),
+            0xF => Some(Command::Return),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded KISS frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KissFrame {
+    /// TNC port (high nibble of the type byte); multi-port TNCs exist but
+    /// the paper's setup uses port 0.
+    pub port: u8,
+    /// The command.
+    pub command: Command,
+    /// Unescaped payload (for [`Command::Data`], an AX.25 frame).
+    pub payload: Vec<u8>,
+}
+
+impl KissFrame {
+    /// Convenience constructor for a port-0 data frame.
+    pub fn data(payload: Vec<u8>) -> KissFrame {
+        KissFrame {
+            port: 0,
+            command: Command::Data,
+            payload,
+        }
+    }
+}
+
+/// Encodes one KISS frame for the serial line.
+///
+/// The frame is wrapped in `FEND` bytes on both sides (a leading `FEND`
+/// flushes any line noise at the receiver, as the KISS spec recommends).
+pub fn encode(port: u8, command: Command, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    out.push(FEND);
+    // The type byte is escaped like any other content byte: a data frame on
+    // port 12 encodes its type byte 0xC0, which would otherwise read as FEND.
+    push_escaped(&mut out, (port << 4) | command.code());
+    for &b in payload {
+        push_escaped(&mut out, b);
+    }
+    out.push(FEND);
+    out
+}
+
+fn push_escaped(out: &mut Vec<u8>, b: u8) {
+    match b {
+        FEND => {
+            out.push(FESC);
+            out.push(TFEND);
+        }
+        FESC => {
+            out.push(FESC);
+            out.push(TFESC);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Encodes a single-byte parameter command (TXDELAY, P, SlotTime, …).
+pub fn encode_param(port: u8, command: Command, value: u8) -> Vec<u8> {
+    encode(port, command, &[value])
+}
+
+/// Counters kept by a [`Deframer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeframerStats {
+    /// Complete frames produced.
+    pub frames: u64,
+    /// Bytes consumed (including delimiters and escapes).
+    pub bytes: u64,
+    /// Frames discarded for an invalid escape sequence.
+    pub bad_escapes: u64,
+    /// Frames discarded for an unknown command nibble.
+    pub bad_commands: u64,
+    /// Frames discarded for exceeding the maximum length.
+    pub oversize: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Waiting for the first FEND (or discarding garbage/noise).
+    Hunt,
+    /// Inside a frame, accumulating unescaped bytes (the first accumulated
+    /// byte is the type byte).
+    Open,
+    /// Saw FESC, expecting TFEND or TFESC.
+    Escape,
+    /// Discarding until the next FEND after an error.
+    Drop,
+}
+
+/// Incremental KISS decoder — one byte per call, exactly like the paper's
+/// tty interrupt handler.
+///
+/// Feed received characters to [`Deframer::push`]; a completed frame is
+/// returned on the terminating `FEND`. Malformed input (bad escape,
+/// unknown command, oversize frame) discards the current frame and
+/// resynchronizes on the next `FEND`.
+#[derive(Debug, Clone)]
+pub struct Deframer {
+    state: State,
+    buf: Vec<u8>,
+    max_len: usize,
+    stats: DeframerStats,
+}
+
+impl Default for Deframer {
+    fn default() -> Self {
+        Deframer::new()
+    }
+}
+
+impl Deframer {
+    /// Generous default payload cap: AX.25 allows 256-byte info fields plus
+    /// a 72-byte header ceiling; 1024 leaves room for experimentation.
+    pub const DEFAULT_MAX_LEN: usize = 1024;
+
+    /// Creates a deframer in the hunting state.
+    pub fn new() -> Deframer {
+        Deframer::with_max_len(Self::DEFAULT_MAX_LEN)
+    }
+
+    /// Creates a deframer that discards frames longer than `max_len`.
+    pub fn with_max_len(max_len: usize) -> Deframer {
+        Deframer {
+            state: State::Hunt,
+            buf: Vec::new(),
+            max_len,
+            stats: DeframerStats::default(),
+        }
+    }
+
+    /// Consumes one character from the serial line; returns a frame when
+    /// the closing `FEND` arrives.
+    pub fn push(&mut self, byte: u8) -> Option<KissFrame> {
+        self.stats.bytes += 1;
+        match self.state {
+            State::Hunt => {
+                if byte == FEND {
+                    self.state = State::Open;
+                    self.buf.clear();
+                }
+                None
+            }
+            State::Open => match byte {
+                FEND => self.finish(),
+                FESC => {
+                    self.state = State::Escape;
+                    None
+                }
+                other => self.accept(other),
+            },
+            State::Escape => match byte {
+                TFEND => {
+                    self.state = State::Open;
+                    self.accept(FEND)
+                }
+                TFESC => {
+                    self.state = State::Open;
+                    self.accept(FESC)
+                }
+                FEND => {
+                    // Truncated escape; the FEND still resynchronizes.
+                    self.stats.bad_escapes += 1;
+                    self.buf.clear();
+                    self.state = State::Open;
+                    None
+                }
+                _ => {
+                    self.stats.bad_escapes += 1;
+                    self.state = State::Drop;
+                    None
+                }
+            },
+            State::Drop => {
+                if byte == FEND {
+                    self.state = State::Open;
+                    self.buf.clear();
+                }
+                None
+            }
+        }
+    }
+
+    fn accept(&mut self, byte: u8) -> Option<KissFrame> {
+        // +1 accounts for the type byte occupying buf[0].
+        if self.buf.len() > self.max_len {
+            self.stats.oversize += 1;
+            self.state = State::Drop;
+            return None;
+        }
+        self.buf.push(byte);
+        None
+    }
+
+    fn finish(&mut self) -> Option<KissFrame> {
+        self.state = State::Open;
+        let buf = std::mem::take(&mut self.buf);
+        let Some((&type_byte, payload)) = buf.split_first() else {
+            // Back-to-back FENDs are idle keepalives, not frames.
+            return None;
+        };
+        let Some(command) = Command::from_code(type_byte) else {
+            self.stats.bad_commands += 1;
+            return None;
+        };
+        if payload.is_empty() && command == Command::Data {
+            // Zero-length data frames are line idles, not packets.
+            return None;
+        }
+        self.stats.frames += 1;
+        Some(KissFrame {
+            port: type_byte >> 4,
+            command,
+            payload: payload.to_vec(),
+        })
+    }
+
+    /// Decoder statistics so far.
+    pub fn stats(&self) -> DeframerStats {
+        self.stats
+    }
+
+    /// True if the decoder has consumed frame content that is not yet
+    /// terminated (useful for draining tests).
+    pub fn in_frame(&self) -> bool {
+        matches!(self.state, State::Open | State::Escape) && !self.buf.is_empty()
+    }
+}
+
+/// Decodes a complete byte stream, returning every frame found.
+///
+/// Convenience wrapper over [`Deframer`] for tests and batch tools.
+pub fn decode_stream(bytes: &[u8]) -> Vec<KissFrame> {
+    let mut d = Deframer::new();
+    bytes.iter().filter_map(|&b| d.push(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_plain_payload() {
+        let wire = encode(0, Command::Data, b"hello");
+        let frames = decode_stream(&wire);
+        assert_eq!(frames, vec![KissFrame::data(b"hello".to_vec())]);
+    }
+
+    #[test]
+    fn roundtrip_payload_full_of_specials() {
+        let payload = vec![FEND, FESC, FEND, FESC, 0x00, FEND];
+        let wire = encode(2, Command::Data, &payload);
+        let frames = decode_stream(&wire);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].port, 2);
+        assert_eq!(frames[0].payload, payload);
+    }
+
+    #[test]
+    fn escaping_is_minimal() {
+        // "abc" has nothing to escape: FEND, type, a, b, c, FEND.
+        assert_eq!(encode(0, Command::Data, b"abc").len(), 6);
+        // A single FEND payload becomes FESC TFEND: FEND, type, 2 bytes, FEND.
+        assert_eq!(encode(0, Command::Data, &[FEND]).len(), 5);
+    }
+
+    #[test]
+    fn param_commands_roundtrip() {
+        for (cmd, v) in [
+            (Command::TxDelay, 30u8),
+            (Command::Persistence, 63),
+            (Command::SlotTime, 10),
+            (Command::TxTail, 2),
+            (Command::FullDuplex, 0),
+        ] {
+            let wire = encode_param(0, cmd, v);
+            let frames = decode_stream(&wire);
+            assert_eq!(frames.len(), 1, "{cmd:?}");
+            assert_eq!(frames[0].command, cmd);
+            assert_eq!(frames[0].payload, vec![v]);
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_share_delimiters() {
+        let mut wire = encode(0, Command::Data, b"one");
+        wire.extend(encode(0, Command::Data, b"two"));
+        let frames = decode_stream(&wire);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].payload, b"one");
+        assert_eq!(frames[1].payload, b"two");
+    }
+
+    #[test]
+    fn repeated_fends_are_idle() {
+        let mut wire = vec![FEND; 10];
+        wire.extend(encode(0, Command::Data, b"x"));
+        wire.extend(vec![FEND; 10]);
+        let frames = decode_stream(&wire);
+        assert_eq!(frames.len(), 1);
+    }
+
+    #[test]
+    fn garbage_before_first_fend_is_ignored() {
+        let mut wire = b"line noise!".to_vec();
+        wire.extend(encode(0, Command::Data, b"ok"));
+        let frames = decode_stream(&wire);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].payload, b"ok");
+    }
+
+    #[test]
+    fn bad_escape_drops_frame_and_resyncs() {
+        let mut d = Deframer::new();
+        let mut wire = vec![FEND, 0x00, b'a', FESC, 0x99, b'b', FEND];
+        wire.extend(encode(0, Command::Data, b"good"));
+        let frames: Vec<_> = wire.iter().filter_map(|&b| d.push(b)).collect();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].payload, b"good");
+        assert_eq!(d.stats().bad_escapes, 1);
+    }
+
+    #[test]
+    fn escape_truncated_by_fend_counts_and_resyncs() {
+        let wire = [FEND, 0x00, b'a', FESC, FEND, 0x00, b'z', FEND];
+        let mut d = Deframer::new();
+        let frames: Vec<_> = wire.iter().filter_map(|&b| d.push(b)).collect();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].payload, b"z");
+        assert_eq!(d.stats().bad_escapes, 1);
+    }
+
+    #[test]
+    fn unknown_command_nibble_is_dropped() {
+        let wire = [FEND, 0x07, b'a', FEND]; // 0x7 is undefined
+        let mut d = Deframer::new();
+        let frames: Vec<_> = wire.iter().filter_map(|&b| d.push(b)).collect();
+        assert!(frames.is_empty());
+        assert_eq!(d.stats().bad_commands, 1);
+    }
+
+    #[test]
+    fn oversize_frame_is_dropped() {
+        let mut d = Deframer::with_max_len(4);
+        let wire = encode(0, Command::Data, b"too long!");
+        let frames: Vec<_> = wire.iter().filter_map(|&b| d.push(b)).collect();
+        assert!(frames.is_empty());
+        assert_eq!(d.stats().oversize, 1);
+        // And it recovers for the next frame.
+        let wire2 = encode(0, Command::Data, b"ok");
+        let frames2: Vec<_> = wire2.iter().filter_map(|&b| d.push(b)).collect();
+        assert_eq!(frames2.len(), 1);
+    }
+
+    #[test]
+    fn empty_data_frame_is_idle_not_packet() {
+        let wire = vec![FEND, 0x00, FEND];
+        assert!(decode_stream(&wire).is_empty());
+    }
+
+    #[test]
+    fn return_command_roundtrips() {
+        // The spec's 0xFF "return" byte: port nibble F, command nibble F.
+        let wire = vec![FEND, 0xFF, FEND];
+        let frames = decode_stream(&wire);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].command, Command::Return);
+    }
+
+    #[test]
+    fn stats_count_bytes_and_frames() {
+        let wire = encode(0, Command::Data, b"abc");
+        let mut d = Deframer::new();
+        for &b in &wire {
+            d.push(b);
+        }
+        assert_eq!(d.stats().bytes, wire.len() as u64);
+        assert_eq!(d.stats().frames, 1);
+    }
+
+    #[test]
+    fn in_frame_reports_mid_frame() {
+        let mut d = Deframer::new();
+        assert!(!d.in_frame());
+        d.push(FEND);
+        d.push(0x00);
+        assert!(d.in_frame(), "type byte consumed, frame is open");
+        d.push(b'a');
+        assert!(d.in_frame());
+        d.push(FEND);
+        assert!(!d.in_frame());
+    }
+
+    #[test]
+    fn command_codes_roundtrip() {
+        for cmd in [
+            Command::Data,
+            Command::TxDelay,
+            Command::Persistence,
+            Command::SlotTime,
+            Command::TxTail,
+            Command::FullDuplex,
+            Command::SetHardware,
+            Command::Return,
+        ] {
+            assert_eq!(Command::from_code(cmd.code()), Some(cmd));
+        }
+        assert_eq!(Command::from_code(0x7), None);
+    }
+}

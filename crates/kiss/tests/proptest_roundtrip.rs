@@ -1,0 +1,66 @@
+//! Property tests: KISS framing must survive arbitrary payloads and
+//! resynchronize after arbitrary garbage.
+
+use kiss::{decode_stream, encode, Command, Deframer, FEND};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any payload round-trips through encode → byte-at-a-time decode.
+    #[test]
+    fn roundtrip_any_payload(payload in proptest::collection::vec(any::<u8>(), 0..512), port in 0u8..16) {
+        let wire = encode(port, Command::Data, &payload);
+        let frames = decode_stream(&wire);
+        if payload.is_empty() {
+            // Empty data frames are idles by design.
+            prop_assert!(frames.is_empty());
+        } else {
+            prop_assert_eq!(frames.len(), 1);
+            prop_assert_eq!(frames[0].port, port);
+            prop_assert_eq!(&frames[0].payload, &payload);
+        }
+    }
+
+    /// A stream of several encoded frames decodes to exactly those frames,
+    /// in order.
+    #[test]
+    fn sequence_roundtrip(payloads in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..128), 1..8)) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            wire.extend(encode(0, Command::Data, p));
+        }
+        let frames = decode_stream(&wire);
+        prop_assert_eq!(frames.len(), payloads.len());
+        for (f, p) in frames.iter().zip(&payloads) {
+            prop_assert_eq!(&f.payload, p);
+        }
+    }
+
+    /// Arbitrary garbage never panics the deframer, and a valid frame sent
+    /// after the garbage (separated by a FEND) is always recovered.
+    #[test]
+    fn resync_after_garbage(garbage in proptest::collection::vec(any::<u8>(), 0..256),
+                            payload in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let mut d = Deframer::new();
+        for &b in &garbage {
+            let _ = d.push(b);
+        }
+        // Force resynchronization boundary, then send a clean frame.
+        let _ = d.push(FEND);
+        let wire = encode(0, Command::Data, &payload);
+        let got: Vec<_> = wire.iter().filter_map(|&b| d.push(b)).collect();
+        let last = got.last().expect("clean frame must decode");
+        prop_assert_eq!(&last.payload, &payload);
+    }
+
+    /// Encoded output never contains a bare FEND except as delimiters.
+    #[test]
+    fn no_embedded_fend(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let wire = encode(0, Command::Data, &payload);
+        prop_assert_eq!(wire[0], FEND);
+        prop_assert_eq!(*wire.last().unwrap(), FEND);
+        for &b in &wire[1..wire.len() - 1] {
+            prop_assert_ne!(b, FEND);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! NET/ROM wire formats: NODES broadcasts and network-layer datagrams.
+//!
+//! Both ride in the info field of AX.25 UI frames with PID `0xCF`. A
+//! NODES broadcast starts with the signature octet `0xFF`; anything else
+//! is a datagram whose header is origin(7) + destination(7) + TTL(1),
+//! followed by the transport field.
+
+use ax25::addr::Ax25Addr;
+
+use crate::NetRomError;
+
+/// Signature octet opening a NODES broadcast.
+pub const NODES_SIGNATURE: u8 = 0xFF;
+
+/// Transport opcode for an encapsulated IP datagram (the KA9Q
+/// convention: NET/ROM as a subnet for IP).
+pub const OP_IP: u8 = 0x0C;
+
+/// One advertisement in a NODES broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeEntry {
+    /// The advertised destination node.
+    pub dest: Ax25Addr,
+    /// Its human-readable alias (≤6 chars).
+    pub alias: String,
+    /// The advertiser's best neighbour toward `dest`.
+    pub best_neighbour: Ax25Addr,
+    /// Path quality 0–255 as seen by the advertiser.
+    pub quality: u8,
+}
+
+/// A periodic routing broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodesBroadcast {
+    /// The sending node's alias.
+    pub sender_alias: String,
+    /// Advertised destinations.
+    pub entries: Vec<NodeEntry>,
+}
+
+fn put_alias(out: &mut Vec<u8>, alias: &str) {
+    let mut bytes = [b' '; 6];
+    for (i, b) in alias.bytes().take(6).enumerate() {
+        bytes[i] = b.to_ascii_uppercase();
+    }
+    out.extend_from_slice(&bytes);
+}
+
+fn get_alias(raw: &[u8]) -> String {
+    raw.iter()
+        .map(|&b| b as char)
+        .collect::<String>()
+        .trim_end()
+        .to_string()
+}
+
+fn put_call(out: &mut Vec<u8>, addr: Ax25Addr) {
+    out.extend_from_slice(&addr.encode(false, true));
+}
+
+fn get_call(raw: &[u8]) -> Result<Ax25Addr, NetRomError> {
+    Ax25Addr::decode(raw)
+        .map(|(a, _, _)| a)
+        .map_err(|_| NetRomError::Malformed("callsign field"))
+}
+
+impl NodesBroadcast {
+    /// Encodes the broadcast (UI info field content).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(7 + self.entries.len() * 21);
+        out.push(NODES_SIGNATURE);
+        put_alias(&mut out, &self.sender_alias);
+        for e in &self.entries {
+            put_call(&mut out, e.dest);
+            put_alias(&mut out, &e.alias);
+            put_call(&mut out, e.best_neighbour);
+            out.push(e.quality);
+        }
+        out
+    }
+
+    /// Decodes a broadcast.
+    pub fn decode(bytes: &[u8]) -> Result<NodesBroadcast, NetRomError> {
+        if bytes.len() < 7 || bytes[0] != NODES_SIGNATURE {
+            return Err(NetRomError::Malformed("missing NODES signature"));
+        }
+        let sender_alias = get_alias(&bytes[1..7]);
+        let mut entries = Vec::new();
+        let mut pos = 7;
+        while pos < bytes.len() {
+            if bytes.len() < pos + 21 {
+                return Err(NetRomError::Malformed("truncated NODES entry"));
+            }
+            let dest = get_call(&bytes[pos..pos + 7])?;
+            let alias = get_alias(&bytes[pos + 7..pos + 13]);
+            let best_neighbour = get_call(&bytes[pos + 13..pos + 20])?;
+            let quality = bytes[pos + 20];
+            entries.push(NodeEntry {
+                dest,
+                alias,
+                best_neighbour,
+                quality,
+            });
+            pos += 21;
+        }
+        Ok(NodesBroadcast {
+            sender_alias,
+            entries,
+        })
+    }
+}
+
+/// The transport field of a datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    /// An encapsulated IPv4 datagram (opcode [`OP_IP`]).
+    Ip(Vec<u8>),
+    /// Any other opcode, carried opaquely.
+    Opaque {
+        /// Opcode byte.
+        opcode: u8,
+        /// Remaining bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+/// A NET/ROM network-layer datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetRomPacket {
+    /// The originating node.
+    pub origin: Ax25Addr,
+    /// The final destination node.
+    pub dest: Ax25Addr,
+    /// Hops remaining.
+    pub ttl: u8,
+    /// Transport payload.
+    pub transport: Transport,
+}
+
+impl NetRomPacket {
+    /// Wraps an IP datagram.
+    pub fn ip(origin: Ax25Addr, dest: Ax25Addr, ttl: u8, ip_bytes: Vec<u8>) -> NetRomPacket {
+        NetRomPacket {
+            origin,
+            dest,
+            ttl,
+            transport: Transport::Ip(ip_bytes),
+        }
+    }
+
+    /// Encodes the datagram (UI info field content).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_call(&mut out, self.origin);
+        put_call(&mut out, self.dest);
+        out.push(self.ttl);
+        match &self.transport {
+            Transport::Ip(bytes) => {
+                out.push(OP_IP);
+                out.extend_from_slice(bytes);
+            }
+            Transport::Opaque { opcode, bytes } => {
+                out.push(*opcode);
+                out.extend_from_slice(bytes);
+            }
+        }
+        out
+    }
+
+    /// Decodes a datagram (input must not start with the NODES signature).
+    pub fn decode(bytes: &[u8]) -> Result<NetRomPacket, NetRomError> {
+        if bytes.first() == Some(&NODES_SIGNATURE) {
+            return Err(NetRomError::Malformed("is a NODES broadcast"));
+        }
+        if bytes.len() < 16 {
+            return Err(NetRomError::Malformed("datagram too short"));
+        }
+        let origin = get_call(&bytes[0..7])?;
+        let dest = get_call(&bytes[7..14])?;
+        let ttl = bytes[14];
+        let opcode = bytes[15];
+        let rest = bytes[16..].to_vec();
+        let transport = if opcode == OP_IP {
+            Transport::Ip(rest)
+        } else {
+            Transport::Opaque {
+                opcode,
+                bytes: rest,
+            }
+        };
+        Ok(NetRomPacket {
+            origin,
+            dest,
+            ttl,
+            transport,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ax25Addr {
+        Ax25Addr::parse_or_panic(s)
+    }
+
+    #[test]
+    fn nodes_broadcast_roundtrip() {
+        let b = NodesBroadcast {
+            sender_alias: "SEA".into(),
+            entries: vec![
+                NodeEntry {
+                    dest: a("W2GW"),
+                    alias: "NYC".into(),
+                    best_neighbour: a("BBONE"),
+                    quality: 180,
+                },
+                NodeEntry {
+                    dest: a("KD7NM-2"),
+                    alias: "TAC".into(),
+                    best_neighbour: a("KD7NM-2"),
+                    quality: 255,
+                },
+            ],
+        };
+        let bytes = b.encode();
+        assert_eq!(bytes[0], NODES_SIGNATURE);
+        assert_eq!(NodesBroadcast::decode(&bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn empty_broadcast_roundtrips() {
+        let b = NodesBroadcast {
+            sender_alias: "GATE".into(),
+            entries: vec![],
+        };
+        assert_eq!(NodesBroadcast::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn broadcast_rejects_garbage() {
+        assert!(NodesBroadcast::decode(&[]).is_err());
+        assert!(NodesBroadcast::decode(&[0x00; 10]).is_err());
+        let mut ok = NodesBroadcast {
+            sender_alias: "X".into(),
+            entries: vec![NodeEntry {
+                dest: a("A"),
+                alias: "A".into(),
+                best_neighbour: a("B"),
+                quality: 1,
+            }],
+        }
+        .encode();
+        ok.truncate(ok.len() - 1);
+        assert!(NodesBroadcast::decode(&ok).is_err());
+    }
+
+    #[test]
+    fn datagram_roundtrip_ip_and_opaque() {
+        let p = NetRomPacket::ip(a("N7AKR-1"), a("W2GW"), 7, vec![0x45, 0, 0, 20]);
+        assert_eq!(NetRomPacket::decode(&p.encode()).unwrap(), p);
+
+        let q = NetRomPacket {
+            origin: a("A"),
+            dest: a("B"),
+            ttl: 25,
+            transport: Transport::Opaque {
+                opcode: 5,
+                bytes: b"info".to_vec(),
+            },
+        };
+        assert_eq!(NetRomPacket::decode(&q.encode()).unwrap(), q);
+    }
+
+    #[test]
+    fn datagram_and_broadcast_are_distinguishable() {
+        let b = NodesBroadcast {
+            sender_alias: "SEA".into(),
+            entries: vec![],
+        }
+        .encode();
+        assert!(NetRomPacket::decode(&b).is_err());
+        let d = NetRomPacket::ip(a("A"), a("B"), 1, vec![]).encode();
+        assert!(NodesBroadcast::decode(&d).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! The NET/ROM router as a testbed application on a gateway host.
+//!
+//! Exactly like the §2.4 application gateway, the router is a *user
+//! program*: the kernel driver diverts PID-`0xCF` frames to the tty
+//! queue, the router reads them, and IP datagrams that arrive for this
+//! node are injected back into the host's IP input queue — "to pass IP
+//! traffic between gateways" over the NET/ROM backbone.
+//!
+//! Note: a host's tty divert queue has a single reader; do not install
+//! both a [`NetRomRouter`] and another divert consumer (BBS, application
+//! gateway) on the same host.
+
+use ax25::addr::Ax25Addr;
+use ax25::frame::Pid;
+use gateway::world::App;
+use gateway::Host;
+use sim::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::node::{NetRomConfig, NetRomNode, NodeAction, NodeStats};
+
+/// Observable state of a router, refreshed every poll.
+#[derive(Debug, Clone, Default)]
+pub struct RouterReport {
+    /// Node statistics.
+    pub stats: NodeStats,
+    /// Currently reachable NET/ROM destinations (as display strings).
+    pub destinations: Vec<String>,
+}
+
+/// A queued outbound IP datagram: (destination node, IP packet bytes).
+pub type SendQueue = Rc<RefCell<Vec<(Ax25Addr, Vec<u8>)>>>;
+
+/// The router application.
+pub struct NetRomRouter {
+    node: NetRomNode,
+    report: Rc<RefCell<RouterReport>>,
+    sendq: SendQueue,
+}
+
+impl NetRomRouter {
+    /// Creates a router for a host whose radio callsign is
+    /// `cfg.callsign`.
+    pub fn new(cfg: NetRomConfig) -> NetRomRouter {
+        NetRomRouter {
+            node: NetRomNode::new(cfg),
+            report: Rc::new(RefCell::new(RouterReport::default())),
+            sendq: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Handle to the live report.
+    pub fn report(&self) -> Rc<RefCell<RouterReport>> {
+        self.report.clone()
+    }
+
+    /// Handle to the outbound queue: push `(dest_node, ip_bytes)` and the
+    /// router ships it over the backbone on its next poll.
+    pub fn send_queue(&self) -> SendQueue {
+        self.sendq.clone()
+    }
+
+    fn run_actions(&mut self, now: SimTime, actions: Vec<NodeAction>, host: &mut Host) {
+        for act in actions {
+            match act {
+                NodeAction::SendFrame(frame) => host.send_raw_ax25(now, &frame),
+                NodeAction::DeliverIp(bytes) => host.inject_ip(now, bytes),
+                NodeAction::DeliverTransport { .. } => {
+                    // No circuit layer in this reproduction; drop.
+                }
+            }
+        }
+    }
+
+    fn refresh_report(&mut self) {
+        let mut r = self.report.borrow_mut();
+        r.stats = self.node.stats();
+        r.destinations = self
+            .node
+            .routes()
+            .destinations()
+            .iter()
+            .map(|d| d.to_string())
+            .collect();
+    }
+}
+
+impl App for NetRomRouter {
+    fn on_start(&mut self, _now: SimTime, host: &mut Host) {
+        // The driver must accept the NODES broadcast destination, or the
+        // routing advertisements never reach user space.
+        if let Some(drv) = host.pr_driver_mut() {
+            drv.add_broadcast_addr(crate::nodes_addr());
+        }
+    }
+
+    fn poll(&mut self, now: SimTime, host: &mut Host) {
+        // Read the tty divert queue (PID 0xCF frames).
+        for frame in host.take_tty_frames() {
+            if frame.pid == Some(Pid::NetRom) {
+                let actions = self.node.on_frame(now, &frame);
+                self.run_actions(now, actions, host);
+            }
+        }
+        // Outbound requests from the owner.
+        let outgoing: Vec<(Ax25Addr, Vec<u8>)> = self.sendq.borrow_mut().drain(..).collect();
+        for (dest, bytes) in outgoing {
+            let actions = self.node.send_ip(dest, bytes);
+            self.run_actions(now, actions, host);
+        }
+        // Periodic broadcasts.
+        let actions = self.node.poll(now);
+        self.run_actions(now, actions, host);
+        self.refresh_report();
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.node.next_deadline()
+    }
+}

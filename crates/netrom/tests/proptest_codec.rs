@@ -1,0 +1,64 @@
+//! Property tests for the NET/ROM wire formats.
+
+use ax25::addr::{Ax25Addr, Callsign};
+use netrom::{NetRomPacket, NodeEntry, NodesBroadcast, Transport};
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = Ax25Addr> {
+    ("[A-Z0-9]{1,6}", 0u8..16)
+        .prop_map(|(c, ssid)| Ax25Addr::new(Callsign::new(&c).unwrap(), ssid).unwrap())
+}
+
+fn arb_alias() -> impl Strategy<Value = String> {
+    "[A-Z0-9]{0,6}".prop_map(|s| s)
+}
+
+proptest! {
+    #[test]
+    fn nodes_broadcast_roundtrip(
+        sender in arb_alias(),
+        entries in proptest::collection::vec(
+            (arb_addr(), arb_alias(), arb_addr(), any::<u8>()),
+            0..12,
+        ),
+    ) {
+        let b = NodesBroadcast {
+            sender_alias: sender,
+            entries: entries
+                .into_iter()
+                .map(|(dest, alias, best_neighbour, quality)| NodeEntry {
+                    dest,
+                    alias,
+                    best_neighbour,
+                    quality,
+                })
+                .collect(),
+        };
+        let bytes = b.encode();
+        prop_assert_eq!(NodesBroadcast::decode(&bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn datagram_roundtrip(
+        origin in arb_addr(),
+        dest in arb_addr(),
+        ttl in any::<u8>(),
+        opcode in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let transport = if opcode == netrom::codec::OP_IP {
+            Transport::Ip(payload)
+        } else {
+            Transport::Opaque { opcode, bytes: payload }
+        };
+        let p = NetRomPacket { origin, dest, ttl, transport };
+        let bytes = p.encode();
+        prop_assert_eq!(NetRomPacket::decode(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn decoders_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = NodesBroadcast::decode(&bytes);
+        let _ = NetRomPacket::decode(&bytes);
+    }
+}

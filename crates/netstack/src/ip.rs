@@ -1,0 +1,525 @@
+//! IPv4: packet codec, header checksum, fragmentation, reassembly.
+//!
+//! The gateway's two links have wildly different MTUs — 1500 octets on the
+//! Ethernet, 256 on AX.25 — so forwarding from the fast side to the radio
+//! side routinely fragments (experiment E9 measures the cost). The codec
+//! is RFC 791 without options.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use sim::wire::{internet_checksum, Reader, Writer};
+use sim::{SimDuration, SimTime};
+
+use crate::NetError;
+
+/// IP protocol numbers used by this stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Proto {
+    /// 1 — ICMP.
+    Icmp,
+    /// 6 — TCP.
+    Tcp,
+    /// 17 — UDP.
+    Udp,
+    /// Anything else, carried opaquely.
+    Other(u8),
+}
+
+impl Proto {
+    /// Wire value.
+    pub fn code(self) -> u8 {
+        match self {
+            Proto::Icmp => 1,
+            Proto::Tcp => 6,
+            Proto::Udp => 17,
+            Proto::Other(v) => v,
+        }
+    }
+
+    /// Decodes a wire value.
+    pub fn from_code(v: u8) -> Proto {
+        match v {
+            1 => Proto::Icmp,
+            6 => Proto::Tcp,
+            17 => Proto::Udp,
+            other => Proto::Other(other),
+        }
+    }
+}
+
+/// IPv4 header length (no options).
+pub const HEADER_LEN: usize = 20;
+
+/// Default initial TTL.
+pub const DEFAULT_TTL: u8 = 30;
+
+/// An IPv4 packet (header without options, plus payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4Packet {
+    /// Type of service (carried, not interpreted).
+    pub tos: u8,
+    /// Identification, for reassembly.
+    pub id: u16,
+    /// Don't-fragment flag.
+    pub dont_fragment: bool,
+    /// More-fragments flag.
+    pub more_fragments: bool,
+    /// Fragment offset in 8-octet units.
+    pub frag_offset: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub proto: Proto,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload octets.
+    pub payload: Vec<u8>,
+}
+
+impl Ipv4Packet {
+    /// Creates an unfragmented packet with the default TTL.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, proto: Proto, payload: Vec<u8>) -> Ipv4Packet {
+        Ipv4Packet {
+            tos: 0,
+            id: 0,
+            dont_fragment: false,
+            more_fragments: false,
+            frag_offset: 0,
+            ttl: DEFAULT_TTL,
+            proto,
+            src,
+            dst,
+            payload,
+        }
+    }
+
+    /// Total length on the wire.
+    pub fn total_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// True if this is a fragment (not a whole datagram).
+    pub fn is_fragment(&self) -> bool {
+        self.more_fragments || self.frag_offset != 0
+    }
+
+    /// Encodes header (with checksum) + payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(self.total_len());
+        w.u8(0x45); // version 4, IHL 5
+        w.u8(self.tos);
+        w.u16(self.total_len() as u16);
+        w.u16(self.id);
+        let flags = (u16::from(self.dont_fragment) << 14)
+            | (u16::from(self.more_fragments) << 13)
+            | (self.frag_offset & 0x1FFF);
+        w.u16(flags);
+        w.u8(self.ttl);
+        w.u8(self.proto.code());
+        w.u16(0); // checksum placeholder
+        w.bytes(&self.src.octets());
+        w.bytes(&self.dst.octets());
+        let sum = internet_checksum(&[w.as_slice()]);
+        w.patch_u16(10, sum);
+        w.bytes(&self.payload);
+        w.into_bytes()
+    }
+
+    /// Decodes and verifies a packet. Trailing link-layer padding (e.g.
+    /// from minimum-size Ethernet frames) is trimmed using the
+    /// total-length field.
+    pub fn decode(bytes: &[u8]) -> Result<Ipv4Packet, NetError> {
+        let mut r = Reader::new(bytes);
+        let vihl = r.u8().map_err(|_| NetError::Malformed("short header"))?;
+        if vihl >> 4 != 4 {
+            return Err(NetError::Malformed("not IPv4"));
+        }
+        let ihl = usize::from(vihl & 0x0F) * 4;
+        if ihl != HEADER_LEN {
+            return Err(NetError::Malformed("options unsupported"));
+        }
+        let tos = r.u8().map_err(|_| NetError::Malformed("short header"))?;
+        let total_len = r.u16().map_err(|_| NetError::Malformed("short header"))? as usize;
+        let id = r.u16().map_err(|_| NetError::Malformed("short header"))?;
+        let flags = r.u16().map_err(|_| NetError::Malformed("short header"))?;
+        let ttl = r.u8().map_err(|_| NetError::Malformed("short header"))?;
+        let proto = Proto::from_code(r.u8().map_err(|_| NetError::Malformed("short header"))?);
+        let _checksum = r.u16().map_err(|_| NetError::Malformed("short header"))?;
+        let src_bytes = r.take(4).map_err(|_| NetError::Malformed("short header"))?;
+        let dst_bytes = r.take(4).map_err(|_| NetError::Malformed("short header"))?;
+        if total_len < HEADER_LEN || total_len > bytes.len() {
+            return Err(NetError::Malformed("total length out of range"));
+        }
+        if internet_checksum(&[&bytes[..HEADER_LEN]]) != 0 {
+            return Err(NetError::BadChecksum("ipv4 header"));
+        }
+        let payload = bytes[HEADER_LEN..total_len].to_vec();
+        Ok(Ipv4Packet {
+            tos,
+            id,
+            dont_fragment: flags & 0x4000 != 0,
+            more_fragments: flags & 0x2000 != 0,
+            frag_offset: flags & 0x1FFF,
+            ttl,
+            proto,
+            src: Ipv4Addr::from(<[u8; 4]>::try_from(src_bytes).expect("len 4")),
+            dst: Ipv4Addr::from(<[u8; 4]>::try_from(dst_bytes).expect("len 4")),
+            payload,
+        })
+    }
+}
+
+/// Outcome of asking to fit a packet into an MTU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FragResult {
+    /// The packet already fits; send as-is.
+    Fits(Ipv4Packet),
+    /// The packet was split into these fragments.
+    Fragmented(Vec<Ipv4Packet>),
+    /// DF was set and the packet does not fit.
+    WouldFragment,
+}
+
+/// Fragments `packet` to fit `mtu` (which must hold at least the header
+/// plus 8 payload octets).
+///
+/// # Panics
+///
+/// Panics if `mtu < 28`.
+pub fn fragment(packet: Ipv4Packet, mtu: usize) -> FragResult {
+    assert!(mtu >= HEADER_LEN + 8, "mtu too small to fragment into");
+    if packet.total_len() <= mtu {
+        return FragResult::Fits(packet);
+    }
+    if packet.dont_fragment {
+        return FragResult::WouldFragment;
+    }
+    // Payload bytes per fragment, in 8-octet units.
+    let per = ((mtu - HEADER_LEN) / 8) * 8;
+    let mut frags = Vec::new();
+    let mut off = 0usize;
+    while off < packet.payload.len() {
+        let end = (off + per).min(packet.payload.len());
+        let last_piece = end == packet.payload.len();
+        let mut f = packet.clone();
+        f.payload = packet.payload[off..end].to_vec();
+        f.frag_offset = packet.frag_offset + (off / 8) as u16;
+        // The final piece keeps the original MF (we may be re-fragmenting
+        // a middle fragment).
+        f.more_fragments = if last_piece {
+            packet.more_fragments
+        } else {
+            true
+        };
+        frags.push(f);
+        off = end;
+    }
+    FragResult::Fragmented(frags)
+}
+
+/// Reassembly hole-filling buffer for one host.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    pending: HashMap<(Ipv4Addr, Ipv4Addr, u16, u8), PendingDatagram>,
+}
+
+#[derive(Debug)]
+struct PendingDatagram {
+    /// (offset_bytes, payload) pieces received so far.
+    pieces: Vec<(usize, Vec<u8>)>,
+    /// Total payload length, known once the MF=0 fragment arrives.
+    total: Option<usize>,
+    /// Template header from the first fragment seen.
+    template: Ipv4Packet,
+    deadline: SimTime,
+}
+
+/// How long an incomplete datagram is retained.
+pub const REASSEMBLY_TIMEOUT: SimDuration = SimDuration::from_secs(30);
+
+impl Reassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Reassembler {
+        Reassembler::default()
+    }
+
+    /// Offers a packet; returns the complete datagram when its last hole
+    /// fills. Whole packets pass straight through.
+    pub fn push(&mut self, now: SimTime, packet: Ipv4Packet) -> Option<Ipv4Packet> {
+        if !packet.is_fragment() {
+            return Some(packet);
+        }
+        let key = (packet.src, packet.dst, packet.id, packet.proto.code());
+        let entry = self.pending.entry(key).or_insert_with(|| PendingDatagram {
+            pieces: Vec::new(),
+            total: None,
+            template: packet.clone(),
+            deadline: now + REASSEMBLY_TIMEOUT,
+        });
+        let off = usize::from(packet.frag_offset) * 8;
+        if !packet.more_fragments {
+            entry.total = Some(off + packet.payload.len());
+        }
+        // Ignore exact duplicates.
+        if !entry
+            .pieces
+            .iter()
+            .any(|(o, p)| *o == off && p.len() == packet.payload.len())
+        {
+            entry.pieces.push((off, packet.payload));
+        }
+        let total = entry.total?;
+        // Check contiguity.
+        let mut pieces = entry.pieces.clone();
+        pieces.sort_by_key(|(o, _)| *o);
+        let mut have = 0usize;
+        let mut buf = vec![0u8; total];
+        for (o, p) in &pieces {
+            if *o > have {
+                return None; // hole
+            }
+            let end = o + p.len();
+            if end > total {
+                return None; // overlapping beyond end: malformed, wait for timeout
+            }
+            buf[*o..end].copy_from_slice(p);
+            have = have.max(end);
+        }
+        if have < total {
+            return None;
+        }
+        let entry = self.pending.remove(&key).expect("present");
+        let mut whole = entry.template;
+        whole.payload = buf;
+        whole.frag_offset = 0;
+        whole.more_fragments = false;
+        Some(whole)
+    }
+
+    /// Discards datagrams whose reassembly timer expired; returns how many
+    /// were dropped.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let before = self.pending.len();
+        self.pending.retain(|_, d| d.deadline > now);
+        before - self.pending.len()
+    }
+
+    /// Earliest reassembly deadline, if any datagram is pending.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.pending.values().map(|d| d.deadline).min()
+    }
+
+    /// Number of incomplete datagrams held.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    fn sample(len: usize) -> Ipv4Packet {
+        let mut p = Ipv4Packet::new(
+            ip(44, 24, 0, 28),
+            ip(128, 95, 1, 4),
+            Proto::Udp,
+            (0..len).map(|i| (i % 251) as u8).collect(),
+        );
+        p.id = 0x1234;
+        p
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let p = sample(100);
+        let bytes = p.encode();
+        assert_eq!(bytes.len(), 120);
+        assert_eq!(Ipv4Packet::decode(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn decode_trims_link_padding() {
+        let p = sample(10);
+        let mut bytes = p.encode();
+        bytes.extend_from_slice(&[0u8; 20]); // Ethernet min-frame padding
+        let back = Ipv4Packet::decode(&bytes).unwrap();
+        assert_eq!(back.payload.len(), 10);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let p = sample(40);
+        let good = p.encode();
+        // Header corruption -> checksum failure.
+        let mut bad = good.clone();
+        bad[8] ^= 0xFF; // ttl
+        assert!(matches!(
+            Ipv4Packet::decode(&bad),
+            Err(NetError::BadChecksum(_))
+        ));
+        // Truncation below total_len.
+        assert!(Ipv4Packet::decode(&good[..30]).is_err());
+        // Not v4.
+        let mut not4 = good.clone();
+        not4[0] = 0x65;
+        assert!(Ipv4Packet::decode(&not4).is_err());
+    }
+
+    #[test]
+    fn fits_passes_through() {
+        let p = sample(100);
+        assert!(matches!(fragment(p, 256), FragResult::Fits(_)));
+    }
+
+    #[test]
+    fn fragmentation_splits_on_8_byte_boundaries() {
+        let p = sample(1000);
+        let FragResult::Fragmented(frags) = fragment(p.clone(), 256) else {
+            panic!("expected fragmentation");
+        };
+        // 236 bytes of payload per fragment (from 256-20 rounded down to 232).
+        let per = ((256 - HEADER_LEN) / 8) * 8;
+        assert_eq!(per, 232);
+        assert_eq!(frags.len(), 1000usize.div_ceil(per));
+        for (i, f) in frags.iter().enumerate() {
+            assert!(f.total_len() <= 256);
+            assert_eq!(usize::from(f.frag_offset) * 8, i * per);
+            assert_eq!(f.more_fragments, i != frags.len() - 1);
+            assert_eq!(f.id, p.id);
+        }
+        let rebuilt: Vec<u8> = frags.iter().flat_map(|f| f.payload.clone()).collect();
+        assert_eq!(rebuilt, p.payload);
+    }
+
+    #[test]
+    fn df_refuses_to_fragment() {
+        let mut p = sample(1000);
+        p.dont_fragment = true;
+        assert_eq!(fragment(p, 256), FragResult::WouldFragment);
+    }
+
+    #[test]
+    fn reassembly_in_order() {
+        let p = sample(1000);
+        let FragResult::Fragmented(frags) = fragment(p.clone(), 256) else {
+            panic!()
+        };
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for f in frags {
+            done = r.push(SimTime::ZERO, f);
+        }
+        let whole = done.expect("complete after last fragment");
+        assert_eq!(whole.payload, p.payload);
+        assert!(!whole.is_fragment());
+        assert_eq!(r.pending_count(), 0);
+    }
+
+    #[test]
+    fn reassembly_out_of_order_and_duplicates() {
+        let p = sample(700);
+        let FragResult::Fragmented(mut frags) = fragment(p.clone(), 256) else {
+            panic!()
+        };
+        frags.reverse();
+        let dup = frags[1].clone();
+        frags.insert(2, dup);
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for f in frags {
+            if let Some(w) = r.push(SimTime::ZERO, f) {
+                done = Some(w);
+            }
+        }
+        assert_eq!(done.expect("reassembled").payload, p.payload);
+    }
+
+    #[test]
+    fn interleaved_datagrams_reassemble_independently() {
+        let mut p1 = sample(500);
+        p1.id = 1;
+        let mut p2 = sample(500);
+        p2.id = 2;
+        let FragResult::Fragmented(f1) = fragment(p1.clone(), 256) else {
+            panic!()
+        };
+        let FragResult::Fragmented(f2) = fragment(p2.clone(), 256) else {
+            panic!()
+        };
+        let mut r = Reassembler::new();
+        let mut got = Vec::new();
+        for (a, b) in f1.into_iter().zip(f2) {
+            if let Some(w) = r.push(SimTime::ZERO, a) {
+                got.push(w);
+            }
+            if let Some(w) = r.push(SimTime::ZERO, b) {
+                got.push(w);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].id, 1);
+        assert_eq!(got[1].id, 2);
+    }
+
+    #[test]
+    fn missing_fragment_never_completes_and_expires() {
+        let p = sample(700);
+        let FragResult::Fragmented(frags) = fragment(p, 256) else {
+            panic!()
+        };
+        let mut r = Reassembler::new();
+        for f in frags.into_iter().skip(1) {
+            assert!(r.push(SimTime::ZERO, f).is_none());
+        }
+        assert_eq!(r.pending_count(), 1);
+        assert_eq!(r.next_deadline(), Some(SimTime::ZERO + REASSEMBLY_TIMEOUT));
+        assert_eq!(
+            r.expire(SimTime::ZERO + REASSEMBLY_TIMEOUT + SimDuration::from_nanos(1)),
+            1
+        );
+        assert_eq!(r.pending_count(), 0);
+    }
+
+    #[test]
+    fn refragmenting_a_fragment_preserves_offsets() {
+        let p = sample(1000);
+        let FragResult::Fragmented(first) = fragment(p.clone(), 520) else {
+            panic!()
+        };
+        // Re-fragment each piece to a smaller MTU (a second slow link).
+        let mut all = Vec::new();
+        for f in first {
+            match fragment(f, 256) {
+                FragResult::Fits(x) => all.push(x),
+                FragResult::Fragmented(xs) => all.extend(xs),
+                FragResult::WouldFragment => panic!(),
+            }
+        }
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for f in all {
+            if let Some(w) = r.push(SimTime::ZERO, f) {
+                done = Some(w);
+            }
+        }
+        assert_eq!(done.expect("reassembled").payload, p.payload);
+    }
+
+    #[test]
+    fn proto_codes() {
+        assert_eq!(Proto::from_code(6), Proto::Tcp);
+        assert_eq!(Proto::from_code(1), Proto::Icmp);
+        assert_eq!(Proto::from_code(17), Proto::Udp);
+        assert_eq!(Proto::from_code(89), Proto::Other(89));
+        assert_eq!(Proto::Other(89).code(), 89);
+    }
+}

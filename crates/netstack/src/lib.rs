@@ -1,0 +1,68 @@
+//! A from-scratch TCP/IP stack, the "existing Ultrix network support" and
+//! "KA9Q package" substrate of the paper.
+//!
+//! The paper plugs its packet-radio driver underneath Ultrix's 4.3BSD
+//! networking and talks to Phil Karn's KA9Q stack on the PC side. This
+//! reproduction cannot link either, so this crate implements the protocol
+//! suite both ends need, sans-io:
+//!
+//! * [`ip`] — IPv4 packets, header checksum, fragmentation and reassembly
+//!   (the gateway must fragment Ethernet-sized packets onto the 256-octet
+//!   AX.25 MTU);
+//! * [`icmp`] — echo, destination-unreachable, time-exceeded, **and the
+//!   gateway-control messages the paper proposes in §4.3** (authenticated
+//!   open/close of access-control entries);
+//! * [`arp`] — RFC 826 packets, link-type agnostic (hardware type 1 =
+//!   Ethernet, 3 = AX.25), since "a different set of ARP routines is
+//!   needed for packet radio" (§2.3) lives in the driver crate;
+//! * [`udp`] — datagrams for the callbook service (§5);
+//! * [`tcp`] — a full connection state machine with sliding windows and,
+//!   centrally for §4.1, **both retransmission policies the paper
+//!   contrasts**: a fixed RTO and an adaptive (Jacobson/Karn) RTO;
+//! * [`route`] — longest-prefix-match routing, including the single
+//!   class-A route for AMPRnet that §4.2 laments;
+//! * [`stack`] — a per-host stack tying it together behind a socket API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arp;
+pub mod icmp;
+pub mod ip;
+pub mod route;
+pub mod stack;
+pub mod tcp;
+pub mod udp;
+
+pub use ip::{Ipv4Packet, Proto};
+pub use route::{Prefix, RouteTable};
+pub use stack::{IfaceId, NetStack, SockId, StackAction, StackConfig};
+
+/// Errors surfaced by the stack's codecs and state machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Packet failed structural parsing.
+    Malformed(&'static str),
+    /// A checksum did not verify.
+    BadChecksum(&'static str),
+    /// No route to the destination.
+    NoRoute(std::net::Ipv4Addr),
+    /// Socket/handle misuse (wrong state, unknown id).
+    BadSocket(&'static str),
+    /// Address or port already in use.
+    InUse,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Malformed(w) => write!(f, "malformed packet: {w}"),
+            NetError::BadChecksum(w) => write!(f, "bad checksum: {w}"),
+            NetError::NoRoute(ip) => write!(f, "no route to {ip}"),
+            NetError::BadSocket(w) => write!(f, "socket error: {w}"),
+            NetError::InUse => write!(f, "address in use"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

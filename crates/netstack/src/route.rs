@@ -1,0 +1,242 @@
+//! The routing table: longest-prefix match with optional gateways.
+//!
+//! §4.2 of the paper is a routing story: AMPRnet is one class-A network
+//! (44/8), so distant Internet hosts hold a *single* route for all of it
+//! and every packet funnels through one gateway, even when a different
+//! coast's gateway is far closer. Experiment E4 builds exactly that
+//! situation from this table.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::stack::IfaceId;
+
+/// An IPv4 prefix (address + mask length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prefix {
+    /// Network address (host bits ignored).
+    pub addr: Ipv4Addr,
+    /// Mask length, 0–32.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix; host bits in `addr` are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Prefix {
+        assert!(len <= 32, "prefix length {len} out of range");
+        Prefix {
+            addr: Ipv4Addr::from(u32::from(addr) & Self::mask(len)),
+            len,
+        }
+    }
+
+    /// The all-zero default prefix.
+    pub fn default_route() -> Prefix {
+        Prefix::new(Ipv4Addr::UNSPECIFIED, 0)
+    }
+
+    /// AMPRnet, the class-A network 44.0.0.0/8 assigned to amateur packet
+    /// radio (footnote 7 of the paper).
+    pub fn amprnet() -> Prefix {
+        Prefix::new(Ipv4Addr::new(44, 0, 0, 0), 8)
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(len))
+        }
+    }
+
+    /// True if `ip` is inside this prefix.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        u32::from(ip) & Self::mask(self.len) == u32::from(self.addr)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+/// One routing-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Next-hop gateway; `None` means the destination is on-link.
+    pub via: Option<Ipv4Addr>,
+    /// Output interface.
+    pub iface: IfaceId,
+}
+
+/// The result of a successful lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextHop {
+    /// Interface to transmit on.
+    pub iface: IfaceId,
+    /// The address to resolve at the link layer: the gateway if the route
+    /// has one, otherwise the destination itself.
+    pub hop: Ipv4Addr,
+}
+
+/// A longest-prefix-match routing table.
+///
+/// # Examples
+///
+/// ```
+/// use netstack::route::{Prefix, RouteTable};
+/// use netstack::stack::IfaceId;
+/// use std::net::Ipv4Addr;
+///
+/// let mut rt = RouteTable::new();
+/// let ether = IfaceId::new(0);
+/// let radio = IfaceId::new(1);
+/// rt.add(Prefix::amprnet(), None, radio);
+/// rt.add(Prefix::default_route(), Some(Ipv4Addr::new(128, 95, 1, 1)), ether);
+/// let hop = rt.lookup(Ipv4Addr::new(44, 24, 0, 5)).unwrap();
+/// assert_eq!(hop.iface, radio);
+/// assert_eq!(hop.hop, Ipv4Addr::new(44, 24, 0, 5));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    routes: Vec<Route>,
+}
+
+impl RouteTable {
+    /// Creates an empty table.
+    pub fn new() -> RouteTable {
+        RouteTable::default()
+    }
+
+    /// Adds (or replaces) the route for `prefix`.
+    pub fn add(&mut self, prefix: Prefix, via: Option<Ipv4Addr>, iface: IfaceId) {
+        self.routes.retain(|r| r.prefix != prefix);
+        self.routes.push(Route { prefix, via, iface });
+        // Longest prefix first; stable order for determinism.
+        self.routes.sort_by_key(|r| std::cmp::Reverse(r.prefix.len));
+    }
+
+    /// Removes the route for `prefix`; returns whether one existed.
+    pub fn remove(&mut self, prefix: Prefix) -> bool {
+        let before = self.routes.len();
+        self.routes.retain(|r| r.prefix != prefix);
+        self.routes.len() != before
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<NextHop> {
+        self.routes
+            .iter()
+            .find(|r| r.prefix.contains(dst))
+            .map(|r| NextHop {
+                iface: r.iface,
+                hop: r.via.unwrap_or(dst),
+            })
+    }
+
+    /// All routes, longest prefix first.
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ifid(n: usize) -> IfaceId {
+        IfaceId::new(n)
+    }
+
+    #[test]
+    fn prefix_contains() {
+        let p = Prefix::new(Ipv4Addr::new(44, 24, 0, 0), 16);
+        assert!(p.contains(Ipv4Addr::new(44, 24, 0, 5)));
+        assert!(p.contains(Ipv4Addr::new(44, 24, 255, 255)));
+        assert!(!p.contains(Ipv4Addr::new(44, 56, 0, 5)));
+        assert!(Prefix::default_route().contains(Ipv4Addr::new(1, 2, 3, 4)));
+    }
+
+    #[test]
+    fn prefix_masks_host_bits() {
+        let p = Prefix::new(Ipv4Addr::new(44, 24, 9, 9), 16);
+        assert_eq!(p.addr, Ipv4Addr::new(44, 24, 0, 0));
+        assert_eq!(p.to_string(), "44.24.0.0/16");
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut rt = RouteTable::new();
+        rt.add(
+            Prefix::default_route(),
+            Some(Ipv4Addr::new(9, 9, 9, 9)),
+            ifid(0),
+        );
+        rt.add(Prefix::amprnet(), Some(Ipv4Addr::new(8, 8, 8, 8)), ifid(1));
+        rt.add(Prefix::new(Ipv4Addr::new(44, 24, 0, 0), 16), None, ifid(2));
+        let hop = rt.lookup(Ipv4Addr::new(44, 24, 0, 5)).unwrap();
+        assert_eq!(hop.iface, ifid(2));
+        assert_eq!(hop.hop, Ipv4Addr::new(44, 24, 0, 5), "on-link: hop is dst");
+        let hop = rt.lookup(Ipv4Addr::new(44, 56, 0, 5)).unwrap();
+        assert_eq!(hop.iface, ifid(1));
+        assert_eq!(hop.hop, Ipv4Addr::new(8, 8, 8, 8));
+        let hop = rt.lookup(Ipv4Addr::new(128, 95, 1, 4)).unwrap();
+        assert_eq!(hop.iface, ifid(0));
+    }
+
+    #[test]
+    fn no_default_means_no_route() {
+        let mut rt = RouteTable::new();
+        rt.add(Prefix::amprnet(), None, ifid(0));
+        assert!(rt.lookup(Ipv4Addr::new(128, 95, 1, 4)).is_none());
+    }
+
+    #[test]
+    fn add_replaces_same_prefix() {
+        let mut rt = RouteTable::new();
+        rt.add(Prefix::amprnet(), None, ifid(0));
+        rt.add(Prefix::amprnet(), None, ifid(1));
+        assert_eq!(rt.routes().len(), 1);
+        assert_eq!(
+            rt.lookup(Ipv4Addr::new(44, 1, 1, 1)).unwrap().iface,
+            ifid(1)
+        );
+    }
+
+    #[test]
+    fn remove_route() {
+        let mut rt = RouteTable::new();
+        rt.add(Prefix::amprnet(), None, ifid(0));
+        assert!(rt.remove(Prefix::amprnet()));
+        assert!(!rt.remove(Prefix::amprnet()));
+        assert!(rt.lookup(Ipv4Addr::new(44, 1, 1, 1)).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn prefix_len_out_of_range_panics() {
+        let _ = Prefix::new(Ipv4Addr::UNSPECIFIED, 33);
+    }
+
+    #[test]
+    fn slash_32_host_route() {
+        let mut rt = RouteTable::new();
+        rt.add(Prefix::amprnet(), Some(Ipv4Addr::new(1, 1, 1, 1)), ifid(0));
+        rt.add(Prefix::new(Ipv4Addr::new(44, 24, 0, 28), 32), None, ifid(1));
+        assert_eq!(
+            rt.lookup(Ipv4Addr::new(44, 24, 0, 28)).unwrap().iface,
+            ifid(1)
+        );
+        assert_eq!(
+            rt.lookup(Ipv4Addr::new(44, 24, 0, 29)).unwrap().iface,
+            ifid(0)
+        );
+    }
+}

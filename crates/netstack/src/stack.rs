@@ -1,0 +1,1226 @@
+//! The per-host network stack: IP input/output, demux, sockets, timers.
+//!
+//! One `NetStack` instance plays the role that "the existing Ultrix
+//! network support" (Figure 2) plays on the MicroVAX and that the KA9Q
+//! package plays on the PC: everything above the drivers and below the
+//! applications. It is sans-io — drivers feed [`NetStack::input`], the
+//! stack returns [`StackAction`]s, and link-layer concerns (ARP, AX.25 or
+//! Ethernet encapsulation) stay in the `gateway` crate's drivers, as they
+//! do in the paper.
+//!
+//! Forwarding is deliberately split: a packet that is not for this host
+//! surfaces as [`StackAction::ForwardNeeded`], and the owner (the gateway,
+//! which wants to apply §4.3 access control first) calls
+//! [`NetStack::forward`] to complete it. A plain host leaves forwarding
+//! disabled and the packet is dropped.
+
+use std::net::Ipv4Addr;
+
+use sim::SimTime;
+
+use crate::icmp::{IcmpMessage, UnreachCode};
+use crate::ip::{self, FragResult, Ipv4Packet, Proto, Reassembler};
+use crate::route::{NextHop, Prefix, RouteTable};
+use crate::tcp::{RtoPolicy, Tcb, TcbEvent, TcpConfig, TcpSegment, TcpState};
+use crate::udp::UdpDatagram;
+use crate::NetError;
+
+/// Identifies an interface within one host's stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IfaceId(usize);
+
+impl IfaceId {
+    /// Creates an id from an index (use the value returned by
+    /// [`NetStack::add_iface`] in normal code).
+    pub fn new(n: usize) -> IfaceId {
+        IfaceId(n)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An interface's IP-level parameters (the link itself lives elsewhere).
+#[derive(Debug, Clone)]
+pub struct IfaceConfig {
+    /// Name for traces ("qe0", "pr0"…).
+    pub name: String,
+    /// The interface's IP address.
+    pub addr: Ipv4Addr,
+    /// Prefix length of the attached subnet.
+    pub prefix_len: u8,
+    /// Link MTU in octets.
+    pub mtu: usize,
+}
+
+/// A TCP socket handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SockId(usize);
+
+/// A TCP listener handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ListenerId(usize);
+
+/// A UDP socket handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdpId(usize);
+
+/// Host-level stack configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StackConfig {
+    /// TCP defaults for sockets created on this host (§4.1: set
+    /// `tcp.rto` to [`RtoPolicy::Fixed`] to model the naive peer).
+    pub tcp: TcpConfig,
+    /// Surface not-for-us packets as [`StackAction::ForwardNeeded`].
+    pub forwarding: bool,
+    /// Answer echo requests.
+    pub icmp_echo_reply: bool,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig {
+            tcp: TcpConfig::default(),
+            forwarding: false,
+            icmp_echo_reply: true,
+        }
+    }
+}
+
+/// Actions the stack asks its owner to perform, and events it reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StackAction {
+    /// Transmit `packet` on `iface` toward `next_hop` (the driver
+    /// resolves the link address — ARP in this workspace).
+    Egress {
+        /// Output interface.
+        iface: IfaceId,
+        /// IP address to resolve at the link layer.
+        next_hop: Ipv4Addr,
+        /// The (already fragmented, if needed) packet.
+        packet: Ipv4Packet,
+    },
+    /// A packet not addressed to this host arrived and forwarding is on;
+    /// the owner should apply policy and then call [`NetStack::forward`].
+    ForwardNeeded {
+        /// The interface it arrived on.
+        ingress: IfaceId,
+        /// The packet (TTL not yet decremented).
+        packet: Ipv4Packet,
+    },
+    /// A TCP connect completed.
+    TcpConnected(SockId),
+    /// A listener produced a new connection.
+    TcpAccepted {
+        /// The listener that matched.
+        listener: ListenerId,
+        /// The new socket.
+        sock: SockId,
+    },
+    /// New data is readable on a socket.
+    TcpReadable(SockId),
+    /// The peer closed its direction.
+    TcpPeerClosed(SockId),
+    /// The connection ended.
+    TcpClosed {
+        /// Which socket.
+        sock: SockId,
+        /// True for RST terminations.
+        reset: bool,
+    },
+    /// A datagram is readable on a UDP socket.
+    UdpReadable(UdpId),
+    /// An echo reply arrived for a ping this host sent.
+    PingReply {
+        /// Who answered.
+        from: Ipv4Addr,
+        /// Echo identifier.
+        id: u16,
+        /// Echo sequence number.
+        seq: u16,
+        /// Payload length.
+        len: usize,
+    },
+    /// A gateway-control ICMP message arrived (§4.3); the gateway crate
+    /// interprets it.
+    GateControl {
+        /// Claimed sender.
+        from: Ipv4Addr,
+        /// Which interface it arrived on.
+        ingress: IfaceId,
+        /// The message (GateOpen / GateClose).
+        message: IcmpMessage,
+    },
+    /// An ICMP error arrived concerning traffic we sent.
+    IcmpProblem {
+        /// Who reported it.
+        from: Ipv4Addr,
+        /// The message.
+        message: IcmpMessage,
+    },
+}
+
+/// Stack counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StackStats {
+    /// IP packets received on all interfaces.
+    pub ip_in: u64,
+    /// IP packets (fragments counted individually) emitted.
+    pub ip_out: u64,
+    /// Packets surfaced for forwarding.
+    pub forward_requests: u64,
+    /// Packets actually forwarded.
+    pub forwarded: u64,
+    /// Packets dropped: not for us, forwarding off.
+    pub not_for_us: u64,
+    /// Packets dropped: parse/checksum failures.
+    pub bad_packets: u64,
+    /// Output failures: no route.
+    pub no_route: u64,
+    /// TTL expiries while forwarding.
+    pub ttl_expired: u64,
+    /// Echo requests answered.
+    pub echo_replies_sent: u64,
+}
+
+#[derive(Debug)]
+struct TcpSock {
+    tcb: Tcb,
+    /// Listener that spawned this socket, if passive.
+    parent: Option<ListenerId>,
+}
+
+#[derive(Debug)]
+struct Listener {
+    port: u16,
+    cfg: TcpConfig,
+}
+
+#[derive(Debug)]
+struct UdpSock {
+    port: u16,
+    rx: Vec<(Ipv4Addr, u16, Vec<u8>)>,
+}
+
+/// A host's network stack. See the [module docs](self).
+#[derive(Debug)]
+pub struct NetStack {
+    cfg: StackConfig,
+    ifaces: Vec<IfaceConfig>,
+    routes: RouteTable,
+    reasm: Reassembler,
+    socks: Vec<TcpSock>,
+    listeners: Vec<Listener>,
+    udp: Vec<UdpSock>,
+    ip_id: u16,
+    iss: u32,
+    next_port: u16,
+    stats: StackStats,
+}
+
+impl NetStack {
+    /// Creates a stack with no interfaces.
+    pub fn new(cfg: StackConfig) -> NetStack {
+        NetStack {
+            cfg,
+            ifaces: Vec::new(),
+            routes: RouteTable::new(),
+            reasm: Reassembler::new(),
+            socks: Vec::new(),
+            listeners: Vec::new(),
+            udp: Vec::new(),
+            ip_id: 1,
+            iss: 1_000_000,
+            next_port: 1024,
+            stats: StackStats::default(),
+        }
+    }
+
+    /// Adds an interface and its connected route.
+    pub fn add_iface(&mut self, cfg: IfaceConfig) -> IfaceId {
+        let id = IfaceId(self.ifaces.len());
+        self.routes
+            .add(Prefix::new(cfg.addr, cfg.prefix_len), None, id);
+        self.ifaces.push(cfg);
+        id
+    }
+
+    /// An interface's configuration.
+    pub fn iface(&self, id: IfaceId) -> &IfaceConfig {
+        &self.ifaces[id.0]
+    }
+
+    /// Mutable interface configuration (tests shrink MTUs, etc.).
+    pub fn iface_mut(&mut self, id: IfaceId) -> &mut IfaceConfig {
+        &mut self.ifaces[id.0]
+    }
+
+    /// Mutable routing table (experiments edit routes directly).
+    pub fn routes_mut(&mut self) -> &mut RouteTable {
+        &mut self.routes
+    }
+
+    /// The routing table.
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
+    }
+
+    /// True if `ip` is one of this host's addresses.
+    pub fn is_local_addr(&self, ip: Ipv4Addr) -> bool {
+        ip == Ipv4Addr::BROADCAST || self.ifaces.iter().any(|i| i.addr == ip)
+    }
+
+    /// Stack counters.
+    pub fn stats(&self) -> StackStats {
+        self.stats
+    }
+
+    // --- Output path ------------------------------------------------------
+
+    fn next_ip_id(&mut self) -> u16 {
+        let id = self.ip_id;
+        self.ip_id = self.ip_id.wrapping_add(1).max(1);
+        id
+    }
+
+    /// Routes, fragments, and emits a locally generated packet.
+    pub fn send_ip(&mut self, mut packet: Ipv4Packet, out: &mut Vec<StackAction>) {
+        let Some(NextHop { iface, hop }) = self.routes.lookup(packet.dst) else {
+            self.stats.no_route += 1;
+            return;
+        };
+        if packet.src.is_unspecified() {
+            packet.src = self.ifaces[iface.0].addr;
+        }
+        if packet.id == 0 {
+            packet.id = self.next_ip_id();
+        }
+        let mtu = self.ifaces[iface.0].mtu;
+        match ip::fragment(packet, mtu) {
+            FragResult::Fits(p) => {
+                self.stats.ip_out += 1;
+                out.push(StackAction::Egress {
+                    iface,
+                    next_hop: hop,
+                    packet: p,
+                });
+            }
+            FragResult::Fragmented(ps) => {
+                for p in ps {
+                    self.stats.ip_out += 1;
+                    out.push(StackAction::Egress {
+                        iface,
+                        next_hop: hop,
+                        packet: p,
+                    });
+                }
+            }
+            FragResult::WouldFragment => {
+                self.stats.no_route += 1; // account as undeliverable
+            }
+        }
+    }
+
+    /// Completes a forward the owner approved: TTL, fragmentation, egress.
+    /// Emits ICMP time-exceeded back to the source on TTL expiry.
+    pub fn forward(&mut self, mut packet: Ipv4Packet, out: &mut Vec<StackAction>) {
+        if packet.ttl <= 1 {
+            self.stats.ttl_expired += 1;
+            let quote = IcmpMessage::quote_original(&packet.encode());
+            self.send_icmp(
+                packet.src,
+                IcmpMessage::TimeExceeded { original: quote },
+                out,
+            );
+            return;
+        }
+        packet.ttl -= 1;
+        self.stats.forwarded += 1;
+        self.send_ip(packet, out);
+    }
+
+    /// Builds and sends an ICMP message to `dst`.
+    pub fn send_icmp(&mut self, dst: Ipv4Addr, msg: IcmpMessage, out: &mut Vec<StackAction>) {
+        let packet = Ipv4Packet::new(Ipv4Addr::UNSPECIFIED, dst, Proto::Icmp, msg.encode());
+        self.send_ip(packet, out);
+    }
+
+    /// Sends an echo request (ping).
+    pub fn ping(
+        &mut self,
+        dst: Ipv4Addr,
+        id: u16,
+        seq: u16,
+        len: usize,
+        out: &mut Vec<StackAction>,
+    ) {
+        let payload = vec![0xA5; len];
+        self.send_icmp(dst, IcmpMessage::EchoRequest { id, seq, payload }, out);
+    }
+
+    // --- Input path ----------------------------------------------------------
+
+    /// Processes an IP packet arriving on `iface`.
+    pub fn input(&mut self, now: SimTime, iface: IfaceId, bytes: &[u8]) -> Vec<StackAction> {
+        let mut out = Vec::new();
+        self.stats.ip_in += 1;
+        let packet = match Ipv4Packet::decode(bytes) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.bad_packets += 1;
+                return out;
+            }
+        };
+        if !self.is_local_addr(packet.dst) {
+            if self.cfg.forwarding {
+                self.stats.forward_requests += 1;
+                out.push(StackAction::ForwardNeeded {
+                    ingress: iface,
+                    packet,
+                });
+            } else {
+                self.stats.not_for_us += 1;
+            }
+            return out;
+        }
+        let Some(whole) = self.reasm.push(now, packet) else {
+            return out;
+        };
+        match whole.proto {
+            Proto::Icmp => self.input_icmp(iface, &whole, &mut out),
+            Proto::Tcp => self.input_tcp(now, &whole, &mut out),
+            Proto::Udp => self.input_udp(&whole, &mut out),
+            Proto::Other(_) => {
+                let quote = IcmpMessage::quote_original(&whole.encode());
+                let src = whole.src;
+                self.send_icmp(
+                    src,
+                    IcmpMessage::DestUnreachable {
+                        code: UnreachCode::Protocol,
+                        original: quote,
+                    },
+                    &mut out,
+                );
+            }
+        }
+        out
+    }
+
+    fn input_icmp(&mut self, iface: IfaceId, packet: &Ipv4Packet, out: &mut Vec<StackAction>) {
+        let msg = match IcmpMessage::decode(&packet.payload) {
+            Ok(m) => m,
+            Err(_) => {
+                self.stats.bad_packets += 1;
+                return;
+            }
+        };
+        match msg {
+            IcmpMessage::EchoRequest { id, seq, payload } => {
+                if self.cfg.icmp_echo_reply {
+                    self.stats.echo_replies_sent += 1;
+                    let mut reply = Ipv4Packet::new(
+                        packet.dst,
+                        packet.src,
+                        Proto::Icmp,
+                        IcmpMessage::EchoReply { id, seq, payload }.encode(),
+                    );
+                    // Reply from the address they pinged.
+                    reply.src = packet.dst;
+                    self.send_ip(reply, out);
+                }
+            }
+            IcmpMessage::EchoReply { id, seq, payload } => {
+                out.push(StackAction::PingReply {
+                    from: packet.src,
+                    id,
+                    seq,
+                    len: payload.len(),
+                });
+            }
+            m @ (IcmpMessage::GateOpen { .. } | IcmpMessage::GateClose { .. }) => {
+                out.push(StackAction::GateControl {
+                    from: packet.src,
+                    ingress: iface,
+                    message: m,
+                });
+            }
+            m @ (IcmpMessage::DestUnreachable { .. } | IcmpMessage::TimeExceeded { .. }) => {
+                out.push(StackAction::IcmpProblem {
+                    from: packet.src,
+                    message: m,
+                });
+            }
+        }
+    }
+
+    fn input_udp(&mut self, packet: &Ipv4Packet, out: &mut Vec<StackAction>) {
+        let dg = match UdpDatagram::decode(&packet.payload, packet.src, packet.dst) {
+            Ok(d) => d,
+            Err(_) => {
+                self.stats.bad_packets += 1;
+                return;
+            }
+        };
+        if let Some((i, sock)) = self
+            .udp
+            .iter_mut()
+            .enumerate()
+            .find(|(_, s)| s.port == dg.dst_port)
+        {
+            sock.rx.push((packet.src, dg.src_port, dg.payload));
+            out.push(StackAction::UdpReadable(UdpId(i)));
+        } else {
+            let quote = IcmpMessage::quote_original(&packet.encode());
+            let src = packet.src;
+            self.send_icmp(
+                src,
+                IcmpMessage::DestUnreachable {
+                    code: UnreachCode::Port,
+                    original: quote,
+                },
+                out,
+            );
+        }
+    }
+
+    fn input_tcp(&mut self, now: SimTime, packet: &Ipv4Packet, out: &mut Vec<StackAction>) {
+        let seg = match TcpSegment::decode(&packet.payload, packet.src, packet.dst) {
+            Ok(s) => s,
+            Err(_) => {
+                self.stats.bad_packets += 1;
+                return;
+            }
+        };
+        // Exact connection match first.
+        let found = self.socks.iter().position(|s| {
+            s.tcb.state() != TcpState::Closed
+                && s.tcb.local() == (packet.dst, seg.dst_port)
+                && s.tcb.remote() == (packet.src, seg.src_port)
+        });
+        if let Some(i) = found {
+            let events = self.socks[i].tcb.on_segment(now, &seg);
+            self.drive(SockId(i), events, out);
+            return;
+        }
+        // Listener match for a fresh SYN.
+        if seg.flags.syn && !seg.flags.ack {
+            if let Some(li) = self.listeners.iter().position(|l| l.port == seg.dst_port) {
+                let iss = self.next_iss();
+                let cfg = self.listeners[li].cfg;
+                let (tcb, events) = Tcb::accept(
+                    now,
+                    (packet.dst, seg.dst_port),
+                    (packet.src, seg.src_port),
+                    &seg,
+                    iss,
+                    cfg,
+                );
+                let sock = SockId(self.socks.len());
+                self.socks.push(TcpSock {
+                    tcb,
+                    parent: Some(ListenerId(li)),
+                });
+                self.drive(sock, events, out);
+                return;
+            }
+        }
+        // No takers: RST (unless the stray segment was itself a RST).
+        if !seg.flags.rst {
+            let rst = TcpSegment {
+                src_port: seg.dst_port,
+                dst_port: seg.src_port,
+                seq: if seg.flags.ack { seg.ack } else { 0 },
+                ack: seg.seq.wrapping_add(seg.seq_len()),
+                flags: crate::tcp::TcpFlags {
+                    rst: true,
+                    ack: true,
+                    ..Default::default()
+                },
+                window: 0,
+                mss: None,
+                payload: Vec::new(),
+            };
+            let bytes = rst.encode(packet.dst, packet.src);
+            let mut p = Ipv4Packet::new(packet.dst, packet.src, Proto::Tcp, bytes);
+            p.src = packet.dst;
+            self.send_ip(p, out);
+        }
+    }
+
+    // --- TCP socket API ---------------------------------------------------------
+
+    fn next_iss(&mut self) -> u32 {
+        // 4.3BSD-style: a deterministic, monotonically advancing ISS.
+        self.iss = self.iss.wrapping_add(64_000);
+        self.iss
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        loop {
+            let p = self.next_port;
+            self.next_port = if self.next_port >= 65_000 {
+                1024
+            } else {
+                self.next_port + 1
+            };
+            let used = self
+                .socks
+                .iter()
+                .any(|s| s.tcb.state() != TcpState::Closed && s.tcb.local().1 == p)
+                || self.listeners.iter().any(|l| l.port == p);
+            if !used {
+                return p;
+            }
+        }
+    }
+
+    /// Opens a TCP connection; the SYN goes out via `out`.
+    pub fn tcp_connect(
+        &mut self,
+        now: SimTime,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        out: &mut Vec<StackAction>,
+    ) -> Result<SockId, NetError> {
+        let Some(NextHop { iface, .. }) = self.routes.lookup(dst) else {
+            return Err(NetError::NoRoute(dst));
+        };
+        let local_ip = self.ifaces[iface.0].addr;
+        let port = self.alloc_port();
+        let iss = self.next_iss();
+        let (tcb, events) = Tcb::connect(now, (local_ip, port), (dst, dst_port), iss, self.cfg.tcp);
+        let sock = SockId(self.socks.len());
+        self.socks.push(TcpSock { tcb, parent: None });
+        self.drive(sock, events, out);
+        Ok(sock)
+    }
+
+    /// Opens a TCP connection with a specific configuration (experiments
+    /// use this to pit fixed against adaptive RTO).
+    pub fn tcp_connect_with(
+        &mut self,
+        now: SimTime,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        cfg: TcpConfig,
+        out: &mut Vec<StackAction>,
+    ) -> Result<SockId, NetError> {
+        let saved = self.cfg.tcp;
+        self.cfg.tcp = cfg;
+        let r = self.tcp_connect(now, dst, dst_port, out);
+        self.cfg.tcp = saved;
+        r
+    }
+
+    /// Starts listening on `port`.
+    pub fn tcp_listen(&mut self, port: u16) -> Result<ListenerId, NetError> {
+        if self.listeners.iter().any(|l| l.port == port) {
+            return Err(NetError::InUse);
+        }
+        let id = ListenerId(self.listeners.len());
+        self.listeners.push(Listener {
+            port,
+            cfg: self.cfg.tcp,
+        });
+        Ok(id)
+    }
+
+    /// Queues data on a socket; returns octets accepted.
+    pub fn tcp_send(
+        &mut self,
+        now: SimTime,
+        sock: SockId,
+        data: &[u8],
+        out: &mut Vec<StackAction>,
+    ) -> usize {
+        let Some(s) = self.socks.get_mut(sock.0) else {
+            return 0;
+        };
+        let (n, events) = s.tcb.send(now, data);
+        self.drive(sock, events, out);
+        n
+    }
+
+    /// Drains readable data from a socket.
+    pub fn tcp_recv(&mut self, now: SimTime, sock: SockId, out: &mut Vec<StackAction>) -> Vec<u8> {
+        let Some(s) = self.socks.get_mut(sock.0) else {
+            return Vec::new();
+        };
+        let (data, events) = s.tcb.recv(now);
+        self.drive(sock, events, out);
+        data
+    }
+
+    /// Closes the send direction of a socket.
+    pub fn tcp_close(&mut self, now: SimTime, sock: SockId, out: &mut Vec<StackAction>) {
+        let Some(s) = self.socks.get_mut(sock.0) else {
+            return;
+        };
+        let events = s.tcb.close(now);
+        self.drive(sock, events, out);
+    }
+
+    /// Aborts a socket with RST.
+    pub fn tcp_abort(&mut self, now: SimTime, sock: SockId, out: &mut Vec<StackAction>) {
+        let Some(s) = self.socks.get_mut(sock.0) else {
+            return;
+        };
+        let events = s.tcb.abort(now);
+        self.drive(sock, events, out);
+    }
+
+    /// A socket's connection state.
+    pub fn tcp_state(&self, sock: SockId) -> TcpState {
+        self.socks
+            .get(sock.0)
+            .map(|s| s.tcb.state())
+            .unwrap_or(TcpState::Closed)
+    }
+
+    /// Free space in a socket's send buffer.
+    pub fn tcp_send_capacity(&self, sock: SockId) -> usize {
+        self.socks
+            .get(sock.0)
+            .map(|s| s.tcb.send_capacity())
+            .unwrap_or(0)
+    }
+
+    /// Unacknowledged + unsent octets held by a socket.
+    pub fn tcp_send_backlog(&self, sock: SockId) -> usize {
+        self.socks
+            .get(sock.0)
+            .map(|s| s.tcb.send_backlog())
+            .unwrap_or(0)
+    }
+
+    /// True when the peer closed and all data was drained.
+    pub fn tcp_at_eof(&self, sock: SockId) -> bool {
+        self.socks.get(sock.0).is_some_and(|s| s.tcb.at_eof())
+    }
+
+    /// The local (address, port) of a socket.
+    pub fn tcp_local(&self, sock: SockId) -> Option<(Ipv4Addr, u16)> {
+        self.socks.get(sock.0).map(|s| s.tcb.local())
+    }
+
+    /// The remote (address, port) of a socket.
+    pub fn tcp_remote(&self, sock: SockId) -> Option<(Ipv4Addr, u16)> {
+        self.socks.get(sock.0).map(|s| s.tcb.remote())
+    }
+
+    /// Statistics of a socket's TCB.
+    pub fn tcp_stats(&self, sock: SockId) -> crate::tcp::TcbStats {
+        self.socks
+            .get(sock.0)
+            .map(|s| s.tcb.stats())
+            .unwrap_or_default()
+    }
+
+    // --- UDP socket API -----------------------------------------------------------
+
+    /// Binds a UDP socket to `port`.
+    pub fn udp_bind(&mut self, port: u16) -> Result<UdpId, NetError> {
+        if self.udp.iter().any(|s| s.port == port) {
+            return Err(NetError::InUse);
+        }
+        let id = UdpId(self.udp.len());
+        self.udp.push(UdpSock {
+            port,
+            rx: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// Sends a datagram from a bound socket.
+    pub fn udp_send(
+        &mut self,
+        udp: UdpId,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: Vec<u8>,
+        out: &mut Vec<StackAction>,
+    ) {
+        let src_port = self.udp[udp.0].port;
+        let Some(NextHop { iface, .. }) = self.routes.lookup(dst) else {
+            self.stats.no_route += 1;
+            return;
+        };
+        let src = self.ifaces[iface.0].addr;
+        let dg = UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        };
+        let mut p = Ipv4Packet::new(src, dst, Proto::Udp, dg.encode(src, dst));
+        p.src = src;
+        self.send_ip(p, out);
+    }
+
+    /// Drains received datagrams: `(source, source port, payload)`.
+    pub fn udp_recv(&mut self, udp: UdpId) -> Vec<(Ipv4Addr, u16, Vec<u8>)> {
+        std::mem::take(&mut self.udp[udp.0].rx)
+    }
+
+    // --- Timers -----------------------------------------------------------------
+
+    /// Earliest deadline across sockets and reassembly.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let tcp = self
+            .socks
+            .iter()
+            .filter_map(|s| s.tcb.next_deadline())
+            .min();
+        let reasm = self.reasm.next_deadline();
+        match (tcp, reasm) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Fires expired timers.
+    pub fn poll(&mut self, now: SimTime) -> Vec<StackAction> {
+        let mut out = Vec::new();
+        self.reasm.expire(now);
+        for i in 0..self.socks.len() {
+            if self.socks[i].tcb.next_deadline().is_some_and(|t| t <= now) {
+                let events = self.socks[i].tcb.on_timer(now);
+                self.drive(SockId(i), events, &mut out);
+            }
+        }
+        out
+    }
+
+    // --- Internals --------------------------------------------------------------
+
+    /// Maps TCB events to stack actions, wrapping segments in IP.
+    fn drive(&mut self, sock: SockId, events: Vec<TcbEvent>, out: &mut Vec<StackAction>) {
+        let (local, remote, parent) = {
+            let s = &self.socks[sock.0];
+            (s.tcb.local(), s.tcb.remote(), s.parent)
+        };
+        for ev in events {
+            match ev {
+                TcbEvent::Transmit(seg) => {
+                    let bytes = seg.encode(local.0, remote.0);
+                    let mut p = Ipv4Packet::new(local.0, remote.0, Proto::Tcp, bytes);
+                    p.src = local.0;
+                    self.send_ip(p, out);
+                }
+                TcbEvent::Connected => match parent {
+                    Some(listener) => out.push(StackAction::TcpAccepted { listener, sock }),
+                    None => out.push(StackAction::TcpConnected(sock)),
+                },
+                TcbEvent::DataReadable => out.push(StackAction::TcpReadable(sock)),
+                TcbEvent::PeerClosed => out.push(StackAction::TcpPeerClosed(sock)),
+                TcbEvent::Closed { reset } => out.push(StackAction::TcpClosed { sock, reset }),
+            }
+        }
+    }
+}
+
+/// Convenience: the RTO policy of the classic misbehaving fast-side host
+/// in §4.1 — a constant 1.5 s regardless of the path.
+pub fn fixed_rto_config() -> TcpConfig {
+    TcpConfig {
+        rto: RtoPolicy::Fixed(sim::SimDuration::from_millis(1500)),
+        ..TcpConfig::default()
+    }
+}
+
+impl NetStack {
+    /// Creates a single-interface host stack with an optional default
+    /// route — the shape of every plain host in the testbed.
+    pub fn simple_host(
+        addr: Ipv4Addr,
+        prefix_len: u8,
+        mtu: usize,
+        gateway: Option<Ipv4Addr>,
+    ) -> (NetStack, IfaceId) {
+        let mut st = NetStack::new(StackConfig::default());
+        let ifid = st.add_iface(IfaceConfig {
+            name: "if0".into(),
+            addr,
+            prefix_len,
+            mtu,
+        });
+        if let Some(gw) = gateway {
+            st.routes_mut().add(Prefix::default_route(), Some(gw), ifid);
+        }
+        (st, ifid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as Map;
+
+    fn ipa(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, n)
+    }
+
+    /// A two-host wire: delivers Egress actions directly to the peer.
+    struct Wire {
+        a: NetStack,
+        b: NetStack,
+        a_if: IfaceId,
+        b_if: IfaceId,
+        /// Non-egress actions collected per side.
+        a_ev: Vec<StackAction>,
+        b_ev: Vec<StackAction>,
+    }
+
+    impl Wire {
+        fn new() -> Wire {
+            let (a, a_if) = NetStack::simple_host(ipa(1), 24, 1500, None);
+            let (b, b_if) = NetStack::simple_host(ipa(2), 24, 1500, None);
+            Wire {
+                a,
+                b,
+                a_if,
+                b_if,
+                a_ev: Vec::new(),
+                b_ev: Vec::new(),
+            }
+        }
+
+        /// Pumps actions until quiet.
+        fn run(
+            &mut self,
+            now: SimTime,
+            mut from_a: Vec<StackAction>,
+            mut from_b: Vec<StackAction>,
+        ) {
+            for _ in 0..10_000 {
+                if from_a.is_empty() && from_b.is_empty() {
+                    return;
+                }
+                let mut next_a = Vec::new();
+                let mut next_b = Vec::new();
+                for act in from_a.drain(..) {
+                    match act {
+                        StackAction::Egress { packet, .. } => {
+                            next_b.extend(self.b.input(now, self.b_if, &packet.encode()));
+                        }
+                        other => self.a_ev.push(other),
+                    }
+                }
+                for act in from_b.drain(..) {
+                    match act {
+                        StackAction::Egress { packet, .. } => {
+                            next_a.extend(self.a.input(now, self.a_if, &packet.encode()));
+                        }
+                        other => self.b_ev.push(other),
+                    }
+                }
+                from_a = next_a;
+                from_b = next_b;
+            }
+            panic!("wire did not settle");
+        }
+    }
+
+    #[test]
+    fn ping_across_a_wire() {
+        let mut w = Wire::new();
+        let mut out = Vec::new();
+        w.a.ping(ipa(2), 7, 1, 56, &mut out);
+        w.run(SimTime::ZERO, out, vec![]);
+        assert_eq!(
+            w.a_ev,
+            vec![StackAction::PingReply {
+                from: ipa(2),
+                id: 7,
+                seq: 1,
+                len: 56
+            }]
+        );
+        assert_eq!(w.b.stats().echo_replies_sent, 1);
+    }
+
+    #[test]
+    fn tcp_connect_accept_and_exchange() {
+        let mut w = Wire::new();
+        let now = SimTime::ZERO;
+        w.b.tcp_listen(23).unwrap();
+        let mut out = Vec::new();
+        let ca = w.a.tcp_connect(now, ipa(2), 23, &mut out).unwrap();
+        w.run(now, out, vec![]);
+        assert!(w.a_ev.contains(&StackAction::TcpConnected(ca)));
+        let accepted = w
+            .b_ev
+            .iter()
+            .find_map(|e| match e {
+                StackAction::TcpAccepted { sock, .. } => Some(*sock),
+                _ => None,
+            })
+            .expect("accept");
+        // a -> b data.
+        let mut out = Vec::new();
+        let n = w.a.tcp_send(now, ca, b"login: guest", &mut out);
+        assert_eq!(n, 12);
+        w.run(now, out, vec![]);
+        assert!(w.b_ev.contains(&StackAction::TcpReadable(accepted)));
+        let mut out = Vec::new();
+        let data = w.b.tcp_recv(now, accepted, &mut out);
+        assert_eq!(data, b"login: guest");
+        // b -> a data.
+        let mut out = Vec::new();
+        w.b.tcp_send(now, accepted, b"welcome", &mut out);
+        w.run(now, vec![], out);
+        let mut out = Vec::new();
+        let data = w.a.tcp_recv(now, ca, &mut out);
+        assert_eq!(data, b"welcome");
+    }
+
+    #[test]
+    fn tcp_close_sequence_via_stack() {
+        let mut w = Wire::new();
+        let now = SimTime::ZERO;
+        w.b.tcp_listen(23).unwrap();
+        let mut out = Vec::new();
+        let ca = w.a.tcp_connect(now, ipa(2), 23, &mut out).unwrap();
+        w.run(now, out, vec![]);
+        let accepted = w
+            .b_ev
+            .iter()
+            .find_map(|e| match e {
+                StackAction::TcpAccepted { sock, .. } => Some(*sock),
+                _ => None,
+            })
+            .unwrap();
+        let mut out = Vec::new();
+        w.a.tcp_close(now, ca, &mut out);
+        w.run(now, out, vec![]);
+        assert!(w.b_ev.contains(&StackAction::TcpPeerClosed(accepted)));
+        let mut out = Vec::new();
+        w.b.tcp_close(now, accepted, &mut out);
+        w.run(now, vec![], out);
+        assert!(w
+            .b_ev
+            .iter()
+            .any(|e| matches!(e, StackAction::TcpClosed { reset: false, .. })));
+        assert_eq!(w.a.tcp_state(ca), TcpState::TimeWait);
+    }
+
+    #[test]
+    fn syn_to_closed_port_draws_rst() {
+        let mut w = Wire::new();
+        let now = SimTime::ZERO;
+        let mut out = Vec::new();
+        let ca = w.a.tcp_connect(now, ipa(2), 9999, &mut out).unwrap();
+        w.run(now, out, vec![]);
+        assert!(w
+            .a_ev
+            .iter()
+            .any(|e| matches!(e, StackAction::TcpClosed { reset: true, .. })));
+        assert_eq!(w.a.tcp_state(ca), TcpState::Closed);
+    }
+
+    #[test]
+    fn udp_exchange_and_port_unreachable() {
+        let mut w = Wire::new();
+        let now = SimTime::ZERO;
+        let ub = w.b.udp_bind(4242).unwrap();
+        let ua = w.a.udp_bind(2001).unwrap();
+        let mut out = Vec::new();
+        w.a.udp_send(ua, ipa(2), 4242, b"callbook? N7AKR".to_vec(), &mut out);
+        w.run(now, out, vec![]);
+        assert!(w.b_ev.contains(&StackAction::UdpReadable(ub)));
+        let got = w.b.udp_recv(ub);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, ipa(1));
+        assert_eq!(got[0].1, 2001);
+        assert_eq!(got[0].2, b"callbook? N7AKR");
+
+        // To a closed port: ICMP port unreachable comes back.
+        let mut out = Vec::new();
+        w.a.udp_send(ua, ipa(2), 5555, b"hello?".to_vec(), &mut out);
+        w.run(now, out, vec![]);
+        assert!(w.a_ev.iter().any(|e| matches!(
+            e,
+            StackAction::IcmpProblem {
+                message: IcmpMessage::DestUnreachable {
+                    code: UnreachCode::Port,
+                    ..
+                },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn forwarding_disabled_drops_and_counts() {
+        let mut w = Wire::new();
+        let p = Ipv4Packet::new(ipa(1), ipa(77), Proto::Udp, vec![0; 12]);
+        let acts = w.b.input(SimTime::ZERO, w.b_if, &p.encode());
+        assert!(acts.is_empty());
+        assert_eq!(w.b.stats().not_for_us, 1);
+    }
+
+    #[test]
+    fn forwarding_enabled_surfaces_and_forwards() {
+        let mut st = NetStack::new(StackConfig {
+            forwarding: true,
+            ..StackConfig::default()
+        });
+        let eth = st.add_iface(IfaceConfig {
+            name: "qe0".into(),
+            addr: Ipv4Addr::new(128, 95, 1, 100),
+            prefix_len: 24,
+            mtu: 1500,
+        });
+        let radio = st.add_iface(IfaceConfig {
+            name: "pr0".into(),
+            addr: Ipv4Addr::new(44, 24, 0, 28),
+            prefix_len: 16,
+            mtu: 256,
+        });
+        let mut p = Ipv4Packet::new(
+            Ipv4Addr::new(128, 95, 1, 4),
+            Ipv4Addr::new(44, 24, 0, 5),
+            Proto::Udp,
+            vec![0; 500],
+        );
+        p.id = 42;
+        let acts = st.input(SimTime::ZERO, eth, &p.encode());
+        let [StackAction::ForwardNeeded { ingress, packet }] = &acts[..] else {
+            panic!("{acts:?}");
+        };
+        assert_eq!(*ingress, eth);
+        let mut out = Vec::new();
+        let ttl_before = packet.ttl;
+        st.forward(packet.clone(), &mut out);
+        // 500B payload over 256B MTU: fragmented onto the radio interface.
+        assert!(out.len() >= 3, "{out:?}");
+        for act in &out {
+            let StackAction::Egress { iface, packet, .. } = act else {
+                panic!("{act:?}");
+            };
+            assert_eq!(*iface, radio);
+            assert!(packet.total_len() <= 256);
+            assert_eq!(packet.ttl, ttl_before - 1, "ttl decremented");
+        }
+    }
+
+    #[test]
+    fn ttl_expiry_generates_time_exceeded() {
+        let mut st = NetStack::new(StackConfig {
+            forwarding: true,
+            ..StackConfig::default()
+        });
+        let _eth = st.add_iface(IfaceConfig {
+            name: "qe0".into(),
+            addr: Ipv4Addr::new(128, 95, 1, 100),
+            prefix_len: 24,
+            mtu: 1500,
+        });
+        let mut p = Ipv4Packet::new(
+            Ipv4Addr::new(128, 95, 1, 4),
+            Ipv4Addr::new(44, 24, 0, 5),
+            Proto::Udp,
+            vec![0; 10],
+        );
+        p.ttl = 1;
+        let mut out = Vec::new();
+        st.forward(p, &mut out);
+        let [StackAction::Egress { packet, .. }] = &out[..] else {
+            panic!("{out:?}");
+        };
+        assert_eq!(packet.dst, Ipv4Addr::new(128, 95, 1, 4));
+        let msg = IcmpMessage::decode(&packet.payload).unwrap();
+        assert!(matches!(msg, IcmpMessage::TimeExceeded { .. }));
+        assert_eq!(st.stats().ttl_expired, 1);
+    }
+
+    #[test]
+    fn fragmented_ping_reassembles_and_replies() {
+        let mut w = Wire::new();
+        // Shrink a's MTU so the request fragments.
+        w.a.iface_mut(w.a_if).mtu = 256;
+        let mut out = Vec::new();
+        w.a.ping(ipa(2), 9, 3, 600, &mut out);
+        assert!(out.len() >= 3, "request fragmented: {}", out.len());
+        w.run(SimTime::ZERO, out, vec![]);
+        assert_eq!(
+            w.a_ev,
+            vec![StackAction::PingReply {
+                from: ipa(2),
+                id: 9,
+                seq: 3,
+                len: 600
+            }]
+        );
+    }
+
+    #[test]
+    fn no_route_is_counted() {
+        let (mut st, _) = NetStack::simple_host(ipa(1), 24, 1500, None);
+        let mut out = Vec::new();
+        st.ping(Ipv4Addr::new(99, 99, 99, 99), 1, 1, 8, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(st.stats().no_route, 1);
+    }
+
+    #[test]
+    fn listener_port_conflicts_rejected() {
+        let (mut st, _) = NetStack::simple_host(ipa(1), 24, 1500, None);
+        st.tcp_listen(23).unwrap();
+        assert_eq!(st.tcp_listen(23), Err(NetError::InUse));
+        st.udp_bind(53).unwrap();
+        assert_eq!(st.udp_bind(53), Err(NetError::InUse));
+    }
+
+    #[test]
+    fn distinct_ephemeral_ports() {
+        let mut w = Wire::new();
+        let now = SimTime::ZERO;
+        w.b.tcp_listen(23).unwrap();
+        let mut seen = Map::new();
+        for i in 0..5 {
+            let mut out = Vec::new();
+            let s = w.a.tcp_connect(now, ipa(2), 23, &mut out).unwrap();
+            w.run(now, out, vec![]);
+            let port = w.a.tcp_local(s).unwrap().1;
+            assert!(seen.insert(port, i).is_none(), "port {port} reused");
+        }
+    }
+
+    #[test]
+    fn stack_timers_drive_tcp_retransmission() {
+        let now = SimTime::ZERO;
+        let (mut a, _aif) = NetStack::simple_host(ipa(1), 24, 1500, None);
+        let mut out = Vec::new();
+        let _s = a.tcp_connect(now, ipa(2), 23, &mut out).unwrap();
+        assert_eq!(out.len(), 1, "SYN egress");
+        let t = a.next_deadline().expect("rtx timer armed");
+        let acts = a.poll(t);
+        assert!(
+            acts.iter().any(|e| matches!(e, StackAction::Egress { .. })),
+            "SYN retransmitted via stack poll"
+        );
+    }
+
+    #[test]
+    fn gate_control_messages_surface() {
+        let (mut st, ifid) = NetStack::simple_host(Ipv4Addr::new(44, 24, 0, 28), 16, 256, None);
+        let msg = IcmpMessage::GateClose {
+            amateur: Ipv4Addr::new(44, 24, 0, 5),
+            foreign: Ipv4Addr::new(128, 95, 1, 4),
+            auth: None,
+        };
+        let p = Ipv4Packet::new(
+            Ipv4Addr::new(44, 24, 0, 5),
+            Ipv4Addr::new(44, 24, 0, 28),
+            Proto::Icmp,
+            msg.encode(),
+        );
+        let acts = st.input(SimTime::ZERO, ifid, &p.encode());
+        assert!(matches!(
+            &acts[..],
+            [StackAction::GateControl { from, .. }] if *from == Ipv4Addr::new(44, 24, 0, 5)
+        ));
+    }
+}

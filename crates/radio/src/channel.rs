@@ -1,0 +1,500 @@
+//! The shared radio channel.
+//!
+//! Model: a transmission occupies the medium from its start until its end
+//! (key-up delay + serialization + tail). Every station the sender can
+//! reach hears it. A receiver's copy is **corrupted** when
+//!
+//! * any other transmission it can hear overlapped the frame in time
+//!   (a collision at that receiver — hidden terminals collide at the
+//!   victim even when the senders cannot hear each other), or
+//! * the receiver itself transmitted during the frame (half duplex), or
+//! * injected bit errors hit the frame (probability per octet).
+//!
+//! Corrupted copies are still delivered, flagged, so the TNC model can
+//! count FCS failures exactly where real hardware does.
+
+use sim::{Bandwidth, SimDuration, SimRng, SimTime};
+
+/// Identifies a station attached to a [`Channel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StationId(pub usize);
+
+/// One frame heard by one station.
+#[derive(Debug, Clone)]
+pub struct Reception {
+    /// The hearing station.
+    pub to: StationId,
+    /// The transmitting station.
+    pub from: StationId,
+    /// The on-air bytes (AX.25 frame + FCS).
+    pub data: Vec<u8>,
+    /// True if a collision, self-transmission overlap, or bit error
+    /// damaged this copy.
+    pub corrupted: bool,
+    /// When the frame finished arriving.
+    pub at: SimTime,
+}
+
+#[derive(Debug)]
+struct Tx {
+    from: StationId,
+    start: SimTime,
+    end: SimTime,
+    data: Vec<u8>,
+    delivered: bool,
+}
+
+/// Channel-wide statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelStats {
+    /// Transmissions started.
+    pub transmissions: u64,
+    /// Total airtime of all transmissions (sum, not union).
+    pub airtime_ns: u64,
+    /// Receptions delivered corrupted.
+    pub corrupted_receptions: u64,
+    /// Receptions delivered clean.
+    pub clean_receptions: u64,
+}
+
+/// A shared half-duplex radio channel.
+///
+/// # Examples
+///
+/// ```
+/// use radio::channel::Channel;
+/// use sim::{Bandwidth, SimDuration, SimTime};
+///
+/// let mut ch = Channel::new(Bandwidth::RADIO_1200);
+/// let a = ch.add_station();
+/// let b = ch.add_station();
+/// ch.transmit(SimTime::ZERO, a, vec![0u8; 30], SimDuration::ZERO);
+/// let t = ch.next_deadline().unwrap();
+/// let rx = ch.advance(t);
+/// assert_eq!(rx.len(), 1);
+/// assert_eq!(rx[0].to, b);
+/// assert!(!rx[0].corrupted);
+/// ```
+#[derive(Debug)]
+pub struct Channel {
+    rate: Bandwidth,
+    /// `hears[listener][speaker]`.
+    hears: Vec<Vec<bool>>,
+    txs: Vec<Tx>,
+    byte_error_rate: f64,
+    noise: Option<SimRng>,
+    /// How long after key-up other stations can sense the carrier. This
+    /// is the collision window of p-persistent CSMA: a real 1200-baud
+    /// AFSK data-carrier-detect needs tens of milliseconds to assert, so
+    /// two stations that decide to transmit within this window collide.
+    detect_delay: SimDuration,
+    stats: ChannelStats,
+}
+
+impl Channel {
+    /// Default carrier-detect time (AFSK DCD assert at 1200 baud).
+    pub const DEFAULT_DETECT_DELAY: SimDuration = SimDuration::from_millis(30);
+
+    /// Creates a channel at `rate` where every station hears every other.
+    pub fn new(rate: Bandwidth) -> Channel {
+        Channel {
+            rate,
+            hears: Vec::new(),
+            txs: Vec::new(),
+            byte_error_rate: 0.0,
+            noise: None,
+            detect_delay: Self::DEFAULT_DETECT_DELAY,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Overrides the carrier-detect delay (zero = ideal carrier sense).
+    pub fn with_detect_delay(mut self, d: SimDuration) -> Channel {
+        self.detect_delay = d;
+        self
+    }
+
+    /// Enables random corruption: each delivered copy is independently
+    /// corrupted with probability `1 - (1-rate)^len`.
+    pub fn with_byte_errors(mut self, rate: f64, rng: SimRng) -> Channel {
+        self.byte_error_rate = rate;
+        self.noise = Some(rng);
+        self
+    }
+
+    /// The channel bit rate.
+    pub fn rate(&self) -> Bandwidth {
+        self.rate
+    }
+
+    /// Attaches a new station; it hears (and is heard by) everyone until
+    /// [`Channel::set_hears`] says otherwise.
+    pub fn add_station(&mut self) -> StationId {
+        let n = self.hears.len();
+        for row in &mut self.hears {
+            row.push(true);
+        }
+        let mut row = vec![true; n + 1];
+        row[n] = false; // A station does not hear itself.
+        self.hears.push(row);
+        StationId(n)
+    }
+
+    /// Number of attached stations.
+    pub fn station_count(&self) -> usize {
+        self.hears.len()
+    }
+
+    /// Sets whether `listener` can hear `speaker` (asymmetric links are
+    /// allowed; self-hearing is ignored).
+    pub fn set_hears(&mut self, listener: StationId, speaker: StationId, hears: bool) {
+        if listener != speaker {
+            self.hears[listener.0][speaker.0] = hears;
+        }
+    }
+
+    /// True if `listener` currently senses carrier: its own transmission
+    /// (known instantly), or another audible station's transmission that
+    /// has been keyed at least [`Channel::DEFAULT_DETECT_DELAY`] (the DCD
+    /// assert time — transmissions younger than that are invisible, which
+    /// is CSMA's collision window).
+    pub fn carrier_busy(&self, now: SimTime, listener: StationId) -> bool {
+        self.txs.iter().any(|tx| {
+            if tx.delivered || now >= tx.end {
+                return false;
+            }
+            if tx.from == listener {
+                return tx.start <= now;
+            }
+            self.hears[listener.0][tx.from.0] && tx.start + self.detect_delay <= now
+        })
+    }
+
+    /// True if `station` has a transmission in progress at `now`.
+    pub fn is_transmitting(&self, now: SimTime, station: StationId) -> bool {
+        self.txs
+            .iter()
+            .any(|tx| !tx.delivered && tx.from == station && tx.start <= now && now < tx.end)
+    }
+
+    /// Starts a transmission of `data` from `from`, occupying the channel
+    /// for `overhead` (key-up + tail) plus the serialization time of the
+    /// data; returns the completion time.
+    pub fn transmit(
+        &mut self,
+        now: SimTime,
+        from: StationId,
+        data: Vec<u8>,
+        overhead: SimDuration,
+    ) -> SimTime {
+        let dur = self.rate.time_for_bytes(data.len()) + overhead;
+        let end = now + dur;
+        self.stats.transmissions += 1;
+        self.stats.airtime_ns += dur.as_nanos();
+        self.txs.push(Tx {
+            from,
+            start: now,
+            end,
+            data,
+            delivered: false,
+        });
+        end
+    }
+
+    /// Earliest in-flight transmission end, if any.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.txs
+            .iter()
+            .filter(|t| !t.delivered)
+            .map(|t| t.end)
+            .min()
+    }
+
+    /// Completes every transmission ending at or before `now`, producing
+    /// one [`Reception`] per station in range.
+    pub fn advance(&mut self, now: SimTime) -> Vec<Reception> {
+        let mut out = Vec::new();
+        // Indices of txs completing this call, in end order (stable for
+        // determinism).
+        let mut done: Vec<usize> = self
+            .txs
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.delivered && t.end <= now)
+            .map(|(i, _)| i)
+            .collect();
+        done.sort_by_key(|&i| (self.txs[i].end, i));
+        for i in done {
+            let (from, start, end) = {
+                let t = &self.txs[i];
+                (t.from, t.start, t.end)
+            };
+            for listener in 0..self.hears.len() {
+                let lid = StationId(listener);
+                if lid == from || !self.hears[listener][from.0] {
+                    continue;
+                }
+                // Collision at this listener: any *other* transmission it
+                // hears (or its own) overlapping [start, end).
+                let collided = self.txs.iter().enumerate().any(|(j, other)| {
+                    j != i
+                        && other.start < end
+                        && other.end > start
+                        && (other.from == lid || self.hears[listener][other.from.0])
+                });
+                let data = self.txs[i].data.clone();
+                let bit_error = match (&mut self.noise, self.byte_error_rate) {
+                    (Some(rng), rate) if rate > 0.0 => {
+                        let p_clean = (1.0 - rate).powi(data.len() as i32);
+                        !rng.chance(p_clean)
+                    }
+                    _ => false,
+                };
+                let corrupted = collided || bit_error;
+                if corrupted {
+                    self.stats.corrupted_receptions += 1;
+                } else {
+                    self.stats.clean_receptions += 1;
+                }
+                out.push(Reception {
+                    to: lid,
+                    from,
+                    data,
+                    corrupted,
+                    at: end,
+                });
+            }
+            self.txs[i].delivered = true;
+        }
+        self.prune(now);
+        out
+    }
+
+    /// Drops delivered transmissions that can no longer affect collision
+    /// decisions (everything ending before the earliest undelivered start,
+    /// or everything if the channel is idle).
+    fn prune(&mut self, _now: SimTime) {
+        let earliest_active = self
+            .txs
+            .iter()
+            .filter(|t| !t.delivered)
+            .map(|t| t.start)
+            .min();
+        match earliest_active {
+            None => self.txs.clear(),
+            Some(cutoff) => self.txs.retain(|t| !t.delivered || t.end > cutoff),
+        }
+    }
+
+    /// Channel statistics.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Fraction of the interval `[SimTime::ZERO, now]` spent transmitting
+    /// (sum of airtime; can exceed 1.0 under heavy collisions).
+    pub fn offered_utilization(&self, now: SimTime) -> f64 {
+        let span = now.as_nanos();
+        if span == 0 {
+            0.0
+        } else {
+            self.stats.airtime_ns as f64 / span as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch() -> Channel {
+        Channel::new(Bandwidth::RADIO_1200)
+    }
+
+    #[test]
+    fn lone_transmission_is_clean_and_timed() {
+        let mut c = ch();
+        let a = c.add_station();
+        let b = c.add_station();
+        let _ = a;
+        // 150 bytes at 1200 bit/s = 1s, plus 250ms overhead.
+        let end = c.transmit(
+            SimTime::ZERO,
+            StationId(0),
+            vec![0; 150],
+            SimDuration::from_millis(250),
+        );
+        assert_eq!(end, SimTime::from_millis(1250));
+        assert!(c.advance(end - SimDuration::from_nanos(1)).is_empty());
+        let rx = c.advance(end);
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx[0].to, b);
+        assert!(!rx[0].corrupted);
+        assert_eq!(rx[0].at, end);
+    }
+
+    #[test]
+    fn all_stations_in_range_hear() {
+        let mut c = ch();
+        let a = c.add_station();
+        let _b = c.add_station();
+        let _d = c.add_station();
+        let end = c.transmit(SimTime::ZERO, a, vec![0; 10], SimDuration::ZERO);
+        let rx = c.advance(end);
+        assert_eq!(rx.len(), 2);
+        assert!(rx.iter().all(|r| r.to != a));
+    }
+
+    #[test]
+    fn overlapping_transmissions_collide() {
+        let mut c = ch();
+        let a = c.add_station();
+        let b = c.add_station();
+        let victim = c.add_station();
+        let end_a = c.transmit(SimTime::ZERO, a, vec![0; 100], SimDuration::ZERO);
+        let _end_b = c.transmit(
+            SimTime::from_millis(100),
+            b,
+            vec![0; 100],
+            SimDuration::ZERO,
+        );
+        let rx = c.advance(end_a);
+        let to_victim: Vec<_> = rx.iter().filter(|r| r.to == victim).collect();
+        assert!(!to_victim.is_empty());
+        assert!(to_victim.iter().all(|r| r.corrupted));
+    }
+
+    #[test]
+    fn sequential_transmissions_do_not_collide() {
+        let mut c = ch();
+        let a = c.add_station();
+        let b = c.add_station();
+        let end_a = c.transmit(SimTime::ZERO, a, vec![1; 10], SimDuration::ZERO);
+        let rx1 = c.advance(end_a);
+        assert!(rx1.iter().all(|r| !r.corrupted));
+        let end_b = c.transmit(end_a, b, vec![2; 10], SimDuration::ZERO);
+        let rx2 = c.advance(end_b);
+        assert!(rx2.iter().all(|r| !r.corrupted));
+    }
+
+    #[test]
+    fn hidden_terminal_collides_at_victim_only() {
+        let mut c = ch();
+        let a = c.add_station();
+        let b = c.add_station();
+        let victim = c.add_station();
+        let far = c.add_station();
+        // a and b cannot hear each other; victim hears both; far hears only b.
+        c.set_hears(a, b, false);
+        c.set_hears(b, a, false);
+        c.set_hears(far, a, false);
+        let end = c.transmit(SimTime::ZERO, a, vec![0; 100], SimDuration::ZERO);
+        c.transmit(SimTime::from_millis(10), b, vec![0; 100], SimDuration::ZERO);
+        let rx = c.advance(end + SimDuration::from_secs(2));
+        let at_victim: Vec<_> = rx.iter().filter(|r| r.to == victim).collect();
+        assert_eq!(at_victim.len(), 2);
+        assert!(at_victim.iter().all(|r| r.corrupted), "victim loses both");
+        // far only hears b's frame, uncorrupted (it cannot hear a).
+        let at_far: Vec<_> = rx.iter().filter(|r| r.to == far).collect();
+        assert_eq!(at_far.len(), 1);
+        assert!(!at_far[0].corrupted);
+    }
+
+    #[test]
+    fn half_duplex_receiver_loses_frame_while_transmitting() {
+        let mut c = ch();
+        let a = c.add_station();
+        let b = c.add_station();
+        // Make them mutually deaf so carrier sense would not have stopped
+        // b from transmitting — but b still cannot receive while keyed.
+        c.set_hears(a, b, false);
+        c.set_hears(b, a, false);
+        let third = c.add_station();
+        let _ = third;
+        let end_a = c.transmit(SimTime::ZERO, a, vec![0; 100], SimDuration::ZERO);
+        c.transmit(SimTime::from_millis(1), b, vec![0; 200], SimDuration::ZERO);
+        let rx = c.advance(end_a + SimDuration::from_secs(3));
+        // b cannot hear a at all (deaf), so look at third instead; but the
+        // self-tx rule is what we check for... make b hear a again:
+        let mut c2 = ch();
+        let a2 = c2.add_station();
+        let b2 = c2.add_station();
+        c2.set_hears(a2, b2, false); // a deaf to b so no collision at a
+        let end = c2.transmit(SimTime::ZERO, a2, vec![0; 100], SimDuration::ZERO);
+        c2.transmit(SimTime::from_millis(1), b2, vec![0; 10], SimDuration::ZERO);
+        let rx2 = c2.advance(end + SimDuration::from_secs(2));
+        let b_copy = rx2.iter().find(|r| r.to == b2 && r.from == a2).unwrap();
+        assert!(b_copy.corrupted, "b was transmitting during a's frame");
+        let _ = rx;
+    }
+
+    #[test]
+    fn carrier_sense_tracks_activity_and_hearing() {
+        let mut c = ch();
+        let a = c.add_station();
+        let b = c.add_station();
+        let deaf = c.add_station();
+        c.set_hears(deaf, a, false);
+        assert!(!c.carrier_busy(SimTime::ZERO, b));
+        let end = c.transmit(SimTime::ZERO, a, vec![0; 100], SimDuration::ZERO);
+        let mid = SimTime::from_millis(100);
+        assert!(c.carrier_busy(mid, b));
+        assert!(c.carrier_busy(mid, a), "own transmission counts");
+        assert!(!c.carrier_busy(mid, deaf), "deaf station senses idle");
+        assert!(!c.carrier_busy(end, b), "end instant is idle");
+        assert!(c.is_transmitting(mid, a));
+        assert!(!c.is_transmitting(mid, b));
+    }
+
+    #[test]
+    fn byte_errors_corrupt_roughly_expected_fraction() {
+        let mut c = Channel::new(Bandwidth::bps(1_000_000_000))
+            .with_byte_errors(0.001, SimRng::seed_from(3));
+        let a = c.add_station();
+        let _b = c.add_station();
+        let mut corrupted = 0;
+        let mut now = SimTime::ZERO;
+        let n = 2000;
+        for _ in 0..n {
+            let end = c.transmit(now, a, vec![0; 100], SimDuration::ZERO);
+            let rx = c.advance(end);
+            corrupted += rx.iter().filter(|r| r.corrupted).count();
+            now = end;
+        }
+        // P(corrupt) = 1 - 0.999^100 ≈ 0.095.
+        let frac = corrupted as f64 / n as f64;
+        assert!((frac - 0.095).abs() < 0.03, "frac = {frac}");
+    }
+
+    #[test]
+    fn stats_and_utilization() {
+        let mut c = ch();
+        let a = c.add_station();
+        let _b = c.add_station();
+        let end = c.transmit(SimTime::ZERO, a, vec![0; 150], SimDuration::ZERO);
+        c.advance(end);
+        assert_eq!(c.stats().transmissions, 1);
+        assert_eq!(c.stats().clean_receptions, 1);
+        // 1s of airtime over a 2s window = 0.5.
+        let u = c.offered_utilization(SimTime::from_secs(2));
+        assert!((u - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prune_keeps_memory_bounded() {
+        let mut c = ch();
+        let a = c.add_station();
+        let _b = c.add_station();
+        let mut now = SimTime::ZERO;
+        for _ in 0..1000 {
+            let end = c.transmit(now, a, vec![0; 10], SimDuration::ZERO);
+            c.advance(end);
+            now = end;
+        }
+        assert!(
+            c.txs.len() <= 2,
+            "delivered txs pruned, got {}",
+            c.txs.len()
+        );
+    }
+}

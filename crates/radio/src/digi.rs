@@ -1,0 +1,221 @@
+//! Standalone digipeater stations.
+//!
+//! §1 of the paper: digipeaters are relay stations "set up in strategic
+//! locations so that messages could be received and passed along to their
+//! destination". A digipeater hears a frame, checks whether it is the
+//! next hop in the frame's source route, and if so retransmits the frame
+//! with its own entry marked repeated. Because it retransmits on the
+//! *same frequency*, every digipeater hop roughly doubles the airtime a
+//! packet consumes — the cost quantified by experiment E7.
+
+use ax25::addr::Ax25Addr;
+use ax25::digipeat::{decide, DigipeatDecision};
+use ax25::fcs::{append_fcs, verify_and_strip_fcs};
+use ax25::frame::Frame;
+use sim::{SimRng, SimTime};
+
+use crate::channel::{Channel, Reception, StationId};
+use crate::csma::{Csma, MacConfig};
+
+/// Digipeater statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DigiStats {
+    /// Frames heard.
+    pub heard: u64,
+    /// Frames repeated.
+    pub repeated: u64,
+    /// Frames dropped for FCS errors.
+    pub fcs_errors: u64,
+    /// Frames heard but not addressed through this station.
+    pub ignored: u64,
+}
+
+/// A standalone digipeater station.
+#[derive(Debug)]
+pub struct Digipeater {
+    addr: Ax25Addr,
+    station: StationId,
+    mac: Csma,
+    stats: DigiStats,
+}
+
+impl Digipeater {
+    /// Creates a digipeater with address `addr` at channel station
+    /// `station`.
+    pub fn new(addr: Ax25Addr, station: StationId, mac: MacConfig) -> Digipeater {
+        Digipeater {
+            addr,
+            station,
+            mac: Csma::new(mac),
+            stats: DigiStats::default(),
+        }
+    }
+
+    /// The station's address.
+    pub fn addr(&self) -> Ax25Addr {
+        self.addr
+    }
+
+    /// The channel station id.
+    pub fn station(&self) -> StationId {
+        self.station
+    }
+
+    /// Processes a heard frame, queueing a repeat when this station is the
+    /// next hop.
+    pub fn on_reception(&mut self, rx: &Reception) {
+        self.stats.heard += 1;
+        if rx.corrupted {
+            self.stats.fcs_errors += 1;
+            return;
+        }
+        let Some(body) = verify_and_strip_fcs(&rx.data) else {
+            self.stats.fcs_errors += 1;
+            return;
+        };
+        let Ok(frame) = Frame::decode(body) else {
+            self.stats.ignored += 1;
+            return;
+        };
+        match decide(&frame, self.addr) {
+            DigipeatDecision::Repeat(out) => {
+                self.stats.repeated += 1;
+                let mut on_air = out.encode();
+                append_fcs(&mut on_air);
+                self.mac.enqueue(on_air);
+            }
+            DigipeatDecision::Deliverable | DigipeatDecision::NotForUs => {
+                self.stats.ignored += 1;
+            }
+        }
+    }
+
+    /// Drives the CSMA transmitter.
+    pub fn poll(&mut self, now: SimTime, ch: &mut Channel, rng: &mut SimRng) {
+        self.mac.poll(now, self.station, ch, rng);
+    }
+
+    /// Earliest self-generated deadline.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.mac.next_deadline()
+    }
+
+    /// Station statistics.
+    pub fn stats(&self) -> DigiStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax25::frame::Pid;
+    use sim::{Bandwidth, SimDuration};
+
+    fn a(s: &str) -> Ax25Addr {
+        Ax25Addr::parse_or_panic(s)
+    }
+
+    fn fast() -> MacConfig {
+        MacConfig {
+            persistence: 1.0,
+            tx_delay: SimDuration::ZERO,
+            tx_tail: SimDuration::ZERO,
+            ..MacConfig::default()
+        }
+    }
+
+    fn on_air(f: &Frame) -> Vec<u8> {
+        let mut b = f.encode();
+        append_fcs(&mut b);
+        b
+    }
+
+    #[test]
+    fn repeats_frame_addressed_through_it() {
+        let mut ch = Channel::new(Bandwidth::RADIO_1200);
+        let src = ch.add_station();
+        let digi_sta = ch.add_station();
+        let dst_sta = ch.add_station();
+        // Hidden ends: src and dst cannot hear each other; only the digi
+        // bridges them — the classic digipeater purpose.
+        ch.set_hears(dst_sta, src, false);
+        ch.set_hears(src, dst_sta, false);
+        let mut digi = Digipeater::new(a("DIGI"), digi_sta, fast());
+        let mut rng = SimRng::seed_from(5);
+
+        let f = Frame::ui(a("DST"), a("SRC"), Pid::Text, b"relay me".to_vec()).via(&[a("DIGI")]);
+        let end = ch.transmit(SimTime::ZERO, src, on_air(&f), SimDuration::ZERO);
+
+        let mut delivered_at_dst = None;
+        let mut now = end;
+        loop {
+            for rx in ch.advance(now) {
+                if rx.to == digi_sta {
+                    digi.on_reception(&rx);
+                }
+                if rx.to == dst_sta && !rx.corrupted {
+                    let frame = crate::tnc::Tnc::parse_on_air(&rx.data).unwrap();
+                    if frame.fully_repeated() {
+                        delivered_at_dst = Some(frame);
+                    }
+                }
+            }
+            digi.poll(now, &mut ch, &mut rng);
+            match ch.next_deadline() {
+                Some(t) => now = t,
+                None => break,
+            }
+        }
+        let got = delivered_at_dst.expect("frame must reach DST via DIGI");
+        assert_eq!(got.info, b"relay me");
+        assert!(got.digipeaters[0].repeated);
+        assert_eq!(digi.stats().repeated, 1);
+    }
+
+    #[test]
+    fn ignores_unrelated_and_corrupt() {
+        let mut ch = Channel::new(Bandwidth::RADIO_1200);
+        let _src = ch.add_station();
+        let digi_sta = ch.add_station();
+        let mut digi = Digipeater::new(a("DIGI"), digi_sta, fast());
+
+        let f = Frame::ui(a("DST"), a("SRC"), Pid::Text, vec![]).via(&[a("OTHER")]);
+        digi.on_reception(&Reception {
+            to: digi_sta,
+            from: StationId(0),
+            data: on_air(&f),
+            corrupted: false,
+            at: SimTime::ZERO,
+        });
+        assert_eq!(digi.stats().ignored, 1);
+
+        digi.on_reception(&Reception {
+            to: digi_sta,
+            from: StationId(0),
+            data: on_air(&f),
+            corrupted: true,
+            at: SimTime::ZERO,
+        });
+        assert_eq!(digi.stats().fcs_errors, 1);
+        assert_eq!(digi.stats().repeated, 0);
+    }
+
+    #[test]
+    fn direct_frames_are_not_repeated() {
+        let mut ch = Channel::new(Bandwidth::RADIO_1200);
+        let _src = ch.add_station();
+        let digi_sta = ch.add_station();
+        let mut digi = Digipeater::new(a("DIGI"), digi_sta, fast());
+        let f = Frame::ui(a("DIGI"), a("SRC"), Pid::Text, vec![]);
+        digi.on_reception(&Reception {
+            to: digi_sta,
+            from: StationId(0),
+            data: on_air(&f),
+            corrupted: false,
+            at: SimTime::ZERO,
+        });
+        assert_eq!(digi.stats().repeated, 0);
+        assert_eq!(digi.stats().ignored, 1);
+    }
+}

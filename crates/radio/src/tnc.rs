@@ -1,0 +1,437 @@
+//! The KISS TNC device: serial line on one side, radio channel on the other.
+//!
+//! §2.1 of the paper: the TNC is to the radio what an Ethernet controller
+//! is to the wire, except it hangs off a serial line. With the KISS code
+//! loaded it does exactly three jobs, all modelled here:
+//!
+//! * **host → air**: deframe KISS from the serial line, append the FCS,
+//!   and transmit under p-persistent CSMA;
+//! * **air → host**: verify the FCS, then pass the frame up the serial
+//!   line KISS-framed;
+//! * obey KISS parameter commands (TXDELAY, P, SlotTime, TXTAIL,
+//!   FullDuplex).
+//!
+//! The receive path implements both TNC behaviours contrasted in §3 of
+//! the paper: [`RxMode::Promiscuous`] ("passes every packet it receives to
+//! the packet radio driver regardless of the destination address") and
+//! [`RxMode::AddressFilter`] (the proposed fix: "selectively pass only
+//! those packets destined for the broadcast or local AX.25 addresses").
+
+use ax25::addr::Ax25Addr;
+use ax25::fcs::{append_fcs, verify_and_strip_fcs};
+use ax25::frame::Frame;
+use kiss::{Command, Deframer, KissFrame};
+use sim::{SimDuration, SimRng, SimTime};
+
+use crate::channel::{Channel, Reception, StationId};
+use crate::csma::{Csma, MacConfig};
+
+/// Receive filtering behaviour (§3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxMode {
+    /// Pass every heard frame to the host (the 1988 stock behaviour).
+    Promiscuous,
+    /// Pass only frames addressed to this station or a broadcast address.
+    AddressFilter,
+}
+
+/// TNC configuration.
+#[derive(Debug, Clone)]
+pub struct TncConfig {
+    /// The station's own AX.25 address (used by the filter).
+    pub addr: Ax25Addr,
+    /// Additional addresses accepted as broadcasts (QST by default).
+    pub broadcast: Vec<Ax25Addr>,
+    /// Receive filtering mode.
+    pub mode: RxMode,
+    /// Initial MAC parameters (KISS commands can change them later).
+    pub mac: MacConfig,
+}
+
+impl TncConfig {
+    /// A stock promiscuous TNC for `addr` with default MAC parameters.
+    pub fn new(addr: Ax25Addr) -> TncConfig {
+        TncConfig {
+            addr,
+            broadcast: vec![Ax25Addr::broadcast()],
+            mode: RxMode::Promiscuous,
+            mac: MacConfig::default(),
+        }
+    }
+
+    /// Builder: sets the receive mode.
+    pub fn with_mode(mut self, mode: RxMode) -> TncConfig {
+        self.mode = mode;
+        self
+    }
+
+    /// Builder: sets the MAC parameters.
+    pub fn with_mac(mut self, mac: MacConfig) -> TncConfig {
+        self.mac = mac;
+        self
+    }
+}
+
+/// TNC statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TncStats {
+    /// Frames heard on the air (any destination).
+    pub heard: u64,
+    /// Heard frames dropped for FCS failure (collisions, noise).
+    pub fcs_errors: u64,
+    /// Frames passed up the serial line to the host.
+    pub passed_to_host: u64,
+    /// Frames suppressed by the address filter.
+    pub filtered: u64,
+    /// Frames that arrived undecodable even with a good FCS.
+    pub undecodable: u64,
+    /// Data frames accepted from the host for transmission.
+    pub from_host: u64,
+    /// KISS parameter commands processed.
+    pub params: u64,
+}
+
+/// The KISS TNC device model.
+///
+/// Sans-io: feed serial bytes with [`Tnc::on_serial_byte`], feed channel
+/// receptions with [`Tnc::on_reception`] (which returns serial bytes for
+/// the host), and drive the MAC with [`Tnc::poll`] /
+/// [`Tnc::next_deadline`].
+#[derive(Debug)]
+pub struct Tnc {
+    cfg: TncConfig,
+    station: StationId,
+    deframer: Deframer,
+    mac: Csma,
+    stats: TncStats,
+}
+
+impl Tnc {
+    /// Creates a TNC attached to channel station `station`.
+    pub fn new(cfg: TncConfig, station: StationId) -> Tnc {
+        let mac = Csma::new(cfg.mac);
+        Tnc {
+            cfg,
+            station,
+            deframer: Deframer::new(),
+            mac,
+            stats: TncStats::default(),
+        }
+    }
+
+    /// The channel station this TNC transmits as.
+    pub fn station(&self) -> StationId {
+        self.station
+    }
+
+    /// The configured own address.
+    pub fn addr(&self) -> Ax25Addr {
+        self.cfg.addr
+    }
+
+    /// Current receive mode.
+    pub fn mode(&self) -> RxMode {
+        self.cfg.mode
+    }
+
+    /// Changes the receive mode at runtime (the paper considers "changing
+    /// the TNC code" — this is that switch).
+    pub fn set_mode(&mut self, mode: RxMode) {
+        self.cfg.mode = mode;
+    }
+
+    /// Consumes one character from the host serial line.
+    pub fn on_serial_byte(&mut self, byte: u8) {
+        if let Some(frame) = self.deframer.push(byte) {
+            self.on_kiss_frame(frame);
+        }
+    }
+
+    fn on_kiss_frame(&mut self, frame: KissFrame) {
+        match frame.command {
+            Command::Data => {
+                self.stats.from_host += 1;
+                let mut on_air = frame.payload;
+                append_fcs(&mut on_air);
+                self.mac.enqueue(on_air);
+            }
+            Command::TxDelay => {
+                self.stats.params += 1;
+                if let Some(&v) = frame.payload.first() {
+                    self.mac.config_mut().tx_delay = SimDuration::from_millis(u64::from(v) * 10);
+                }
+            }
+            Command::Persistence => {
+                self.stats.params += 1;
+                if let Some(&v) = frame.payload.first() {
+                    self.mac.config_mut().persistence = (f64::from(v) + 1.0) / 256.0;
+                }
+            }
+            Command::SlotTime => {
+                self.stats.params += 1;
+                if let Some(&v) = frame.payload.first() {
+                    self.mac.config_mut().slot_time = SimDuration::from_millis(u64::from(v) * 10);
+                }
+            }
+            Command::TxTail => {
+                self.stats.params += 1;
+                if let Some(&v) = frame.payload.first() {
+                    self.mac.config_mut().tx_tail = SimDuration::from_millis(u64::from(v) * 10);
+                }
+            }
+            Command::FullDuplex => {
+                self.stats.params += 1;
+                if let Some(&v) = frame.payload.first() {
+                    self.mac.config_mut().full_duplex = v != 0;
+                }
+            }
+            Command::SetHardware | Command::Return => {
+                self.stats.params += 1;
+            }
+        }
+    }
+
+    /// Processes a frame heard on the air. Returns the KISS-framed bytes
+    /// to send up the serial line, or `None` if the frame was dropped
+    /// (bad FCS or filtered).
+    pub fn on_reception(&mut self, rx: &Reception) -> Option<Vec<u8>> {
+        self.stats.heard += 1;
+        if rx.corrupted {
+            self.stats.fcs_errors += 1;
+            return None;
+        }
+        let Some(body) = verify_and_strip_fcs(&rx.data) else {
+            self.stats.fcs_errors += 1;
+            return None;
+        };
+        if self.cfg.mode == RxMode::AddressFilter {
+            // The filter needs only the destination address, exactly what
+            // cheap TNC firmware could check.
+            let dest = match Ax25Addr::decode(body) {
+                Ok((dest, _, _)) => dest,
+                Err(_) => {
+                    self.stats.undecodable += 1;
+                    return None;
+                }
+            };
+            let wanted = dest == self.cfg.addr || self.cfg.broadcast.contains(&dest);
+            if !wanted {
+                self.stats.filtered += 1;
+                return None;
+            }
+        }
+        self.stats.passed_to_host += 1;
+        Some(kiss::encode(0, Command::Data, body))
+    }
+
+    /// Drives the CSMA transmitter; call on channel events and deadlines.
+    pub fn poll(&mut self, now: SimTime, ch: &mut Channel, rng: &mut SimRng) {
+        self.mac.poll(now, self.station, ch, rng);
+    }
+
+    /// Earliest time this TNC needs a `poll` independent of channel events.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.mac.next_deadline()
+    }
+
+    /// Frames queued for transmission.
+    pub fn tx_backlog(&self) -> usize {
+        self.mac.backlog()
+    }
+
+    /// Device statistics.
+    pub fn stats(&self) -> TncStats {
+        self.stats
+    }
+
+    /// MAC-layer statistics.
+    pub fn mac_stats(&self) -> crate::csma::CsmaStats {
+        self.mac.stats()
+    }
+
+    /// Parses a clean on-air reception into an AX.25 frame (helper for
+    /// devices that bypass the serial line, e.g. digipeaters and tests).
+    pub fn parse_on_air(data: &[u8]) -> Option<Frame> {
+        let body = verify_and_strip_fcs(data)?;
+        Frame::decode(body).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax25::frame::Pid;
+    use sim::Bandwidth;
+
+    fn addr(s: &str) -> Ax25Addr {
+        Ax25Addr::parse_or_panic(s)
+    }
+
+    fn fast_mac() -> MacConfig {
+        MacConfig {
+            persistence: 1.0,
+            tx_delay: SimDuration::ZERO,
+            tx_tail: SimDuration::ZERO,
+            ..MacConfig::default()
+        }
+    }
+
+    fn setup(mode: RxMode) -> (Channel, Tnc, Tnc, SimRng) {
+        let mut ch = Channel::new(Bandwidth::RADIO_1200);
+        let sa = ch.add_station();
+        let sb = ch.add_station();
+        let a = Tnc::new(
+            TncConfig::new(addr("AAA"))
+                .with_mac(fast_mac())
+                .with_mode(mode),
+            sa,
+        );
+        let b = Tnc::new(
+            TncConfig::new(addr("BBB"))
+                .with_mac(fast_mac())
+                .with_mode(mode),
+            sb,
+        );
+        (ch, a, b, SimRng::seed_from(1))
+    }
+
+    fn host_sends(tnc: &mut Tnc, frame: &Frame) {
+        for byte in kiss::encode(0, Command::Data, &frame.encode()) {
+            tnc.on_serial_byte(byte);
+        }
+    }
+
+    fn run_air(
+        ch: &mut Channel,
+        a: &mut Tnc,
+        b: &mut Tnc,
+        rng: &mut SimRng,
+    ) -> Vec<(StationId, Vec<u8>)> {
+        let mut out = Vec::new();
+        a.poll(SimTime::ZERO, ch, rng);
+        b.poll(SimTime::ZERO, ch, rng);
+        while let Some(t) = ch.next_deadline() {
+            for rx in ch.advance(t) {
+                for tnc in [&mut *a, &mut *b] {
+                    if tnc.station() == rx.to {
+                        if let Some(bytes) = tnc.on_reception(&rx) {
+                            out.push((rx.to, bytes));
+                        }
+                    }
+                }
+            }
+            a.poll(t, ch, rng);
+            b.poll(t, ch, rng);
+        }
+        out
+    }
+
+    #[test]
+    fn host_frame_crosses_the_air_and_reaches_peer_host() {
+        let (mut ch, mut a, mut b, mut rng) = setup(RxMode::Promiscuous);
+        let f = Frame::ui(addr("BBB"), addr("AAA"), Pid::Ip, b"ip packet".to_vec());
+        host_sends(&mut a, &f);
+        assert_eq!(a.tx_backlog(), 1);
+        let out = run_air(&mut ch, &mut a, &mut b, &mut rng);
+        assert_eq!(out.len(), 1);
+        // The bytes b hands its host are KISS; deframe and decode them.
+        let frames = kiss::decode_stream(&out[0].1);
+        assert_eq!(frames.len(), 1);
+        let back = Frame::decode(&frames[0].payload).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(b.stats().passed_to_host, 1);
+    }
+
+    #[test]
+    fn promiscuous_mode_passes_unrelated_traffic() {
+        let (mut ch, mut a, mut b, mut rng) = setup(RxMode::Promiscuous);
+        let f = Frame::ui(addr("ZZZ"), addr("AAA"), Pid::Text, b"chat".to_vec());
+        host_sends(&mut a, &f);
+        let out = run_air(&mut ch, &mut a, &mut b, &mut rng);
+        assert_eq!(out.len(), 1, "promiscuous TNC passes everything");
+        assert_eq!(b.stats().filtered, 0);
+    }
+
+    #[test]
+    fn filter_mode_drops_unrelated_traffic() {
+        let (mut ch, mut a, mut b, mut rng) = setup(RxMode::AddressFilter);
+        let f = Frame::ui(addr("ZZZ"), addr("AAA"), Pid::Text, b"chat".to_vec());
+        host_sends(&mut a, &f);
+        let out = run_air(&mut ch, &mut a, &mut b, &mut rng);
+        assert!(out.is_empty(), "filter drops frames for others");
+        assert_eq!(b.stats().filtered, 1);
+        assert_eq!(b.stats().passed_to_host, 0);
+    }
+
+    #[test]
+    fn filter_mode_passes_own_and_broadcast() {
+        let (mut ch, mut a, mut b, mut rng) = setup(RxMode::AddressFilter);
+        host_sends(
+            &mut a,
+            &Frame::ui(addr("BBB"), addr("AAA"), Pid::Ip, vec![1]),
+        );
+        host_sends(
+            &mut a,
+            &Frame::ui(Ax25Addr::broadcast(), addr("AAA"), Pid::Text, vec![2]),
+        );
+        let out = run_air(&mut ch, &mut a, &mut b, &mut rng);
+        assert_eq!(out.len(), 2);
+        assert_eq!(b.stats().passed_to_host, 2);
+    }
+
+    #[test]
+    fn corrupted_reception_is_counted_as_fcs_error() {
+        let (_ch, _a, mut b, _rng) = setup(RxMode::Promiscuous);
+        let rx = Reception {
+            to: b.station(),
+            from: StationId(0),
+            data: vec![0; 20],
+            corrupted: true,
+            at: SimTime::ZERO,
+        };
+        assert!(b.on_reception(&rx).is_none());
+        assert_eq!(b.stats().fcs_errors, 1);
+    }
+
+    #[test]
+    fn bad_fcs_bytes_are_dropped() {
+        let (_ch, _a, mut b, _rng) = setup(RxMode::Promiscuous);
+        let rx = Reception {
+            to: b.station(),
+            from: StationId(0),
+            data: b"not a real frame".to_vec(),
+            corrupted: false,
+            at: SimTime::ZERO,
+        };
+        assert!(b.on_reception(&rx).is_none());
+        assert_eq!(b.stats().fcs_errors, 1);
+    }
+
+    #[test]
+    fn kiss_params_update_mac_config() {
+        let (_ch, mut a, _b, _rng) = setup(RxMode::Promiscuous);
+        for bytes in [
+            kiss::encode_param(0, Command::TxDelay, 25),
+            kiss::encode_param(0, Command::Persistence, 127),
+            kiss::encode_param(0, Command::SlotTime, 5),
+            kiss::encode_param(0, Command::TxTail, 3),
+            kiss::encode_param(0, Command::FullDuplex, 1),
+        ] {
+            for byte in bytes {
+                a.on_serial_byte(byte);
+            }
+        }
+        assert_eq!(a.stats().params, 5);
+        let cfg = a.mac_stats(); // stats unaffected
+        assert_eq!(cfg.enqueued, 0);
+    }
+
+    #[test]
+    fn parse_on_air_roundtrip() {
+        let f = Frame::ui(addr("BBB"), addr("AAA"), Pid::Ip, vec![9, 9]);
+        let mut on_air = f.encode();
+        append_fcs(&mut on_air);
+        assert_eq!(Tnc::parse_on_air(&on_air), Some(f));
+        assert_eq!(Tnc::parse_on_air(b"junk"), None);
+    }
+}

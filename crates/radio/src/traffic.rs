@@ -1,0 +1,198 @@
+//! Background traffic generators for channel-load experiments.
+//!
+//! §3 of the paper: *"the gateway slows considerably as traffic on the
+//! packet radio subnet climbs"*. To reproduce that, experiment E2 loads
+//! the channel with stations exchanging ordinary AX.25 chatter (UI frames
+//! with PID "no layer 3") at a Poisson rate. These frames are not for the
+//! gateway — a promiscuous TNC passes them to the host anyway.
+
+use ax25::addr::Ax25Addr;
+use ax25::fcs::append_fcs;
+use ax25::frame::{Frame, Pid};
+use sim::{SimDuration, SimRng, SimTime};
+
+use crate::channel::{Channel, StationId};
+use crate::csma::{Csma, MacConfig};
+
+/// Configuration of one background station.
+#[derive(Debug, Clone)]
+pub struct BeaconConfig {
+    /// The station's own address.
+    pub from: Ax25Addr,
+    /// Where its chatter is addressed (another background station).
+    pub to: Ax25Addr,
+    /// Info-field length of each generated frame.
+    pub frame_len: usize,
+    /// Mean inter-arrival time (exponential).
+    pub mean_interval: SimDuration,
+    /// When generation begins.
+    pub start: SimTime,
+    /// MAC parameters.
+    pub mac: MacConfig,
+}
+
+/// Generator statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BeaconStats {
+    /// Frames generated.
+    pub generated: u64,
+}
+
+/// A station that generates Poisson UI-frame chatter onto the channel.
+#[derive(Debug)]
+pub struct BeaconStation {
+    cfg: BeaconConfig,
+    station: StationId,
+    mac: Csma,
+    next_gen: SimTime,
+    rng: SimRng,
+    mac_rng: SimRng,
+    stats: BeaconStats,
+    seq: u64,
+}
+
+impl BeaconStation {
+    /// Creates a generator; `rng` drives both arrivals and CSMA draws.
+    pub fn new(cfg: BeaconConfig, station: StationId, mut rng: SimRng) -> BeaconStation {
+        let mac_rng = rng.fork();
+        let first = cfg.start
+            + SimDuration::from_secs_f64(rng.exponential(cfg.mean_interval.as_secs_f64()));
+        let mac = Csma::new(cfg.mac);
+        BeaconStation {
+            cfg,
+            station,
+            mac,
+            next_gen: first,
+            rng,
+            mac_rng,
+            stats: BeaconStats::default(),
+            seq: 0,
+        }
+    }
+
+    /// The channel station id.
+    pub fn station(&self) -> StationId {
+        self.station
+    }
+
+    /// Earliest time this station needs attention.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        match self.mac.next_deadline() {
+            Some(m) => Some(m.min(self.next_gen)),
+            None => Some(self.next_gen),
+        }
+    }
+
+    /// Generates due frames and drives the MAC.
+    pub fn poll(&mut self, now: SimTime, ch: &mut Channel) {
+        while self.next_gen <= now {
+            self.seq += 1;
+            self.stats.generated += 1;
+            let mut info = format!("de {} #{:06} ", self.cfg.from, self.seq).into_bytes();
+            info.resize(self.cfg.frame_len, b'.');
+            let frame = Frame::ui(self.cfg.to, self.cfg.from, Pid::Text, info);
+            let mut on_air = frame.encode();
+            append_fcs(&mut on_air);
+            self.mac.enqueue(on_air);
+            let gap = self.rng.exponential(self.cfg.mean_interval.as_secs_f64());
+            self.next_gen += SimDuration::from_secs_f64(gap);
+        }
+        self.mac.poll(now, self.station, ch, &mut self.mac_rng);
+    }
+
+    /// Frames generated so far.
+    pub fn stats(&self) -> BeaconStats {
+        self.stats
+    }
+
+    /// Frames queued for transmission.
+    pub fn tx_backlog(&self) -> usize {
+        self.mac.backlog()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::Bandwidth;
+
+    fn cfg(mean_ms: u64) -> BeaconConfig {
+        BeaconConfig {
+            from: Ax25Addr::parse_or_panic("BG1"),
+            to: Ax25Addr::parse_or_panic("BG2"),
+            frame_len: 64,
+            mean_interval: SimDuration::from_millis(mean_ms),
+            start: SimTime::ZERO,
+            mac: MacConfig {
+                persistence: 1.0,
+                tx_delay: SimDuration::ZERO,
+                tx_tail: SimDuration::ZERO,
+                ..MacConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn generates_at_roughly_the_configured_rate() {
+        let mut ch = Channel::new(Bandwidth::bps(1_000_000));
+        let sta = ch.add_station();
+        let _listener = ch.add_station();
+        let mut b = BeaconStation::new(cfg(100), sta, SimRng::seed_from(11));
+        let horizon = SimTime::from_secs(60);
+        let mut now = SimTime::ZERO;
+        while now < horizon {
+            b.poll(now, &mut ch);
+            if let Some(t) = ch.next_deadline() {
+                if t <= horizon {
+                    ch.advance(t);
+                }
+            }
+            now = b
+                .next_deadline()
+                .map(|d| d.max(now + SimDuration::from_millis(1)))
+                .unwrap_or(horizon)
+                .min(horizon);
+        }
+        // ~600 expected over 60s at 100ms mean.
+        let n = b.stats().generated;
+        assert!((450..=750).contains(&n), "generated {n}");
+    }
+
+    #[test]
+    fn frames_carry_sequence_and_length() {
+        let mut ch = Channel::new(Bandwidth::bps(1_000_000));
+        let sta = ch.add_station();
+        let listener = ch.add_station();
+        let mut b = BeaconStation::new(cfg(10), sta, SimRng::seed_from(3));
+        // Force a generation by polling past next_gen.
+        let t = b.next_deadline().unwrap();
+        b.poll(t, &mut ch);
+        let end = ch.next_deadline().expect("frame on air");
+        let rx = ch.advance(end);
+        let to_listener = rx.iter().find(|r| r.to == listener).unwrap();
+        let frame = crate::tnc::Tnc::parse_on_air(&to_listener.data).unwrap();
+        assert_eq!(frame.info.len(), 64);
+        assert!(String::from_utf8_lossy(&frame.info).contains("de BG1"));
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let make = || {
+            let mut ch = Channel::new(Bandwidth::bps(1_000_000));
+            let sta = ch.add_station();
+            let _l = ch.add_station();
+            let mut b = BeaconStation::new(cfg(50), sta, SimRng::seed_from(99));
+            let mut times = Vec::new();
+            for _ in 0..20 {
+                let now = b.next_deadline().unwrap();
+                b.poll(now, &mut ch);
+                times.push(now);
+                while let Some(t) = ch.next_deadline() {
+                    ch.advance(t);
+                }
+            }
+            times
+        };
+        assert_eq!(make(), make());
+    }
+}

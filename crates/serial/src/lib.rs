@@ -1,0 +1,431 @@
+//! RS-232 serial line model.
+//!
+//! In the paper's hardware (Figure 1) the host talks to the KISS TNC over a
+//! DZ serial line: *"the TNC does not sit on the bus. Instead, one
+//! communicates with it through a serial line"* (§2.2). This crate models
+//! that line at the character level:
+//!
+//! * full duplex — each direction serializes independently;
+//! * one character occupies the line for `bits_per_char / baud` seconds
+//!   (10 bits per character for the usual 8N1 framing);
+//! * the receiving end has a finite FIFO; characters arriving while it is
+//!   full are dropped and counted as **overruns** (the DZ11's infamous silo
+//!   overflow);
+//! * optional per-character error injection (line noise).
+//!
+//! The model is sans-io: callers [`SerialLine::send`] bytes, poll
+//! [`SerialLine::next_deadline`], and call [`SerialLine::advance`] when the
+//! simulation clock reaches it.
+//!
+//! # Examples
+//!
+//! ```
+//! use serial::{End, SerialConfig, SerialLine};
+//! use sim::SimTime;
+//!
+//! let mut line = SerialLine::new(SerialConfig::baud(9600));
+//! line.send(SimTime::ZERO, End::A, b"hi");
+//! // Each 8N1 character takes 10/9600 s ≈ 1.0417 ms.
+//! let t1 = line.next_deadline().unwrap();
+//! line.advance(t1);
+//! let t2 = line.next_deadline().unwrap();
+//! line.advance(t2);
+//! assert_eq!(line.take_rx(End::B), vec![b'h', b'i']);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use sim::{Bandwidth, SimDuration, SimRng, SimTime};
+
+/// Which end of the line a byte is sent from (the other end receives it).
+///
+/// By convention in this workspace, `A` is the host (DZ) side and `B` is
+/// the device (TNC) side, but the model is symmetric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum End {
+    /// The host side.
+    A,
+    /// The device side.
+    B,
+}
+
+impl End {
+    /// The opposite end.
+    pub fn peer(self) -> End {
+        match self {
+            End::A => End::B,
+            End::B => End::A,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            End::A => 0,
+            End::B => 1,
+        }
+    }
+}
+
+/// Static parameters of a serial line.
+#[derive(Debug, Clone, Copy)]
+pub struct SerialConfig {
+    /// Line rate in baud (bits per second on the wire).
+    pub baud: u32,
+    /// Bits occupied per character including start/stop framing (8N1 = 10).
+    pub bits_per_char: u32,
+    /// Receive FIFO depth at each end; arrivals beyond this are dropped.
+    pub rx_fifo: usize,
+    /// Probability that any one delivered character is corrupted/lost.
+    pub error_rate: f64,
+}
+
+impl SerialConfig {
+    /// A standard 8N1 line at the given baud rate with a DZ-like 64-char
+    /// receive FIFO and no noise.
+    pub fn baud(baud: u32) -> SerialConfig {
+        SerialConfig {
+            baud,
+            bits_per_char: 10,
+            rx_fifo: 64,
+            error_rate: 0.0,
+        }
+    }
+
+    /// Sets the per-character error probability.
+    pub fn with_error_rate(mut self, rate: f64) -> SerialConfig {
+        self.error_rate = rate;
+        self
+    }
+
+    /// Sets the receive FIFO depth.
+    pub fn with_rx_fifo(mut self, depth: usize) -> SerialConfig {
+        self.rx_fifo = depth;
+        self
+    }
+
+    /// Time one character occupies the line.
+    pub fn char_time(&self) -> SimDuration {
+        Bandwidth::bps(u64::from(self.baud)).time_for_bits(u64::from(self.bits_per_char))
+    }
+}
+
+/// Per-direction transfer statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirStats {
+    /// Characters accepted for transmission.
+    pub sent: u64,
+    /// Characters delivered into the peer's FIFO.
+    pub delivered: u64,
+    /// Characters dropped because the peer's FIFO was full.
+    pub overruns: u64,
+    /// Characters lost to injected line errors.
+    pub errors: u64,
+}
+
+#[derive(Debug)]
+struct Direction {
+    /// Characters waiting to go onto the wire.
+    tx_queue: VecDeque<u8>,
+    /// The character currently on the wire and when it finishes.
+    in_flight: Option<(SimTime, u8)>,
+    /// Received characters waiting for the receiver to take them.
+    rx_fifo: VecDeque<u8>,
+    stats: DirStats,
+}
+
+impl Direction {
+    fn new() -> Direction {
+        Direction {
+            tx_queue: VecDeque::new(),
+            in_flight: None,
+            rx_fifo: VecDeque::new(),
+            stats: DirStats::default(),
+        }
+    }
+}
+
+/// A full-duplex, character-timed serial line between two endpoints.
+///
+/// See the [crate docs](crate) for the model and an example.
+#[derive(Debug)]
+pub struct SerialLine {
+    cfg: SerialConfig,
+    /// `dirs[0]` carries A→B traffic, `dirs[1]` carries B→A traffic.
+    dirs: [Direction; 2],
+    noise: Option<SimRng>,
+}
+
+impl SerialLine {
+    /// Creates an idle line. If `cfg.error_rate > 0`, pair with
+    /// [`SerialLine::with_noise`] to supply the random stream.
+    pub fn new(cfg: SerialConfig) -> SerialLine {
+        SerialLine {
+            cfg,
+            dirs: [Direction::new(), Direction::new()],
+            noise: None,
+        }
+    }
+
+    /// Creates a line that injects per-character errors using `rng`.
+    pub fn with_noise(cfg: SerialConfig, rng: SimRng) -> SerialLine {
+        SerialLine {
+            cfg,
+            dirs: [Direction::new(), Direction::new()],
+            noise: Some(rng),
+        }
+    }
+
+    /// The line's static configuration.
+    pub fn config(&self) -> &SerialConfig {
+        &self.cfg
+    }
+
+    /// Queues `bytes` for transmission from `from` toward its peer.
+    ///
+    /// The first character starts serializing immediately if the direction
+    /// is idle; otherwise characters follow back-to-back.
+    pub fn send(&mut self, now: SimTime, from: End, bytes: &[u8]) {
+        let char_time = self.cfg.char_time();
+        let dir = &mut self.dirs[from.index()];
+        dir.stats.sent += bytes.len() as u64;
+        dir.tx_queue.extend(bytes.iter().copied());
+        if dir.in_flight.is_none() {
+            if let Some(b) = dir.tx_queue.pop_front() {
+                dir.in_flight = Some((now + char_time, b));
+            }
+        }
+    }
+
+    /// The earliest time at which [`SerialLine::advance`] will have work.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.dirs
+            .iter()
+            .filter_map(|d| d.in_flight.map(|(t, _)| t))
+            .min()
+    }
+
+    /// Completes every character whose serialization finishes at or before
+    /// `now`, moving it into the peer's receive FIFO (or dropping it on
+    /// overrun/noise). Returns the number of characters delivered.
+    pub fn advance(&mut self, now: SimTime) -> usize {
+        let char_time = self.cfg.char_time();
+        let mut delivered = 0;
+        for dir in &mut self.dirs {
+            while let Some((done, byte)) = dir.in_flight {
+                if done > now {
+                    break;
+                }
+                dir.in_flight = None;
+                let corrupted = match (&mut self.noise, self.cfg.error_rate) {
+                    (Some(rng), rate) if rate > 0.0 => rng.chance(rate),
+                    _ => false,
+                };
+                if corrupted {
+                    dir.stats.errors += 1;
+                } else if dir.rx_fifo.len() >= self.cfg.rx_fifo {
+                    dir.stats.overruns += 1;
+                } else {
+                    dir.rx_fifo.push_back(byte);
+                    dir.stats.delivered += 1;
+                    delivered += 1;
+                }
+                if let Some(next) = dir.tx_queue.pop_front() {
+                    dir.in_flight = Some((done + char_time, next));
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Takes all characters waiting in the FIFO at `end`.
+    pub fn take_rx(&mut self, end: End) -> Vec<u8> {
+        // Traffic *arriving at* `end` was sent by its peer.
+        let dir = &mut self.dirs[end.peer().index()];
+        dir.rx_fifo.drain(..).collect()
+    }
+
+    /// Takes at most `max` characters from the FIFO at `end`.
+    pub fn take_rx_limited(&mut self, end: End, max: usize) -> Vec<u8> {
+        let dir = &mut self.dirs[end.peer().index()];
+        let n = dir.rx_fifo.len().min(max);
+        dir.rx_fifo.drain(..n).collect()
+    }
+
+    /// Number of characters waiting in the FIFO at `end`.
+    pub fn rx_len(&self, end: End) -> usize {
+        self.dirs[end.peer().index()].rx_fifo.len()
+    }
+
+    /// Number of characters still queued or in flight from `from`.
+    pub fn tx_backlog(&self, from: End) -> usize {
+        let dir = &self.dirs[from.index()];
+        dir.tx_queue.len() + usize::from(dir.in_flight.is_some())
+    }
+
+    /// True if neither direction has queued, in-flight, or undelivered data.
+    pub fn is_idle(&self) -> bool {
+        self.dirs
+            .iter()
+            .all(|d| d.tx_queue.is_empty() && d.in_flight.is_none())
+    }
+
+    /// Statistics for the direction transmitting from `from`.
+    pub fn stats(&self, from: End) -> DirStats {
+        self.dirs[from.index()].stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(line: &mut SerialLine) -> SimTime {
+        let mut now = SimTime::ZERO;
+        while let Some(t) = line.next_deadline() {
+            now = t;
+            line.advance(now);
+        }
+        now
+    }
+
+    #[test]
+    fn bytes_arrive_in_order_with_char_timing() {
+        let cfg = SerialConfig::baud(9600);
+        let mut line = SerialLine::new(cfg);
+        line.send(SimTime::ZERO, End::A, b"abc");
+        // First char done at one char time.
+        let t = line.next_deadline().unwrap();
+        assert_eq!(t, SimTime::ZERO + cfg.char_time());
+        let end = drain_all(&mut line);
+        assert_eq!(end, SimTime::ZERO + cfg.char_time() * 3);
+        assert_eq!(line.take_rx(End::B), b"abc".to_vec());
+    }
+
+    #[test]
+    fn full_duplex_directions_are_independent() {
+        let cfg = SerialConfig::baud(1200);
+        let mut line = SerialLine::new(cfg);
+        line.send(SimTime::ZERO, End::A, b"x");
+        line.send(SimTime::ZERO, End::B, b"y");
+        drain_all(&mut line);
+        assert_eq!(line.take_rx(End::B), b"x".to_vec());
+        assert_eq!(line.take_rx(End::A), b"y".to_vec());
+    }
+
+    #[test]
+    fn back_to_back_after_busy_line() {
+        let cfg = SerialConfig::baud(9600);
+        let mut line = SerialLine::new(cfg);
+        line.send(SimTime::ZERO, End::A, b"a");
+        // Queue more mid-character; it must serialize after the first.
+        let mid = SimTime::ZERO + cfg.char_time() / 2;
+        line.send(mid, End::A, b"b");
+        let end = drain_all(&mut line);
+        assert_eq!(end, SimTime::ZERO + cfg.char_time() * 2);
+        assert_eq!(line.take_rx(End::B), b"ab".to_vec());
+    }
+
+    #[test]
+    fn idle_gap_restarts_clock() {
+        let cfg = SerialConfig::baud(9600);
+        let mut line = SerialLine::new(cfg);
+        line.send(SimTime::ZERO, End::A, b"a");
+        drain_all(&mut line);
+        let later = SimTime::from_secs(5);
+        line.send(later, End::A, b"b");
+        assert_eq!(line.next_deadline(), Some(later + cfg.char_time()));
+    }
+
+    #[test]
+    fn rx_fifo_overrun_drops_and_counts() {
+        let cfg = SerialConfig::baud(9600).with_rx_fifo(2);
+        let mut line = SerialLine::new(cfg);
+        line.send(SimTime::ZERO, End::A, b"abcd");
+        drain_all(&mut line);
+        assert_eq!(line.take_rx(End::B), b"ab".to_vec());
+        let s = line.stats(End::A);
+        assert_eq!(s.sent, 4);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.overruns, 2);
+    }
+
+    #[test]
+    fn draining_fifo_prevents_overrun() {
+        let cfg = SerialConfig::baud(9600).with_rx_fifo(1);
+        let mut line = SerialLine::new(cfg);
+        line.send(SimTime::ZERO, End::A, b"ab");
+        let mut got = Vec::new();
+        while let Some(t) = line.next_deadline() {
+            line.advance(t);
+            got.extend(line.take_rx(End::B));
+        }
+        assert_eq!(got, b"ab".to_vec());
+        assert_eq!(line.stats(End::A).overruns, 0);
+    }
+
+    #[test]
+    fn noise_drops_characters() {
+        let cfg = SerialConfig::baud(9600).with_error_rate(1.0);
+        let mut line = SerialLine::with_noise(cfg, SimRng::seed_from(1));
+        line.send(SimTime::ZERO, End::A, b"abc");
+        drain_all(&mut line);
+        assert!(line.take_rx(End::B).is_empty());
+        assert_eq!(line.stats(End::A).errors, 3);
+    }
+
+    #[test]
+    fn partial_noise_loses_roughly_the_configured_fraction() {
+        let cfg = SerialConfig::baud(u32::MAX)
+            .with_error_rate(0.2)
+            .with_rx_fifo(usize::MAX);
+        let mut line = SerialLine::with_noise(cfg, SimRng::seed_from(7));
+        let data = vec![0u8; 10_000];
+        line.send(SimTime::ZERO, End::A, &data);
+        drain_all(&mut line);
+        let errors = line.stats(End::A).errors as f64;
+        assert!((errors / 10_000.0 - 0.2).abs() < 0.03);
+    }
+
+    #[test]
+    fn take_rx_limited_respects_cap() {
+        let cfg = SerialConfig::baud(9600);
+        let mut line = SerialLine::new(cfg);
+        line.send(SimTime::ZERO, End::A, b"abcdef");
+        drain_all(&mut line);
+        assert_eq!(line.take_rx_limited(End::B, 2), b"ab".to_vec());
+        assert_eq!(line.rx_len(End::B), 4);
+        assert_eq!(line.take_rx(End::B), b"cdef".to_vec());
+    }
+
+    #[test]
+    fn backlog_and_idle_reporting() {
+        let cfg = SerialConfig::baud(9600);
+        let mut line = SerialLine::new(cfg);
+        assert!(line.is_idle());
+        line.send(SimTime::ZERO, End::A, b"abc");
+        assert_eq!(line.tx_backlog(End::A), 3);
+        assert!(!line.is_idle());
+        drain_all(&mut line);
+        assert!(line.is_idle());
+        assert_eq!(line.tx_backlog(End::A), 0);
+    }
+
+    #[test]
+    fn char_time_math() {
+        // 9600 baud, 10 bits/char => 1.0416..ms, rounded up to ns.
+        let cfg = SerialConfig::baud(9600);
+        assert_eq!(cfg.char_time(), SimDuration::from_nanos(1_041_667));
+    }
+
+    #[test]
+    fn advance_before_deadline_is_a_no_op() {
+        let cfg = SerialConfig::baud(1200);
+        let mut line = SerialLine::new(cfg);
+        line.send(SimTime::ZERO, End::A, b"a");
+        assert_eq!(line.advance(SimTime::from_micros(1)), 0);
+        assert_eq!(line.rx_len(End::B), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the serial line model.
+
+use proptest::prelude::*;
+use serial::{End, SerialConfig, SerialLine};
+use sim::SimTime;
+
+fn drain(line: &mut SerialLine) {
+    while let Some(t) = line.next_deadline() {
+        line.advance(t);
+    }
+}
+
+proptest! {
+    /// Any byte stream arrives intact and in order on a clean line, and
+    /// total transfer time is exactly n × char_time.
+    #[test]
+    fn clean_line_is_order_preserving(
+        bytes in proptest::collection::vec(any::<u8>(), 1..500),
+        baud in 300u32..115_200,
+    ) {
+        let cfg = SerialConfig::baud(baud).with_rx_fifo(usize::MAX);
+        let mut line = SerialLine::new(cfg);
+        line.send(SimTime::ZERO, End::A, &bytes);
+        let mut last = SimTime::ZERO;
+        while let Some(t) = line.next_deadline() {
+            line.advance(t);
+            last = t;
+        }
+        prop_assert_eq!(line.take_rx(End::B), bytes.clone());
+        let expected = SimTime::ZERO + cfg.char_time() * bytes.len() as u64;
+        prop_assert_eq!(last, expected);
+    }
+
+    /// Full duplex: interleaved sends in both directions never cross.
+    #[test]
+    fn directions_never_interfere(
+        a_bytes in proptest::collection::vec(any::<u8>(), 0..200),
+        b_bytes in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let cfg = SerialConfig::baud(9600).with_rx_fifo(usize::MAX);
+        let mut line = SerialLine::new(cfg);
+        line.send(SimTime::ZERO, End::A, &a_bytes);
+        line.send(SimTime::ZERO, End::B, &b_bytes);
+        drain(&mut line);
+        prop_assert_eq!(line.take_rx(End::B), a_bytes);
+        prop_assert_eq!(line.take_rx(End::A), b_bytes);
+    }
+
+    /// Conservation: sent = delivered + overruns + errors, always.
+    #[test]
+    fn byte_conservation_with_small_fifo(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..50), 1..8),
+        fifo in 1usize..16,
+        drain_between in any::<bool>(),
+    ) {
+        let cfg = SerialConfig::baud(9600).with_rx_fifo(fifo);
+        let mut line = SerialLine::new(cfg);
+        let mut taken = 0u64;
+        let mut now = SimTime::ZERO;
+        for chunk in &chunks {
+            line.send(now, End::A, chunk);
+            while let Some(t) = line.next_deadline() {
+                line.advance(t);
+                now = t;
+                if drain_between {
+                    taken += line.take_rx(End::B).len() as u64;
+                }
+            }
+        }
+        taken += line.take_rx(End::B).len() as u64;
+        let s = line.stats(End::A);
+        prop_assert_eq!(s.sent, s.delivered + s.overruns + s.errors);
+        prop_assert_eq!(taken, s.delivered);
+        if drain_between {
+            prop_assert_eq!(s.overruns, 0, "prompt draining avoids overruns");
+        }
+    }
+}

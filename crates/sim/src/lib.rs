@@ -1,0 +1,47 @@
+//! Discrete-event simulation kernel for the packet-radio gateway testbed.
+//!
+//! This crate is the bottom-most substrate of the reproduction of
+//! *Adding Packet Radio to the Ultrix Kernel* (Neuman & Yamamoto, USENIX
+//! 1988). Every other crate in the workspace is written in a *sans-io*
+//! style: protocol and device objects consume inputs stamped with a
+//! [`SimTime`], return actions, and expose their next deadline. This crate
+//! provides the pieces that glue those objects into a deterministic,
+//! reproducible simulation:
+//!
+//! * [`time`] — virtual time ([`SimTime`]) and durations ([`SimDuration`]),
+//!   plus [`Bandwidth`] for serialization-delay math.
+//! * [`queue`] — a cancellable, deterministic [`EventQueue`].
+//! * [`rng`] — a seeded random-number generator ([`SimRng`]) so that every
+//!   experiment run is exactly repeatable.
+//! * [`stats`] — counters, online mean/variance, histograms, and time
+//!   series used by the experiment harnesses.
+//! * [`wire`] — bounds-checked big-endian readers and writers shared by all
+//!   of the frame/packet codecs.
+//! * [`trace`] — a lightweight, in-memory event trace.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(5), "later");
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(1), "sooner");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "sooner");
+//! assert_eq!(t, SimTime::ZERO + SimDuration::from_millis(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod wire;
+
+pub use queue::{EventId, EventQueue};
+pub use rng::SimRng;
+pub use time::{Bandwidth, SimDuration, SimTime};

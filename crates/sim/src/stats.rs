@@ -1,0 +1,584 @@
+//! Measurement primitives used by the experiment harnesses.
+//!
+//! The benchmarks in `crates/bench` reconstruct the paper's qualitative
+//! claims as tables; these types gather the underlying samples: event
+//! counts, latency distributions, throughput over windows, and time series
+//! for parameter sweeps.
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use sim::stats::Counter;
+///
+/// let mut drops = Counter::new();
+/// drops.add(3);
+/// drops.incr();
+/// assert_eq!(drops.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero, returning the old value.
+    pub fn take(&mut self) -> u64 {
+        std::mem::take(&mut self.0)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use sim::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     w.add(x);
+/// }
+/// assert_eq!(w.mean(), 4.0);
+/// assert_eq!(w.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Welford {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 if fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// A latency recorder keeping full samples for exact quantiles.
+///
+/// Experiments here are small enough (≤ millions of packets) that storing
+/// every duration is cheaper than the error analysis a sketch would need.
+///
+/// # Examples
+///
+/// ```
+/// use sim::stats::Latency;
+/// use sim::SimDuration;
+///
+/// let mut l = Latency::new();
+/// for ms in [10, 20, 30, 40] {
+///     l.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(l.quantile(0.5), Some(SimDuration::from_millis(20)));
+/// assert_eq!(l.max(), Some(SimDuration::from_millis(40)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Latency {
+    samples: Vec<SimDuration>,
+    sorted: bool,
+}
+
+impl Latency {
+    /// Creates an empty recorder.
+    pub fn new() -> Latency {
+        Latency {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean duration, or `None` if empty.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: u128 = self.samples.iter().map(|d| d.as_nanos() as u128).sum();
+        Some(SimDuration::from_nanos(
+            (total / self.samples.len() as u128) as u64,
+        ))
+    }
+
+    fn sort(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Exact quantile (nearest-rank), `q` in `[0, 1]`; `None` if empty.
+    pub fn quantile(&mut self, q: f64) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.sort();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.samples[rank.min(self.samples.len() - 1)])
+    }
+
+    /// Smallest sample.
+    pub fn min(&mut self) -> Option<SimDuration> {
+        self.sort();
+        self.samples.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&mut self) -> Option<SimDuration> {
+        self.sort();
+        self.samples.last().copied()
+    }
+}
+
+/// A throughput meter: bytes accumulated over an interval of simulated time.
+///
+/// # Examples
+///
+/// ```
+/// use sim::stats::Throughput;
+/// use sim::SimTime;
+///
+/// let mut t = Throughput::new(SimTime::ZERO);
+/// t.add(1500);
+/// t.add(1500);
+/// // 3000 bytes over 2 seconds = 12 kbit/s.
+/// assert_eq!(t.bits_per_sec(SimTime::from_secs(2)), 12_000.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    start: SimTime,
+    bytes: u64,
+}
+
+impl Throughput {
+    /// Creates a meter starting at `start`.
+    pub fn new(start: SimTime) -> Throughput {
+        Throughput { start, bytes: 0 }
+    }
+
+    /// Accounts `bytes` octets of delivered payload.
+    pub fn add(&mut self, bytes: u64) {
+        self.bytes += bytes;
+    }
+
+    /// Total octets accounted.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Average rate in bits per second up to `now`; 0 if no time elapsed.
+    pub fn bits_per_sec(&self, now: SimTime) -> f64 {
+        let dt = now.saturating_since(self.start).as_secs_f64();
+        if dt <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 / dt
+        }
+    }
+}
+
+/// A fixed-bucket histogram over `u64` values (e.g. queue depths).
+///
+/// # Examples
+///
+/// ```
+/// use sim::stats::Histogram;
+///
+/// let mut h = Histogram::new(&[1, 10, 100]);
+/// h.record(0);
+/// h.record(5);
+/// h.record(5000);
+/// assert_eq!(h.counts(), &[1, 1, 0, 1]); // <=1, <=10, <=100, >100
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bucket bounds.
+    /// An implicit overflow bucket collects values above the last bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket bounds supplied at construction.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Total number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// One row of a parameter sweep, as printed by the experiment binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// The x-axis value (offered load, bitrate, hop count…).
+    pub x: f64,
+    /// Named measurements for this x.
+    pub values: Vec<(String, f64)>,
+}
+
+/// A labelled series of sweep rows with aligned-column text rendering.
+///
+/// # Examples
+///
+/// ```
+/// use sim::stats::Sweep;
+///
+/// let mut s = Sweep::new("load");
+/// s.row(0.1).set("throughput", 950.0).set("drops", 0.0);
+/// s.row(0.5).set("throughput", 720.0).set("drops", 12.0);
+/// let text = s.render();
+/// assert!(text.contains("throughput"));
+/// assert!(text.contains("0.50"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Sweep {
+    x_label: String,
+    rows: Vec<SweepRow>,
+}
+
+/// Builder handle for one [`Sweep`] row.
+pub struct RowBuilder<'a> {
+    row: &'a mut SweepRow,
+}
+
+impl RowBuilder<'_> {
+    /// Sets (or overwrites) a named value on this row.
+    pub fn set(self, name: &str, value: f64) -> Self {
+        if let Some(slot) = self.row.values.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.row.values.push((name.to_string(), value));
+        }
+        self
+    }
+}
+
+impl Sweep {
+    /// Creates an empty sweep whose x column is labelled `x_label`.
+    pub fn new(x_label: &str) -> Sweep {
+        Sweep {
+            x_label: x_label.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row at `x` and returns a builder to fill its columns.
+    pub fn row(&mut self, x: f64) -> RowBuilder<'_> {
+        self.rows.push(SweepRow {
+            x,
+            values: Vec::new(),
+        });
+        RowBuilder {
+            row: self.rows.last_mut().expect("just pushed"),
+        }
+    }
+
+    /// All rows collected so far.
+    pub fn rows(&self) -> &[SweepRow] {
+        &self.rows
+    }
+
+    /// Renders an aligned text table, the format the bench binaries print.
+    pub fn render(&self) -> String {
+        let mut cols: Vec<String> = vec![self.x_label.clone()];
+        for row in &self.rows {
+            for (name, _) in &row.values {
+                if !cols.contains(name) {
+                    cols.push(name.clone());
+                }
+            }
+        }
+        let mut table: Vec<Vec<String>> = vec![cols.clone()];
+        for row in &self.rows {
+            let mut line = vec![format!("{:.2}", row.x)];
+            for col in &cols[1..] {
+                let cell = row
+                    .values
+                    .iter()
+                    .find(|(n, _)| n == col)
+                    .map(|(_, v)| format_value(*v))
+                    .unwrap_or_else(|| "-".to_string());
+                line.push(cell);
+            }
+            table.push(line);
+        }
+        render_table(&table)
+    }
+}
+
+/// Formats a value compactly: integers plainly, fractions with 3 decimals.
+fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders rows of cells with aligned columns (two-space gutters).
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let ncols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; ncols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.take(), 10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.add(x);
+        }
+        assert!((w.mean() - 3.5).abs() < 1e-12);
+        // Population variance of 1..6 is 35/12.
+        assert!((w.variance() - 35.0 / 12.0).abs() < 1e-12);
+        assert_eq!(w.min(), Some(1.0));
+        assert_eq!(w.max(), Some(6.0));
+    }
+
+    #[test]
+    fn welford_empty_is_safe() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), None);
+    }
+
+    #[test]
+    fn latency_quantiles() {
+        let mut l = Latency::new();
+        for ms in 1..=100 {
+            l.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(l.quantile(0.0), Some(SimDuration::from_millis(1)));
+        assert_eq!(l.quantile(0.5), Some(SimDuration::from_millis(50)));
+        assert_eq!(l.quantile(0.99), Some(SimDuration::from_millis(99)));
+        assert_eq!(l.quantile(1.0), Some(SimDuration::from_millis(100)));
+        assert_eq!(l.mean(), Some(SimDuration::from_nanos(50_500_000)));
+    }
+
+    #[test]
+    fn latency_empty() {
+        let mut l = Latency::new();
+        assert_eq!(l.quantile(0.5), None);
+        assert_eq!(l.mean(), None);
+        assert_eq!(l.count(), 0);
+    }
+
+    #[test]
+    fn throughput_rate() {
+        let mut t = Throughput::new(SimTime::from_secs(1));
+        t.add(125);
+        assert_eq!(t.bits_per_sec(SimTime::from_secs(2)), 1000.0);
+        assert_eq!(t.bits_per_sec(SimTime::from_secs(1)), 0.0);
+        assert_eq!(t.bytes(), 125);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [0, 10, 11, 100, 101, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 2]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[10, 5]);
+    }
+
+    #[test]
+    fn sweep_renders_missing_cells() {
+        let mut s = Sweep::new("x");
+        s.row(1.0).set("a", 1.0);
+        s.row(2.0).set("b", 2.0);
+        let text = s.render();
+        assert!(text.contains('-'), "missing cell rendered as dash:\n{text}");
+        assert_eq!(s.rows().len(), 2);
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let rows = vec![
+            vec!["a".to_string(), "bbbb".to_string()],
+            vec!["cccc".to_string(), "d".to_string()],
+        ];
+        let out = render_table(&rows);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Both first-column cells are right-aligned to width 4.
+        assert!(lines[0].starts_with("   a"));
+        assert!(lines[1].starts_with("cccc"));
+    }
+}

@@ -1,0 +1,263 @@
+//! In-memory event tracing.
+//!
+//! The testbed attaches a [`Trace`] to each run. Devices record one-line
+//! entries ("TNC N7AKR heard frame", "ifqueue drop") tagged with a
+//! category; tests assert on the recorded entries and the figure-style
+//! harnesses (F1/F2) print them as the byte-level walk-throughs of the
+//! paper's two figures.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Coarse event categories, used for filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Serial-line byte movement.
+    Serial,
+    /// KISS framing.
+    Kiss,
+    /// AX.25 frames and connected-mode state changes.
+    Ax25,
+    /// Radio channel and MAC activity.
+    Radio,
+    /// Ethernet segment activity.
+    Ether,
+    /// ARP traffic and cache changes.
+    Arp,
+    /// IP layer: input, forwarding, fragmentation.
+    Ip,
+    /// ICMP messages.
+    Icmp,
+    /// TCP state machine.
+    Tcp,
+    /// UDP datagrams.
+    Udp,
+    /// Driver-level events (interrupt handler, ifqueue).
+    Driver,
+    /// Gateway policy: access control decisions.
+    Acl,
+    /// Application-level milestones.
+    App,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Category::Serial => "serial",
+            Category::Kiss => "kiss",
+            Category::Ax25 => "ax25",
+            Category::Radio => "radio",
+            Category::Ether => "ether",
+            Category::Arp => "arp",
+            Category::Ip => "ip",
+            Category::Icmp => "icmp",
+            Category::Tcp => "tcp",
+            Category::Udp => "udp",
+            Category::Driver => "driver",
+            Category::Acl => "acl",
+            Category::App => "app",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One recorded trace entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Event category.
+    pub category: Category,
+    /// Which node/device produced it (free-form, e.g. `"gw"`, `"tnc:N7AKR"`).
+    pub source: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Entry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12}] {:<6} {:<12} {}",
+            self.time.to_string(),
+            self.category.to_string(),
+            self.source,
+            self.message
+        )
+    }
+}
+
+/// A bounded, optionally disabled trace buffer.
+///
+/// Tracing is off by default so the large sweeps in the benchmarks pay
+/// nothing for it; tests and the figure harnesses enable it explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use sim::trace::{Category, Trace};
+/// use sim::SimTime;
+///
+/// let mut t = Trace::enabled();
+/// t.record(SimTime::ZERO, Category::Driver, "gw", "rint: FEND");
+/// assert_eq!(t.entries().len(), 1);
+/// assert!(t.render().contains("rint"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    enabled: bool,
+    entries: Vec<Entry>,
+    cap: usize,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::disabled()
+    }
+}
+
+impl Trace {
+    /// Default maximum number of retained entries.
+    pub const DEFAULT_CAP: usize = 1_000_000;
+
+    /// Creates a disabled trace; `record` is a no-op.
+    pub fn disabled() -> Trace {
+        Trace {
+            enabled: false,
+            entries: Vec::new(),
+            cap: Self::DEFAULT_CAP,
+        }
+    }
+
+    /// Creates an enabled trace with the default capacity.
+    pub fn enabled() -> Trace {
+        Trace {
+            enabled: true,
+            entries: Vec::new(),
+            cap: Self::DEFAULT_CAP,
+        }
+    }
+
+    /// Creates an enabled trace retaining at most `cap` entries; further
+    /// entries are silently dropped (the cap exists to bound memory, not to
+    /// be a ring).
+    pub fn with_capacity(cap: usize) -> Trace {
+        Trace {
+            enabled: true,
+            entries: Vec::new(),
+            cap,
+        }
+    }
+
+    /// True if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one entry if enabled and under capacity.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        category: Category,
+        source: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        if !self.enabled || self.entries.len() >= self.cap {
+            return;
+        }
+        self.entries.push(Entry {
+            time,
+            category,
+            source: source.into(),
+            message: message.into(),
+        });
+    }
+
+    /// All recorded entries in order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Entries matching one category.
+    pub fn by_category(&self, category: Category) -> Vec<&Entry> {
+        self.entries
+            .iter()
+            .filter(|e| e.category == category)
+            .collect()
+    }
+
+    /// True if any entry's message contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.entries.iter().any(|e| e.message.contains(needle))
+    }
+
+    /// Renders all entries, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drops all recorded entries (capacity and enablement unchanged).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, Category::Ip, "a", "x");
+        assert!(t.entries().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::from_secs(1), Category::Ip, "a", "first");
+        t.record(SimTime::from_secs(2), Category::Tcp, "b", "second");
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.entries()[0].message, "first");
+        assert!(t.contains("second"));
+    }
+
+    #[test]
+    fn capacity_bounds_entries() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.record(SimTime::ZERO, Category::App, "s", format!("m{i}"));
+        }
+        assert_eq!(t.entries().len(), 2);
+    }
+
+    #[test]
+    fn by_category_filters() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::ZERO, Category::Arp, "a", "arp1");
+        t.record(SimTime::ZERO, Category::Ip, "a", "ip1");
+        t.record(SimTime::ZERO, Category::Arp, "a", "arp2");
+        assert_eq!(t.by_category(Category::Arp).len(), 2);
+        assert_eq!(t.by_category(Category::Tcp).len(), 0);
+    }
+
+    #[test]
+    fn render_includes_fields() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::from_millis(3), Category::Driver, "gw", "hello");
+        let s = t.render();
+        assert!(s.contains("driver"));
+        assert!(s.contains("gw"));
+        assert!(s.contains("hello"));
+        t.clear();
+        assert!(t.render().is_empty());
+    }
+}

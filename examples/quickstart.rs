@@ -1,0 +1,104 @@
+//! Quickstart: build the paper's topology (Figure 1 + the department
+//! Ethernet), ping across the gateway, and watch the packet touch every
+//! piece of hardware on the way.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use apps::ping::Pinger;
+use gateway::scenario::{paper_topology, PaperConfig, ETHER_HOST_IP};
+use serial::End;
+use sim::SimDuration;
+
+fn main() {
+    // The world of the paper: an isolated PC (callsign KB7DZ) on a
+    // 1200 bit/s radio channel, a MicroVAX gateway (N7AKR-1, IP
+    // 44.24.0.28 — the paper's real address), and a host on the
+    // department's 10 Mb/s Ethernet.
+    let mut s = paper_topology(PaperConfig::default(), 1988);
+
+    println!("topology:");
+    println!(
+        "  pc     KB7DZ    44.24.0.5   (radio only — \"connected to a power outlet and a radio\")"
+    );
+    println!("  gw     N7AKR-1  44.24.0.28 / 128.95.1.100  (MicroVAX, forwarding, §4.3 ACL)");
+    println!("  vax2            128.95.1.4  (department Ethernet)");
+    println!();
+
+    // Ping vax2 from the isolated PC: five 32-byte echoes.
+    let pinger = Pinger::new(ETHER_HOST_IP, 1, 5, SimDuration::from_secs(20), 32);
+    let report = pinger.report();
+    s.world.add_app(s.pc, Box::new(pinger));
+
+    s.world.run_for(SimDuration::from_secs(180));
+
+    let mut r = report.borrow_mut();
+    println!(
+        "ping 44.24.0.5 -> {}: {}/{} replies",
+        ETHER_HOST_IP, r.received, r.sent
+    );
+    if let Some(mean) = r.rtts.mean() {
+        println!(
+            "  rtt min/mean/max = {} / {} / {}",
+            r.rtts.min().unwrap(),
+            mean,
+            r.rtts.max().unwrap()
+        );
+    }
+    println!();
+
+    // The Figure-1 walk: every element's own counters.
+    let line = s.world.host_serial_line(s.pc).unwrap();
+    println!("figure-1 path, as counted by each element:");
+    println!(
+        "  PC DZ serial line : {} chars host->TNC, {} chars TNC->host",
+        line.stats(End::A).sent,
+        line.stats(End::B).sent
+    );
+    let tnc = s.world.tnc(s.pc_tnc);
+    println!(
+        "  PC KISS TNC       : {} frames from host, {} transmissions, {} heard",
+        tnc.stats().from_host,
+        tnc.mac_stats().transmitted,
+        tnc.stats().heard
+    );
+    let chan = s.world.channel(s.chan);
+    println!(
+        "  radio channel     : {} transmissions, {:.1}s total airtime",
+        chan.stats().transmissions,
+        chan.stats().airtime_ns as f64 / 1e9
+    );
+    let gw_tnc = s.world.tnc(s.gw_tnc);
+    println!(
+        "  GW KISS TNC       : {} heard, {} passed to host (promiscuous)",
+        gw_tnc.stats().heard,
+        gw_tnc.stats().passed_to_host
+    );
+    let drv = s.world.host(s.gw).pr_driver().unwrap();
+    println!(
+        "  GW pr0 driver     : {} rint chars, {} IP in, {} IP out, {} ARP",
+        drv.stats().rint_chars,
+        drv.stats().ip_in,
+        drv.stats().ip_out,
+        drv.stats().arp_in
+    );
+    let gw = s.world.host(s.gw);
+    println!(
+        "  GW IP layer       : {} forwarded, {} denied by ACL",
+        gw.stack.stats().forwarded,
+        gw.acl.as_ref().unwrap().stats().denied_inbound
+    );
+    println!(
+        "  GW CPU            : {} char interrupts, {} packets, {:.1}% busy",
+        gw.cpu.stats().char_interrupts,
+        gw.cpu.stats().packets,
+        gw.cpu.utilization(s.world.now) * 100.0
+    );
+    let seg = s.world.segment(s.seg);
+    println!(
+        "  Ethernet segment  : {} frames, {} bytes on the wire",
+        seg.stats().sent,
+        seg.stats().bytes_on_wire
+    );
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Regenerates every experiment output in results/ (see EXPERIMENTS.md).
+# All runs are deterministic; outputs should be byte-identical across
+# machines.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --bins
+mkdir -p results
+
+for e in e1_latency_breakdown e2_promiscuous_load e3_timeouts e4_routing \
+         e5_access_control e6_services e7_digipeaters e8_appgw \
+         e9_fragmentation e10_csma_ablation e11_netrom_backbone; do
+    echo "running $e …"
+    ./target/release/"$e" > "results/$e.txt" 2>&1
+done
+
+echo "all experiment outputs written to results/"

@@ -1,0 +1,18 @@
+//! Umbrella crate for the reproduction of *Adding Packet Radio to the
+//! Ultrix Kernel* (Neuman & Yamamoto, USENIX 1988).
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests can depend on a single package. See `README.md` for a
+//! tour and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use apps;
+pub use ax25;
+pub use ether;
+pub use gateway;
+pub use kiss;
+pub use netstack;
+pub use radio;
+pub use serial;
+pub use sim;

@@ -1,0 +1,87 @@
+//! §2.3's ARP complication, end to end: "some entries may contain
+//! additional callsigns for digipeaters." Only the PC is configured with
+//! the digipeater path; the gateway must learn the reverse path from the
+//! PC's digipeated ARP request — and then the ping round-trips.
+
+use apps::ping::Pinger;
+use ax25::addr::Ax25Addr;
+use gateway::host::{HostConfig, RadioIfConfig};
+use gateway::hwaddr::Ax25Hw;
+use gateway::scenario::{GW_RADIO_IP, PC_IP};
+use gateway::world::World;
+use netstack::route::Prefix;
+use radio::channel::StationId;
+use radio::csma::MacConfig;
+use radio::tnc::RxMode;
+use sim::{Bandwidth, SimDuration};
+
+#[test]
+fn gateway_learns_reverse_digipeater_path_from_arp() {
+    let mut world = World::new(1101);
+    let chan = world.add_channel(Bandwidth::RADIO_1200);
+
+    let mut pc_cfg = HostConfig::named("pc");
+    pc_cfg.radio = Some(RadioIfConfig {
+        call: Ax25Addr::parse_or_panic("KB7DZ"),
+        ip: PC_IP,
+        prefix_len: 16,
+    });
+    let pc = world.add_host(pc_cfg);
+    world.attach_radio(pc, chan, 9600, RxMode::Promiscuous, MacConfig::default());
+
+    let mut gw_cfg = HostConfig::named("gw");
+    gw_cfg.radio = Some(RadioIfConfig {
+        call: Ax25Addr::parse_or_panic("N7AKR-1"),
+        ip: GW_RADIO_IP,
+        prefix_len: 16,
+    });
+    let gw = world.add_host(gw_cfg);
+    world.attach_radio(gw, chan, 9600, RxMode::Promiscuous, MacConfig::default());
+
+    let digi = Ax25Addr::parse_or_panic("DIGI");
+    world.add_digipeater(chan, digi, MacConfig::default());
+
+    // Hidden ends: all traffic must cross the digipeater.
+    let c = world.channel_mut(chan);
+    c.set_hears(StationId(0), StationId(1), false);
+    c.set_hears(StationId(1), StationId(0), false);
+
+    // Only the PC knows the path; the gateway has NO static entry.
+    let pc_if = world.host(pc).radio_iface().unwrap();
+    world
+        .host_mut(pc)
+        .stack
+        .routes_mut()
+        .add(Prefix::default_route(), Some(GW_RADIO_IP), pc_if);
+    world
+        .host_mut(pc)
+        .pr_driver_mut()
+        .unwrap()
+        .arp_mut()
+        .insert_static(
+            GW_RADIO_IP,
+            Ax25Hw::via(Ax25Addr::parse_or_panic("N7AKR-1"), &[digi]).encode(),
+        );
+
+    let pinger = Pinger::new(GW_RADIO_IP, 1, 3, SimDuration::from_secs(45), 32);
+    let report = pinger.report();
+    world.add_app(pc, Box::new(pinger));
+    world.run_for(SimDuration::from_secs(300));
+
+    assert_eq!(
+        report.borrow().received,
+        3,
+        "replies must retrace the learned reverse path"
+    );
+    // The gateway's ARP cache now holds the PC via the digipeater.
+    let learned = world
+        .host(gw)
+        .pr_driver()
+        .unwrap()
+        .arp()
+        .lookup(world.now, PC_IP)
+        .expect("entry learned from the digipeated request");
+    let hw = Ax25Hw::decode(learned).expect("decodes");
+    assert_eq!(hw.station, Ax25Addr::parse_or_panic("KB7DZ"));
+    assert_eq!(hw.path, vec![digi], "reverse path recorded");
+}

@@ -1,0 +1,84 @@
+//! F1 — Figure 1's hardware path: Radio ⇄ TNC ⇄ RS-232 ⇄ DZ ⇄ Host.
+//!
+//! One ping crosses the topology; we then verify that every physical
+//! element in the figure actually carried it, by its own counters.
+
+use apps::ping::Pinger;
+use gateway::scenario::{paper_topology, PaperConfig, ETHER_HOST_IP};
+use serial::End;
+use sim::SimDuration;
+
+#[test]
+fn every_element_of_the_figure_carries_the_packet() {
+    let mut s = paper_topology(PaperConfig::default(), 201);
+    let pinger = Pinger::new(ETHER_HOST_IP, 1, 1, SimDuration::from_secs(1), 32);
+    let report = pinger.report();
+    s.world.add_app(s.pc, Box::new(pinger));
+    s.world.run_for(SimDuration::from_secs(120));
+
+    assert_eq!(report.borrow().received, 1, "the ping came back");
+
+    // Host → DZ serial line: the PC wrote KISS bytes down its line.
+    let pc_line = s.world.host_serial_line(s.pc).expect("pc line");
+    let host_to_tnc = pc_line.stats(End::A);
+    assert!(host_to_tnc.sent > 0, "PC host sent serial characters");
+    assert_eq!(host_to_tnc.sent, host_to_tnc.delivered, "no overruns");
+
+    // TNC: accepted frames from the host and keyed the radio.
+    let pc_tnc = s.world.tnc(s.pc_tnc);
+    assert!(pc_tnc.stats().from_host >= 1, "PC TNC got host frames");
+    assert!(pc_tnc.mac_stats().transmitted >= 1, "PC TNC transmitted");
+
+    // Radio channel: transmissions occupied airtime.
+    let chan = s.world.channel(s.chan);
+    assert!(
+        chan.stats().transmissions >= 2,
+        "request + reply on the air"
+    );
+    assert!(chan.stats().clean_receptions >= 2);
+
+    // Gateway TNC heard and passed frames up its serial line.
+    let gw_tnc = s.world.tnc(s.gw_tnc);
+    assert!(gw_tnc.stats().heard >= 1);
+    assert!(gw_tnc.stats().passed_to_host >= 1);
+
+    // Gateway driver: per-character interrupts, then IP input.
+    let gw_drv = s.world.host(s.gw).pr_driver().expect("gw pr0");
+    assert!(gw_drv.stats().rint_chars > 0, "rint ran per character");
+    assert!(gw_drv.stats().ip_in >= 1, "IP decapsulated");
+    assert!(gw_drv.ifnet.stats.ipackets >= 1);
+
+    // Gateway forwarded onto the Ethernet.
+    assert!(s.world.host(s.gw).stack.stats().forwarded >= 1);
+    let seg = s.world.segment(s.seg);
+    assert!(seg.stats().sent >= 1, "frame crossed the Ethernet");
+
+    // And the CPU model charged for the work.
+    assert!(s.world.host(s.gw).cpu.stats().char_interrupts > 0);
+    assert!(s.world.host(s.gw).cpu.stats().packets > 0);
+}
+
+#[test]
+fn serial_speed_shapes_the_path_latency() {
+    // The same ping with a slower DZ line must take measurably longer.
+    let rtt_at = |baud: u32| {
+        let cfg = PaperConfig {
+            serial_baud: baud,
+            ..PaperConfig::default()
+        };
+        let mut s = paper_topology(cfg, 202);
+        let pinger = Pinger::new(ETHER_HOST_IP, 1, 1, SimDuration::from_secs(1), 32);
+        let report = pinger.report();
+        s.world.add_app(s.pc, Box::new(pinger));
+        s.world.run_for(SimDuration::from_secs(300));
+        let r = report.borrow_mut();
+        assert_eq!(r.received, 1, "ping at {baud} baud");
+        r.rtts.mean().expect("one sample")
+    };
+    let fast = rtt_at(19200);
+    let slow = rtt_at(1200);
+    assert!(
+        slow > fast + SimDuration::from_millis(200),
+        "1200 baud serial must add latency: fast={fast} slow={slow}"
+    );
+}

@@ -53,14 +53,29 @@ impl Callsign {
 
     /// Builds a callsign from six raw (unshifted) bytes as found on the
     /// wire after decoding.
+    ///
+    /// Allocation-free on success: the driver's per-frame receive path
+    /// peeks at addresses for every frame heard on a promiscuous TNC, so
+    /// this must not touch the heap just to reject someone else's traffic.
     pub(crate) fn from_raw(raw: [u8; 6]) -> Result<Callsign, Ax25Error> {
-        let s: String = raw
-            .iter()
-            .map(|&b| b as char)
-            .collect::<String>()
-            .trim_end()
-            .to_string();
-        Callsign::new(&s)
+        let mut end = 6;
+        while end > 0 && raw[end - 1] == b' ' {
+            end -= 1;
+        }
+        if end == 0 {
+            return Err(Ax25Error::BadCallsign(String::new()));
+        }
+        let mut out = [b' '; 6];
+        for (i, &b) in raw[..end].iter().enumerate() {
+            let up = b.to_ascii_uppercase();
+            if !(up.is_ascii_uppercase() || up.is_ascii_digit()) {
+                return Err(Ax25Error::BadCallsign(
+                    raw.iter().map(|&b| b as char).collect(),
+                ));
+            }
+            out[i] = up;
+        }
+        Ok(Callsign(out))
     }
 }
 

@@ -8,6 +8,9 @@
 
 use std::fmt;
 
+use sim::pktbuf::ByteSink;
+use sim::wire::Codec;
+
 use crate::addr::Ax25Addr;
 use crate::{Ax25Error, MAX_DIGIPEATERS, MAX_INFO_LEN};
 
@@ -266,20 +269,26 @@ impl Frame {
     /// Encodes the frame (KISS payload form: no flags, no FCS).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the wire encoding to any [`ByteSink`] — a pooled
+    /// [`PacketBuf`](sim::PacketBuf) on the datapath, a `Vec<u8>` in tests.
+    pub fn encode_into(&self, out: &mut impl ByteSink) {
         // C bits: command sets dest-C, response sets source-C (AX.25 v2).
         let last_in_field = self.digipeaters.is_empty();
-        out.extend_from_slice(&self.dest.encode(self.command, false));
-        out.extend_from_slice(&self.source.encode(!self.command, last_in_field));
+        out.put_slice(&self.dest.encode(self.command, false));
+        out.put_slice(&self.source.encode(!self.command, last_in_field));
         for (i, d) in self.digipeaters.iter().enumerate() {
             let last = i == self.digipeaters.len() - 1;
-            out.extend_from_slice(&d.addr.encode(d.repeated, last));
+            out.put_slice(&d.addr.encode(d.repeated, last));
         }
-        out.push(self.kind.encode());
+        out.put(self.kind.encode());
         if self.kind.has_pid() {
-            out.push(self.pid.unwrap_or(Pid::Text).code());
+            out.put(self.pid.unwrap_or(Pid::Text).code());
         }
-        out.extend_from_slice(&self.info);
-        out
+        out.put_slice(&self.info);
     }
 
     /// Decodes a frame from KISS payload bytes.
@@ -336,6 +345,131 @@ impl Frame {
             kind,
             pid,
             info,
+        })
+    }
+}
+
+impl Codec for Frame {
+    type Error = Ax25Error;
+
+    fn encode_into(&self, out: &mut impl ByteSink) {
+        Frame::encode_into(self, out);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Frame, Ax25Error> {
+        Frame::decode(bytes)
+    }
+}
+
+/// The header fields of an AX.25 frame, validated without allocating.
+///
+/// The paper's driver inspects every frame heard on the channel — under a
+/// promiscuous TNC that is *every* frame on the air (§3) — but acts on only
+/// the few addressed to it. [`FrameHeader::peek`] performs the complete
+/// structural validation of [`Frame::decode`] (addresses, digipeater list,
+/// control octet, PID presence, info length) while touching no heap memory,
+/// so the interrupt-side filter can drop someone else's traffic for free
+/// and pay for a full decode only on frames it will actually deliver.
+///
+/// # Examples
+///
+/// ```
+/// use ax25::addr::Ax25Addr;
+/// use ax25::frame::{Frame, FrameHeader, Pid};
+///
+/// let dst = Ax25Addr::parse_or_panic("KB7DZ");
+/// let src = Ax25Addr::parse_or_panic("N7AKR-1");
+/// let bytes = Frame::ui(dst, src, Pid::Ip, vec![1, 2, 3]).encode();
+///
+/// let hdr = FrameHeader::peek(&bytes).unwrap();
+/// assert_eq!(hdr.dest, dst);
+/// assert_eq!(hdr.pid, Some(Pid::Ip));
+/// assert!(hdr.fully_repeated);
+/// assert_eq!(&bytes[hdr.info_start..], &[1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Destination link address.
+    pub dest: Ax25Addr,
+    /// Source link address.
+    pub source: Ax25Addr,
+    /// Command (true) / response (false), from the C bits.
+    pub command: bool,
+    /// The decoded control field.
+    pub kind: FrameKind,
+    /// PID; present only when [`FrameKind::has_pid`].
+    pub pid: Option<Pid>,
+    /// Number of digipeaters in the address field.
+    pub num_digipeaters: usize,
+    /// True once every digipeater hop has been traversed (or there are
+    /// none): only then may the destination accept the frame.
+    pub fully_repeated: bool,
+    /// Byte offset where the info field begins (equals `bytes.len()` when
+    /// the frame carries no info).
+    pub info_start: usize,
+}
+
+impl FrameHeader {
+    /// Validates `bytes` as a complete AX.25 frame and returns its header
+    /// fields, without allocating.
+    ///
+    /// `peek(b).is_ok()` exactly when [`Frame::decode`]`(b).is_ok()`, and
+    /// on success the fields agree with the decoded frame — so a receive
+    /// path may classify (bad frame / not repeated / not for us) on the
+    /// peek alone and reserve the allocating decode for accepted frames.
+    pub fn peek(bytes: &[u8]) -> Result<FrameHeader, Ax25Error> {
+        if bytes.len() < 15 {
+            return Err(Ax25Error::Malformed("frame shorter than minimum"));
+        }
+        let (dest, dest_c, dest_last) = Ax25Addr::decode(&bytes[0..7])?;
+        if dest_last {
+            return Err(Ax25Error::Malformed("address field ends at destination"));
+        }
+        let (source, src_c, mut last) = Ax25Addr::decode(&bytes[7..14])?;
+        let mut pos = 14;
+        let mut num_digipeaters = 0;
+        let mut fully_repeated = true;
+        while !last {
+            if num_digipeaters == MAX_DIGIPEATERS {
+                return Err(Ax25Error::TooManyDigipeaters(MAX_DIGIPEATERS + 1));
+            }
+            if bytes.len() < pos + 7 {
+                return Err(Ax25Error::Malformed("truncated digipeater list"));
+            }
+            let (_, repeated, is_last) = Ax25Addr::decode(&bytes[pos..pos + 7])?;
+            fully_repeated &= repeated;
+            num_digipeaters += 1;
+            pos += 7;
+            last = is_last;
+        }
+        if bytes.len() <= pos {
+            return Err(Ax25Error::Malformed("missing control field"));
+        }
+        let kind = FrameKind::decode(bytes[pos])?;
+        pos += 1;
+        let pid = if kind.has_pid() {
+            if bytes.len() <= pos {
+                return Err(Ax25Error::Malformed("missing PID"));
+            }
+            let p = Pid::from_code(bytes[pos]);
+            pos += 1;
+            Some(p)
+        } else {
+            None
+        };
+        if bytes.len() - pos > MAX_INFO_LEN {
+            return Err(Ax25Error::InfoTooLong(bytes.len() - pos));
+        }
+        let command = dest_c || !src_c;
+        Ok(FrameHeader {
+            dest,
+            source,
+            command,
+            kind,
+            pid,
+            num_digipeaters,
+            fully_repeated,
+            info_start: pos,
         })
     }
 }
@@ -477,6 +611,65 @@ mod tests {
             Frame::decode(&f.encode()),
             Err(Ax25Error::InfoTooLong(_))
         ));
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let f = Frame::ui(a("KB7DZ"), a("N7AKR-1"), Pid::Ip, vec![9; 40]).via(&[a("K3MC-2")]);
+        let mut sink = sim::PacketBuf::new();
+        f.encode_into(&mut sink);
+        assert_eq!(sink.as_slice(), &f.encode()[..]);
+        // Codec trait surface agrees with the inherent methods.
+        assert_eq!(Codec::encode(&f), f.encode());
+        assert_eq!(<Frame as Codec>::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn peek_agrees_with_decode_on_valid_frames() {
+        let mut f = Frame::ui(a("KB7DZ"), a("N7AKR-1"), Pid::Ip, vec![1, 2, 3]).via(&[
+            a("WA6BEV-1"),
+            a("K3MC-2"),
+        ]);
+        f.digipeaters[0].repeated = true;
+        let bytes = f.encode();
+        let hdr = FrameHeader::peek(&bytes).unwrap();
+        assert_eq!(hdr.dest, f.dest);
+        assert_eq!(hdr.source, f.source);
+        assert_eq!(hdr.command, f.command);
+        assert_eq!(hdr.kind, f.kind);
+        assert_eq!(hdr.pid, f.pid);
+        assert_eq!(hdr.num_digipeaters, 2);
+        assert_eq!(hdr.fully_repeated, f.fully_repeated());
+        assert_eq!(&bytes[hdr.info_start..], &f.info[..]);
+
+        f.digipeaters[1].repeated = true;
+        let hdr = FrameHeader::peek(&f.encode()).unwrap();
+        assert!(hdr.fully_repeated);
+    }
+
+    #[test]
+    fn peek_rejects_what_decode_rejects() {
+        for bad in [&[][..], &[0u8; 10], &[0u8; 15]] {
+            assert!(FrameHeader::peek(bad).is_err());
+            assert!(Frame::decode(bad).is_err());
+        }
+        let mut f = Frame::ui(a("B"), a("A"), Pid::Ip, vec![0u8; MAX_INFO_LEN]);
+        assert!(FrameHeader::peek(&f.encode()).is_ok());
+        f.info.push(0);
+        assert!(matches!(
+            FrameHeader::peek(&f.encode()),
+            Err(Ax25Error::InfoTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn peek_control_frame_has_no_pid_and_empty_info() {
+        let f = Frame::control(a("B"), a("A"), false, FrameKind::Rr { nr: 4, pf: true });
+        let bytes = f.encode();
+        let hdr = FrameHeader::peek(&bytes).unwrap();
+        assert_eq!(hdr.pid, None);
+        assert_eq!(hdr.info_start, bytes.len());
+        assert!(!hdr.command);
     }
 
     #[test]

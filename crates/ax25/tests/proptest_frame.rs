@@ -3,7 +3,7 @@
 use ax25::addr::{Ax25Addr, Callsign};
 use ax25::digipeat::{decide, DigipeatDecision};
 use ax25::fcs::{append_fcs, verify_and_strip_fcs};
-use ax25::frame::{Frame, FrameKind, Pid};
+use ax25::frame::{Frame, FrameHeader, FrameKind, Pid};
 use ax25::MAX_INFO_LEN;
 use proptest::prelude::*;
 
@@ -72,6 +72,39 @@ proptest! {
     #[test]
     fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
         let _ = Frame::decode(&bytes);
+    }
+
+    /// The allocation-free header peek accepts exactly the byte strings the
+    /// full decode accepts, and its fields agree with the decoded frame.
+    #[test]
+    fn peek_is_consistent_with_decode(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        match (FrameHeader::peek(&bytes), Frame::decode(&bytes)) {
+            (Ok(hdr), Ok(frame)) => {
+                prop_assert_eq!(hdr.dest, frame.dest);
+                prop_assert_eq!(hdr.source, frame.source);
+                prop_assert_eq!(hdr.command, frame.command);
+                prop_assert_eq!(hdr.kind, frame.kind);
+                prop_assert_eq!(hdr.pid, frame.pid);
+                prop_assert_eq!(hdr.num_digipeaters, frame.digipeaters.len());
+                prop_assert_eq!(hdr.fully_repeated, frame.fully_repeated());
+                prop_assert_eq!(&bytes[hdr.info_start..], &frame.info[..]);
+            }
+            (Err(pe), Err(de)) => prop_assert_eq!(pe, de),
+            (p, d) => {
+                return Err(TestCaseError::fail(format!(
+                    "peek/decode disagree: peek={p:?} decode={}", d.is_ok()
+                )));
+            }
+        }
+    }
+
+    /// Peek on a round-tripped frame sees the fields that went in.
+    #[test]
+    fn peek_sees_encoded_fields(frame in arb_frame()) {
+        let bytes = frame.encode();
+        let hdr = FrameHeader::peek(&bytes).expect("peek");
+        prop_assert_eq!(hdr.dest, frame.dest);
+        prop_assert_eq!(hdr.fully_repeated, frame.fully_repeated());
     }
 
     /// FCS round-trips and any single-byte change is caught.

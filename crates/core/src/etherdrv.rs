@@ -10,7 +10,7 @@
 use ether::{EtherFrame, EtherType, MacAddr};
 use netstack::arp::{hw_type, ArpPacket};
 use netstack::ip::Ipv4Packet;
-use sim::SimTime;
+use sim::{FrameSink, SimTime};
 use std::net::Ipv4Addr;
 
 use crate::arp_engine::{ArpConfig, ArpEngine, Resolution};
@@ -68,79 +68,82 @@ impl EtherDriver {
     }
 
     /// Processes a received frame. Returns the decapsulated IP packet
-    /// bytes (if any) and frames the driver wants transmitted (ARP
-    /// replies, released holds).
+    /// bytes (if any); frames the driver wants transmitted (ARP replies,
+    /// released holds) are emitted into `tx`.
     pub fn input(
         &mut self,
         now: SimTime,
         frame: &EtherFrame,
-    ) -> (Option<Vec<u8>>, Vec<EtherFrame>) {
+        tx: &mut impl FrameSink<EtherFrame>,
+    ) -> Option<Vec<u8>> {
         self.stats.frames_in += 1;
         self.ifnet.stats.ipackets += 1;
         match frame.ethertype {
             EtherType::Ipv4 => {
                 self.stats.ip_in += 1;
-                (Some(frame.payload.clone()), Vec::new())
+                Some(frame.payload.clone())
             }
             EtherType::Arp => {
                 self.stats.arp_in += 1;
                 let Ok(arp) = ArpPacket::decode(&frame.payload) else {
                     self.ifnet.stats.ierrors += 1;
-                    return (None, Vec::new());
+                    return None;
                 };
                 let (reply, released) = self.arp.on_arp(now, &arp);
-                let mut tx = Vec::new();
                 if let Some(reply) = reply {
                     let dst = mac_from_bytes(&reply.target_hw);
-                    tx.push(self.build_frame(dst, EtherType::Arp, reply.encode()));
+                    let f = self.build_frame(dst, EtherType::Arp, reply.encode());
+                    tx.emit(f);
                 }
                 for (hw, packet) in released {
                     let dst = mac_from_bytes(&hw);
                     self.stats.ip_out += 1;
-                    tx.push(self.build_frame(dst, EtherType::Ipv4, packet.encode()));
+                    let f = self.build_frame(dst, EtherType::Ipv4, packet.encode());
+                    tx.emit(f);
                 }
-                (None, tx)
+                None
             }
             EtherType::Other(_) => {
                 self.stats.other_in += 1;
-                (None, Vec::new())
+                None
             }
         }
     }
 
-    /// Outputs an IP packet toward `next_hop`, resolving its MAC; returns
-    /// frames to transmit (possibly an ARP request while the packet
-    /// waits).
+    /// Outputs an IP packet toward `next_hop`, resolving its MAC; frames
+    /// to transmit (possibly an ARP request while the packet waits) are
+    /// emitted into `tx`.
     pub fn output(
         &mut self,
         now: SimTime,
         packet: Ipv4Packet,
         next_hop: Ipv4Addr,
-    ) -> Vec<EtherFrame> {
+        tx: &mut impl FrameSink<EtherFrame>,
+    ) {
         match self.arp.resolve(now, next_hop, packet) {
             Resolution::Send(hw, packet) => {
                 self.stats.ip_out += 1;
                 let dst = mac_from_bytes(&hw);
-                vec![self.build_frame(dst, EtherType::Ipv4, packet.encode())]
+                let f = self.build_frame(dst, EtherType::Ipv4, packet.encode());
+                tx.emit(f);
             }
             Resolution::Pending(Some(request)) => {
-                vec![self.build_frame(MacAddr::BROADCAST, EtherType::Arp, request.encode())]
+                let f = self.build_frame(MacAddr::BROADCAST, EtherType::Arp, request.encode());
+                tx.emit(f);
             }
-            Resolution::Pending(None) => Vec::new(),
+            Resolution::Pending(None) => {}
             Resolution::Dropped => {
                 self.ifnet.stats.oerrors += 1;
-                Vec::new()
             }
         }
     }
 
-    /// Periodic ARP maintenance; returns requests to retransmit.
-    pub fn age_arp(&mut self, now: SimTime) -> Vec<EtherFrame> {
-        self.arp
-            .age(now, sim::SimDuration::from_secs(30))
-            .into_iter()
-            .map(|r| self.build_frame(MacAddr::BROADCAST, EtherType::Arp, r.encode()))
-            .collect()
+    /// Periodic ARP maintenance; emits requests to retransmit into `tx`.
+    pub fn age_arp(&mut self, now: SimTime, tx: &mut impl FrameSink<EtherFrame>) {
+        for r in self.arp.age(now, sim::SimDuration::from_secs(30)) {
+            let f = self.build_frame(MacAddr::BROADCAST, EtherType::Arp, r.encode());
+            tx.emit(f);
+        }
     }
 
     fn build_frame(&mut self, dst: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> EtherFrame {
@@ -179,7 +182,8 @@ mod tests {
             EtherType::Ipv4,
             p.encode(),
         );
-        let (ip, tx) = drv.input(SimTime::ZERO, &f);
+        let mut tx: Vec<EtherFrame> = Vec::new();
+        let ip = drv.input(SimTime::ZERO, &f, &mut tx);
         assert!(tx.is_empty());
         assert_eq!(ip.unwrap(), p.encode());
         assert_eq!(drv.stats().ip_in, 1);
@@ -200,14 +204,16 @@ mod tests {
             EtherType::Arp,
             req.encode(),
         );
-        let (ip, tx) = drv.input(SimTime::ZERO, &f);
+        let mut tx: Vec<EtherFrame> = Vec::new();
+        let ip = drv.input(SimTime::ZERO, &f, &mut tx);
         assert!(ip.is_none());
         assert_eq!(tx.len(), 1);
         assert_eq!(tx[0].dst, MacAddr::local(2));
         assert_eq!(tx[0].ethertype, EtherType::Arp);
         // Now output to that host is a cache hit.
         let p = Ipv4Packet::new(ipa(100), ipa(4), Proto::Udp, vec![0; 4]);
-        let frames = drv.output(SimTime::ZERO, p, ipa(4));
+        let mut frames: Vec<EtherFrame> = Vec::new();
+        drv.output(SimTime::ZERO, p, ipa(4), &mut frames);
         assert_eq!(frames.len(), 1);
         assert_eq!(frames[0].ethertype, EtherType::Ipv4);
         assert_eq!(frames[0].dst, MacAddr::local(2));
@@ -217,7 +223,8 @@ mod tests {
     fn unresolved_output_broadcasts_request_then_releases() {
         let mut drv = driver();
         let p = Ipv4Packet::new(ipa(100), ipa(4), Proto::Udp, vec![9; 8]);
-        let frames = drv.output(SimTime::ZERO, p.clone(), ipa(4));
+        let mut frames: Vec<EtherFrame> = Vec::new();
+        drv.output(SimTime::ZERO, p.clone(), ipa(4), &mut frames);
         assert_eq!(frames.len(), 1);
         assert_eq!(frames[0].dst, MacAddr::BROADCAST);
         assert_eq!(frames[0].ethertype, EtherType::Arp);
@@ -230,7 +237,8 @@ mod tests {
             EtherType::Arp,
             reply.encode(),
         );
-        let (_, tx) = drv.input(SimTime::ZERO, &rf);
+        let mut tx: Vec<EtherFrame> = Vec::new();
+        let _ = drv.input(SimTime::ZERO, &rf, &mut tx);
         assert_eq!(tx.len(), 1);
         assert_eq!(tx[0].dst, MacAddr::local(7));
         assert_eq!(tx[0].payload, p.encode());
@@ -245,7 +253,8 @@ mod tests {
             EtherType::Other(0x6004),
             vec![0; 10],
         );
-        let (ip, tx) = drv.input(SimTime::ZERO, &f);
+        let mut tx: Vec<EtherFrame> = Vec::new();
+        let ip = drv.input(SimTime::ZERO, &f, &mut tx);
         assert!(ip.is_none() && tx.is_empty());
         assert_eq!(drv.stats().other_in, 1);
     }

@@ -22,7 +22,7 @@ use ether::{EtherFrame, MacAddr};
 use netstack::icmp::IcmpMessage;
 use netstack::stack::{IfaceConfig, IfaceId, NetStack, SockId, StackAction, StackConfig};
 use netstack::NetError;
-use sim::SimTime;
+use sim::{SimTime, SinkFn};
 
 use crate::acl::{AclConfig, AclVerdict, GatewayAcl};
 use crate::arp_engine::ArpConfig;
@@ -87,8 +87,8 @@ impl HostConfig {
 /// Link-layer output produced by a host, routed by the world.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HostOut {
-    /// Bytes for the serial line to the TNC.
-    SerialTx(Vec<u8>),
+    /// Bytes for the serial line to the TNC (a pooled transmit buffer).
+    SerialTx(sim::PacketBuf),
     /// A frame for the Ethernet segment.
     EtherTx(EtherFrame),
 }
@@ -221,10 +221,8 @@ impl Host {
             let Some((iface, ref mut drv)) = self.pr else {
                 continue;
             };
-            let (event, tx) = drv.rint(now, b);
-            for t in tx {
-                self.outbox.push(HostOut::SerialTx(t));
-            }
+            let outbox = &mut self.outbox;
+            let event = drv.rint(now, b, &mut SinkFn(|t| outbox.push(HostOut::SerialTx(t))));
             match event {
                 Some(PrEvent::IpPacket(ip_bytes)) => {
                     let ready = self.cpu.charge_packet(after_char);
@@ -245,10 +243,8 @@ impl Host {
         let Some((iface, ref mut drv)) = self.eth else {
             return;
         };
-        let (ip, tx) = drv.input(now, frame);
-        for t in tx {
-            self.outbox.push(HostOut::EtherTx(t));
-        }
+        let outbox = &mut self.outbox;
+        let ip = drv.input(now, frame, &mut SinkFn(|f| outbox.push(HostOut::EtherTx(f))));
         if let Some(ip_bytes) = ip {
             let ready = self.cpu.charge_packet(now);
             if !self.input_queue.push(ready, (iface, ip_bytes)) {
@@ -292,15 +288,12 @@ impl Host {
         self.handle_actions(now, actions);
         if now.saturating_since(self.last_arp_age) >= sim::SimDuration::from_secs(1) {
             self.last_arp_age = now;
+            let outbox = &mut self.outbox;
             if let Some((_, drv)) = &mut self.pr {
-                for tx in drv.age_arp(now) {
-                    self.outbox.push(HostOut::SerialTx(tx));
-                }
+                drv.age_arp(now, &mut SinkFn(|t| outbox.push(HostOut::SerialTx(t))));
             }
             if let Some((_, drv)) = &mut self.eth {
-                for f in drv.age_arp(now) {
-                    self.outbox.push(HostOut::EtherTx(f));
-                }
+                drv.age_arp(now, &mut SinkFn(|f| outbox.push(HostOut::EtherTx(f))));
             }
         }
     }
@@ -375,19 +368,26 @@ impl Host {
         next_hop: Ipv4Addr,
         packet: netstack::ip::Ipv4Packet,
     ) {
+        let outbox = &mut self.outbox;
         if let Some((pr_if, drv)) = &mut self.pr {
             if *pr_if == iface {
-                for tx in drv.output(now, packet, next_hop) {
-                    self.outbox.push(HostOut::SerialTx(tx));
-                }
+                drv.output(
+                    now,
+                    packet,
+                    next_hop,
+                    &mut SinkFn(|t| outbox.push(HostOut::SerialTx(t))),
+                );
                 return;
             }
         }
         if let Some((eth_if, drv)) = &mut self.eth {
             if *eth_if == iface {
-                for f in drv.output(now, packet, next_hop) {
-                    self.outbox.push(HostOut::EtherTx(f));
-                }
+                drv.output(
+                    now,
+                    packet,
+                    next_hop,
+                    &mut SinkFn(|f| outbox.push(HostOut::EtherTx(f))),
+                );
             }
         }
     }
@@ -474,8 +474,8 @@ impl Host {
     /// (the §2.4 path back down the tty).
     pub fn send_raw_ax25(&mut self, _now: SimTime, frame: &Frame) {
         if let Some((_, drv)) = &mut self.pr {
-            let tx = drv.send_raw_frame(frame);
-            self.outbox.push(HostOut::SerialTx(tx));
+            let outbox = &mut self.outbox;
+            drv.send_raw_frame(frame, &mut SinkFn(|t| outbox.push(HostOut::SerialTx(t))));
         }
     }
 

@@ -20,11 +20,11 @@
 //!   included).
 
 use ax25::addr::Ax25Addr;
-use ax25::frame::{Frame, Pid};
+use ax25::frame::{Frame, FrameHeader, Pid};
 use kiss::{Command, Deframer};
 use netstack::arp::{hw_type, ArpPacket};
 use netstack::ip::Ipv4Packet;
-use sim::SimTime;
+use sim::{BufPool, FrameSink, PoolStats, SimTime};
 use std::net::Ipv4Addr;
 
 use crate::arp_engine::{ArpConfig, ArpEngine, Resolution};
@@ -97,6 +97,9 @@ pub struct PacketRadioDriver {
     deframer: Deframer,
     arp: ArpEngine,
     stats: PrStats,
+    /// Pool backing every transmitted serial frame: once the driver has
+    /// warmed up, transmissions recycle buffers instead of allocating.
+    pool: BufPool,
 }
 
 impl PacketRadioDriver {
@@ -110,6 +113,9 @@ impl PacketRadioDriver {
             deframer: Deframer::new(),
             arp,
             stats: PrStats::default(),
+            // Worst case, every payload byte is a FEND/FESC escape: header
+            // + MTU, doubled, plus delimiters.
+            pool: BufPool::new(2 * (AX25_MTU + 72) + 3),
         }
     }
 
@@ -143,64 +149,84 @@ impl PacketRadioDriver {
         }
     }
 
+    /// Allocation counters for the transmit buffer pool (reported by the
+    /// E2 harness alongside the §3 CPU figures).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     // --- Receive path ------------------------------------------------------
 
     /// The per-character receive interrupt handler.
     ///
     /// Feed one serial character; when it completes a frame, the
-    /// classified result comes back along with any frames the driver
-    /// itself wants transmitted (ARP replies, packets released by an ARP
-    /// resolution). Transmissions are returned as KISS-framed serial
-    /// byte strings.
-    pub fn rint(&mut self, now: SimTime, byte: u8) -> (Option<PrEvent>, Vec<Vec<u8>>) {
+    /// classified result comes back, and any frames the driver itself
+    /// wants transmitted (ARP replies, packets released by an ARP
+    /// resolution) are emitted into `tx` as KISS-framed serial buffers.
+    ///
+    /// The fast path is allocation-free: mid-frame characters only touch
+    /// the deframer's reusable buffer, and a completed frame is classified
+    /// from an [`FrameHeader::peek`] of the wire bytes — a frame addressed
+    /// to another station (§3: under a promiscuous TNC, *most* frames) is
+    /// counted and dropped without the heap ever being involved. Only
+    /// frames the driver accepts pay for a full [`Frame::decode`].
+    pub fn rint(
+        &mut self,
+        now: SimTime,
+        byte: u8,
+        tx: &mut impl FrameSink,
+    ) -> Option<PrEvent> {
         self.stats.rint_chars += 1;
-        let Some(kiss_frame) = self.deframer.push(byte) else {
-            return (None, Vec::new());
-        };
+        let kiss_frame = self.deframer.push(byte)?;
         if kiss_frame.command != Command::Data {
-            return (None, Vec::new());
+            return None;
         }
         self.stats.frames_in += 1;
-        let frame = match Frame::decode(&kiss_frame.payload) {
-            Ok(f) => f,
+        let payload = kiss_frame.payload;
+        let hdr = match FrameHeader::peek(payload) {
+            Ok(h) => h,
             Err(_) => {
                 self.stats.bad_frames += 1;
                 self.ifnet.stats.ierrors += 1;
-                return (None, Vec::new());
+                return None;
             }
         };
         // A frame still being digipeated is not ours to consume even if
         // our callsign is the final destination.
-        if !frame.fully_repeated() {
+        if !hdr.fully_repeated {
             self.stats.not_repeated += 1;
-            return (None, Vec::new());
+            return None;
         }
-        let for_us = frame.dest == self.cfg.my_call || self.cfg.broadcast.contains(&frame.dest);
+        let for_us = hdr.dest == self.cfg.my_call || self.cfg.broadcast.contains(&hdr.dest);
         if !for_us {
             self.stats.not_for_us += 1;
-            return (None, Vec::new());
+            return None;
         }
         self.ifnet.stats.ipackets += 1;
-        match frame.pid {
+        match hdr.pid {
             Some(Pid::Ip) => {
                 self.stats.ip_in += 1;
-                // Glean a path-aware ARP entry from digipeated IP traffic
-                // (§2.3): the sender is reachable back through the
-                // reversed relay list, which no broadcast ARP could teach
-                // us across the hidden segment.
-                let mut tx = Vec::new();
-                if !frame.digipeaters.is_empty() {
-                    if let Some(src_ip) = ip_source(&frame.info) {
-                        let path: Vec<Ax25Addr> =
-                            frame.digipeaters.iter().rev().map(|d| d.addr).collect();
-                        let hw = Ax25Hw::via(frame.source, &path);
-                        self.arp.insert_learned(now, src_ip, hw.encode());
-                        for p in self.arp.release_held(src_ip) {
-                            tx.push(self.encapsulate_ip(&p, &hw));
-                        }
+                if hdr.num_digipeaters == 0 {
+                    // Direct traffic: hand the info field up without even
+                    // materializing a Frame.
+                    return Some(PrEvent::IpPacket(payload[hdr.info_start..].to_vec()));
+                }
+                // Digipeated traffic: glean a path-aware ARP entry (§2.3) —
+                // the sender is reachable back through the reversed relay
+                // list, which no broadcast ARP could teach us across the
+                // hidden segment. This needs the digipeater list, so decode
+                // fully (peek already validated, so this cannot fail).
+                let frame = Frame::decode(payload).expect("peek-validated frame");
+                if let Some(src_ip) = ip_source(&frame.info) {
+                    let path: Vec<Ax25Addr> =
+                        frame.digipeaters.iter().rev().map(|d| d.addr).collect();
+                    let hw = Ax25Hw::via(frame.source, &path);
+                    self.arp.insert_learned(now, src_ip, hw.encode());
+                    for p in self.arp.release_held(src_ip) {
+                        self.encapsulate_ip(&p, &hw, tx);
                     }
                 }
-                (Some(PrEvent::IpPacket(frame.info)), tx)
+                Some(PrEvent::IpPacket(frame.info))
             }
             Some(Pid::Arp) => {
                 self.stats.arp_in += 1;
@@ -208,17 +234,23 @@ impl PacketRadioDriver {
                 // digipeaters". A digipeated request teaches us the
                 // reverse path to the sender, so only the originating
                 // station needs manual path configuration.
-                let reverse_path: Vec<Ax25Addr> =
-                    frame.digipeaters.iter().rev().map(|d| d.addr).collect();
-                let tx = self.handle_arp_info(now, &frame.info, frame.source, &reverse_path);
-                (None, tx)
+                let (info, reverse_path) = if hdr.num_digipeaters == 0 {
+                    (payload[hdr.info_start..].to_vec(), Vec::new())
+                } else {
+                    let frame = Frame::decode(payload).expect("peek-validated frame");
+                    let path = frame.digipeaters.iter().rev().map(|d| d.addr).collect();
+                    (frame.info, path)
+                };
+                self.handle_arp_info(now, &info, hdr.source, &reverse_path, tx);
+                None
             }
             _ => {
                 // "Packets that are received from the TNC that are not of
                 // type IP can be placed on the input queue for the
                 // appropriate tty line." (§2.4)
                 self.stats.diverted += 1;
-                (Some(PrEvent::Divert(frame)), Vec::new())
+                let frame = Frame::decode(payload).expect("peek-validated frame");
+                Some(PrEvent::Divert(frame))
             }
         }
     }
@@ -229,10 +261,11 @@ impl PacketRadioDriver {
         info: &[u8],
         link_source: Ax25Addr,
         reverse_path: &[Ax25Addr],
-    ) -> Vec<Vec<u8>> {
+        tx: &mut impl FrameSink,
+    ) {
         let Ok(arp) = ArpPacket::decode(info) else {
             self.stats.bad_frames += 1;
-            return Vec::new();
+            return;
         };
         // When the frame was digipeated, the sender's usable hardware
         // address is its link address plus the reversed relay path — the
@@ -246,7 +279,6 @@ impl PacketRadioDriver {
         .then(|| Ax25Hw::via(link_source, reverse_path));
 
         let (reply, released) = self.arp.on_arp(now, &arp);
-        let mut tx = Vec::new();
         let mut released: Vec<(Vec<u8>, netstack::ip::Ipv4Packet)> = released;
         if let Some(hw) = &path_override {
             self.arp.insert_learned(now, arp.sender_ip, hw.encode());
@@ -261,69 +293,74 @@ impl PacketRadioDriver {
                 None => Ax25Hw::decode(&reply.target_hw).ok(),
             };
             if let Some(hw) = dest_hw {
-                tx.push(self.encapsulate_arp(&reply, &hw));
+                self.encapsulate_arp(&reply, &hw, tx);
             }
         }
         for (hw_bytes, packet) in released {
             if let Ok(hw) = Ax25Hw::decode(&hw_bytes) {
-                tx.push(self.encapsulate_ip(&packet, &hw));
+                self.encapsulate_ip(&packet, &hw, tx);
             }
         }
-        tx
     }
 
     // --- Transmit path --------------------------------------------------------
 
     /// Outputs an IP packet toward `next_hop`, resolving its AX.25
-    /// address; returns KISS-framed serial bytes to transmit (possibly an
-    /// ARP request while the packet waits).
-    pub fn output(&mut self, now: SimTime, packet: Ipv4Packet, next_hop: Ipv4Addr) -> Vec<Vec<u8>> {
+    /// address; KISS-framed serial bytes to transmit are emitted into `tx`
+    /// (possibly an ARP request while the packet waits).
+    pub fn output(
+        &mut self,
+        now: SimTime,
+        packet: Ipv4Packet,
+        next_hop: Ipv4Addr,
+        tx: &mut impl FrameSink,
+    ) {
         match self.arp.resolve(now, next_hop, packet) {
             Resolution::Send(hw_bytes, packet) => match Ax25Hw::decode(&hw_bytes) {
-                Ok(hw) => vec![self.encapsulate_ip(&packet, &hw)],
+                Ok(hw) => self.encapsulate_ip(&packet, &hw, tx),
                 Err(_) => {
                     self.ifnet.stats.oerrors += 1;
-                    Vec::new()
                 }
             },
-            Resolution::Pending(Some(request)) => {
-                vec![self.broadcast_arp(&request)]
-            }
-            Resolution::Pending(None) => Vec::new(),
+            Resolution::Pending(Some(request)) => self.broadcast_arp(&request, tx),
+            Resolution::Pending(None) => {}
             Resolution::Dropped => {
                 self.ifnet.stats.oerrors += 1;
-                Vec::new()
             }
         }
     }
 
-    /// Periodic ARP maintenance; returns requests to retransmit.
-    pub fn age_arp(&mut self, now: SimTime) -> Vec<Vec<u8>> {
-        let reqs = self.arp.age(now, sim::SimDuration::from_secs(30));
-        reqs.iter().map(|r| self.broadcast_arp(r)).collect()
+    /// Periodic ARP maintenance; emits requests to retransmit into `tx`.
+    pub fn age_arp(&mut self, now: SimTime, tx: &mut impl FrameSink) {
+        for r in self.arp.age(now, sim::SimDuration::from_secs(30)) {
+            self.broadcast_arp(&r, tx);
+        }
     }
 
     /// Sends a raw AX.25 frame from "user space" (the §2.4 application
-    /// gateway writing back down the tty).
-    pub fn send_raw_frame(&mut self, frame: &Frame) -> Vec<u8> {
+    /// gateway writing back down the tty); the KISS-framed serial buffer
+    /// is emitted into `tx`.
+    pub fn send_raw_frame(&mut self, frame: &Frame, tx: &mut impl FrameSink) {
         self.ifnet.stats.opackets += 1;
-        kiss::encode(0, Command::Data, &frame.encode())
+        let mut out = self.pool.take();
+        kiss::encode_frame_into(0, Command::Data, &mut out, |esc| frame.encode_into(esc));
+        tx.emit(out);
     }
 
-    fn encapsulate_ip(&mut self, packet: &Ipv4Packet, hw: &Ax25Hw) -> Vec<u8> {
+    fn encapsulate_ip(&mut self, packet: &Ipv4Packet, hw: &Ax25Hw, tx: &mut impl FrameSink) {
         self.stats.ip_out += 1;
         self.ifnet.stats.opackets += 1;
         let frame = Frame::ui(hw.station, self.cfg.my_call, Pid::Ip, packet.encode()).via(&hw.path);
-        kiss::encode(0, Command::Data, &frame.encode())
+        self.emit_kiss(&frame, tx);
     }
 
-    fn encapsulate_arp(&mut self, arp: &ArpPacket, hw: &Ax25Hw) -> Vec<u8> {
+    fn encapsulate_arp(&mut self, arp: &ArpPacket, hw: &Ax25Hw, tx: &mut impl FrameSink) {
         self.ifnet.stats.opackets += 1;
         let frame = Frame::ui(hw.station, self.cfg.my_call, Pid::Arp, arp.encode()).via(&hw.path);
-        kiss::encode(0, Command::Data, &frame.encode())
+        self.emit_kiss(&frame, tx);
     }
 
-    fn broadcast_arp(&mut self, arp: &ArpPacket) -> Vec<u8> {
+    fn broadcast_arp(&mut self, arp: &ArpPacket, tx: &mut impl FrameSink) {
         self.ifnet.stats.opackets += 1;
         let frame = Frame::ui(
             Ax25Addr::broadcast(),
@@ -331,7 +368,16 @@ impl PacketRadioDriver {
             Pid::Arp,
             arp.encode(),
         );
-        kiss::encode(0, Command::Data, &frame.encode())
+        self.emit_kiss(&frame, tx);
+    }
+
+    /// KISS-frames an AX.25 frame into a pooled buffer and emits it: the
+    /// AX.25 encoder streams through the escaper straight into the buffer,
+    /// so a warmed-up pool makes this path allocation-free.
+    fn emit_kiss(&mut self, frame: &Frame, tx: &mut impl FrameSink) {
+        let mut out = self.pool.take();
+        kiss::encode_frame_into(0, Command::Data, &mut out, |esc| frame.encode_into(esc));
+        tx.emit(out);
     }
 }
 
@@ -364,13 +410,11 @@ mod tests {
         PacketRadioDriver::new(PrConfig::new(a("N7AKR-1")), gw_ip())
     }
 
-    fn feed(drv: &mut PacketRadioDriver, bytes: &[u8]) -> (Vec<PrEvent>, Vec<Vec<u8>>) {
+    fn feed(drv: &mut PacketRadioDriver, bytes: &[u8]) -> (Vec<PrEvent>, Vec<sim::PacketBuf>) {
         let mut events = Vec::new();
         let mut tx = Vec::new();
         for &b in bytes {
-            let (ev, mut t) = drv.rint(SimTime::ZERO, b);
-            events.extend(ev);
-            tx.append(&mut t);
+            events.extend(drv.rint(SimTime::ZERO, b, &mut tx));
         }
         (events, tx)
     }
@@ -449,7 +493,8 @@ mod tests {
         let mut drv = driver();
         let now = SimTime::ZERO;
         let packet = Ipv4Packet::new(gw_ip(), pc_ip(), Proto::Udp, vec![7; 32]);
-        let tx = drv.output(now, packet.clone(), pc_ip());
+        let mut tx: Vec<sim::PacketBuf> = Vec::new();
+        drv.output(now, packet.clone(), pc_ip(), &mut tx);
         assert_eq!(tx.len(), 1);
         // The transmitted frame is an ARP who-has to QST.
         let frames = kiss::decode_stream(&tx[0]);
@@ -499,7 +544,8 @@ mod tests {
         let hw = Ax25Hw::via(a("KD7NM"), &[a("WA6BEV-1"), a("K3MC")]);
         drv.arp_mut().insert_static(pc_ip(), hw.encode());
         let packet = Ipv4Packet::new(gw_ip(), pc_ip(), Proto::Udp, vec![1]);
-        let tx = drv.output(SimTime::ZERO, packet, pc_ip());
+        let mut tx: Vec<sim::PacketBuf> = Vec::new();
+        drv.output(SimTime::ZERO, packet, pc_ip(), &mut tx);
         assert_eq!(tx.len(), 1);
         let frames = kiss::decode_stream(&tx[0]);
         let f = Frame::decode(&frames[0].payload).unwrap();
@@ -513,8 +559,9 @@ mod tests {
     fn raw_frames_from_user_space_are_kiss_encoded() {
         let mut drv = driver();
         let frame = Frame::ui(a("KB7DZ"), a("N7AKR-1"), Pid::Text, b"bbs".to_vec());
-        let wire = drv.send_raw_frame(&frame);
-        let frames = kiss::decode_stream(&wire);
+        let mut tx: Vec<sim::PacketBuf> = Vec::new();
+        drv.send_raw_frame(&frame, &mut tx);
+        let frames = kiss::decode_stream(&tx[0]);
         assert_eq!(Frame::decode(&frames[0].payload).unwrap(), frame);
     }
 
@@ -543,7 +590,8 @@ mod tests {
         );
         // And outgoing IP now uses the learned path too.
         let packet = Ipv4Packet::new(gw_ip(), pc_ip(), Proto::Udp, vec![1]);
-        let tx = drv.output(SimTime::ZERO, packet, pc_ip());
+        let mut tx: Vec<sim::PacketBuf> = Vec::new();
+        drv.output(SimTime::ZERO, packet, pc_ip(), &mut tx);
         let frames = kiss::decode_stream(&tx[0]);
         let f = Frame::decode(&frames[0].payload).unwrap();
         assert_eq!(f.dest, a("KB7DZ"));
@@ -558,5 +606,48 @@ mod tests {
         let wire = kiss_bytes(&frame);
         feed(&mut drv, &wire);
         assert_eq!(drv.stats().rint_chars, wire.len() as u64);
+    }
+
+    #[test]
+    fn frames_for_others_never_touch_the_pool() {
+        // The §3 promiscuous case: the channel is full of other stations'
+        // traffic. The fast path must classify and drop it without ever
+        // leasing (or allocating) a transmit buffer.
+        let mut drv = driver();
+        let mut wire = Vec::new();
+        for i in 0..50 {
+            let frame = Frame::ui(
+                a(&format!("W{}", i % 10)),
+                a("KB7DZ"),
+                Pid::Ip,
+                vec![0x45; 64],
+            );
+            wire.extend(kiss_bytes(&frame));
+        }
+        let (events, tx) = feed(&mut drv, &wire);
+        assert!(events.is_empty());
+        assert!(tx.is_empty());
+        assert_eq!(drv.stats().not_for_us, 50);
+        let pool = drv.pool_stats();
+        assert_eq!(pool.misses.get(), 0, "fast path must not allocate buffers");
+        assert_eq!(pool.hits.get(), 0, "fast path must not even lease buffers");
+    }
+
+    #[test]
+    fn transmit_buffers_recycle_through_the_pool() {
+        let mut drv = driver();
+        let hw = Ax25Hw::direct(a("KB7DZ"));
+        drv.arp_mut().insert_static(pc_ip(), hw.encode());
+        for i in 0..10 {
+            let packet = Ipv4Packet::new(gw_ip(), pc_ip(), Proto::Udp, vec![i; 32]);
+            let mut tx: Vec<sim::PacketBuf> = Vec::new();
+            drv.output(SimTime::ZERO, packet, pc_ip(), &mut tx);
+            assert_eq!(tx.len(), 1);
+            // tx dropped here: buffers return to the driver's pool.
+        }
+        let pool = drv.pool_stats();
+        assert_eq!(pool.misses.get(), 1, "one backing allocation total");
+        assert_eq!(pool.hits.get(), 9, "every later send reused it");
+        assert_eq!(pool.high_water, 1);
     }
 }

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the subset of the criterion API the workspace's benches use: groups with
+//! throughput annotations, `iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` entry points. Measurement is a
+//! simple best-of-runs wall clock — good enough to compare fast paths on
+//! one machine, with none of criterion's statistics engine.
+//!
+//! `cargo bench -- --test` runs every benchmark exactly once without
+//! timing, which is what the tier-1 gate uses as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How a batched iteration sizes its batches. Batches are per-iteration
+/// here, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small setup output; setup runs once per measured iteration.
+    SmallInput,
+    /// Larger setup output; treated identically to `SmallInput`.
+    LargeInput,
+}
+
+/// Throughput annotation attached to a group; reported alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The measured routine processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// The benchmark context: run mode plus shared defaults.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            test_mode,
+            filter,
+            default_sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Registers a standalone benchmark (no group).
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let group_name = name.to_string();
+        let mut g = BenchmarkGroup {
+            criterion: self,
+            name: group_name,
+            throughput: None,
+            sample_size: None,
+        };
+        g.bench_function("", f);
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample-size settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = Some(n.max(1));
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = if name.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.criterion.test_mode {
+            let mut b = Bencher {
+                mode: Mode::TestOnce,
+                elapsed: Duration::ZERO,
+                iters_done: 0,
+            };
+            f(&mut b);
+            println!("test {full} ... ok");
+            return;
+        }
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        // Warm-up pass, then keep the best (least-noise) sample.
+        let mut best = Duration::MAX;
+        let mut iters_per_sample = 0u64;
+        for sample in 0..=samples {
+            let mut b = Bencher {
+                mode: Mode::Measure,
+                elapsed: Duration::ZERO,
+                iters_done: 0,
+            };
+            f(&mut b);
+            if sample == 0 {
+                continue; // warm-up
+            }
+            if b.iters_done > 0 && b.elapsed < best {
+                best = b.elapsed;
+                iters_per_sample = b.iters_done;
+            }
+        }
+        if iters_per_sample == 0 {
+            println!("{full:<40} (no iterations)");
+            return;
+        }
+        let per_iter = best.as_nanos() as f64 / iters_per_sample as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let mbps = n as f64 / per_iter * 1e9 / (1024.0 * 1024.0);
+                format!("  {mbps:>10.1} MiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 / per_iter * 1e9;
+                format!("  {eps:>10.0} elem/s")
+            }
+            None => String::new(),
+        };
+        println!("{full:<40} {:>12.1} ns/iter{rate}", per_iter);
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is inline).
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    TestOnce,
+    Measure,
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    mode: Mode,
+    elapsed: Duration,
+    iters_done: u64,
+}
+
+/// Number of timed iterations per measurement sample.
+const ITERS_PER_SAMPLE: u64 = 64;
+
+impl Bencher {
+    /// Times `routine` over a fixed iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            Mode::TestOnce => {
+                std::hint::black_box(routine());
+                self.iters_done = 1;
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..ITERS_PER_SAMPLE {
+                    std::hint::black_box(routine());
+                }
+                self.elapsed += start.elapsed();
+                self.iters_done += ITERS_PER_SAMPLE;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh values from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            Mode::TestOnce => {
+                std::hint::black_box(routine(setup()));
+                self.iters_done = 1;
+            }
+            Mode::Measure => {
+                for _ in 0..ITERS_PER_SAMPLE {
+                    let input = setup();
+                    let start = Instant::now();
+                    std::hint::black_box(routine(input));
+                    self.elapsed += start.elapsed();
+                }
+                self.iters_done += ITERS_PER_SAMPLE;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

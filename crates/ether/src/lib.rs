@@ -37,7 +37,8 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use sim::wire::{Reader, WireError, Writer};
+use sim::pktbuf::ByteSink;
+use sim::wire::{Codec, Reader, WireError};
 use sim::{Bandwidth, SimDuration, SimTime};
 
 /// A 48-bit Ethernet MAC address.
@@ -159,15 +160,20 @@ impl EtherFrame {
 
     /// Encodes header + payload, padding the payload to [`MIN_PAYLOAD`].
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::with_capacity(self.wire_len());
-        w.bytes(&self.dst.octets());
-        w.bytes(&self.src.octets());
-        w.u16(self.ethertype.code());
-        w.bytes(&self.payload);
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends header + padded payload to any [`ByteSink`].
+    pub fn encode_into(&self, out: &mut impl ByteSink) {
+        out.put_slice(&self.dst.octets());
+        out.put_slice(&self.src.octets());
+        out.put_slice(&self.ethertype.code().to_be_bytes());
+        out.put_slice(&self.payload);
         for _ in self.payload.len()..MIN_PAYLOAD {
-            w.u8(0);
+            out.put(0);
         }
-        w.into_bytes()
     }
 
     /// Decodes a frame. Padding is preserved in `payload`; length-aware
@@ -187,6 +193,18 @@ impl EtherFrame {
             ethertype,
             payload,
         })
+    }
+}
+
+impl Codec for EtherFrame {
+    type Error = WireError;
+
+    fn encode_into(&self, out: &mut impl ByteSink) {
+        EtherFrame::encode_into(self, out);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<EtherFrame, WireError> {
+        EtherFrame::decode(bytes)
     }
 }
 

@@ -18,6 +18,12 @@
 //!   routine, and the gateway driver calls it from its simulated interrupt
 //!   handler.
 //!
+//! The deframer is zero-allocation in steady state: it accumulates into a
+//! preallocated internal buffer and hands completed frames out as
+//! [`KissFrameRef`] borrows; callers that need ownership call
+//! [`KissFrameRef::to_owned`], and the per-character fast path (the §3
+//! promiscuous storm) never touches the heap.
+//!
 //! # Examples
 //!
 //! ```
@@ -28,7 +34,7 @@
 //! let mut frames = Vec::new();
 //! for b in wire {
 //!     if let Some(f) = d.push(b) {
-//!         frames.push(f);
+//!         frames.push(f.to_owned());
 //!     }
 //! }
 //! assert_eq!(frames.len(), 1);
@@ -37,6 +43,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use sim::wire::Codec;
+use sim::ByteSink;
 
 /// Frame delimiter.
 pub const FEND: u8 = 0xC0;
@@ -122,35 +131,129 @@ impl KissFrame {
     }
 }
 
-/// Encodes one KISS frame for the serial line.
+/// Failure modes of [`KissFrame::decode`] (via [`sim::wire::Codec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KissDecodeError {
+    /// The bytes contained no complete, well-formed KISS frame.
+    NoFrame,
+}
+
+impl std::fmt::Display for KissDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no complete KISS frame in input")
+    }
+}
+
+impl std::error::Error for KissDecodeError {}
+
+impl Codec for KissFrame {
+    type Error = KissDecodeError;
+
+    fn encode_into(&self, out: &mut impl ByteSink) {
+        encode_into(self.port, self.command, &self.payload, out);
+    }
+
+    /// Decodes the first complete frame in `bytes`.
+    fn decode(bytes: &[u8]) -> Result<KissFrame, KissDecodeError> {
+        let mut d = Deframer::new();
+        for &b in bytes {
+            if let Some(f) = d.push(b) {
+                return Ok(f.to_owned());
+            }
+        }
+        Err(KissDecodeError::NoFrame)
+    }
+}
+
+/// Encodes one KISS frame into `out` for the serial line.
 ///
 /// The frame is wrapped in `FEND` bytes on both sides (a leading `FEND`
 /// flushes any line noise at the receiver, as the KISS spec recommends).
-pub fn encode(port: u8, command: Command, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(payload.len() + 4);
-    out.push(FEND);
+/// Emitting into a [`ByteSink`] lets the datapath encode straight into a
+/// pooled [`sim::PacketBuf`] without an intermediate `Vec`.
+pub fn encode_into(port: u8, command: Command, payload: &[u8], out: &mut impl ByteSink) {
+    out.put(FEND);
     // The type byte is escaped like any other content byte: a data frame on
     // port 12 encodes its type byte 0xC0, which would otherwise read as FEND.
-    push_escaped(&mut out, (port << 4) | command.code());
+    push_escaped(out, (port << 4) | command.code());
     for &b in payload {
-        push_escaped(&mut out, b);
+        push_escaped(out, b);
     }
-    out.push(FEND);
+    out.put(FEND);
+}
+
+/// Encodes one KISS frame into a fresh `Vec` (off the hot path).
+pub fn encode(port: u8, command: Command, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    encode_into(port, command, payload, &mut out);
     out
 }
 
-fn push_escaped(out: &mut Vec<u8>, b: u8) {
+fn push_escaped(out: &mut impl ByteSink, b: u8) {
     match b {
         FEND => {
-            out.push(FESC);
-            out.push(TFEND);
+            out.put(FESC);
+            out.put(TFEND);
         }
         FESC => {
-            out.push(FESC);
-            out.push(TFESC);
+            out.put(FESC);
+            out.put(TFESC);
         }
-        other => out.push(other),
+        other => out.put(other),
     }
+}
+
+/// A [`ByteSink`] adapter that KISS-escapes everything written through it.
+///
+/// Obtained inside [`encode_frame_into`]; upper-layer codecs write their
+/// wire form through it and the escapes land directly in the underlying
+/// sink — no staging buffer between the AX.25 encoder and the serial line.
+pub struct EscapedWriter<'a, S: ByteSink>(&'a mut S);
+
+impl<S: ByteSink> ByteSink for EscapedWriter<'_, S> {
+    fn put(&mut self, byte: u8) {
+        push_escaped(self.0, byte);
+    }
+
+    fn put_slice(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            push_escaped(self.0, b);
+        }
+    }
+}
+
+/// Encodes one KISS frame whose payload is written by `write_payload`
+/// through an [`EscapedWriter`], escaping on the fly.
+///
+/// This is the single-pass form of [`encode_into`] for callers that can
+/// stream their payload (e.g. `ax25::frame::Frame::encode_into`): the
+/// payload bytes are escaped as they are produced, so a driver can go from
+/// a structured frame to KISS serial bytes in one pooled buffer with no
+/// intermediate copy.
+///
+/// # Examples
+///
+/// ```
+/// use kiss::{encode, encode_frame_into, Command};
+/// use sim::ByteSink;
+///
+/// let payload = [0x01, kiss::FEND, 0x02];
+/// let mut streamed = Vec::new();
+/// encode_frame_into(0, Command::Data, &mut streamed, |esc| {
+///     esc.put_slice(&payload);
+/// });
+/// assert_eq!(streamed, encode(0, Command::Data, &payload));
+/// ```
+pub fn encode_frame_into<S: ByteSink>(
+    port: u8,
+    command: Command,
+    out: &mut S,
+    write_payload: impl FnOnce(&mut EscapedWriter<'_, S>),
+) {
+    out.put(FEND);
+    push_escaped(out, (port << 4) | command.code());
+    write_payload(&mut EscapedWriter(out));
+    out.put(FEND);
 }
 
 /// Encodes a single-byte parameter command (TXDELAY, P, SlotTime, …).
@@ -186,17 +289,48 @@ enum State {
     Drop,
 }
 
+/// A completed frame borrowed from a [`Deframer`]'s internal buffer.
+///
+/// The payload stays valid until the next [`Deframer::push`]; the receive
+/// fast path inspects it in place (address filter, PID demux) and only
+/// copies via [`to_owned`](KissFrameRef::to_owned) when the frame is
+/// actually for us.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KissFrameRef<'a> {
+    /// TNC port (high nibble of the type byte).
+    pub port: u8,
+    /// The command.
+    pub command: Command,
+    /// Unescaped payload, borrowed from the deframer.
+    pub payload: &'a [u8],
+}
+
+impl KissFrameRef<'_> {
+    /// Copies this frame into an owned [`KissFrame`].
+    pub fn to_owned(&self) -> KissFrame {
+        KissFrame {
+            port: self.port,
+            command: self.command,
+            payload: self.payload.to_vec(),
+        }
+    }
+}
+
 /// Incremental KISS decoder — one byte per call, exactly like the paper's
 /// tty interrupt handler.
 ///
 /// Feed received characters to [`Deframer::push`]; a completed frame is
-/// returned on the terminating `FEND`. Malformed input (bad escape,
-/// unknown command, oversize frame) discards the current frame and
-/// resynchronizes on the next `FEND`.
+/// returned on the terminating `FEND` as a [`KissFrameRef`] borrowing the
+/// deframer's reusable buffer — the decoder allocates once at construction
+/// and never again. Malformed input (bad escape, unknown command, oversize
+/// frame) discards the current frame and resynchronizes on the next `FEND`.
 #[derive(Debug, Clone)]
 pub struct Deframer {
     state: State,
     buf: Vec<u8>,
+    /// The previous push returned a frame still sitting in `buf`; clear it
+    /// on the next byte (we cannot clear eagerly while the borrow lives).
+    pending_reset: bool,
     max_len: usize,
     stats: DeframerStats,
 }
@@ -221,15 +355,22 @@ impl Deframer {
     pub fn with_max_len(max_len: usize) -> Deframer {
         Deframer {
             state: State::Hunt,
-            buf: Vec::new(),
+            // +1: the type byte shares the buffer with up to max_len payload.
+            buf: Vec::with_capacity(max_len + 1),
+            pending_reset: false,
             max_len,
             stats: DeframerStats::default(),
         }
     }
 
     /// Consumes one character from the serial line; returns a frame when
-    /// the closing `FEND` arrives.
-    pub fn push(&mut self, byte: u8) -> Option<KissFrame> {
+    /// the closing `FEND` arrives. The returned [`KissFrameRef`] borrows
+    /// the deframer and is invalidated by the next `push`.
+    pub fn push(&mut self, byte: u8) -> Option<KissFrameRef<'_>> {
+        if self.pending_reset {
+            self.pending_reset = false;
+            self.buf.clear();
+        }
         self.stats.bytes += 1;
         match self.state {
             State::Hunt => {
@@ -245,16 +386,21 @@ impl Deframer {
                     self.state = State::Escape;
                     None
                 }
-                other => self.accept(other),
+                other => {
+                    self.accept(other);
+                    None
+                }
             },
             State::Escape => match byte {
                 TFEND => {
                     self.state = State::Open;
-                    self.accept(FEND)
+                    self.accept(FEND);
+                    None
                 }
                 TFESC => {
                     self.state = State::Open;
-                    self.accept(FESC)
+                    self.accept(FESC);
+                    None
                 }
                 FEND => {
                     // Truncated escape; the FEND still resynchronizes.
@@ -279,21 +425,20 @@ impl Deframer {
         }
     }
 
-    fn accept(&mut self, byte: u8) -> Option<KissFrame> {
+    fn accept(&mut self, byte: u8) {
         // +1 accounts for the type byte occupying buf[0].
         if self.buf.len() > self.max_len {
             self.stats.oversize += 1;
             self.state = State::Drop;
-            return None;
+            return;
         }
         self.buf.push(byte);
-        None
     }
 
-    fn finish(&mut self) -> Option<KissFrame> {
+    fn finish(&mut self) -> Option<KissFrameRef<'_>> {
         self.state = State::Open;
-        let buf = std::mem::take(&mut self.buf);
-        let Some((&type_byte, payload)) = buf.split_first() else {
+        self.pending_reset = true;
+        let Some((&type_byte, payload)) = self.buf.split_first() else {
             // Back-to-back FENDs are idle keepalives, not frames.
             return None;
         };
@@ -306,10 +451,10 @@ impl Deframer {
             return None;
         }
         self.stats.frames += 1;
-        Some(KissFrame {
+        Some(KissFrameRef {
             port: type_byte >> 4,
             command,
-            payload: payload.to_vec(),
+            payload,
         })
     }
 
@@ -321,7 +466,9 @@ impl Deframer {
     /// True if the decoder has consumed frame content that is not yet
     /// terminated (useful for draining tests).
     pub fn in_frame(&self) -> bool {
-        matches!(self.state, State::Open | State::Escape) && !self.buf.is_empty()
+        matches!(self.state, State::Open | State::Escape)
+            && !self.buf.is_empty()
+            && !self.pending_reset
     }
 }
 
@@ -330,7 +477,10 @@ impl Deframer {
 /// Convenience wrapper over [`Deframer`] for tests and batch tools.
 pub fn decode_stream(bytes: &[u8]) -> Vec<KissFrame> {
     let mut d = Deframer::new();
-    bytes.iter().filter_map(|&b| d.push(b)).collect()
+    bytes
+        .iter()
+        .filter_map(|&b| d.push(b).map(|f| f.to_owned()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -412,7 +562,7 @@ mod tests {
         let mut d = Deframer::new();
         let mut wire = vec![FEND, 0x00, b'a', FESC, 0x99, b'b', FEND];
         wire.extend(encode(0, Command::Data, b"good"));
-        let frames: Vec<_> = wire.iter().filter_map(|&b| d.push(b)).collect();
+        let frames: Vec<_> = wire.iter().filter_map(|&b| d.push(b).map(|f| f.to_owned())).collect();
         assert_eq!(frames.len(), 1);
         assert_eq!(frames[0].payload, b"good");
         assert_eq!(d.stats().bad_escapes, 1);
@@ -422,7 +572,7 @@ mod tests {
     fn escape_truncated_by_fend_counts_and_resyncs() {
         let wire = [FEND, 0x00, b'a', FESC, FEND, 0x00, b'z', FEND];
         let mut d = Deframer::new();
-        let frames: Vec<_> = wire.iter().filter_map(|&b| d.push(b)).collect();
+        let frames: Vec<_> = wire.iter().filter_map(|&b| d.push(b).map(|f| f.to_owned())).collect();
         assert_eq!(frames.len(), 1);
         assert_eq!(frames[0].payload, b"z");
         assert_eq!(d.stats().bad_escapes, 1);
@@ -432,7 +582,7 @@ mod tests {
     fn unknown_command_nibble_is_dropped() {
         let wire = [FEND, 0x07, b'a', FEND]; // 0x7 is undefined
         let mut d = Deframer::new();
-        let frames: Vec<_> = wire.iter().filter_map(|&b| d.push(b)).collect();
+        let frames: Vec<_> = wire.iter().filter_map(|&b| d.push(b).map(|f| f.to_owned())).collect();
         assert!(frames.is_empty());
         assert_eq!(d.stats().bad_commands, 1);
     }
@@ -441,12 +591,12 @@ mod tests {
     fn oversize_frame_is_dropped() {
         let mut d = Deframer::with_max_len(4);
         let wire = encode(0, Command::Data, b"too long!");
-        let frames: Vec<_> = wire.iter().filter_map(|&b| d.push(b)).collect();
+        let frames: Vec<_> = wire.iter().filter_map(|&b| d.push(b).map(|f| f.to_owned())).collect();
         assert!(frames.is_empty());
         assert_eq!(d.stats().oversize, 1);
         // And it recovers for the next frame.
         let wire2 = encode(0, Command::Data, b"ok");
-        let frames2: Vec<_> = wire2.iter().filter_map(|&b| d.push(b)).collect();
+        let frames2: Vec<_> = wire2.iter().filter_map(|&b| d.push(b).map(|f| f.to_owned())).collect();
         assert_eq!(frames2.len(), 1);
     }
 

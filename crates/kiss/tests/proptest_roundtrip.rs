@@ -48,7 +48,10 @@ proptest! {
         // Force resynchronization boundary, then send a clean frame.
         let _ = d.push(FEND);
         let wire = encode(0, Command::Data, &payload);
-        let got: Vec<_> = wire.iter().filter_map(|&b| d.push(b)).collect();
+        let got: Vec<_> = wire
+            .iter()
+            .filter_map(|&b| d.push(b).map(|f| f.to_owned()))
+            .collect();
         let last = got.last().expect("clean frame must decode");
         prop_assert_eq!(&last.payload, &payload);
     }

@@ -12,7 +12,8 @@
 
 use std::net::Ipv4Addr;
 
-use sim::wire::{Reader, Writer};
+use sim::pktbuf::ByteSink;
+use sim::wire::{Codec, Reader};
 
 use crate::NetError;
 
@@ -109,23 +110,33 @@ impl ArpPacket {
     /// Panics if the two hardware addresses differ in length or exceed
     /// 255 octets.
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 2 * (self.sender_hw.len() + 4));
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the wire encoding to any [`ByteSink`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two hardware addresses differ in length or exceed
+    /// 255 octets.
+    pub fn encode_into(&self, out: &mut impl ByteSink) {
         assert_eq!(
             self.sender_hw.len(),
             self.target_hw.len(),
             "hardware address lengths must match"
         );
         assert!(self.sender_hw.len() <= 255);
-        let mut w = Writer::new();
-        w.u16(self.hw);
-        w.u16(PROTO_IPV4);
-        w.u8(self.sender_hw.len() as u8);
-        w.u8(4);
-        w.u16(self.op.code());
-        w.bytes(&self.sender_hw);
-        w.bytes(&self.sender_ip.octets());
-        w.bytes(&self.target_hw);
-        w.bytes(&self.target_ip.octets());
-        w.into_bytes()
+        out.put_slice(&self.hw.to_be_bytes());
+        out.put_slice(&PROTO_IPV4.to_be_bytes());
+        out.put(self.sender_hw.len() as u8);
+        out.put(4);
+        out.put_slice(&self.op.code().to_be_bytes());
+        out.put_slice(&self.sender_hw);
+        out.put_slice(&self.sender_ip.octets());
+        out.put_slice(&self.target_hw);
+        out.put_slice(&self.target_ip.octets());
     }
 
     /// Decodes a packet.
@@ -161,6 +172,18 @@ impl ArpPacket {
             target_hw,
             target_ip,
         })
+    }
+}
+
+impl Codec for ArpPacket {
+    type Error = NetError;
+
+    fn encode_into(&self, out: &mut impl ByteSink) {
+        ArpPacket::encode_into(self, out);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<ArpPacket, NetError> {
+        ArpPacket::decode(bytes)
     }
 }
 

@@ -8,7 +8,8 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-use sim::wire::{internet_checksum, Reader, Writer};
+use sim::pktbuf::ByteSink;
+use sim::wire::{internet_checksum, Codec, Reader};
 use sim::{SimDuration, SimTime};
 
 use crate::NetError;
@@ -108,24 +109,32 @@ impl Ipv4Packet {
 
     /// Encodes header (with checksum) + payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::with_capacity(self.total_len());
-        w.u8(0x45); // version 4, IHL 5
-        w.u8(self.tos);
-        w.u16(self.total_len() as u16);
-        w.u16(self.id);
+        let mut out = Vec::with_capacity(self.total_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends header (with checksum) + payload to any [`ByteSink`]. The
+    /// header is staged in a stack array so the checksum can be patched in
+    /// before anything touches the sink.
+    pub fn encode_into(&self, out: &mut impl ByteSink) {
+        let mut hdr = [0u8; HEADER_LEN];
+        hdr[0] = 0x45; // version 4, IHL 5
+        hdr[1] = self.tos;
+        hdr[2..4].copy_from_slice(&(self.total_len() as u16).to_be_bytes());
+        hdr[4..6].copy_from_slice(&self.id.to_be_bytes());
         let flags = (u16::from(self.dont_fragment) << 14)
             | (u16::from(self.more_fragments) << 13)
             | (self.frag_offset & 0x1FFF);
-        w.u16(flags);
-        w.u8(self.ttl);
-        w.u8(self.proto.code());
-        w.u16(0); // checksum placeholder
-        w.bytes(&self.src.octets());
-        w.bytes(&self.dst.octets());
-        let sum = internet_checksum(&[w.as_slice()]);
-        w.patch_u16(10, sum);
-        w.bytes(&self.payload);
-        w.into_bytes()
+        hdr[6..8].copy_from_slice(&flags.to_be_bytes());
+        hdr[8] = self.ttl;
+        hdr[9] = self.proto.code();
+        hdr[12..16].copy_from_slice(&self.src.octets());
+        hdr[16..20].copy_from_slice(&self.dst.octets());
+        let sum = internet_checksum(&[&hdr]);
+        hdr[10..12].copy_from_slice(&sum.to_be_bytes());
+        out.put_slice(&hdr);
+        out.put_slice(&self.payload);
     }
 
     /// Decodes and verifies a packet. Trailing link-layer padding (e.g.
@@ -169,6 +178,18 @@ impl Ipv4Packet {
             dst: Ipv4Addr::from(<[u8; 4]>::try_from(dst_bytes).expect("len 4")),
             payload,
         })
+    }
+}
+
+impl Codec for Ipv4Packet {
+    type Error = NetError;
+
+    fn encode_into(&self, out: &mut impl ByteSink) {
+        Ipv4Packet::encode_into(self, out);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Ipv4Packet, NetError> {
+        Ipv4Packet::decode(bytes)
     }
 }
 

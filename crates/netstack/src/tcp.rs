@@ -706,6 +706,14 @@ impl Tcb {
 
         // --- Data processing ---
         let mut should_ack = false;
+        if seg.flags.syn {
+            // A retransmitted SYN/SYN-ACK in a synchronized state means the
+            // peer never saw our ACK of its SYN (RFC 793: unacceptable
+            // segments elicit an ACK). Without this the peer stays in
+            // SYN-RECEIVED retransmitting forever while we sit Established
+            // with nothing to send.
+            should_ack = true;
+        }
         if !seg.payload.is_empty() {
             if seg.seq == self.rcv_nxt && !self.peer_fin_seen {
                 let room = self.cfg.recv_buf - self.recv_buf.len();

@@ -212,6 +212,35 @@ fn syn_retransmits_on_timeout() {
     assert!(t2 - t > t - now, "exponential backoff");
 }
 
+#[test]
+fn lost_handshake_ack_recovers_via_dup_synack() {
+    // The third packet of the handshake is lost: the client goes
+    // Established, the server stays SynReceived and retransmits its
+    // SYN-ACK. The client must re-ACK the duplicate SYN-ACK (RFC 793) or
+    // both sides deadlock — the client waiting for data, the server for
+    // its handshake ACK (seen in the field on a lossy 1200 b/s channel).
+    let now = SimTime::ZERO;
+    let (mut alice, ev) = Tcb::connect(now, (ipa(1), A), (ipa(2), B), 1000, TcpConfig::default());
+    let syn = expect_one_segment(&ev);
+    let (mut bob, ev) = Tcb::accept(now, (ipa(2), B), (ipa(1), A), &syn, 7000, TcpConfig::default());
+    let synack = expect_one_segment(&ev);
+    let ev = alice.on_segment(now, &synack);
+    expect_one_segment(&ev); // the handshake ACK — dropped on the floor
+    assert_eq!(alice.state(), TcpState::Established);
+    assert_eq!(bob.state(), TcpState::SynReceived);
+
+    let t = bob.next_deadline().expect("synack rtx armed");
+    let ev = bob.on_timer(t);
+    let dup_synack = expect_one_segment(&ev);
+    assert!(dup_synack.flags.syn && dup_synack.flags.ack);
+    let ev = alice.on_segment(t, &dup_synack);
+    let reack = expect_one_segment(&ev);
+    assert!(reack.flags.ack && !reack.flags.syn);
+    let ev = bob.on_segment(t, &reack);
+    assert!(ev.contains(&TcbEvent::Connected));
+    assert_eq!(bob.state(), TcpState::Established);
+}
+
 // --- Data transfer ----------------------------------------------------------
 
 #[test]

@@ -1,0 +1,322 @@
+//! Strategies: deterministic value generators with a `prop_map` combinator.
+
+use crate::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values of one type, driven by a [`TestRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Returns a strategy applying `f` to every generated value.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+/// Boxes a strategy as a trait object (used by [`prop_oneof!`](crate::prop_oneof)).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Uniform choice among boxed strategies sharing a value type.
+pub struct OneOf<V>(pub Vec<Box<dyn Strategy<Value = V>>>);
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].sample(rng)
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Wraps a sampling closure as a strategy (used by
+/// [`prop_compose!`](crate::prop_compose)).
+pub struct FnStrategy<F>(pub F);
+
+impl<F, V> Strategy for FnStrategy<F>
+where
+    F: Fn(&mut TestRng) -> V,
+{
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy, reachable via [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary_sample(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_sample(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary_sample(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_sample(rng)
+    }
+}
+
+/// Strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (S0 0, S1 1)
+    (S0 0, S1 1, S2 2)
+    (S0 0, S1 1, S2 2, S3 3)
+    (S0 0, S1 1, S2 2, S3 3, S4 4)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+}
+
+/// `&str` strategies: a miniature regex generator covering the
+/// character-class patterns the tests use, e.g. `"[A-Z0-9]{1,6}"` or
+/// `"[ -~]{0,16}"`. Literal characters outside classes are emitted as-is;
+/// `{m,n}` / `{n}` repetition applies to the preceding class or literal.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = if c == '[' {
+            let mut items: Vec<char> = Vec::new();
+            for d in chars.by_ref() {
+                if d == ']' {
+                    break;
+                }
+                items.push(d);
+            }
+            // Fold `a-z` triples into ranges; everything else is a literal.
+            let mut ranges = Vec::new();
+            let mut i = 0;
+            while i < items.len() {
+                if i + 2 < items.len() && items[i + 1] == '-' {
+                    ranges.push((items[i], items[i + 2]));
+                    i += 3;
+                } else {
+                    ranges.push((items[i], items[i]));
+                    i += 1;
+                }
+            }
+            Atom::Class(ranges)
+        } else {
+            Atom::Literal(c)
+        };
+
+        // Optional repetition suffix.
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse::<usize>().unwrap_or(0),
+                    b.trim().parse::<usize>().unwrap_or(0),
+                ),
+                None => {
+                    let n = spec.trim().parse::<usize>().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+
+        let n = if hi > lo {
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        } else {
+            lo
+        };
+        for _ in 0..n {
+            match &atom {
+                Atom::Literal(l) => out.push(*l),
+                Atom::Class(ranges) => {
+                    if ranges.is_empty() {
+                        continue;
+                    }
+                    let (lo_c, hi_c) = ranges[rng.below(ranges.len() as u64) as usize];
+                    let (a, b) = (lo_c as u32, hi_c as u32);
+                    let pick = a + rng.below((b.saturating_sub(a) + 1) as u64) as u32;
+                    out.push(char::from_u32(pick).unwrap_or(lo_c));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seed_from(1);
+        for _ in 0..1000 {
+            let v = (10u8..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (1u8..=255).sample(&mut rng);
+            assert!(w >= 1);
+            let f = (0.25f64..0.75).sample(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_classes_generate_members() {
+        let mut rng = TestRng::seed_from(2);
+        for _ in 0..200 {
+            let s = "[A-Z0-9]{1,6}".sample(&mut rng);
+            assert!((1..=6).contains(&s.len()), "len {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit()));
+        }
+        for _ in 0..200 {
+            let s = "[ -~]{0,16}".sample(&mut rng);
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_oneof_compose() {
+        let mut rng = TestRng::seed_from(3);
+        let s = crate::prop_oneof![Just(1u8), (10u8..20).prop_map(|v| v + 1)];
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(v == 1 || (11..21).contains(&v));
+        }
+    }
+}

@@ -20,7 +20,7 @@
 use ax25::addr::Ax25Addr;
 use ax25::fcs::{append_fcs, verify_and_strip_fcs};
 use ax25::frame::Frame;
-use kiss::{Command, Deframer, KissFrame};
+use kiss::{Command, Deframer};
 use sim::{SimDuration, SimRng, SimTime};
 
 use crate::channel::{Channel, Reception, StationId};
@@ -142,51 +142,54 @@ impl Tnc {
 
     /// Consumes one character from the host serial line.
     pub fn on_serial_byte(&mut self, byte: u8) {
-        if let Some(frame) = self.deframer.push(byte) {
-            self.on_kiss_frame(frame);
-        }
+        // The deframed payload borrows the deframer's internal buffer, so
+        // the handler takes the other fields as disjoint borrows.
+        let Some(frame) = self.deframer.push(byte) else {
+            return;
+        };
+        Tnc::on_kiss_frame(&mut self.stats, &mut self.mac, frame.command, frame.payload);
     }
 
-    fn on_kiss_frame(&mut self, frame: KissFrame) {
-        match frame.command {
+    fn on_kiss_frame(stats: &mut TncStats, mac: &mut Csma, command: Command, payload: &[u8]) {
+        match command {
             Command::Data => {
-                self.stats.from_host += 1;
-                let mut on_air = frame.payload;
+                stats.from_host += 1;
+                let mut on_air = payload.to_vec();
                 append_fcs(&mut on_air);
-                self.mac.enqueue(on_air);
+                mac.enqueue(on_air);
             }
             Command::TxDelay => {
-                self.stats.params += 1;
-                if let Some(&v) = frame.payload.first() {
-                    self.mac.config_mut().tx_delay = SimDuration::from_millis(u64::from(v) * 10);
+                stats.params += 1;
+                if let Some(&v) = payload.first() {
+                    mac.config_mut().tx_delay = SimDuration::from_millis(u64::from(v) * 10);
                 }
             }
             Command::Persistence => {
-                self.stats.params += 1;
-                if let Some(&v) = frame.payload.first() {
-                    self.mac.config_mut().persistence = (f64::from(v) + 1.0) / 256.0;
+                stats.params += 1;
+                if let Some(&v) = payload.first() {
+                    mac.config_mut().persistence = (f64::from(v) + 1.0) / 256.0;
                 }
             }
             Command::SlotTime => {
-                self.stats.params += 1;
-                if let Some(&v) = frame.payload.first() {
-                    self.mac.config_mut().slot_time = SimDuration::from_millis(u64::from(v) * 10);
+                stats.params += 1;
+                if let Some(&v) = payload.first() {
+                    mac.config_mut().slot_time = SimDuration::from_millis(u64::from(v) * 10);
                 }
             }
             Command::TxTail => {
-                self.stats.params += 1;
-                if let Some(&v) = frame.payload.first() {
-                    self.mac.config_mut().tx_tail = SimDuration::from_millis(u64::from(v) * 10);
+                stats.params += 1;
+                if let Some(&v) = payload.first() {
+                    mac.config_mut().tx_tail = SimDuration::from_millis(u64::from(v) * 10);
                 }
             }
             Command::FullDuplex => {
-                self.stats.params += 1;
-                if let Some(&v) = frame.payload.first() {
-                    self.mac.config_mut().full_duplex = v != 0;
+                stats.params += 1;
+                if let Some(&v) = payload.first() {
+                    mac.config_mut().full_duplex = v != 0;
                 }
             }
             Command::SetHardware | Command::Return => {
-                self.stats.params += 1;
+                stats.params += 1;
             }
         }
     }

@@ -16,7 +16,10 @@
 //! * [`stats`] — counters, online mean/variance, histograms, and time
 //!   series used by the experiment harnesses.
 //! * [`wire`] — bounds-checked big-endian readers and writers shared by all
-//!   of the frame/packet codecs.
+//!   of the frame/packet codecs, plus the [`wire::Codec`] trait they
+//!   implement.
+//! * [`pktbuf`] — pooled [`PacketBuf`]s and the [`FrameSink`]/[`ByteSink`]
+//!   emit traits: the zero-allocation datapath buffer contract.
 //! * [`trace`] — a lightweight, in-memory event trace.
 //!
 //! # Examples
@@ -35,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pktbuf;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -42,6 +46,7 @@ pub mod time;
 pub mod trace;
 pub mod wire;
 
+pub use pktbuf::{BufPool, ByteSink, FrameSink, PacketBuf, PoolStats, SinkFn};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use time::{Bandwidth, SimDuration, SimTime};

@@ -4,14 +4,15 @@
 //! workload inter-arrival jitter, bit-error injection — flows through a
 //! [`SimRng`] seeded once per run, so the same seed always produces the
 //! same packet-level schedule.
+//!
+//! The generator is a self-contained xoshiro256++ core seeded through
+//! SplitMix64, so the simulator carries no external RNG dependency and the
+//! byte-for-byte schedule of a run is pinned by this file alone.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
-/// A seeded random-number generator wrapping [`rand::rngs::StdRng`].
+/// A seeded random-number generator (xoshiro256++ core, SplitMix64 seeding).
 ///
 /// The wrapper pins down the handful of draw shapes the simulator uses and
-/// keeps the `rand` API surface out of the other crates.
+/// keeps any RNG implementation detail out of the other crates.
 ///
 /// # Examples
 ///
@@ -22,23 +23,55 @@ use rand::{RngExt, SeedableRng};
 /// let mut b = SimRng::seed_from(42);
 /// assert_eq!(a.below(1000), b.below(1000));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> SimRng {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// Raw 64-bit draw: one xoshiro256++ step.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; useful for giving each
     /// station its own stream while preserving run-level determinism.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.inner.random::<u64>())
+        SimRng::seed_from(self.next_u64())
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -48,7 +81,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.random::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -59,7 +92,21 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
-        self.inner.random_range(0..bound)
+        // Lemire-style rejection to keep the draw unbiased for all bounds.
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = (x as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -69,12 +116,13 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
-        self.inner.random_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Uniform draw in `[0.0, 1.0)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 high bits give the full double-precision mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Exponentially distributed draw with the given mean, for Poisson
@@ -85,7 +133,7 @@ impl SimRng {
     /// Panics if `mean` is not finite and positive.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean.is_finite() && mean > 0.0, "invalid mean: {mean}");
-        let u: f64 = self.inner.random::<f64>();
+        let u = self.unit();
         // Guard against ln(0).
         -mean * (1.0 - u).max(f64::MIN_POSITIVE).ln()
     }
@@ -93,7 +141,7 @@ impl SimRng {
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.random_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             items.swap(i, j);
         }
     }
@@ -105,7 +153,7 @@ impl SimRng {
     /// Panics if `items` is empty.
     pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         assert!(!items.is_empty(), "pick from empty slice");
-        let i = self.inner.random_range(0..items.len());
+        let i = self.below(items.len() as u64) as usize;
         &items[i]
     }
 }
@@ -160,6 +208,15 @@ mod tests {
     }
 
     #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut r = SimRng::seed_from(12);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
     fn exponential_mean_is_plausible() {
         let mut r = SimRng::seed_from(6);
         let n = 20_000;
@@ -194,5 +251,15 @@ mod tests {
         for _ in 0..20 {
             assert!(items.contains(r.pick(&items)));
         }
+    }
+
+    #[test]
+    fn below_small_bounds_cover_all_values() {
+        let mut r = SimRng::seed_from(13);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 }

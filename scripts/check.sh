@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, tests, lints, and the datapath allocation check.
+# Run from the repo root (or anywhere inside it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo bench -p bench --bench driver_rx -- --test"
+cargo bench -p bench --bench driver_rx -- --test
+
+echo "==> all checks passed"

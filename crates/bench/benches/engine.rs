@@ -117,5 +117,120 @@ fn bench_world(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_tcp_machine, bench_world);
+/// The tentpole comparison: the deadline-indexed engine vs the full-scan
+/// reference stepper on identical worlds. `paper_*` is the Figure-1
+/// topology with a pinger (serial-character dominated); `beacons50_*` is
+/// the E2-style overload: the gateway's promiscuous TNC behind a 2400 Bd
+/// line hears 50 chattering stations, so every instant is either a
+/// per-character serial delivery (batched by the fast lane) or one due
+/// MAC among 50 — the reference re-scans all ~60 components either way.
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+
+    fn paper_setup() -> gateway::scenario::PaperScenario {
+        let mut s = gateway::scenario::paper_topology(gateway::scenario::PaperConfig::default(), 1);
+        let p = apps::ping::Pinger::new(
+            gateway::scenario::ETHER_HOST_IP,
+            1,
+            3,
+            SimDuration::from_secs(15),
+            32,
+        );
+        s.world.add_app(s.pc, Box::new(p));
+        s
+    }
+    g.bench_function("paper_60s_reference", |b| {
+        b.iter_batched(
+            paper_setup,
+            |mut s| {
+                let t = s.world.now + SimDuration::from_secs(60);
+                s.world.run_until_reference(t);
+                black_box(s.world.now)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("paper_60s_indexed", |b| {
+        b.iter_batched(
+            paper_setup,
+            |mut s| {
+                s.world.run_for(SimDuration::from_secs(60));
+                black_box(s.world.now)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    fn beacons_setup() -> gateway::scenario::PaperScenario {
+        let cfg = gateway::scenario::PaperConfig {
+            serial_baud: 2400,
+            acl: false,
+            ..gateway::scenario::PaperConfig::default()
+        };
+        let mut s = gateway::scenario::paper_topology(cfg, 50);
+        for i in 0..50 {
+            s.world.add_beacon(
+                s.chan,
+                radio::traffic::BeaconConfig {
+                    from: ax25::addr::Ax25Addr::parse_or_panic(&format!("BG{i}")),
+                    to: ax25::addr::Ax25Addr::parse_or_panic("CHAT"),
+                    frame_len: 120,
+                    mean_interval: SimDuration::from_secs(60),
+                    start: SimTime::from_millis(100 * i),
+                    mac: radio::csma::MacConfig::default(),
+                },
+            );
+        }
+        // Only the gateway eavesdrops; the PC's TNC filters, so its
+        // serial line stays quiet and the flood lands on one line.
+        s.world
+            .tnc_mut(s.pc_tnc)
+            .set_mode(radio::tnc::RxMode::AddressFilter);
+        s
+    }
+    g.bench_function("beacons50_60s_reference", |b| {
+        b.iter_batched(
+            beacons_setup,
+            |mut s| {
+                s.world.run_until_reference(SimTime::from_secs(60));
+                black_box(s.world.now)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("beacons50_60s_indexed", |b| {
+        b.iter_batched(
+            beacons_setup,
+            |mut s| {
+                s.world.run_for(SimDuration::from_secs(60));
+                black_box(s.world.now)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("beacons50_60s_wheel", |b| {
+        b.iter_batched(
+            || {
+                let mut s = beacons_setup();
+                s.world.use_timer_wheel(SimDuration::from_millis(1));
+                s
+            },
+            |mut s| {
+                s.world.run_for(SimDuration::from_secs(60));
+                black_box(s.world.now)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_tcp_machine,
+    bench_world,
+    bench_engine
+);
 criterion_main!(benches);

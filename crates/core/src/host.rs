@@ -298,6 +298,15 @@ impl Host {
         }
     }
 
+    /// True if link-layer output or stack events are waiting to be taken.
+    ///
+    /// The world's batched serial fast lane uses this to detect that a
+    /// delivered character produced work beyond the per-character
+    /// accounting (i.e. a complete frame reached the stack).
+    pub fn has_pending_output(&self) -> bool {
+        !self.outbox.is_empty() || !self.events.is_empty()
+    }
+
     /// Takes pending link-layer output.
     pub fn take_outbox(&mut self) -> Vec<HostOut> {
         std::mem::take(&mut self.outbox)
@@ -311,6 +320,13 @@ impl Host {
     /// Takes diverted non-IP frames (the §2.4 tty queue).
     pub fn take_tty_frames(&mut self) -> Vec<Frame> {
         self.tty_queue.drain(..).collect()
+    }
+
+    /// Number of diverted frames waiting in the tty queue. Diverted frames
+    /// produce no stack event and no deadline, so the world watches this
+    /// count to know an app needs a poll.
+    pub fn tty_len(&self) -> usize {
+        self.tty_queue.len()
     }
 
     // --- User-level operations ---------------------------------------------

@@ -1,13 +1,23 @@
 //! The event-driven testbed: hosts, serial lines, TNCs, radio channels,
 //! digipeaters, Ethernet segments, and applications under one clock.
 //!
-//! The world advances by repeatedly finding the earliest deadline any
-//! component has self-reported, jumping the clock there, and then letting
-//! every due component act — routing its outputs (serial characters,
-//! radio receptions, Ethernet deliveries, host link output, stack events)
-//! until the instant is quiescent. All components are sans-io state
-//! machines from the substrate crates; this module is the only place
-//! where they touch.
+//! The world advances on a **deadline-indexed calendar** ([`sim::sched`]):
+//! every component registers its self-reported `next_deadline()` under a
+//! [`Key`], the run loop pops the earliest entries, marks exactly those
+//! components **dirty**, and the quiescence pass re-polls only dirty
+//! components — when a component emits output routed to another, only the
+//! receiver is marked dirty. Untouched components are never visited. The
+//! scheduler contract (who must be marked dirty when, deadline-change
+//! reporting, tie-break order) is documented in DESIGN.md §6.
+//!
+//! The previous engine — scan every component for its deadline on every
+//! event, re-poll everything every pass — is retained verbatim as the
+//! *reference stepper* ([`World::run_until_reference`]) so equivalence
+//! tests and the `engine` benchmarks can prove the indexed scheduler
+//! produces identical event sequences, faster.
+//!
+//! All components are sans-io state machines from the substrate crates;
+//! this module is the only place where they touch.
 
 use ax25::addr::Ax25Addr;
 use ether::{NicId, Segment};
@@ -18,8 +28,9 @@ use radio::digi::Digipeater;
 use radio::tnc::{RxMode, Tnc, TncConfig};
 use radio::traffic::{BeaconConfig, BeaconStation};
 use serial::{End, SerialConfig, SerialLine};
+use sim::sched::{SchedStats, Scheduler};
 use sim::trace::Trace;
-use sim::{Bandwidth, SimRng, SimTime};
+use sim::{Bandwidth, SimDuration, SimRng, SimTime};
 
 use crate::host::{Host, HostConfig, HostOut};
 
@@ -52,6 +63,13 @@ pub struct BeaconId(usize);
 /// Implementations live in the `apps` crate; the world calls these hooks
 /// with the owning [`Host`] borrowed mutably so the app can use the
 /// socket API directly.
+///
+/// Scheduler contract: `poll` is guaranteed to be called at
+/// [`App::next_deadline`], after any `on_event`, and whenever the owning
+/// host was touched at the current instant. Polls at other times may or
+/// may not happen, so a `poll` that acts without a due deadline, a fresh
+/// event, or new host state will not run deterministically — expose a
+/// deadline instead.
 pub trait App {
     /// Called once when the world first runs.
     fn on_start(&mut self, now: SimTime, host: &mut Host) {
@@ -63,7 +81,8 @@ pub trait App {
         let _ = (now, event, host);
     }
 
-    /// Called on every quiescence pass and at [`App::next_deadline`].
+    /// Called on quiescence passes where the app is due or its host was
+    /// touched, and at [`App::next_deadline`].
     fn poll(&mut self, now: SimTime, host: &mut Host) {
         let _ = (now, host);
     }
@@ -104,6 +123,166 @@ struct AppEntry {
     started: bool,
 }
 
+/// A component key in the deadline index and dirty set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Line(usize),
+    Chan(usize),
+    Seg(usize),
+    Tnc(usize),
+    Digi(usize),
+    Beacon(usize),
+    Host(usize),
+    App(usize),
+}
+
+/// One category's dirty members: a flag per component for O(1) dedup,
+/// plus the list of marked indices so the settle pass visits only dirty
+/// components instead of sweeping every flag.
+#[derive(Default)]
+struct DirtyCat {
+    flags: Vec<bool>,
+    list: Vec<usize>,
+}
+
+impl DirtyCat {
+    fn reset(&mut self, n: usize) {
+        self.flags.clear();
+        self.flags.resize(n, true);
+        self.list.clear();
+        self.list.extend(0..n);
+    }
+
+    fn reset_clear(&mut self, n: usize) {
+        self.flags.clear();
+        self.flags.resize(n, false);
+        self.list.clear();
+    }
+
+    /// Marks `i`; returns whether it was newly marked.
+    fn mark(&mut self, i: usize) -> bool {
+        if self.flags[i] {
+            false
+        } else {
+            self.flags[i] = true;
+            self.list.push(i);
+            true
+        }
+    }
+
+    /// Drains the current marks into `todo`, sorted ascending (component
+    /// index order — the deterministic processing order), clearing the
+    /// flags. Marks made while processing land in the next drain.
+    fn drain_into(&mut self, todo: &mut Vec<usize>) -> usize {
+        todo.clear();
+        todo.append(&mut self.list);
+        todo.sort_unstable();
+        for &i in todo.iter() {
+            self.flags[i] = false;
+        }
+        todo.len()
+    }
+}
+
+/// Per-category dirty sets with an exact total count, so the run loop can
+/// tell in O(1) whether any work is pending.
+#[derive(Default)]
+struct DirtySet {
+    lines: DirtyCat,
+    chans: DirtyCat,
+    segs: DirtyCat,
+    tncs: DirtyCat,
+    digis: DirtyCat,
+    beacons: DirtyCat,
+    hosts: DirtyCat,
+    apps: DirtyCat,
+    count: usize,
+}
+
+impl DirtySet {
+    fn cat(&mut self, key: Key) -> (&mut DirtyCat, usize) {
+        match key {
+            Key::Line(i) => (&mut self.lines, i),
+            Key::Chan(i) => (&mut self.chans, i),
+            Key::Seg(i) => (&mut self.segs, i),
+            Key::Tnc(i) => (&mut self.tncs, i),
+            Key::Digi(i) => (&mut self.digis, i),
+            Key::Beacon(i) => (&mut self.beacons, i),
+            Key::Host(i) => (&mut self.hosts, i),
+            Key::App(i) => (&mut self.apps, i),
+        }
+    }
+
+    fn mark(&mut self, key: Key) {
+        let (cat, i) = self.cat(key);
+        if cat.mark(i) {
+            self.count += 1;
+        }
+    }
+
+    /// Marks every component of every category dirty.
+    fn mark_all(&mut self, sizes: [usize; 8]) {
+        let [l, c, s, t, d, b, h, a] = sizes;
+        self.lines.reset(l);
+        self.chans.reset(c);
+        self.segs.reset(s);
+        self.tncs.reset(t);
+        self.digis.reset(d);
+        self.beacons.reset(b);
+        self.hosts.reset(h);
+        self.apps.reset(a);
+        self.count = l + c + s + t + d + b + h + a;
+    }
+}
+
+/// World-side mirror of each component's currently registered deadline.
+/// Most re-registrations after a poll are no-ops (the deadline did not
+/// move); comparing against this dense cache answers that in one vector
+/// load instead of a calendar map lookup.
+#[derive(Default)]
+struct CalCache {
+    lines: Vec<Option<SimTime>>,
+    chans: Vec<Option<SimTime>>,
+    segs: Vec<Option<SimTime>>,
+    tncs: Vec<Option<SimTime>>,
+    digis: Vec<Option<SimTime>>,
+    beacons: Vec<Option<SimTime>>,
+    hosts: Vec<Option<SimTime>>,
+    apps: Vec<Option<SimTime>>,
+}
+
+impl CalCache {
+    fn reset(&mut self, sizes: [usize; 8]) {
+        let [l, c, s, t, d, b, h, a] = sizes;
+        for (v, n) in [
+            (&mut self.lines, l),
+            (&mut self.chans, c),
+            (&mut self.segs, s),
+            (&mut self.tncs, t),
+            (&mut self.digis, d),
+            (&mut self.beacons, b),
+            (&mut self.hosts, h),
+            (&mut self.apps, a),
+        ] {
+            v.clear();
+            v.resize(n, None);
+        }
+    }
+
+    fn slot(&mut self, key: Key) -> &mut Option<SimTime> {
+        match key {
+            Key::Line(i) => &mut self.lines[i],
+            Key::Chan(i) => &mut self.chans[i],
+            Key::Seg(i) => &mut self.segs[i],
+            Key::Tnc(i) => &mut self.tncs[i],
+            Key::Digi(i) => &mut self.digis[i],
+            Key::Beacon(i) => &mut self.beacons[i],
+            Key::Host(i) => &mut self.hosts[i],
+            Key::App(i) => &mut self.apps[i],
+        }
+    }
+}
+
 /// The simulation world. See the [module docs](self).
 pub struct World {
     /// Current simulated time.
@@ -122,6 +301,22 @@ pub struct World {
     /// Recorded (host, time, event) triples when enabled.
     pub record_events: bool,
     events: Vec<(HostId, SimTime, StackAction)>,
+    /// The deadline-indexed calendar.
+    sched: Scheduler<Key>,
+    dirty: DirtySet,
+    /// Routing maps rebuilt by `sync_all` (first match, like the
+    /// reference stepper's linear `find`).
+    line_host: Vec<Option<usize>>,
+    line_tnc: Vec<Option<usize>>,
+    chan_tncs: Vec<Vec<usize>>,
+    chan_digis: Vec<Vec<usize>>,
+    chan_beacons: Vec<Vec<usize>>,
+    host_apps: Vec<Vec<usize>>,
+    /// Hosts to flush after the app-poll step of the current pass.
+    flush_after_apps: DirtyCat,
+    cal: CalCache,
+    /// Reusable buffer for draining dirty lists in index order.
+    scratch: Vec<usize>,
 }
 
 impl World {
@@ -141,7 +336,32 @@ impl World {
             apps: Vec::new(),
             record_events: true,
             events: Vec::new(),
+            sched: Scheduler::new(),
+            dirty: DirtySet::default(),
+            line_host: Vec::new(),
+            line_tnc: Vec::new(),
+            chan_tncs: Vec::new(),
+            chan_digis: Vec::new(),
+            chan_beacons: Vec::new(),
+            host_apps: Vec::new(),
+            flush_after_apps: DirtyCat::default(),
+            cal: CalCache::default(),
+            scratch: Vec::new(),
         }
+    }
+
+    /// Switches the calendar to the hierarchical timer-wheel backend with
+    /// the given slot granularity (one millisecond suits the 9600 Bd
+    /// per-character band). Takes effect at the next run call, which
+    /// rebuilds the index; pop order is identical to the heap backend.
+    pub fn use_timer_wheel(&mut self, granularity: SimDuration) {
+        self.sched = Scheduler::with_wheel(granularity);
+    }
+
+    /// Scheduler work counters (pops, re-keys, tombstone skips, component
+    /// polls, instants, batched serial characters).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched.stats()
     }
 
     // --- Topology building -------------------------------------------------
@@ -315,7 +535,9 @@ impl World {
 
     // --- Running -----------------------------------------------------------------
 
-    /// The earliest self-reported deadline of any component.
+    /// The earliest self-reported deadline of any component, by scanning
+    /// every component (the reference stepper's view of time; the indexed
+    /// run loop reads the calendar instead).
     pub fn next_deadline(&self) -> Option<SimTime> {
         let mut best: Option<SimTime> = None;
         let mut fold = |t: Option<SimTime>| {
@@ -353,33 +575,343 @@ impl World {
     /// Runs the world up to (and including) deadlines at `t`; the clock
     /// finishes exactly at `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        self.start_apps();
-        self.settle();
-        while let Some(d) = self.next_deadline() {
-            if d > t {
-                break;
-            }
-            self.now = self.now.max(d);
-            self.settle();
-        }
+        self.run_indexed(t);
         self.now = self.now.max(t);
     }
 
     /// Runs for `d` more simulated time.
-    pub fn run_for(&mut self, d: sim::SimDuration) {
+    pub fn run_for(&mut self, d: SimDuration) {
         self.run_until(self.now + d);
     }
 
     /// Runs until no component has any pending work (or `limit` passes).
+    /// A deadline exactly at `limit` is processed.
     pub fn run_until_idle(&mut self, limit: SimTime) {
+        self.run_indexed(limit);
+    }
+
+    /// The indexed run loop: pop due keys from the calendar, mark them
+    /// dirty, settle the instant over dirty components only.
+    fn run_indexed(&mut self, t: SimTime) {
         self.start_apps();
-        self.settle();
-        while let Some(d) = self.next_deadline() {
-            if d > limit {
+        self.sync_all();
+        self.settle_dirty(false);
+        let mut popped: Vec<Key> = Vec::new();
+        while let Some(d) = self.sched.peek_time() {
+            if d > t {
                 break;
             }
-            self.now = self.now.max(d);
-            self.settle();
+            if d > self.now {
+                self.now = d;
+                self.sched.stats_mut().instants += 1;
+            }
+            popped.clear();
+            let k = self.sched.pop().expect("peeked entry pops").1;
+            *self.cal.slot(k) = None;
+            popped.push(k);
+            while self.sched.peek_time().is_some_and(|pt| pt <= self.now) {
+                let k = self.sched.pop().expect("peeked entry pops").1;
+                *self.cal.slot(k) = None;
+                popped.push(k);
+            }
+            // Dense per-character band: a lone serial-line deadline with no
+            // other pending work takes the batched fast lane.
+            if popped.len() == 1 && self.dirty.count == 0 {
+                if let Key::Line(li) = popped[0] {
+                    self.serial_fast_lane(li, t);
+                    continue;
+                }
+            }
+            for &key in &popped {
+                self.dirty.mark(key);
+            }
+            self.settle_dirty(false);
+        }
+    }
+
+    /// Rebuilds the routing maps, registers every component's current
+    /// deadline, and marks everything dirty — run-call entry is the one
+    /// moment external mutations (via `host_mut`, `tnc_mut`, new
+    /// components…) can have happened without the world noticing.
+    fn sync_all(&mut self) {
+        self.line_host = vec![None; self.lines.len()];
+        for (hi, h) in self.hosts.iter().enumerate() {
+            if let Some(li) = h.serial {
+                if self.line_host[li].is_none() {
+                    self.line_host[li] = Some(hi);
+                }
+            }
+        }
+        self.line_tnc = vec![None; self.lines.len()];
+        for (ti, t) in self.tncs.iter().enumerate() {
+            if self.line_tnc[t.line].is_none() {
+                self.line_tnc[t.line] = Some(ti);
+            }
+        }
+        self.chan_tncs = vec![Vec::new(); self.channels.len()];
+        for (ti, t) in self.tncs.iter().enumerate() {
+            self.chan_tncs[t.chan.0].push(ti);
+        }
+        self.chan_digis = vec![Vec::new(); self.channels.len()];
+        for (di, d) in self.digis.iter().enumerate() {
+            self.chan_digis[d.chan.0].push(di);
+        }
+        self.chan_beacons = vec![Vec::new(); self.channels.len()];
+        for (bi, b) in self.beacons.iter().enumerate() {
+            self.chan_beacons[b.chan.0].push(bi);
+        }
+        self.host_apps = vec![Vec::new(); self.hosts.len()];
+        for (ai, a) in self.apps.iter().enumerate() {
+            self.host_apps[a.host.0].push(ai);
+        }
+        self.flush_after_apps.reset_clear(self.hosts.len());
+        self.cal.reset([
+            self.lines.len(),
+            self.channels.len(),
+            self.segments.len(),
+            self.tncs.len(),
+            self.digis.len(),
+            self.beacons.len(),
+            self.hosts.len(),
+            self.apps.len(),
+        ]);
+        self.dirty.mark_all([
+            self.lines.len(),
+            self.channels.len(),
+            self.segments.len(),
+            self.tncs.len(),
+            self.digis.len(),
+            self.beacons.len(),
+            self.hosts.len(),
+            self.apps.len(),
+        ]);
+        for li in 0..self.lines.len() {
+            self.reg_line(li);
+        }
+        for ci in 0..self.channels.len() {
+            self.reg_chan(ci);
+        }
+        for si in 0..self.segments.len() {
+            self.reg_seg(si);
+        }
+        for ti in 0..self.tncs.len() {
+            self.reg_tnc(ti);
+        }
+        for di in 0..self.digis.len() {
+            self.reg_digi(di);
+        }
+        for bi in 0..self.beacons.len() {
+            self.reg_beacon(bi);
+        }
+        for hi in 0..self.hosts.len() {
+            self.reg_host(hi);
+        }
+        for ai in 0..self.apps.len() {
+            self.reg_app(ai);
+        }
+    }
+
+    // Deadline-change reporting: re-register a component after anything
+    // may have moved its deadline. Unchanged deadlines are a no-op.
+
+    fn reg_line(&mut self, li: usize) {
+        let d = self.lines[li].next_deadline();
+        match self.cal.lines.get_mut(li) {
+            // Cache hit: the calendar already holds this deadline.
+            Some(slot) if *slot == d => {
+                self.sched.stats_mut().unchanged += 1;
+                return;
+            }
+            Some(slot) => *slot = d,
+            // Reference stepper: sync_all never sized the cache.
+            None => {}
+        }
+        self.sched.set_deadline(Key::Line(li), d);
+    }
+
+    fn reg_chan(&mut self, ci: usize) {
+        let d = self.channels[ci].next_deadline();
+        match self.cal.chans.get_mut(ci) {
+            // Cache hit: the calendar already holds this deadline.
+            Some(slot) if *slot == d => {
+                self.sched.stats_mut().unchanged += 1;
+                return;
+            }
+            Some(slot) => *slot = d,
+            // Reference stepper: sync_all never sized the cache.
+            None => {}
+        }
+        self.sched.set_deadline(Key::Chan(ci), d);
+    }
+
+    fn reg_seg(&mut self, si: usize) {
+        let d = self.segments[si].next_deadline();
+        match self.cal.segs.get_mut(si) {
+            // Cache hit: the calendar already holds this deadline.
+            Some(slot) if *slot == d => {
+                self.sched.stats_mut().unchanged += 1;
+                return;
+            }
+            Some(slot) => *slot = d,
+            // Reference stepper: sync_all never sized the cache.
+            None => {}
+        }
+        self.sched.set_deadline(Key::Seg(si), d);
+    }
+
+    fn reg_tnc(&mut self, ti: usize) {
+        let d = self.tncs[ti].tnc.next_deadline();
+        match self.cal.tncs.get_mut(ti) {
+            // Cache hit: the calendar already holds this deadline.
+            Some(slot) if *slot == d => {
+                self.sched.stats_mut().unchanged += 1;
+                return;
+            }
+            Some(slot) => *slot = d,
+            // Reference stepper: sync_all never sized the cache.
+            None => {}
+        }
+        self.sched.set_deadline(Key::Tnc(ti), d);
+    }
+
+    fn reg_digi(&mut self, di: usize) {
+        let d = self.digis[di].digi.next_deadline();
+        match self.cal.digis.get_mut(di) {
+            // Cache hit: the calendar already holds this deadline.
+            Some(slot) if *slot == d => {
+                self.sched.stats_mut().unchanged += 1;
+                return;
+            }
+            Some(slot) => *slot = d,
+            // Reference stepper: sync_all never sized the cache.
+            None => {}
+        }
+        self.sched.set_deadline(Key::Digi(di), d);
+    }
+
+    fn reg_beacon(&mut self, bi: usize) {
+        let d = self.beacons[bi].beacon.next_deadline();
+        match self.cal.beacons.get_mut(bi) {
+            // Cache hit: the calendar already holds this deadline.
+            Some(slot) if *slot == d => {
+                self.sched.stats_mut().unchanged += 1;
+                return;
+            }
+            Some(slot) => *slot = d,
+            // Reference stepper: sync_all never sized the cache.
+            None => {}
+        }
+        self.sched.set_deadline(Key::Beacon(bi), d);
+    }
+
+    fn reg_host(&mut self, hi: usize) {
+        let d = self.hosts[hi].host.next_deadline();
+        match self.cal.hosts.get_mut(hi) {
+            // Cache hit: the calendar already holds this deadline.
+            Some(slot) if *slot == d => {
+                self.sched.stats_mut().unchanged += 1;
+                return;
+            }
+            Some(slot) => *slot = d,
+            // Reference stepper: sync_all never sized the cache.
+            None => {}
+        }
+        self.sched.set_deadline(Key::Host(hi), d);
+    }
+
+    fn reg_app(&mut self, ai: usize) {
+        let d = self.apps[ai].app.next_deadline();
+        match self.cal.apps.get_mut(ai) {
+            // Cache hit: the calendar already holds this deadline.
+            Some(slot) if *slot == d => {
+                self.sched.stats_mut().unchanged += 1;
+                return;
+            }
+            Some(slot) => *slot = d,
+            // Reference stepper: sync_all never sized the cache.
+            None => {}
+        }
+        self.sched.set_deadline(Key::App(ai), d);
+    }
+
+    /// Marks every app on host `hi` dirty (the host was touched, so apps
+    /// watching its state — windows, tty queue — must get a poll).
+    fn mark_apps(&mut self, hi: usize) {
+        for i in 0..self.host_apps[hi].len() {
+            let ai = self.host_apps[hi][i];
+            self.dirty.mark(Key::App(ai));
+        }
+    }
+
+    /// Batched serial delivery (the lone-line instant). Advances character
+    /// by character at exact completion times with **zero calendar traffic
+    /// per byte**, as long as each delivered character is *quiet*: the
+    /// receiver's deadline, pending output, tty queue, and (TNC side)
+    /// frame/param counters are unchanged — i.e. only the per-character
+    /// interrupt accounting happened, which stays per-byte (§3). The first
+    /// non-quiet character (frame boundary, param command) falls back to a
+    /// full settle at its exact instant.
+    fn serial_fast_lane(&mut self, li: usize, limit: SimTime) {
+        let host_idx = self.line_host[li];
+        let tnc_idx = self.line_tnc[li];
+        loop {
+            self.lines[li].advance(self.now);
+            let mut quiet = true;
+            let host_bytes = self.lines[li].take_rx(End::A);
+            if !host_bytes.is_empty() {
+                self.sched.stats_mut().batched_chars += host_bytes.len() as u64;
+                if let Some(hi) = host_idx {
+                    let h = &mut self.hosts[hi].host;
+                    let before_dl = h.next_deadline();
+                    let before_tty = h.tty_len();
+                    h.on_serial_bytes(self.now, &host_bytes);
+                    if h.has_pending_output()
+                        || h.next_deadline() != before_dl
+                        || h.tty_len() != before_tty
+                    {
+                        self.dirty.mark(Key::Host(hi));
+                        self.mark_apps(hi);
+                        quiet = false;
+                    }
+                }
+            }
+            let tnc_bytes = self.lines[li].take_rx(End::B);
+            if !tnc_bytes.is_empty() {
+                self.sched.stats_mut().batched_chars += tnc_bytes.len() as u64;
+                if let Some(ti) = tnc_idx {
+                    let t = &mut self.tncs[ti].tnc;
+                    let before_dl = t.next_deadline();
+                    let s = t.stats();
+                    let before = (s.from_host, s.params);
+                    for &b in &tnc_bytes {
+                        t.on_serial_byte(b);
+                    }
+                    let s = t.stats();
+                    if (s.from_host, s.params) != before || t.next_deadline() != before_dl {
+                        self.dirty.mark(Key::Tnc(ti));
+                        quiet = false;
+                    }
+                }
+            }
+            let line_dl = self.lines[li].next_deadline();
+            if !quiet {
+                // The delivery that broke quiescence counts as this
+                // instant's first-pass progress, as it did when the
+                // reference stepper delivered it inside `settle`.
+                self.reg_line(li);
+                self.settle_dirty(true);
+                return;
+            }
+            if let Some(dl) = line_dl {
+                // Keep batching while the line is strictly the next event.
+                if dl <= limit && self.sched.peek_time().is_none_or(|o| dl < o) {
+                    self.now = dl;
+                    self.sched.stats_mut().instants += 1;
+                    continue;
+                }
+            }
+            self.reg_line(li);
+            return;
         }
     }
 
@@ -395,8 +927,281 @@ impl World {
         self.apps = apps;
     }
 
-    /// Processes everything due at `self.now` until the instant is quiet.
-    fn settle(&mut self) {
+    /// Processes everything dirty at `self.now` until the instant is
+    /// quiet, visiting categories in the same fixed order as the
+    /// reference stepper: lines → channels → MACs → segments → hosts →
+    /// apps. `initial_progress` seeds the first pass's progress flag when
+    /// the caller already made progress at this instant (the fast lane's
+    /// bail-out delivery).
+    fn settle_dirty(&mut self, initial_progress: bool) {
+        let now = self.now;
+        let mut first = initial_progress;
+        let mut todo = std::mem::take(&mut self.scratch);
+        for _pass in 0..10_000 {
+            let mut progressed = std::mem::take(&mut first);
+            let mut polled: u64 = 0;
+
+            // 1. Serial lines: finish due characters, route rx bytes.
+            todo.clear();
+            if !self.dirty.lines.list.is_empty() {
+                self.dirty.count -= self.dirty.lines.drain_into(&mut todo);
+            }
+            for &li in &todo {
+                polled += 1;
+                if self.lines[li].next_deadline().is_some_and(|t| t <= now) {
+                    self.lines[li].advance(now);
+                }
+                // Host side (End::A).
+                let host_bytes = self.lines[li].take_rx(End::A);
+                if !host_bytes.is_empty() {
+                    progressed = true;
+                    if let Some(hi) = self.line_host[li] {
+                        self.hosts[hi].host.on_serial_bytes(now, &host_bytes);
+                        self.dirty.mark(Key::Host(hi));
+                        self.mark_apps(hi);
+                    }
+                }
+                // TNC side (End::B).
+                let tnc_bytes = self.lines[li].take_rx(End::B);
+                if !tnc_bytes.is_empty() {
+                    progressed = true;
+                    if let Some(ti) = self.line_tnc[li] {
+                        for &b in &tnc_bytes {
+                            self.tncs[ti].tnc.on_serial_byte(b);
+                        }
+                        self.dirty.mark(Key::Tnc(ti));
+                    }
+                }
+                self.reg_line(li);
+            }
+
+            // 2. Radio channels: completed transmissions become
+            // receptions, and the carrier drops — wake the stations whose
+            // queued frames were blocked only on carrier sense (everyone
+            // else has a registered deadline of their own, or nothing to
+            // send; a carrier turning *busy* never enables a send).
+            todo.clear();
+            if !self.dirty.chans.list.is_empty() {
+                self.dirty.count -= self.dirty.chans.drain_into(&mut todo);
+            }
+            for &ci in &todo {
+                polled += 1;
+                if self.channels[ci].next_deadline().is_some_and(|t| t <= now) {
+                    let receptions = self.channels[ci].advance(now);
+                    if !receptions.is_empty() {
+                        progressed = true;
+                    }
+                    for rx in receptions {
+                        self.route_reception(now, ChanId(ci), rx.to, &rx);
+                    }
+                    for i in 0..self.chan_tncs[ci].len() {
+                        let ti = self.chan_tncs[ci][i];
+                        if self.tncs[ti].tnc.waiting_on_carrier() {
+                            self.dirty.mark(Key::Tnc(ti));
+                        }
+                    }
+                    for i in 0..self.chan_digis[ci].len() {
+                        let di = self.chan_digis[ci][i];
+                        if self.digis[di].digi.waiting_on_carrier() {
+                            self.dirty.mark(Key::Digi(di));
+                        }
+                    }
+                    for i in 0..self.chan_beacons[ci].len() {
+                        let bi = self.chan_beacons[ci][i];
+                        if self.beacons[bi].beacon.waiting_on_carrier() {
+                            self.dirty.mark(Key::Beacon(bi));
+                        }
+                    }
+                }
+                self.reg_chan(ci);
+            }
+
+            // 3. MAC polls (TNCs, digipeaters, beacons), in the reference
+            // stepper's category/index order so shared-RNG draws match. A
+            // MAC still due at this instant (zero slot time) is re-marked
+            // so it re-draws each pass, exactly like the re-poll-all
+            // reference.
+            todo.clear();
+            if !self.dirty.tncs.list.is_empty() {
+                self.dirty.count -= self.dirty.tncs.drain_into(&mut todo);
+            }
+            for &ti in &todo {
+                polled += 1;
+                let ci = self.tncs[ti].chan.0;
+                let entry = &mut self.tncs[ti];
+                entry
+                    .tnc
+                    .poll(now, &mut self.channels[ci], &mut self.rng);
+                if entry.tnc.next_deadline().is_some_and(|d| d <= now) {
+                    self.dirty.mark(Key::Tnc(ti));
+                }
+                self.reg_tnc(ti);
+                self.reg_chan(ci);
+            }
+            todo.clear();
+            if !self.dirty.digis.list.is_empty() {
+                self.dirty.count -= self.dirty.digis.drain_into(&mut todo);
+            }
+            for &di in &todo {
+                polled += 1;
+                let ci = self.digis[di].chan.0;
+                let entry = &mut self.digis[di];
+                entry
+                    .digi
+                    .poll(now, &mut self.channels[ci], &mut self.rng);
+                if entry.digi.next_deadline().is_some_and(|d| d <= now) {
+                    self.dirty.mark(Key::Digi(di));
+                }
+                self.reg_digi(di);
+                self.reg_chan(ci);
+            }
+            todo.clear();
+            if !self.dirty.beacons.list.is_empty() {
+                self.dirty.count -= self.dirty.beacons.drain_into(&mut todo);
+            }
+            for &bi in &todo {
+                polled += 1;
+                let ci = self.beacons[bi].chan.0;
+                let entry = &mut self.beacons[bi];
+                entry.beacon.poll(now, &mut self.channels[ci]);
+                if entry.beacon.next_deadline().is_some_and(|d| d <= now) {
+                    self.dirty.mark(Key::Beacon(bi));
+                }
+                self.reg_beacon(bi);
+                self.reg_chan(ci);
+            }
+
+            // 4. Ethernet segments.
+            todo.clear();
+            if !self.dirty.segs.list.is_empty() {
+                self.dirty.count -= self.dirty.segs.drain_into(&mut todo);
+            }
+            for &si in &todo {
+                polled += 1;
+                if self.segments[si].next_deadline().is_some_and(|t| t <= now) {
+                    let deliveries = self.segments[si].advance(now);
+                    if !deliveries.is_empty() {
+                        progressed = true;
+                    }
+                    for (nic, frame) in deliveries {
+                        if let Some(hi) = self
+                            .hosts
+                            .iter()
+                            .position(|h| h.nic == Some((SegId(si), nic)))
+                        {
+                            self.hosts[hi].host.on_ether_frame(now, &frame);
+                            self.dirty.mark(Key::Host(hi));
+                            self.mark_apps(hi);
+                        }
+                    }
+                }
+                self.reg_seg(si);
+            }
+
+            // 5. Hosts: CPU-gated stack work, then route their output.
+            todo.clear();
+            if !self.dirty.hosts.list.is_empty() {
+                self.dirty.count -= self.dirty.hosts.drain_into(&mut todo);
+            }
+            for &hi in &todo {
+                polled += 1;
+                if self.hosts[hi]
+                    .host
+                    .next_deadline()
+                    .is_some_and(|t| t <= now)
+                {
+                    self.hosts[hi].host.advance(now);
+                    self.mark_apps(hi);
+                }
+                if self.flush_host(now, HostId(hi)) {
+                    progressed = true;
+                    // on_event handlers may have queued more output and
+                    // changed app state; catch both this instant.
+                    self.dirty.mark(Key::Host(hi));
+                    self.mark_apps(hi);
+                    self.flush_after_apps.mark(hi);
+                }
+                self.reg_host(hi);
+            }
+
+            // 6. Applications: poll dirty apps in index order, then flush
+            // their hosts in host-index order (the reference polls all
+            // apps, then flushes all hosts).
+            todo.clear();
+            if !self.dirty.apps.list.is_empty() {
+                self.dirty.count -= self.dirty.apps.drain_into(&mut todo);
+            }
+            for &ai in &todo {
+                polled += 1;
+                let hi = self.apps[ai].host.0;
+                let entry = &mut self.apps[ai];
+                entry.app.poll(now, &mut self.hosts[hi].host);
+                self.reg_app(ai);
+                self.flush_after_apps.mark(hi);
+            }
+            todo.clear();
+            if !self.flush_after_apps.list.is_empty() {
+                self.flush_after_apps.drain_into(&mut todo);
+            }
+            for &hi in &todo {
+                if self.flush_host(now, HostId(hi)) {
+                    progressed = true;
+                    self.dirty.mark(Key::Host(hi));
+                    self.mark_apps(hi);
+                }
+                self.reg_host(hi);
+            }
+
+            self.sched.stats_mut().polled += polled;
+            if !progressed {
+                self.scratch = todo;
+                return;
+            }
+        }
+        panic!("world did not settle at {now}");
+    }
+
+    // --- Reference stepper --------------------------------------------------
+    //
+    // The pre-index engine, kept verbatim: scan every component for the
+    // earliest deadline, then re-poll everything until quiescent. The
+    // equivalence tests pin the indexed scheduler against it, and the
+    // `engine` benchmarks measure the speedup. Not for mixed use with the
+    // indexed run methods on the same World instance within a run — pick
+    // one driver per world.
+
+    /// Reference (full-scan) equivalent of [`World::run_until`].
+    #[doc(hidden)]
+    pub fn run_until_reference(&mut self, t: SimTime) {
+        self.start_apps();
+        self.settle_scan();
+        while let Some(d) = self.next_deadline() {
+            if d > t {
+                break;
+            }
+            self.now = self.now.max(d);
+            self.settle_scan();
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Reference (full-scan) equivalent of [`World::run_until_idle`].
+    #[doc(hidden)]
+    pub fn run_until_idle_reference(&mut self, limit: SimTime) {
+        self.start_apps();
+        self.settle_scan();
+        while let Some(d) = self.next_deadline() {
+            if d > limit {
+                break;
+            }
+            self.now = self.now.max(d);
+            self.settle_scan();
+        }
+    }
+
+    /// Processes everything due at `self.now` until the instant is quiet,
+    /// visiting every component on every pass.
+    fn settle_scan(&mut self) {
         let now = self.now;
         for _pass in 0..10_000 {
             let mut progressed = false;
@@ -494,6 +1299,8 @@ impl World {
         panic!("world did not settle at {now}");
     }
 
+    // --- Shared routing (both steppers) -------------------------------------
+
     fn route_reception(
         &mut self,
         now: SimTime,
@@ -514,18 +1321,20 @@ impl World {
                 ),
             );
         }
-        for t in &mut self.tncs {
-            if t.chan == chan && t.tnc.station() == to {
-                if let Some(bytes) = t.tnc.on_reception(rx) {
+        for i in 0..self.tncs.len() {
+            if self.tncs[i].chan == chan && self.tncs[i].tnc.station() == to {
+                if let Some(bytes) = self.tncs[i].tnc.on_reception(rx) {
                     if self.trace.is_enabled() {
                         self.trace.record(
                             now,
                             sim::trace::Category::Kiss,
-                            format!("tnc:{}", t.tnc.addr()),
+                            format!("tnc:{}", self.tncs[i].tnc.addr()),
                             format!("passed {}B frame up the serial line", bytes.len()),
                         );
                     }
-                    self.lines[t.line].send(now, End::B, &bytes);
+                    let li = self.tncs[i].line;
+                    self.lines[li].send(now, End::B, &bytes);
+                    self.reg_line(li);
                 }
                 return;
             }
@@ -539,7 +1348,9 @@ impl World {
         // Beacons ignore receptions.
     }
 
-    /// Routes a host's outbox and records/dispatches its events.
+    /// Routes a host's outbox and records/dispatches its events. Links the
+    /// host pushed output into get their new deadlines registered here, so
+    /// both steppers keep the calendar coherent.
     fn flush_host(&mut self, now: SimTime, id: HostId) -> bool {
         let mut progressed = false;
         let outs = self.hosts[id.0].host.take_outbox();
@@ -551,11 +1362,13 @@ impl World {
                 HostOut::SerialTx(bytes) => {
                     if let Some(li) = serial {
                         self.lines[li].send(now, End::A, &bytes);
+                        self.reg_line(li);
                     }
                 }
                 HostOut::EtherTx(frame) => {
                     if let Some((seg, nic)) = nic {
                         self.segments[seg.0].send(now, nic, frame);
+                        self.reg_seg(seg.0);
                     }
                 }
             }
@@ -585,6 +1398,7 @@ impl World {
         progressed
     }
 
+    /// Reference-stepper app step: poll every app, then flush every host.
     fn run_apps(&mut self, now: SimTime) -> bool {
         let mut progressed = false;
         let mut apps = std::mem::take(&mut self.apps);
@@ -647,5 +1461,79 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    /// A scripted test app: polls are recorded, and it exposes a fixed
+    /// deadline schedule.
+    struct Recorder {
+        deadlines: Vec<SimTime>,
+        fired: std::rc::Rc<std::cell::RefCell<Vec<SimTime>>>,
+    }
+
+    impl App for Recorder {
+        fn poll(&mut self, now: SimTime, _host: &mut Host) {
+            while self.deadlines.first().is_some_and(|&d| d <= now) {
+                self.deadlines.remove(0);
+                self.fired.borrow_mut().push(now);
+            }
+        }
+
+        fn next_deadline(&self) -> Option<SimTime> {
+            self.deadlines.first().copied()
+        }
+    }
+
+    fn recorder_world(
+        deadlines: Vec<SimTime>,
+    ) -> (World, std::rc::Rc<std::cell::RefCell<Vec<SimTime>>>) {
+        let mut w = World::new(1);
+        let h = w.add_host(crate::host::HostConfig::named("lone"));
+        let fired = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        w.add_app(
+            h,
+            Box::new(Recorder {
+                deadlines,
+                fired: fired.clone(),
+            }),
+        );
+        (w, fired)
+    }
+
+    /// Satellite: `run_until_idle` processes a deadline exactly at
+    /// `limit` (the loop breaks only on `d > limit`).
+    #[test]
+    fn run_until_idle_processes_deadline_exactly_at_limit() {
+        let limit = SimTime::from_secs(5);
+        let (mut w, fired) = recorder_world(vec![
+            SimTime::from_secs(1),
+            limit,
+            limit + SimDuration::from_nanos(1),
+        ]);
+        w.run_until_idle(limit);
+        assert_eq!(*fired.borrow(), vec![SimTime::from_secs(1), limit]);
+        // The past-limit deadline was not processed and the clock did not
+        // jump to `limit`.
+        assert_eq!(w.now, limit);
+    }
+
+    /// Satellite: app `poll` hooks still fire on the final instant of
+    /// `run_until` (deadline == t).
+    #[test]
+    fn app_poll_fires_on_final_instant_of_run_until() {
+        let t = SimTime::from_secs(3);
+        let (mut w, fired) = recorder_world(vec![t]);
+        w.run_until(t);
+        assert_eq!(*fired.borrow(), vec![t]);
+        assert_eq!(w.now, t);
+    }
+
+    /// Reference agrees with both tests above.
+    #[test]
+    fn reference_processes_deadline_at_limit_identically() {
+        let limit = SimTime::from_secs(5);
+        let (mut w, fired) =
+            recorder_world(vec![SimTime::from_secs(1), limit, limit + SimDuration::from_nanos(1)]);
+        w.run_until_idle_reference(limit);
+        assert_eq!(*fired.borrow(), vec![SimTime::from_secs(1), limit]);
     }
 }

@@ -1,0 +1,342 @@
+//! Scheduler equivalence: the deadline-indexed run loop (heap and
+//! timer-wheel backends) must produce event sequences and component
+//! statistics identical to the full-scan reference stepper, on fixed
+//! topologies and on randomized worlds with cancellations and mid-run
+//! reconfiguration. Plus a golden trace digest pinning the behaviour
+//! against silent drift in future changes.
+//!
+//! One accepted divergence: `CsmaStats::busy_detects` counts *polls* that
+//! found carrier, and the dirty-set engine deliberately polls less often;
+//! it is excluded from the comparison (no other code reads it).
+
+use ax25::addr::Ax25Addr;
+use gateway::host::Host;
+use gateway::scenario::{self, PaperConfig};
+use gateway::world::{App, BeaconId, ChanId, DigiId, HostId, TncId, World};
+use proptest::prelude::*;
+use radio::csma::MacConfig;
+use radio::tnc::RxMode;
+use radio::traffic::BeaconConfig;
+use sim::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+/// An app that issues pings at scripted instants — deterministic traffic
+/// with real TCP/ICMP timers behind it.
+struct ScriptedPinger {
+    dst: Ipv4Addr,
+    times: Vec<SimTime>,
+    seq: u16,
+}
+
+impl App for ScriptedPinger {
+    fn poll(&mut self, now: SimTime, host: &mut Host) {
+        while self.times.first().is_some_and(|&t| t <= now) {
+            self.times.remove(0);
+            self.seq += 1;
+            host.ping(now, self.dst, 0x5c4e, self.seq, 64);
+        }
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.times.first().copied()
+    }
+}
+
+/// Which engine drives the world.
+#[derive(Clone, Copy, Debug)]
+enum Driver {
+    Reference,
+    Indexed,
+    Wheel,
+}
+
+const DRIVERS: [Driver; 3] = [Driver::Reference, Driver::Indexed, Driver::Wheel];
+
+impl Driver {
+    fn prepare(self, w: &mut World) {
+        if let Driver::Wheel = self {
+            w.use_timer_wheel(SimDuration::from_millis(1));
+        }
+    }
+
+    fn run_for(self, w: &mut World, d: SimDuration) {
+        match self {
+            Driver::Reference => {
+                let t = w.now + d;
+                w.run_until_reference(t);
+            }
+            Driver::Indexed | Driver::Wheel => w.run_for(d),
+        }
+    }
+}
+
+/// Everything observable about a run: the recorded event log plus the
+/// stats of every component (busy_detects masked out).
+fn fingerprint(
+    w: &mut World,
+    tncs: &[TncId],
+    digis: &[DigiId],
+    beacons: &[BeaconId],
+    chans: &[ChanId],
+    hosts: &[HostId],
+) -> String {
+    let mut out = String::new();
+    for (h, t, e) in w.take_events() {
+        out.push_str(&format!("{h:?} {t} {e:?}\n"));
+    }
+    for &t in tncs {
+        let mut mac = w.tnc(t).mac_stats();
+        mac.busy_detects = 0;
+        out.push_str(&format!("{t:?} {:?} {mac:?}\n", w.tnc(t).stats()));
+    }
+    for &d in digis {
+        out.push_str(&format!("{d:?} {:?}\n", w.digipeater(d).stats()));
+    }
+    for &b in beacons {
+        out.push_str(&format!("{b:?} {:?}\n", w.beacon(b).stats()));
+    }
+    for &c in chans {
+        out.push_str(&format!("{c:?} {:?}\n", w.channel(c).stats()));
+    }
+    for &h in hosts {
+        out.push_str(&format!(
+            "{h:?} iq len={} drops={} peak={}\n",
+            w.host(h).input_queue_len(),
+            w.host(h).input_queue_drops(),
+            w.host(h).input_queue_peak(),
+        ));
+    }
+    out
+}
+
+/// Paper topology + beacons + scripted pings, run in two segments with an
+/// optional TNC mode flip in between (exercises `sync_all` picking up
+/// external mutation). Returns the fingerprint.
+fn paper_run(
+    driver: Driver,
+    seed: u64,
+    mac: MacConfig,
+    beacons: &[(u64, u64)],
+    ping_times: &[u64],
+    flip_mode: bool,
+) -> String {
+    let cfg = PaperConfig {
+        mac,
+        ..PaperConfig::default()
+    };
+    let mut s = scenario::paper_topology(cfg, seed);
+    let mut bids = Vec::new();
+    for (i, &(start_ms, interval_ms)) in beacons.iter().enumerate() {
+        bids.push(s.world.add_beacon(
+            s.chan,
+            BeaconConfig {
+                from: Ax25Addr::parse_or_panic(&format!("BCN{i}")),
+                to: Ax25Addr::parse_or_panic("QST"),
+                frame_len: 64,
+                mean_interval: SimDuration::from_millis(interval_ms),
+                start: SimTime::from_millis(start_ms),
+                mac,
+            },
+        ));
+    }
+    s.world.add_app(
+        s.pc,
+        Box::new(ScriptedPinger {
+            dst: scenario::ETHER_HOST_IP,
+            times: ping_times.iter().map(|&ms| SimTime::from_millis(ms)).collect(),
+            seq: 0,
+        }),
+    );
+    driver.prepare(&mut s.world);
+    driver.run_for(&mut s.world, SimDuration::from_secs(30));
+    if flip_mode {
+        s.world.tnc_mut(s.pc_tnc).set_mode(RxMode::Promiscuous);
+    }
+    driver.run_for(&mut s.world, SimDuration::from_secs(30));
+    fingerprint(
+        &mut s.world,
+        &[s.pc_tnc, s.gw_tnc],
+        &[],
+        &bids,
+        &[s.chan],
+        &[s.pc, s.gw, s.ether_host],
+    )
+}
+
+#[test]
+fn paper_topology_indexed_matches_reference() {
+    let mac = MacConfig::default();
+    let reference = paper_run(Driver::Reference, 42, mac, &[(500, 3000)], &[1000, 9000], false);
+    assert!(reference.contains("PingReply"), "traffic must flow:\n{reference}");
+    for driver in [Driver::Indexed, Driver::Wheel] {
+        let got = paper_run(driver, 42, mac, &[(500, 3000)], &[1000, 9000], false);
+        assert_eq!(got, reference, "{driver:?} diverged from reference");
+    }
+}
+
+#[test]
+fn digi_chain_indexed_matches_reference() {
+    let run = |driver: Driver| {
+        let mut s = scenario::digi_chain_topology(2, PaperConfig::default(), 11);
+        s.world.add_app(
+            s.pc,
+            Box::new(ScriptedPinger {
+                dst: scenario::GW_RADIO_IP,
+                times: vec![SimTime::from_secs(1)],
+                seq: 0,
+            }),
+        );
+        driver.prepare(&mut s.world);
+        driver.run_for(&mut s.world, SimDuration::from_secs(120));
+        fingerprint(&mut s.world, &[], &[], &[], &[s.chan], &[s.pc, s.gw])
+    };
+    let reference = run(Driver::Reference);
+    assert!(reference.contains("PingReply"), "traffic must flow:\n{reference}");
+    assert_eq!(run(Driver::Indexed), reference);
+    assert_eq!(run(Driver::Wheel), reference);
+}
+
+/// Zero slot time makes deferring MACs re-draw on *every quiescence pass*,
+/// the trickiest RNG-stream case for the dirty-set engine.
+#[test]
+fn zero_slot_time_rng_stream_matches() {
+    let mac = MacConfig {
+        slot_time: SimDuration::ZERO,
+        persistence: 0.25,
+        ..MacConfig::default()
+    };
+    let reference = paper_run(
+        Driver::Reference,
+        3,
+        mac,
+        &[(0, 1500), (200, 1500), (400, 1500)],
+        &[2000],
+        false,
+    );
+    for driver in [Driver::Indexed, Driver::Wheel] {
+        let got = paper_run(driver, 3, mac, &[(0, 1500), (200, 1500), (400, 1500)], &[2000], false);
+        assert_eq!(got, reference, "{driver:?} diverged from reference");
+    }
+}
+
+proptest! {
+    /// Randomized worlds: topology knobs, beacon load, scripted traffic,
+    /// MAC parameters (including zero slot time), and a mid-run TNC
+    /// reconfiguration — reference, heap-indexed, and wheel-indexed
+    /// engines must agree byte-for-byte on events and stats.
+    #[test]
+    fn randomized_world_equivalence(
+        seed in 0u64..1_000,
+        n_beacons in 0usize..3,
+        slot_ms in prop_oneof![Just(0u64), Just(40u64), Just(100u64)],
+        persistence in prop_oneof![Just(0.25f64), Just(0.63f64), Just(1.0f64)],
+        ping_a in 200u64..5_000,
+        ping_b in 5_000u64..25_000,
+        flip_mode in any::<bool>(),
+    ) {
+        let mac = MacConfig {
+            slot_time: SimDuration::from_millis(slot_ms),
+            persistence,
+            ..MacConfig::default()
+        };
+        let beacons: Vec<(u64, u64)> = (0..n_beacons)
+            .map(|i| (100 + 700 * i as u64, 2_000 + 900 * i as u64))
+            .collect();
+        let pings = [ping_a, ping_b];
+        let reference = paper_run(Driver::Reference, seed, mac, &beacons, &pings, flip_mode);
+        for driver in [Driver::Indexed, Driver::Wheel] {
+            let got = paper_run(driver, seed, mac, &beacons, &pings, flip_mode);
+            prop_assert_eq!(&got, &reference, "{:?} diverged from reference", driver);
+        }
+    }
+}
+
+/// FNV-1a over the event log of a fixed busy scenario. Pinned so that a
+/// future engine change that shifts any event time or payload fails
+/// loudly, even if it happens to shift all three engines the same way.
+#[test]
+fn golden_trace_digest() {
+    let mut digests = Vec::new();
+    for driver in DRIVERS {
+        let log = paper_run(
+            driver,
+            20,
+            MacConfig::default(),
+            &[(300, 2500), (900, 4000)],
+            &[1500, 12_000, 30_500],
+            false,
+        );
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in log.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        digests.push(hash);
+    }
+    assert_eq!(digests[0], digests[1]);
+    assert_eq!(digests[1], digests[2]);
+    assert_eq!(
+        digests[0], 15_916_838_269_407_293_022,
+        "golden digest drifted — engine behaviour changed"
+    );
+}
+
+/// The `engine` bench's 50-beacon world: the paper gateway with its TNC
+/// promiscuous behind a 2400 Bd serial line, hearing 50 chattering
+/// beacon stations. Every heard frame floods the gateway line with
+/// per-character deliveries — the serial fast lane's dense band — so
+/// this pins the batched path to the reference byte-for-byte, including
+/// the per-character interrupt accounting the paper's §3 argument rests
+/// on.
+#[test]
+fn promiscuous_flood_matches_reference() {
+    let run = |driver: Driver| {
+        let cfg = PaperConfig {
+            serial_baud: 2400,
+            acl: false,
+            ..PaperConfig::default()
+        };
+        let mut s = scenario::paper_topology(cfg, 50);
+        let mut bids = Vec::new();
+        for i in 0..50 {
+            bids.push(s.world.add_beacon(
+                s.chan,
+                BeaconConfig {
+                    from: Ax25Addr::parse_or_panic(&format!("BG{i}")),
+                    to: Ax25Addr::parse_or_panic("CHAT"),
+                    frame_len: 120,
+                    mean_interval: SimDuration::from_secs(60),
+                    start: SimTime::from_millis(100 * i),
+                    mac: MacConfig::default(),
+                },
+            ));
+        }
+        s.world.tnc_mut(s.pc_tnc).set_mode(RxMode::AddressFilter);
+        driver.prepare(&mut s.world);
+        driver.run_for(&mut s.world, SimDuration::from_secs(60));
+        let chars = s.world.host(s.gw).cpu.stats().char_interrupts;
+        let batched = s.world.sched_stats().batched_chars;
+        let fp = fingerprint(
+            &mut s.world,
+            &[s.pc_tnc, s.gw_tnc],
+            &[],
+            &bids,
+            &[s.chan],
+            &[s.pc, s.gw, s.ether_host],
+        );
+        (format!("chars={chars}\n{fp}"), batched)
+    };
+    let (reference, _) = run(Driver::Reference);
+    assert!(
+        reference.starts_with("chars=") && !reference.starts_with("chars=0\n"),
+        "the gateway must take per-character interrupts:\n{reference}"
+    );
+    let (indexed, batched) = run(Driver::Indexed);
+    assert_eq!(indexed, reference, "Indexed diverged from reference");
+    assert!(
+        batched > 1000,
+        "the serial fast lane should batch the flood (batched_chars={batched})"
+    );
+    let (wheel, _) = run(Driver::Wheel);
+    assert_eq!(wheel, reference, "Wheel diverged from reference");
+}

@@ -51,6 +51,9 @@ pub struct ChannelStats {
     pub transmissions: u64,
     /// Total airtime of all transmissions (sum, not union).
     pub airtime_ns: u64,
+    /// Airtime during which the medium carried at least one transmission
+    /// (union of intervals — never exceeds wall-clock span).
+    pub occupied_ns: u64,
     /// Receptions delivered corrupted.
     pub corrupted_receptions: u64,
     /// Receptions delivered clean.
@@ -89,6 +92,10 @@ pub struct Channel {
     /// two stations that decide to transmit within this window collide.
     detect_delay: SimDuration,
     stats: ChannelStats,
+    /// Latest transmission end seen so far; the occupied-airtime union
+    /// accrues only past this horizon, so overlapping transmissions are
+    /// not double-counted.
+    busy_horizon: SimTime,
 }
 
 impl Channel {
@@ -105,6 +112,7 @@ impl Channel {
             noise: None,
             detect_delay: Self::DEFAULT_DETECT_DELAY,
             stats: ChannelStats::default(),
+            busy_horizon: SimTime::ZERO,
         }
     }
 
@@ -191,6 +199,13 @@ impl Channel {
         let end = now + dur;
         self.stats.transmissions += 1;
         self.stats.airtime_ns += dur.as_nanos();
+        // Union of busy intervals: transmissions start at the current
+        // clock, so the interval [max(now, horizon), end) is new coverage.
+        let covered_from = now.max(self.busy_horizon);
+        if end > covered_from {
+            self.stats.occupied_ns += (end - covered_from).as_nanos();
+            self.busy_horizon = end;
+        }
         self.txs.push(Tx {
             from,
             start: now,
@@ -292,13 +307,26 @@ impl Channel {
     }
 
     /// Fraction of the interval `[SimTime::ZERO, now]` spent transmitting
-    /// (sum of airtime; can exceed 1.0 under heavy collisions).
+    /// (sum of airtime; can exceed 1.0 under heavy collisions). This is
+    /// **offered load**, not utilization — see [`Channel::utilization`].
     pub fn offered_utilization(&self, now: SimTime) -> f64 {
         let span = now.as_nanos();
         if span == 0 {
             0.0
         } else {
             self.stats.airtime_ns as f64 / span as f64
+        }
+    }
+
+    /// Fraction of the interval `[SimTime::ZERO, now]` during which the
+    /// medium actually carried at least one transmission (union of busy
+    /// intervals, clamped to 1.0 — overlap is not double-counted).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let span = now.as_nanos();
+        if span == 0 {
+            0.0
+        } else {
+            (self.stats.occupied_ns as f64 / span as f64).min(1.0)
         }
     }
 }
@@ -478,6 +506,32 @@ mod tests {
         // 1s of airtime over a 2s window = 0.5.
         let u = c.offered_utilization(SimTime::from_secs(2));
         assert!((u - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupied_airtime_is_a_union_and_utilization_is_clamped() {
+        let mut c = ch();
+        let a = c.add_station();
+        let b = c.add_station();
+        let _v = c.add_station();
+        // Two fully-overlapping 1s transmissions: offered load counts 2s,
+        // occupied airtime counts 1s.
+        c.transmit(SimTime::ZERO, a, vec![0; 150], SimDuration::ZERO);
+        let end = c.transmit(SimTime::ZERO, b, vec![0; 150], SimDuration::ZERO);
+        c.advance(end);
+        assert_eq!(c.stats().airtime_ns, 2_000_000_000);
+        assert_eq!(c.stats().occupied_ns, 1_000_000_000);
+        let span = SimTime::from_secs(1);
+        assert!(c.offered_utilization(span) > 1.9);
+        assert!((c.utilization(span) - 1.0).abs() < 1e-9, "clamped at 1.0");
+        // A later partially-overlapping tx only accrues the new tail.
+        let start2 = SimTime::from_millis(500);
+        let mut c2 = ch();
+        let a2 = c2.add_station();
+        let _b2 = c2.add_station();
+        c2.transmit(SimTime::ZERO, a2, vec![0; 150], SimDuration::ZERO);
+        c2.transmit(start2, a2, vec![0; 150], SimDuration::ZERO);
+        assert_eq!(c2.stats().occupied_ns, 1_500_000_000);
     }
 
     #[test]

@@ -120,6 +120,14 @@ impl Csma {
         self.tx_end.is_some_and(|t| t > now)
     }
 
+    /// True when the only thing between a queued frame and the air is
+    /// the carrier: frames waiting, transmitter idle, no backoff pending.
+    /// Such a station has no deadline of its own — it must be re-polled
+    /// when the channel's state changes.
+    pub fn waiting_on_carrier(&self) -> bool {
+        !self.queue.is_empty() && self.tx_end.is_none() && self.retry_at.is_none()
+    }
+
     /// When `poll` should next be called even if nothing else happens:
     /// our own tx end (to start the next frame) or a backoff expiry.
     pub fn next_deadline(&self) -> Option<SimTime> {

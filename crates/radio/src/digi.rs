@@ -100,6 +100,11 @@ impl Digipeater {
         self.mac.next_deadline()
     }
 
+    /// True when a queued frame is blocked only on carrier sense.
+    pub fn waiting_on_carrier(&self) -> bool {
+        self.mac.waiting_on_carrier()
+    }
+
     /// Station statistics.
     pub fn stats(&self) -> DigiStats {
         self.stats

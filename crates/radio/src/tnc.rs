@@ -242,6 +242,11 @@ impl Tnc {
         self.mac.backlog()
     }
 
+    /// True when a queued frame is blocked only on carrier sense.
+    pub fn waiting_on_carrier(&self) -> bool {
+        self.mac.waiting_on_carrier()
+    }
+
     /// Device statistics.
     pub fn stats(&self) -> TncStats {
         self.stats

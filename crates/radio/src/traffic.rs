@@ -109,6 +109,11 @@ impl BeaconStation {
     pub fn tx_backlog(&self) -> usize {
         self.mac.backlog()
     }
+
+    /// True when a queued frame is blocked only on carrier sense.
+    pub fn waiting_on_carrier(&self) -> bool {
+        self.mac.waiting_on_carrier()
+    }
 }
 
 #[cfg(test)]

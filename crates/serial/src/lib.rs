@@ -156,6 +156,9 @@ pub struct SerialLine {
     /// `dirs[0]` carries A→B traffic, `dirs[1]` carries B→A traffic.
     dirs: [Direction; 2],
     noise: Option<SimRng>,
+    /// Min over both directions' in-flight completion times, maintained on
+    /// every mutation so `next_deadline` is a field read, not a re-derive.
+    cached_deadline: Option<SimTime>,
 }
 
 impl SerialLine {
@@ -166,6 +169,7 @@ impl SerialLine {
             cfg,
             dirs: [Direction::new(), Direction::new()],
             noise: None,
+            cached_deadline: None,
         }
     }
 
@@ -175,6 +179,7 @@ impl SerialLine {
             cfg,
             dirs: [Direction::new(), Direction::new()],
             noise: Some(rng),
+            cached_deadline: None,
         }
     }
 
@@ -197,14 +202,23 @@ impl SerialLine {
                 dir.in_flight = Some((now + char_time, b));
             }
         }
+        self.recache_deadline();
+    }
+
+    fn recache_deadline(&mut self) {
+        self.cached_deadline = self
+            .dirs
+            .iter()
+            .filter_map(|d| d.in_flight.map(|(t, _)| t))
+            .min();
     }
 
     /// The earliest time at which [`SerialLine::advance`] will have work.
+    ///
+    /// This is a cached field maintained by [`SerialLine::send`] and
+    /// [`SerialLine::advance`]; polling it costs nothing.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.dirs
-            .iter()
-            .filter_map(|d| d.in_flight.map(|(t, _)| t))
-            .min()
+        self.cached_deadline
     }
 
     /// Completes every character whose serialization finishes at or before
@@ -237,6 +251,7 @@ impl SerialLine {
                 }
             }
         }
+        self.recache_deadline();
         delivered
     }
 

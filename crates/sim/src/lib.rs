@@ -11,6 +11,9 @@
 //! * [`time`] — virtual time ([`SimTime`]) and durations ([`SimDuration`]),
 //!   plus [`Bandwidth`] for serialization-delay math.
 //! * [`queue`] — a cancellable, deterministic [`EventQueue`].
+//! * [`fxhash`] — a fast deterministic hasher for the calendar's maps.
+//! * [`sched`] — a deadline-indexed component [`Scheduler`] (lazy re-keying
+//!   over the queue, optional hierarchical timer-wheel backend).
 //! * [`rng`] — a seeded random-number generator ([`SimRng`]) so that every
 //!   experiment run is exactly repeatable.
 //! * [`stats`] — counters, online mean/variance, histograms, and time
@@ -38,9 +41,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fxhash;
 pub mod pktbuf;
 pub mod queue;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -49,4 +54,5 @@ pub mod wire;
 pub use pktbuf::{BufPool, ByteSink, FrameSink, PacketBuf, PoolStats, SinkFn};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
+pub use sched::{SchedStats, Scheduler};
 pub use time::{Bandwidth, SimDuration, SimTime};

@@ -5,13 +5,15 @@
 //! insertion order (a monotone sequence number), never by heap internals.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
+
+use crate::fxhash::FxHashSet;
 
 use crate::time::SimTime;
 
 /// A handle to a scheduled event, usable to cancel it before it fires.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventId(u64);
+pub struct EventId(pub(crate) u64);
 
 /// A time-ordered queue of events of type `E`.
 ///
@@ -34,10 +36,12 @@ pub struct EventId(u64);
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    cancelled: FxHashSet<u64>,
     /// Seqs that are scheduled and neither fired nor cancelled.
-    pending: HashSet<u64>,
+    pending: FxHashSet<u64>,
     next_seq: u64,
+    /// Tombstoned entries skipped while popping or peeking.
+    tombstone_skips: u64,
 }
 
 #[derive(Debug)]
@@ -80,9 +84,10 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            pending: HashSet::new(),
+            cancelled: FxHashSet::default(),
+            pending: FxHashSet::default(),
             next_seq: 0,
+            tombstone_skips: 0,
         }
     }
 
@@ -112,6 +117,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
             if self.cancelled.remove(&entry.seq) {
+                self.tombstone_skips += 1;
                 continue;
             }
             self.pending.remove(&entry.seq);
@@ -129,6 +135,7 @@ impl<E> EventQueue<E> {
                     let seq = entry.seq;
                     self.heap.pop();
                     self.cancelled.remove(&seq);
+                    self.tombstone_skips += 1;
                 }
                 Some(entry) => return Some(entry.time),
             }
@@ -143,6 +150,11 @@ impl<E> EventQueue<E> {
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
+    }
+
+    /// Total cancelled entries lazily removed during pops/peeks so far.
+    pub fn tombstone_skips(&self) -> u64 {
+        self.tombstone_skips
     }
 
     /// Drops all pending events.

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Performance snapshot: runs the `engine` bench group (full-scan reference
+# stepper vs the deadline-indexed scheduler) and the `driver_rx` datapath
+# group, and records every measurement in BENCH_engine.json as
+#   {"bench": <name>, "median_ns": <ns/iter>, "timestamp": <utc>}
+# This is informational — scripts/check.sh runs it non-gating, so a slow
+# machine never fails the tier-1 gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_engine.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "==> cargo bench -p bench --bench engine -- engine"
+cargo bench -p bench --bench engine -- engine | tee "$tmp"
+echo "==> cargo bench -p bench --bench driver_rx"
+cargo bench -p bench --bench driver_rx | tee -a "$tmp"
+
+ts=$(date -u +"%Y-%m-%dT%H:%M:%SZ")
+awk -v ts="$ts" '
+    BEGIN { printf "[\n"; sep = "" }
+    {
+        for (i = 3; i <= NF; i++) {
+            if ($i == "ns/iter") {
+                printf "%s  {\"bench\": \"%s\", \"median_ns\": %s, \"timestamp\": \"%s\"}", \
+                    sep, $1, $(i - 1), ts
+                sep = ",\n"
+                break
+            }
+        }
+    }
+    END { printf "\n]\n" }
+' "$tmp" > "$out"
+
+echo "==> wrote $out"

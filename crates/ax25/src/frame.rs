@@ -626,10 +626,8 @@ mod tests {
 
     #[test]
     fn peek_agrees_with_decode_on_valid_frames() {
-        let mut f = Frame::ui(a("KB7DZ"), a("N7AKR-1"), Pid::Ip, vec![1, 2, 3]).via(&[
-            a("WA6BEV-1"),
-            a("K3MC-2"),
-        ]);
+        let mut f = Frame::ui(a("KB7DZ"), a("N7AKR-1"), Pid::Ip, vec![1, 2, 3])
+            .via(&[a("WA6BEV-1"), a("K3MC-2")]);
         f.digipeaters[0].repeated = true;
         let bytes = f.encode();
         let hdr = FrameHeader::peek(&bytes).unwrap();

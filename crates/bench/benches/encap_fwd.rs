@@ -1,0 +1,93 @@
+//! Criterion benchmark for the encapsulated-forwarding hot path (§4.2's
+//! multi-gateway mesh): a gateway wrapping a forwarded datagram in an
+//! outer IPIP header toward a tunnel endpoint, and the peer gateway
+//! stripping it. With a pooled buffer leased with header headroom, both
+//! directions must stay zero-allocation, like the rest of the datapath.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use encap::ipip::{decap_in_place, encap_in_place, OUTER_HEADER_LEN};
+use encap::table::EncapTable;
+use netstack::ip::{Ipv4Packet, Proto};
+use netstack::route::Prefix;
+use sim::{BufPool, SimDuration};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts heap allocations so the benches can report them.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_during(mut f: impl FnMut()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+const WEST_GW: Ipv4Addr = Ipv4Addr::new(128, 95, 1, 100);
+const EAST_GW: Ipv4Addr = Ipv4Addr::new(128, 95, 1, 101);
+
+fn bench_encap_fwd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encap_fwd");
+    // The datagram a gateway forwards: a 180-byte UDP payload headed for
+    // the east subnet.
+    let inner = Ipv4Packet::new(
+        Ipv4Addr::new(128, 95, 1, 4),
+        Ipv4Addr::new(44, 56, 0, 5),
+        Proto::Udp,
+        vec![0x33; 180],
+    )
+    .encode();
+    g.throughput(Throughput::Bytes(inner.len() as u64));
+
+    // Steady state: one pool, one table; the first lease primes the pool.
+    let pool = BufPool::new(2048);
+    let mut table = EncapTable::new(SimDuration::from_secs(60));
+    table.add_static(Prefix::new(Ipv4Addr::new(44, 56, 0, 0), 16), EAST_GW, 1);
+
+    let mut roundtrip = || {
+        // Gateway out: table hit, then prepend the outer header into the
+        // leased headroom.
+        let endpoint = table.lookup(Ipv4Addr::new(44, 56, 0, 5)).unwrap();
+        let mut buf = pool.take_with_headroom(OUTER_HEADER_LEN);
+        buf.extend_from_slice(&inner);
+        encap_in_place(&mut buf, WEST_GW, endpoint, 64);
+        // Peer gateway in: verify and strip the outer header in place.
+        let outer = decap_in_place(&mut buf).unwrap();
+        black_box((outer.src, buf.as_slice().len()));
+        // Dropping `buf` recycles it into the pool.
+    };
+    g.bench_function("lookup_encap_decap", |b| b.iter(&mut roundtrip));
+
+    let allocs = allocs_during(&mut roundtrip);
+    eprintln!("encap_fwd/lookup_encap_decap: {allocs} heap allocations per packet");
+    assert_eq!(
+        allocs, 0,
+        "the encap/decap fast path must not touch the heap"
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_encap_fwd);
+criterion_main!(benches);

@@ -44,7 +44,10 @@ struct Outcome {
 
 fn run(mode: RxMode, stations: usize) -> Outcome {
     let cfg = PaperConfig {
-        tnc_mode: mode,
+        // Everything starts as stock 1988 promiscuous firmware; the
+        // filtered variant is switched on at runtime below, exercising
+        // Tnc::set_address_filter — the deployable form of the fix.
+        tnc_mode: RxMode::Promiscuous,
         // TNC-2-era serial: barely above the channel rate, so unwanted
         // promiscuous traffic competes with wanted frames on the RS-232.
         serial_baud: 2400,
@@ -52,6 +55,9 @@ fn run(mode: RxMode, stations: usize) -> Outcome {
         ..PaperConfig::default()
     };
     let mut s = paper_topology(cfg, 2000 + stations as u64);
+    if mode == RxMode::AddressFilter {
+        s.world.tnc_mut(s.gw_tnc).set_address_filter(&[]);
+    }
     for i in 0..stations {
         s.world.add_beacon(
             s.chan,
@@ -73,10 +79,7 @@ fn run(mode: RxMode, stations: usize) -> Outcome {
 
     let mut r = report.borrow_mut();
     let gw = s.world.host(s.gw);
-    let pool = gw
-        .pr_driver()
-        .map(|d| d.pool_stats())
-        .unwrap_or_default();
+    let pool = gw.pr_driver().map(|d| d.pool_stats()).unwrap_or_default();
     Outcome {
         rtt_ms: r.rtts.mean().map(|d| d.as_millis_f64()).unwrap_or(f64::NAN),
         p95_ms: r
@@ -121,6 +124,10 @@ fn main() {
             .set("ok_prom", f64::from(p.delivered))
             .set("gw_chars_prom", p.gw_chars as f64)
             .set("gw_chars_filt", f.gw_chars as f64)
+            .set(
+                "chars_saved_%",
+                (1.0 - f.gw_chars as f64 / (p.gw_chars as f64).max(1.0)) * 100.0,
+            )
             .set("gw_cpu_prom_%", p.gw_cpu_pct)
             .set("gw_cpu_filt_%", f.gw_cpu_pct)
             .set("tnc_filtered", f.filtered as f64)
@@ -141,7 +148,8 @@ fn main() {
     println!("   dominant slowdown), reproducing \"slows considerably\";");
     println!(" * gw_chars/gw_cpu in promiscuous mode scale with the background load");
     println!("   while the filtered TNC holds them flat at the gateway's own traffic —");
-    println!("   the paper's proposed fix eliminates the per-character interrupt tax;");
+    println!("   chars_saved_% is the per-character interrupt reduction the runtime");
+    println!("   Tnc::set_address_filter switch buys at each load point;");
     println!(" * pool_alloc_prom stays flat as background load grows: frames for other");
     println!("   stations never lease a transmit buffer, so the driver's buffer-pool");
     println!("   allocations track only the gateway's own sends (pool_hw is the depth);");

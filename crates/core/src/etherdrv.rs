@@ -112,7 +112,8 @@ impl EtherDriver {
 
     /// Outputs an IP packet toward `next_hop`, resolving its MAC; frames
     /// to transmit (possibly an ARP request while the packet waits) are
-    /// emitted into `tx`.
+    /// emitted into `tx`. A broadcast next hop (RIP44 announcements)
+    /// bypasses ARP and goes straight to the all-ones MAC.
     pub fn output(
         &mut self,
         now: SimTime,
@@ -120,6 +121,12 @@ impl EtherDriver {
         next_hop: Ipv4Addr,
         tx: &mut impl FrameSink<EtherFrame>,
     ) {
+        if next_hop == Ipv4Addr::BROADCAST {
+            self.stats.ip_out += 1;
+            let f = self.build_frame(MacAddr::BROADCAST, EtherType::Ipv4, packet.encode());
+            tx.emit(f);
+            return;
+        }
         match self.arp.resolve(now, next_hop, packet) {
             Resolution::Send(hw, packet) => {
                 self.stats.ip_out += 1;

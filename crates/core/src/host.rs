@@ -113,6 +113,9 @@ pub struct Host {
     outbox: Vec<HostOut>,
     events: Vec<StackAction>,
     last_arp_age: SimTime,
+    /// Powered off (E12's gateway kill): all link input is dropped and no
+    /// deadlines are reported until the host comes back up.
+    down: bool,
 }
 
 impl Host {
@@ -159,6 +162,7 @@ impl Host {
             outbox: Vec::new(),
             events: Vec::new(),
             last_arp_age: SimTime::ZERO,
+            down: false,
         }
     }
 
@@ -212,10 +216,37 @@ impl Host {
         self.input_queue.peak()
     }
 
+    // --- Power -------------------------------------------------------------
+
+    /// Powers the host down or back up (E12 kills a gateway mid-run this
+    /// way). While down, link input is discarded, queued work is dropped,
+    /// and [`Host::next_deadline`] reports nothing — the machine is dark.
+    /// The TNC is a separately powered box and keeps running; only this
+    /// host stops. Coming back up starts from cold queues (in-flight state
+    /// such as TCP connections and ARP caches is *not* cleared, matching
+    /// a crash-resume of soft state held in the stack).
+    pub fn set_down(&mut self, down: bool) {
+        if down && !self.down {
+            self.input_queue = IfQueue::new(IFQ_MAXLEN);
+            self.tty_queue.clear();
+            self.outbox.clear();
+            self.events.clear();
+        }
+        self.down = down;
+    }
+
+    /// True while powered down.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
     // --- Link input ---------------------------------------------------------
 
     /// Receives serial characters from the TNC (the tty interrupt path).
     pub fn on_serial_bytes(&mut self, now: SimTime, bytes: &[u8]) {
+        if self.down {
+            return;
+        }
         for &b in bytes {
             let after_char = self.cpu.charge_char(now);
             let Some((iface, ref mut drv)) = self.pr else {
@@ -240,11 +271,18 @@ impl Host {
 
     /// Receives a frame from the Ethernet segment (DMA: packet cost only).
     pub fn on_ether_frame(&mut self, now: SimTime, frame: &EtherFrame) {
+        if self.down {
+            return;
+        }
         let Some((iface, ref mut drv)) = self.eth else {
             return;
         };
         let outbox = &mut self.outbox;
-        let ip = drv.input(now, frame, &mut SinkFn(|f| outbox.push(HostOut::EtherTx(f))));
+        let ip = drv.input(
+            now,
+            frame,
+            &mut SinkFn(|f| outbox.push(HostOut::EtherTx(f))),
+        );
         if let Some(ip_bytes) = ip {
             let ready = self.cpu.charge_packet(now);
             if !self.input_queue.push(ready, (iface, ip_bytes)) {
@@ -257,6 +295,9 @@ impl Host {
 
     /// The earliest time this host has self-scheduled work.
     pub fn next_deadline(&self) -> Option<SimTime> {
+        if self.down {
+            return None;
+        }
         let mut best: Option<SimTime> = None;
         let mut fold = |t: Option<SimTime>| {
             best = match (best, t) {
@@ -280,6 +321,9 @@ impl Host {
     /// Advances the host to `now`: drains due input-queue items through
     /// the stack, fires stack timers, ages ARP.
     pub fn advance(&mut self, now: SimTime) {
+        if self.down {
+            return;
+        }
         while let Some((iface, bytes)) = self.input_queue.pop_due(now) {
             let actions = self.stack.input(now, iface, &bytes);
             self.handle_actions(now, actions);
@@ -479,6 +523,23 @@ impl Host {
         self.handle_actions(now, out);
     }
 
+    /// Broadcasts a UDP datagram on one interface (the RIP44 announcement
+    /// path): no route lookup, the link layer sends to the all-stations
+    /// address.
+    pub fn udp_broadcast(
+        &mut self,
+        now: SimTime,
+        udp: netstack::stack::UdpId,
+        iface: IfaceId,
+        dst_port: u16,
+        payload: Vec<u8>,
+    ) {
+        let mut out = Vec::new();
+        self.stack
+            .udp_send_broadcast(udp, iface, dst_port, payload, &mut out);
+        self.handle_actions(now, out);
+    }
+
     /// Sends a §4.3 gateway-control message toward `dst`.
     pub fn send_gate_message(&mut self, now: SimTime, dst: Ipv4Addr, msg: IcmpMessage) {
         let mut out = Vec::new();
@@ -500,6 +561,9 @@ impl Host {
     /// services (the NET/ROM router) that receive IP datagrams through
     /// the tty divert queue.
     pub fn inject_ip(&mut self, now: SimTime, bytes: Vec<u8>) {
+        if self.down {
+            return;
+        }
         let Some(iface) = self.radio_iface().or_else(|| self.ether_iface()) else {
             return;
         };

@@ -35,6 +35,9 @@
 //!   TNCs, radio channels, digipeaters, and Ethernet segments together.
 //! * [`appgw`] — §2.4's future work: the application-layer gateway that
 //!   bridges non-IP AX.25 connected-mode users onto TCP services.
+//! * [`ripd`] — the RIP44 route-exchange daemon (§4.2's fix): gateways
+//!   broadcast the subnets they serve and learn their peers' as tunnel
+//!   endpoints or overriding routes, with expiry and hold-down.
 //! * [`scenario`] — canned topologies (the paper's Figure 1 setup and
 //!   the larger experiment layouts).
 
@@ -50,6 +53,7 @@ pub mod host;
 pub mod hwaddr;
 pub mod ifnet;
 pub mod prdriver;
+pub mod ripd;
 pub mod scenario;
 pub mod world;
 

@@ -170,12 +170,7 @@ impl PacketRadioDriver {
     /// to another station (§3: under a promiscuous TNC, *most* frames) is
     /// counted and dropped without the heap ever being involved. Only
     /// frames the driver accepts pay for a full [`Frame::decode`].
-    pub fn rint(
-        &mut self,
-        now: SimTime,
-        byte: u8,
-        tx: &mut impl FrameSink,
-    ) -> Option<PrEvent> {
+    pub fn rint(&mut self, now: SimTime, byte: u8, tx: &mut impl FrameSink) -> Option<PrEvent> {
         self.stats.rint_chars += 1;
         let kiss_frame = self.deframer.push(byte)?;
         if kiss_frame.command != Command::Data {
@@ -307,7 +302,9 @@ impl PacketRadioDriver {
 
     /// Outputs an IP packet toward `next_hop`, resolving its AX.25
     /// address; KISS-framed serial bytes to transmit are emitted into `tx`
-    /// (possibly an ARP request while the packet waits).
+    /// (possibly an ARP request while the packet waits). A broadcast next
+    /// hop (RIP44 announcements) bypasses ARP and goes out as a UI frame
+    /// to the `QST` broadcast address.
     pub fn output(
         &mut self,
         now: SimTime,
@@ -315,6 +312,18 @@ impl PacketRadioDriver {
         next_hop: Ipv4Addr,
         tx: &mut impl FrameSink,
     ) {
+        if next_hop == Ipv4Addr::BROADCAST {
+            self.stats.ip_out += 1;
+            self.ifnet.stats.opackets += 1;
+            let frame = Frame::ui(
+                Ax25Addr::broadcast(),
+                self.cfg.my_call,
+                Pid::Ip,
+                packet.encode(),
+            );
+            self.emit_kiss(&frame, tx);
+            return;
+        }
         match self.arp.resolve(now, next_hop, packet) {
             Resolution::Send(hw_bytes, packet) => match Ax25Hw::decode(&hw_bytes) {
                 Ok(hw) => self.encapsulate_ip(&packet, &hw, tx),

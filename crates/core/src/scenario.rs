@@ -19,7 +19,7 @@ use std::net::Ipv4Addr;
 
 use ax25::addr::Ax25Addr;
 use ether::MacAddr;
-use netstack::route::Prefix;
+use netstack::route::{Prefix, Route, RouteSource};
 use radio::csma::MacConfig;
 use radio::tnc::RxMode;
 use sim::Bandwidth;
@@ -27,6 +27,8 @@ use sim::Bandwidth;
 use crate::acl::AclConfig;
 use crate::cpu::CpuConfig;
 use crate::host::{EtherIfConfig, HostConfig, RadioIfConfig};
+use crate::hwaddr::Ax25Hw;
+use crate::ripd::RipConfig;
 use crate::world::{ChanId, HostId, SegId, TncId, World};
 
 /// The gateway's radio-side address (the paper's actual assignment).
@@ -229,7 +231,6 @@ pub fn digi_chain_topology(n: usize, cfg: PaperConfig, seed: u64) -> DigiScenari
     }
 
     // Static ARP entries with the digipeater path, both directions.
-    use crate::hwaddr::Ax25Hw;
     let fwd = Ax25Hw::via(Ax25Addr::parse_or_panic("N7AKR-1"), &digis);
     let mut rev_path = digis.clone();
     rev_path.reverse();
@@ -284,6 +285,297 @@ pub fn digi_chain_topology(n: usize, cfg: PaperConfig, seed: u64) -> DigiScenari
     }
 }
 
+/// Addresses used by the three-gateway AMPRnet mesh topology.
+pub mod mesh_addrs {
+    use std::net::Ipv4Addr;
+
+    /// A distant Internet host (knows only the 44/8 aggregate).
+    pub const INTERNET_HOST: Ipv4Addr = Ipv4Addr::new(128, 95, 1, 4);
+    /// West gateway, Ethernet side — where the lone class-A route points.
+    pub const WEST_GW_ETHER: Ipv4Addr = Ipv4Addr::new(128, 95, 1, 100);
+    /// East gateway, Ethernet side.
+    pub const EAST_GW_ETHER: Ipv4Addr = Ipv4Addr::new(128, 95, 1, 101);
+    /// Gulf gateway, Ethernet side.
+    pub const GULF_GW_ETHER: Ipv4Addr = Ipv4Addr::new(128, 95, 1, 102);
+    /// West gateway, radio side (the paper's own 44.24.0.28).
+    pub const WEST_GW_RADIO: Ipv4Addr = Ipv4Addr::new(44, 24, 0, 28);
+    /// East gateway, radio side.
+    pub const EAST_GW_RADIO: Ipv4Addr = Ipv4Addr::new(44, 56, 0, 28);
+    /// Gulf gateway, radio side.
+    pub const GULF_GW_RADIO: Ipv4Addr = Ipv4Addr::new(44, 88, 0, 28);
+    /// A host on the east radio subnet.
+    pub const EAST_HOST: Ipv4Addr = Ipv4Addr::new(44, 56, 0, 5);
+    /// A host on the gulf radio subnet.
+    pub const GULF_HOST: Ipv4Addr = Ipv4Addr::new(44, 88, 0, 5);
+    /// The east subnet.
+    pub const EAST_SUBNET: (Ipv4Addr, u8) = (Ipv4Addr::new(44, 56, 0, 0), 16);
+    /// The west subnet.
+    pub const WEST_SUBNET: (Ipv4Addr, u8) = (Ipv4Addr::new(44, 24, 0, 0), 16);
+    /// The gulf subnet.
+    pub const GULF_SUBNET: (Ipv4Addr, u8) = (Ipv4Addr::new(44, 88, 0, 0), 16);
+}
+
+/// The built three-gateway mesh (see [`three_gateway`]).
+pub struct MeshScenario {
+    /// The world.
+    pub world: World,
+    /// The shared radio channel (split into regions by hearing).
+    pub chan: ChanId,
+    /// The Internet segment all gateways sit on.
+    pub seg: SegId,
+    /// The distant Internet host.
+    pub internet_host: HostId,
+    /// West gateway (owner of the class-A aggregate).
+    pub west_gw: HostId,
+    /// East gateway.
+    pub east_gw: HostId,
+    /// Gulf gateway.
+    pub gulf_gw: HostId,
+    /// Radio host on the east subnet.
+    pub east_host: HostId,
+    /// Radio host on the gulf subnet.
+    pub gulf_host: HostId,
+    /// The west gateway's encap table (what it learned from its peers).
+    pub west_tunnels: encap::table::SharedEncapTable,
+    /// The east gateway's encap table.
+    pub east_tunnels: encap::table::SharedEncapTable,
+    /// The gulf gateway's encap table.
+    pub gulf_tunnels: encap::table::SharedEncapTable,
+}
+
+/// Builds the §4.2 endgame: three gateways to net 44 on one Internet
+/// segment, exchanging subnet routes with [`Rip44Service`] and carrying
+/// cross-gateway traffic in IPIP tunnels.
+///
+/// ```text
+///                          "Internet" Ethernet segment
+///  internet-host ───┬───────────────┬───────────────┬─────
+///               west-gw          east-gw         gulf-gw      (RIP44 + IPIP)
+///  44.24/16 radio ──┘       44.56/16 ┴ radio  44.88/16 ┴ radio
+///                 BBONE ─ bridges west↔east    east-host      gulf-host
+/// ```
+///
+/// The Internet still holds only the class-A aggregate (44/8 → west-gw):
+/// that is §4.2's unfixable premise. What RIP44 fixes is the *gateways'*
+/// view — west-gw learns 44.56/16 → east-gw and wraps such traffic in
+/// IPIP across the Ethernet instead of relaying cross-country over the
+/// BBONE RF backbone. Radio hosts run the same daemon in
+/// [`LearnMode::Routes`], learning their default route from their
+/// gateway's radio-side announcements; a deliberately worse static
+/// default via the backbone remains as the fallback when the learned one
+/// expires.
+///
+/// [`Rip44Service`]: crate::ripd::Rip44Service
+/// [`LearnMode::Routes`]: crate::ripd::LearnMode::Routes
+pub fn three_gateway(cfg: &PaperConfig, rip: RipConfig, seed: u64) -> MeshScenario {
+    use crate::ripd::{AnnounceSet, LearnMode, Rip44Service};
+    use encap::rip::RipEntry;
+    use mesh_addrs as a;
+
+    let mut world = World::new(seed);
+    let chan = world.add_channel(cfg.radio_rate);
+    let seg = world.add_segment(Bandwidth::ETHERNET_10M);
+
+    let mut ih = HostConfig::named("internet-host");
+    ih.cpu = CpuConfig::free();
+    ih.ether = Some(EtherIfConfig {
+        mac: MacAddr::local(10),
+        ip: a::INTERNET_HOST,
+        prefix_len: 24,
+    });
+    let internet_host = world.add_host(ih);
+    world.attach_ether(internet_host, seg);
+
+    let mut gw_ids = Vec::new();
+    for (i, (name, call, radio_ip, ether_ip)) in [
+        ("west-gw", "N7AKR-1", a::WEST_GW_RADIO, a::WEST_GW_ETHER),
+        ("east-gw", "W2GW", a::EAST_GW_RADIO, a::EAST_GW_ETHER),
+        ("gulf-gw", "W5GW", a::GULF_GW_RADIO, a::GULF_GW_ETHER),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut gc = HostConfig::named(name);
+        gc.cpu = cfg.cpu;
+        gc.stack.forwarding = true;
+        gc.stack.ipip = true;
+        gc.radio = Some(RadioIfConfig {
+            call: Ax25Addr::parse_or_panic(call),
+            ip: radio_ip,
+            prefix_len: 16,
+        });
+        gc.ether = Some(EtherIfConfig {
+            mac: MacAddr::local(11 + i as u16),
+            ip: ether_ip,
+            prefix_len: 24,
+        });
+        let gw = world.add_host(gc);
+        world.attach_radio(gw, chan, cfg.serial_baud, cfg.tnc_mode, cfg.mac);
+        world.attach_ether(gw, seg);
+        gw_ids.push(gw);
+    }
+    let (west_gw, east_gw, gulf_gw) = (gw_ids[0], gw_ids[1], gw_ids[2]);
+
+    let mut host_ids = Vec::new();
+    for (name, call, ip) in [
+        ("east-host", "KA2EH", a::EAST_HOST),
+        ("gulf-host", "KD5GH", a::GULF_HOST),
+    ] {
+        let mut hc = HostConfig::named(name);
+        hc.cpu = cfg.cpu;
+        hc.radio = Some(RadioIfConfig {
+            call: Ax25Addr::parse_or_panic(call),
+            ip,
+            prefix_len: 16,
+        });
+        let h = world.add_host(hc);
+        world.attach_radio(h, chan, cfg.serial_baud, cfg.tnc_mode, cfg.mac);
+        host_ids.push(h);
+    }
+    let (east_host, gulf_host) = (host_ids[0], host_ids[1]);
+
+    // The cross-country RF backbone digipeater, bridging west and east.
+    let bbone = Ax25Addr::parse_or_panic("BBONE");
+    world.add_digipeater(chan, bbone, cfg.mac);
+
+    // Hearing matrix. Station order: west_gw=0, east_gw=1, gulf_gw=2,
+    // east_host=3, gulf_host=4, BBONE=5. Regions: west {0}, east {1,3},
+    // gulf {2,4}; BBONE hears west and east (the fallback bridge), the
+    // gulf region is reachable only through its gateway.
+    {
+        use radio::channel::StationId;
+        let region = |s: usize| match s {
+            0 => 0,
+            1 | 3 => 1,
+            2 | 4 => 2,
+            _ => 3,
+        };
+        let c = world.channel_mut(chan);
+        for x in 0..6usize {
+            for y in (x + 1)..6 {
+                let ok = region(x) == region(y)
+                    || (y == 5 && region(x) != 2)
+                    || (x == 5 && region(y) != 2);
+                if !ok {
+                    c.set_hears(StationId(x), StationId(y), false);
+                    c.set_hears(StationId(y), StationId(x), false);
+                }
+            }
+        }
+    }
+
+    // Static routing: the Internet knows one route to net 44 (§4.2), and
+    // the west gateway's only non-tunnel path east is the RF backbone.
+    let ih_if = world.host(internet_host).ether_iface().unwrap();
+    world.host_mut(internet_host).stack.routes_mut().add(
+        Prefix::amprnet(),
+        Some(a::WEST_GW_ETHER),
+        ih_if,
+    );
+    let wg_radio = world.host(west_gw).radio_iface().unwrap();
+    world.host_mut(west_gw).stack.routes_mut().add(
+        Prefix::new(a::EAST_SUBNET.0, a::EAST_SUBNET.1),
+        None,
+        wg_radio,
+    );
+    world
+        .host_mut(west_gw)
+        .pr_driver_mut()
+        .unwrap()
+        .arp_mut()
+        .insert_static(
+            a::EAST_HOST,
+            Ax25Hw::via(Ax25Addr::parse_or_panic("KA2EH"), &[bbone]).encode(),
+        );
+    // The east host's fallback default: the west gateway via the
+    // backbone, at a metric the learned route always beats.
+    let eh_if = world.host(east_host).radio_iface().unwrap();
+    world.host_mut(east_host).stack.routes_mut().insert(Route {
+        prefix: Prefix::default_route(),
+        via: Some(a::WEST_GW_RADIO),
+        iface: eh_if,
+        source: RouteSource::Static,
+        metric: 10,
+    });
+    world
+        .host_mut(east_host)
+        .pr_driver_mut()
+        .unwrap()
+        .arp_mut()
+        .insert_static(
+            a::WEST_GW_RADIO,
+            Ax25Hw::via(Ax25Addr::parse_or_panic("N7AKR-1"), &[bbone]).encode(),
+        );
+
+    // The daemons. Each gateway announces its subnet on the wire (tunnel
+    // endpoints for its peers) and a default route on its radio; radio
+    // hosts learn that default as a route.
+    let mut tables = Vec::new();
+    for (i, (&gw, subnet)) in gw_ids
+        .iter()
+        .zip([a::WEST_SUBNET, a::EAST_SUBNET, a::GULF_SUBNET])
+        .enumerate()
+    {
+        let ether_if = world.host(gw).ether_iface().unwrap();
+        let radio_if = world.host(gw).radio_iface().unwrap();
+        let svc = Rip44Service::new(
+            RipConfig {
+                seed: rip.seed.wrapping_add(i as u64),
+                ..rip.clone()
+            },
+            vec![
+                AnnounceSet {
+                    iface: ether_if,
+                    entries: vec![RipEntry {
+                        prefix: Prefix::new(subnet.0, subnet.1),
+                        metric: 1,
+                    }],
+                },
+                AnnounceSet {
+                    iface: radio_if,
+                    entries: vec![RipEntry {
+                        prefix: Prefix::default_route(),
+                        metric: 1,
+                    }],
+                },
+            ],
+            LearnMode::Tunnel,
+        );
+        tables.push(svc.table());
+        world.add_app(gw, Box::new(svc));
+    }
+    for (i, &h) in host_ids.iter().enumerate() {
+        let radio_if = world.host(h).radio_iface().unwrap();
+        let svc = Rip44Service::new(
+            RipConfig {
+                seed: rip.seed.wrapping_add(10 + i as u64),
+                ..rip.clone()
+            },
+            Vec::new(),
+            LearnMode::Routes { iface: radio_if },
+        );
+        world.add_app(h, Box::new(svc));
+    }
+
+    let gulf_tunnels = tables.pop().unwrap();
+    let east_tunnels = tables.pop().unwrap();
+    let west_tunnels = tables.pop().unwrap();
+    MeshScenario {
+        world,
+        chan,
+        seg,
+        internet_host,
+        west_gw,
+        east_gw,
+        gulf_gw,
+        east_host,
+        gulf_host,
+        west_tunnels,
+        east_tunnels,
+        gulf_tunnels,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +598,118 @@ mod tests {
             .expect("reply via digipeaters");
         // Each direction crosses the channel 3 times (pc->d1->d2->gw).
         assert!(rtt > SimTime::from_secs(2), "rtt {rtt}");
+    }
+
+    fn mesh_rip() -> RipConfig {
+        RipConfig {
+            announce_interval: SimDuration::from_secs(10),
+            route_ttl: SimDuration::from_secs(25),
+            holddown: SimDuration::from_secs(20),
+            ..RipConfig::default()
+        }
+    }
+
+    fn mesh_config() -> PaperConfig {
+        PaperConfig {
+            acl: false,
+            ..PaperConfig::default()
+        }
+    }
+
+    #[test]
+    fn mesh_converges_to_ipip_tunnels() {
+        let mut s = three_gateway(&mesh_config(), mesh_rip(), 7);
+        // Let the gateways exchange a couple of announcement rounds.
+        s.world.run_for(SimDuration::from_secs(25));
+        let learned: Vec<_> = s
+            .west_tunnels
+            .with(|t| t.entries().iter().map(|e| e.subnet).collect());
+        assert!(
+            learned.contains(&Prefix::new(
+                mesh_addrs::EAST_SUBNET.0,
+                mesh_addrs::EAST_SUBNET.1
+            )),
+            "west gateway learned the east subnet: {learned:?}"
+        );
+        assert!(
+            learned.contains(&Prefix::new(
+                mesh_addrs::GULF_SUBNET.0,
+                mesh_addrs::GULF_SUBNET.1
+            )),
+            "west gateway learned the gulf subnet: {learned:?}"
+        );
+        // Now a ping from the Internet rides the tunnel: the 44/8
+        // aggregate still lands it at the west gateway, which wraps it in
+        // IPIP to the east gateway instead of relaying over RF.
+        let now = s.world.now;
+        s.world
+            .host_mut(s.internet_host)
+            .ping(now, mesh_addrs::EAST_HOST, 9, 2, 32);
+        s.world.run_for(SimDuration::from_secs(60));
+        let events = s.world.take_events();
+        assert!(
+            events.iter().any(|(h, _, e)| *h == s.internet_host
+                && matches!(e, StackAction::PingReply { id: 9, .. })),
+            "ping answered"
+        );
+        // (The first echo request can die in the cold ARP queue, so ask
+        // only that the survivors rode the tunnel.)
+        assert!(
+            s.world.host(s.west_gw).stack.stats().ipip_out >= 1,
+            "west gateway encapsulated"
+        );
+        assert!(
+            s.world.host(s.east_gw).stack.stats().ipip_in >= 1,
+            "east gateway decapsulated"
+        );
+        assert!(s.west_tunnels.stats().hits >= 1, "table hit counted");
+    }
+
+    #[test]
+    fn mesh_falls_back_to_rf_backbone_when_gateway_dies() {
+        let mut s = three_gateway(&mesh_config(), mesh_rip(), 8);
+        s.world.run_for(SimDuration::from_secs(25));
+        assert!(s
+            .west_tunnels
+            .with(|t| t.lookup(mesh_addrs::EAST_HOST).is_some()));
+
+        // Kill the east gateway: its announcements stop, so the west
+        // gateway's tunnel entry and the east host's learned default must
+        // both expire (within one TTL) and traffic must fall back to the
+        // static aggregate path over the BBONE digipeater.
+        s.world.host_mut(s.east_gw).set_down(true);
+        s.world.run_for(SimDuration::from_secs(26));
+        assert!(
+            s.west_tunnels
+                .with(|t| t.lookup(mesh_addrs::EAST_HOST).is_none()),
+            "tunnel entry expired"
+        );
+        let r = s
+            .world
+            .host(s.east_host)
+            .stack
+            .routes()
+            .lookup_route(mesh_addrs::INTERNET_HOST)
+            .expect("fallback default");
+        assert_eq!(r.via, Some(mesh_addrs::WEST_GW_RADIO), "static fallback");
+
+        let ipip_before = s.world.host(s.west_gw).stack.stats().ipip_out;
+        let now = s.world.now;
+        s.world
+            .host_mut(s.internet_host)
+            .ping(now, mesh_addrs::EAST_HOST, 10, 2, 32);
+        s.world.run_for(SimDuration::from_secs(120));
+        let events = s.world.take_events();
+        assert!(
+            events.iter().any(|(h, _, e)| *h == s.internet_host
+                && matches!(e, StackAction::PingReply { id: 10, .. })),
+            "ping still answered via the RF backbone"
+        );
+        assert_eq!(
+            s.world.host(s.west_gw).stack.stats().ipip_out,
+            ipip_before,
+            "no new encapsulations toward the dead gateway"
+        );
     }
 
     #[test]

@@ -1029,9 +1029,7 @@ impl World {
                 polled += 1;
                 let ci = self.tncs[ti].chan.0;
                 let entry = &mut self.tncs[ti];
-                entry
-                    .tnc
-                    .poll(now, &mut self.channels[ci], &mut self.rng);
+                entry.tnc.poll(now, &mut self.channels[ci], &mut self.rng);
                 if entry.tnc.next_deadline().is_some_and(|d| d <= now) {
                     self.dirty.mark(Key::Tnc(ti));
                 }
@@ -1046,9 +1044,7 @@ impl World {
                 polled += 1;
                 let ci = self.digis[di].chan.0;
                 let entry = &mut self.digis[di];
-                entry
-                    .digi
-                    .poll(now, &mut self.channels[ci], &mut self.rng);
+                entry.digi.poll(now, &mut self.channels[ci], &mut self.rng);
                 if entry.digi.next_deadline().is_some_and(|d| d <= now) {
                     self.dirty.mark(Key::Digi(di));
                 }
@@ -1531,8 +1527,11 @@ mod tests {
     #[test]
     fn reference_processes_deadline_at_limit_identically() {
         let limit = SimTime::from_secs(5);
-        let (mut w, fired) =
-            recorder_world(vec![SimTime::from_secs(1), limit, limit + SimDuration::from_nanos(1)]);
+        let (mut w, fired) = recorder_world(vec![
+            SimTime::from_secs(1),
+            limit,
+            limit + SimDuration::from_nanos(1),
+        ]);
         w.run_until_idle_reference(limit);
         assert_eq!(*fired.borrow(), vec![SimTime::from_secs(1), limit]);
     }

@@ -143,7 +143,10 @@ fn paper_run(
         s.pc,
         Box::new(ScriptedPinger {
             dst: scenario::ETHER_HOST_IP,
-            times: ping_times.iter().map(|&ms| SimTime::from_millis(ms)).collect(),
+            times: ping_times
+                .iter()
+                .map(|&ms| SimTime::from_millis(ms))
+                .collect(),
             seq: 0,
         }),
     );
@@ -166,8 +169,18 @@ fn paper_run(
 #[test]
 fn paper_topology_indexed_matches_reference() {
     let mac = MacConfig::default();
-    let reference = paper_run(Driver::Reference, 42, mac, &[(500, 3000)], &[1000, 9000], false);
-    assert!(reference.contains("PingReply"), "traffic must flow:\n{reference}");
+    let reference = paper_run(
+        Driver::Reference,
+        42,
+        mac,
+        &[(500, 3000)],
+        &[1000, 9000],
+        false,
+    );
+    assert!(
+        reference.contains("PingReply"),
+        "traffic must flow:\n{reference}"
+    );
     for driver in [Driver::Indexed, Driver::Wheel] {
         let got = paper_run(driver, 42, mac, &[(500, 3000)], &[1000, 9000], false);
         assert_eq!(got, reference, "{driver:?} diverged from reference");
@@ -191,7 +204,10 @@ fn digi_chain_indexed_matches_reference() {
         fingerprint(&mut s.world, &[], &[], &[], &[s.chan], &[s.pc, s.gw])
     };
     let reference = run(Driver::Reference);
-    assert!(reference.contains("PingReply"), "traffic must flow:\n{reference}");
+    assert!(
+        reference.contains("PingReply"),
+        "traffic must flow:\n{reference}"
+    );
     assert_eq!(run(Driver::Indexed), reference);
     assert_eq!(run(Driver::Wheel), reference);
 }
@@ -214,7 +230,14 @@ fn zero_slot_time_rng_stream_matches() {
         false,
     );
     for driver in [Driver::Indexed, Driver::Wheel] {
-        let got = paper_run(driver, 3, mac, &[(0, 1500), (200, 1500), (400, 1500)], &[2000], false);
+        let got = paper_run(
+            driver,
+            3,
+            mac,
+            &[(0, 1500), (200, 1500), (400, 1500)],
+            &[2000],
+            false,
+        );
         assert_eq!(got, reference, "{driver:?} diverged from reference");
     }
 }

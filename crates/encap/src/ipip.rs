@@ -1,0 +1,298 @@
+//! IP-in-IP (protocol 4) encapsulation.
+//!
+//! The outer header is a plain 20-octet IPv4 header with protocol 4 whose
+//! payload is a complete inner IP datagram. Two surfaces are provided:
+//!
+//! * [`Ipip`] — an owned codec implementing [`sim::wire::Codec`], used by
+//!   tests and anything off the hot path;
+//! * [`encap_in_place`] / [`decap_in_place`] — the gateway fast paths,
+//!   which wrap and unwrap a pooled [`PacketBuf`] without copying the
+//!   inner datagram: encapsulation prepends into headroom, decapsulation
+//!   advances past the outer header.
+//!
+//! Decoding is strict: short buffers, wrong IP version, options (IHL ≠ 5),
+//! inconsistent total length, bad header checksum, and non-IPIP protocol
+//! numbers are all rejected with a specific [`IpipError`] so a corrupted
+//! tunnel packet can never smuggle bytes into the inner stack.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use netstack::ip;
+use sim::wire::{internet_checksum, Codec, Reader};
+use sim::{ByteSink, PacketBuf};
+
+/// Length of the outer header prepended by encapsulation.
+pub const OUTER_HEADER_LEN: usize = 20;
+
+/// Default TTL stamped on outer headers by the gateways.
+pub const OUTER_TTL: u8 = 64;
+
+/// Why a buffer failed to parse as an IPIP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpipError {
+    /// Fewer than 20 octets, or fewer than the total-length field claims.
+    Truncated,
+    /// Outer version nibble is not 4.
+    BadVersion,
+    /// Outer header carries options (IHL ≠ 5); the tunnel never emits them.
+    BadIhl,
+    /// Total-length field disagrees with the buffer length.
+    BadLength,
+    /// Outer header checksum did not verify.
+    BadChecksum,
+    /// Outer protocol is not 4 (IPIP).
+    NotIpip,
+}
+
+impl fmt::Display for IpipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpipError::Truncated => write!(f, "truncated outer header"),
+            IpipError::BadVersion => write!(f, "outer version is not 4"),
+            IpipError::BadIhl => write!(f, "outer header has options"),
+            IpipError::BadLength => write!(f, "outer total length mismatch"),
+            IpipError::BadChecksum => write!(f, "outer header checksum failed"),
+            IpipError::NotIpip => write!(f, "outer protocol is not IPIP"),
+        }
+    }
+}
+
+impl std::error::Error for IpipError {}
+
+/// The fields of a validated outer header, returned by decapsulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OuterHeader {
+    /// Encapsulating gateway (outer source).
+    pub src: Ipv4Addr,
+    /// Tunnel endpoint (outer destination).
+    pub dst: Ipv4Addr,
+    /// Outer time-to-live as received.
+    pub ttl: u8,
+}
+
+/// An IPIP packet: outer addressing plus the complete inner datagram.
+///
+/// # Examples
+///
+/// ```
+/// use encap::ipip::Ipip;
+/// use sim::wire::Codec;
+/// use std::net::Ipv4Addr;
+///
+/// let p = Ipip::new(
+///     Ipv4Addr::new(128, 95, 1, 100),
+///     Ipv4Addr::new(128, 95, 1, 101),
+///     vec![0xAA; 40],
+/// );
+/// let bytes = p.encode();
+/// assert_eq!(Ipip::decode(&bytes).unwrap(), p);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipip {
+    /// Encapsulating gateway (outer source).
+    pub src: Ipv4Addr,
+    /// Tunnel endpoint (outer destination).
+    pub dst: Ipv4Addr,
+    /// Outer time-to-live.
+    pub ttl: u8,
+    /// The complete inner IP datagram, carried opaquely.
+    pub inner: Vec<u8>,
+}
+
+impl Ipip {
+    /// Creates a packet with the default outer TTL.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, inner: Vec<u8>) -> Ipip {
+        Ipip {
+            src,
+            dst,
+            ttl: OUTER_TTL,
+            inner,
+        }
+    }
+}
+
+/// Fills `hdr` with a checksummed outer header for `inner_len` payload
+/// octets.
+fn build_outer(
+    hdr: &mut [u8; OUTER_HEADER_LEN],
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    ttl: u8,
+    inner_len: usize,
+) {
+    let total = (OUTER_HEADER_LEN + inner_len) as u16;
+    hdr[0] = 0x45; // version 4, IHL 5
+    hdr[1] = 0; // TOS
+    hdr[2..4].copy_from_slice(&total.to_be_bytes());
+    hdr[4..8].copy_from_slice(&[0, 0, 0, 0]); // id 0, flags/frag 0
+    hdr[8] = ttl;
+    hdr[9] = ip::IPIP;
+    hdr[10..12].copy_from_slice(&[0, 0]); // checksum placeholder
+    hdr[12..16].copy_from_slice(&src.octets());
+    hdr[16..20].copy_from_slice(&dst.octets());
+    let sum = internet_checksum(&[&hdr[..]]);
+    hdr[10..12].copy_from_slice(&sum.to_be_bytes());
+}
+
+/// Validates the outer header at the front of `bytes`.
+fn check_outer(bytes: &[u8]) -> Result<OuterHeader, IpipError> {
+    if bytes.len() < OUTER_HEADER_LEN {
+        return Err(IpipError::Truncated);
+    }
+    let mut r = Reader::new(bytes);
+    let ver_ihl = r.u8().expect("length checked");
+    if ver_ihl >> 4 != 4 {
+        return Err(IpipError::BadVersion);
+    }
+    if ver_ihl & 0x0F != 5 {
+        return Err(IpipError::BadIhl);
+    }
+    r.skip(1).expect("length checked"); // TOS
+    let total_len = r.u16().expect("length checked");
+    if usize::from(total_len) != bytes.len() {
+        return Err(IpipError::BadLength);
+    }
+    r.skip(4).expect("length checked"); // id, flags/frag
+    let ttl = r.u8().expect("length checked");
+    let proto = r.u8().expect("length checked");
+    r.skip(2).expect("length checked"); // checksum (verified over the whole)
+    let src = Ipv4Addr::from(r.u32().expect("length checked"));
+    let dst = Ipv4Addr::from(r.u32().expect("length checked"));
+    if internet_checksum(&[&bytes[..OUTER_HEADER_LEN]]) != 0 {
+        return Err(IpipError::BadChecksum);
+    }
+    if proto != ip::IPIP {
+        return Err(IpipError::NotIpip);
+    }
+    Ok(OuterHeader { src, dst, ttl })
+}
+
+impl Codec for Ipip {
+    type Error = IpipError;
+
+    fn encode_into(&self, out: &mut impl ByteSink) {
+        let mut hdr = [0u8; OUTER_HEADER_LEN];
+        build_outer(&mut hdr, self.src, self.dst, self.ttl, self.inner.len());
+        out.put_slice(&hdr);
+        out.put_slice(&self.inner);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Ipip, IpipError> {
+        let outer = check_outer(bytes)?;
+        Ok(Ipip {
+            src: outer.src,
+            dst: outer.dst,
+            ttl: outer.ttl,
+            inner: bytes[OUTER_HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+/// Wraps the datagram in `buf` with an outer IPIP header, in place.
+///
+/// The 20-octet header lands in the buffer's headroom (lease with
+/// `take_with_headroom(OUTER_HEADER_LEN)` and this never copies the
+/// payload); without headroom [`PacketBuf::prepend`] shifts once.
+pub fn encap_in_place(buf: &mut PacketBuf, src: Ipv4Addr, dst: Ipv4Addr, ttl: u8) {
+    let mut hdr = [0u8; OUTER_HEADER_LEN];
+    build_outer(&mut hdr, src, dst, ttl, buf.len());
+    buf.prepend(&hdr);
+}
+
+/// Validates and strips the outer IPIP header from `buf`, in place.
+///
+/// On success the buffer's live bytes are exactly the inner datagram (no
+/// copy — the start index advances past the header) and the outer
+/// addressing is returned. On error the buffer is untouched.
+pub fn decap_in_place(buf: &mut PacketBuf) -> Result<OuterHeader, IpipError> {
+    let outer = check_outer(buf.as_slice())?;
+    buf.advance(OUTER_HEADER_LEN);
+    Ok(outer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::BufPool;
+
+    fn sample() -> Ipip {
+        Ipip::new(
+            Ipv4Addr::new(128, 95, 1, 100),
+            Ipv4Addr::new(128, 95, 1, 101),
+            b"inner datagram bytes".to_vec(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let p = sample();
+        let bytes = p.encode();
+        assert_eq!(bytes.len(), OUTER_HEADER_LEN + p.inner.len());
+        assert_eq!(Ipip::decode(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn outer_is_a_valid_ipv4_header() {
+        // The outer header must parse as ordinary IPv4 so the tunnel
+        // traverses unmodified routers (and our own NetStack).
+        let bytes = sample().encode();
+        let outer = netstack::ip::Ipv4Packet::decode(&bytes).unwrap();
+        assert_eq!(outer.proto, netstack::ip::Proto::Other(ip::IPIP));
+        assert_eq!(outer.payload, sample().inner);
+    }
+
+    #[test]
+    fn truncated_inputs_are_rejected() {
+        let bytes = sample().encode();
+        for n in 0..OUTER_HEADER_LEN {
+            assert_eq!(Ipip::decode(&bytes[..n]), Err(IpipError::Truncated));
+        }
+        // Losing tail bytes breaks the total-length invariant.
+        assert_eq!(
+            Ipip::decode(&bytes[..bytes.len() - 1]),
+            Err(IpipError::BadLength)
+        );
+    }
+
+    #[test]
+    fn wrong_protocol_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes[9] = 17; // claim UDP; refresh the checksum so only proto is wrong
+        bytes[10] = 0;
+        bytes[11] = 0;
+        let sum = internet_checksum(&[&bytes[..OUTER_HEADER_LEN]]);
+        bytes[10..12].copy_from_slice(&sum.to_be_bytes());
+        assert_eq!(Ipip::decode(&bytes), Err(IpipError::NotIpip));
+    }
+
+    #[test]
+    fn in_place_encap_uses_headroom_and_matches_codec() {
+        let pool = BufPool::new(256);
+        let mut buf = pool.take_with_headroom(OUTER_HEADER_LEN);
+        buf.extend_from_slice(&sample().inner);
+        encap_in_place(&mut buf, sample().src, sample().dst, OUTER_TTL);
+        assert_eq!(buf.headroom(), 0); // header fit exactly, no shift
+        assert_eq!(buf.as_slice(), sample().encode().as_slice());
+    }
+
+    #[test]
+    fn in_place_decap_strips_without_copying() {
+        let pool = BufPool::new(256);
+        let mut buf = pool.take();
+        buf.extend_from_slice(&sample().encode());
+        let outer = decap_in_place(&mut buf).unwrap();
+        assert_eq!(outer.src, sample().src);
+        assert_eq!(outer.dst, sample().dst);
+        assert_eq!(buf.as_slice(), sample().inner.as_slice());
+    }
+
+    #[test]
+    fn failed_decap_leaves_buffer_untouched() {
+        let mut bytes = sample().encode();
+        bytes[0] = 0x65; // version 6
+        let mut buf = PacketBuf::from(bytes.clone());
+        assert_eq!(decap_in_place(&mut buf), Err(IpipError::BadVersion));
+        assert_eq!(buf.as_slice(), bytes.as_slice());
+    }
+}

@@ -562,7 +562,10 @@ mod tests {
         let mut d = Deframer::new();
         let mut wire = vec![FEND, 0x00, b'a', FESC, 0x99, b'b', FEND];
         wire.extend(encode(0, Command::Data, b"good"));
-        let frames: Vec<_> = wire.iter().filter_map(|&b| d.push(b).map(|f| f.to_owned())).collect();
+        let frames: Vec<_> = wire
+            .iter()
+            .filter_map(|&b| d.push(b).map(|f| f.to_owned()))
+            .collect();
         assert_eq!(frames.len(), 1);
         assert_eq!(frames[0].payload, b"good");
         assert_eq!(d.stats().bad_escapes, 1);
@@ -572,7 +575,10 @@ mod tests {
     fn escape_truncated_by_fend_counts_and_resyncs() {
         let wire = [FEND, 0x00, b'a', FESC, FEND, 0x00, b'z', FEND];
         let mut d = Deframer::new();
-        let frames: Vec<_> = wire.iter().filter_map(|&b| d.push(b).map(|f| f.to_owned())).collect();
+        let frames: Vec<_> = wire
+            .iter()
+            .filter_map(|&b| d.push(b).map(|f| f.to_owned()))
+            .collect();
         assert_eq!(frames.len(), 1);
         assert_eq!(frames[0].payload, b"z");
         assert_eq!(d.stats().bad_escapes, 1);
@@ -582,7 +588,10 @@ mod tests {
     fn unknown_command_nibble_is_dropped() {
         let wire = [FEND, 0x07, b'a', FEND]; // 0x7 is undefined
         let mut d = Deframer::new();
-        let frames: Vec<_> = wire.iter().filter_map(|&b| d.push(b).map(|f| f.to_owned())).collect();
+        let frames: Vec<_> = wire
+            .iter()
+            .filter_map(|&b| d.push(b).map(|f| f.to_owned()))
+            .collect();
         assert!(frames.is_empty());
         assert_eq!(d.stats().bad_commands, 1);
     }
@@ -591,12 +600,18 @@ mod tests {
     fn oversize_frame_is_dropped() {
         let mut d = Deframer::with_max_len(4);
         let wire = encode(0, Command::Data, b"too long!");
-        let frames: Vec<_> = wire.iter().filter_map(|&b| d.push(b).map(|f| f.to_owned())).collect();
+        let frames: Vec<_> = wire
+            .iter()
+            .filter_map(|&b| d.push(b).map(|f| f.to_owned()))
+            .collect();
         assert!(frames.is_empty());
         assert_eq!(d.stats().oversize, 1);
         // And it recovers for the next frame.
         let wire2 = encode(0, Command::Data, b"ok");
-        let frames2: Vec<_> = wire2.iter().filter_map(|&b| d.push(b).map(|f| f.to_owned())).collect();
+        let frames2: Vec<_> = wire2
+            .iter()
+            .filter_map(|&b| d.push(b).map(|f| f.to_owned()))
+            .collect();
         assert_eq!(frames2.len(), 1);
     }
 

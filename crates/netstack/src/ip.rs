@@ -49,6 +49,11 @@ impl Proto {
     }
 }
 
+/// IP protocol 4 — IP-in-IP encapsulation (the AMPRnet tunnel mesh).
+/// Decoded as [`Proto::Other`]`(IPIP)`; only stacks with decapsulation
+/// enabled treat it specially.
+pub const IPIP: u8 = 4;
+
 /// IPv4 header length (no options).
 pub const HEADER_LEN: usize = 20;
 

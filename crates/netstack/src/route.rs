@@ -65,6 +65,19 @@ impl fmt::Display for Prefix {
     }
 }
 
+/// Where a route came from. Mirrors the static-vs-RIP distinction the
+/// AMPRnet gateways needed once subnet routes started arriving over the
+/// wire: a learned route may expire and must never silently replace the
+/// operator's static configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RouteSource {
+    /// Installed by configuration; never expires.
+    #[default]
+    Static,
+    /// Learned from a route announcement; expires unless refreshed.
+    Learned,
+}
+
 /// One routing-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Route {
@@ -74,6 +87,11 @@ pub struct Route {
     pub via: Option<Ipv4Addr>,
     /// Output interface.
     pub iface: IfaceId,
+    /// Static configuration or learned announcement.
+    pub source: RouteSource,
+    /// Preference among equal-length prefixes; lower wins. Prefix length
+    /// always dominates (a /24 with a terrible metric still beats a /8).
+    pub metric: u8,
 }
 
 /// The result of a successful lookup.
@@ -115,30 +133,88 @@ impl RouteTable {
         RouteTable::default()
     }
 
-    /// Adds (or replaces) the route for `prefix`.
+    /// Adds (or replaces) the static route for `prefix` with metric 0.
     pub fn add(&mut self, prefix: Prefix, via: Option<Ipv4Addr>, iface: IfaceId) {
-        self.routes.retain(|r| r.prefix != prefix);
-        self.routes.push(Route { prefix, via, iface });
-        // Longest prefix first; stable order for determinism.
-        self.routes.sort_by_key(|r| std::cmp::Reverse(r.prefix.len));
+        self.insert(Route {
+            prefix,
+            via,
+            iface,
+            source: RouteSource::Static,
+            metric: 0,
+        });
     }
 
-    /// Removes the route for `prefix`; returns whether one existed.
+    /// Adds (or replaces) a learned route for `prefix`. Learned routes
+    /// never displace a static route for the same prefix: both coexist
+    /// and the metric breaks the tie, so expiring the learned route
+    /// (see [`remove_learned`](Self::remove_learned)) restores the static
+    /// one instead of leaving a hole.
+    pub fn add_learned(
+        &mut self,
+        prefix: Prefix,
+        via: Option<Ipv4Addr>,
+        iface: IfaceId,
+        metric: u8,
+    ) {
+        self.insert(Route {
+            prefix,
+            via,
+            iface,
+            source: RouteSource::Learned,
+            metric,
+        });
+    }
+
+    /// Inserts `route`, replacing any existing route with the same prefix
+    /// *and* source.
+    pub fn insert(&mut self, route: Route) {
+        self.routes
+            .retain(|r| !(r.prefix == route.prefix && r.source == route.source));
+        self.routes.push(route);
+        // Longest prefix strictly first, then metric, then static before
+        // learned. Prefix length must dominate the metric — sorting by
+        // metric ahead of length would let a cheap default route shadow
+        // every longer prefix. A stable sort keeps insertion order for
+        // full ties (determinism).
+        self.routes.sort_by_key(|r| {
+            (
+                std::cmp::Reverse(r.prefix.len),
+                r.metric,
+                r.source != RouteSource::Static,
+            )
+        });
+    }
+
+    /// Removes every route for `prefix` (any source); returns whether one
+    /// existed.
     pub fn remove(&mut self, prefix: Prefix) -> bool {
         let before = self.routes.len();
         self.routes.retain(|r| r.prefix != prefix);
         self.routes.len() != before
     }
 
+    /// Removes the learned route for `prefix`, leaving any static route in
+    /// place; returns whether one existed.
+    pub fn remove_learned(&mut self, prefix: Prefix) -> bool {
+        let before = self.routes.len();
+        self.routes
+            .retain(|r| !(r.prefix == prefix && r.source == RouteSource::Learned));
+        self.routes.len() != before
+    }
+
     /// Longest-prefix-match lookup.
     pub fn lookup(&self, dst: Ipv4Addr) -> Option<NextHop> {
-        self.routes
-            .iter()
-            .find(|r| r.prefix.contains(dst))
-            .map(|r| NextHop {
-                iface: r.iface,
-                hop: r.via.unwrap_or(dst),
-            })
+        self.lookup_route(dst).map(|r| NextHop {
+            iface: r.iface,
+            hop: r.via.unwrap_or(dst),
+        })
+    }
+
+    /// Longest-prefix-match lookup returning the matched route itself —
+    /// callers that maintain learned routes need the winning [`Prefix`]
+    /// (and source) to know what to expire, not just the next hop.
+    pub fn lookup_route(&self, dst: Ipv4Addr) -> Option<&Route> {
+        self.routes.iter().find(|r| r.prefix.contains(dst))
     }
 
     /// All routes, longest prefix first.
@@ -223,6 +299,105 @@ mod tests {
     #[should_panic]
     fn prefix_len_out_of_range_panics() {
         let _ = Prefix::new(Ipv4Addr::UNSPECIFIED, 33);
+    }
+
+    #[test]
+    fn learned_route_coexists_with_static_and_metric_breaks_tie() {
+        let mut rt = RouteTable::new();
+        rt.add(
+            Prefix::default_route(),
+            Some(Ipv4Addr::new(9, 9, 9, 9)),
+            ifid(0),
+        );
+        // A cheaper learned default wins the tie...
+        rt.add_learned(
+            Prefix::default_route(),
+            Some(Ipv4Addr::new(8, 8, 8, 8)),
+            ifid(1),
+            0,
+        );
+        assert_eq!(rt.routes().len(), 2, "both defaults coexist");
+        // ...unless metrics tie exactly, where static is preferred.
+        assert_eq!(
+            rt.lookup(Ipv4Addr::new(1, 2, 3, 4)).unwrap().iface,
+            ifid(0),
+            "equal metric: static wins"
+        );
+        rt.add_learned(
+            Prefix::default_route(),
+            Some(Ipv4Addr::new(8, 8, 8, 8)),
+            ifid(1),
+            0,
+        );
+        assert_eq!(rt.routes().len(), 2, "learned re-add replaces, not stacks");
+        // A worse static metric lets the learned default take over...
+        rt.insert(Route {
+            prefix: Prefix::default_route(),
+            via: Some(Ipv4Addr::new(9, 9, 9, 9)),
+            iface: ifid(0),
+            source: RouteSource::Static,
+            metric: 10,
+        });
+        assert_eq!(rt.lookup(Ipv4Addr::new(1, 2, 3, 4)).unwrap().iface, ifid(1));
+        // ...and expiring the learned one falls back to the static.
+        assert!(rt.remove_learned(Prefix::default_route()));
+        assert_eq!(rt.lookup(Ipv4Addr::new(1, 2, 3, 4)).unwrap().iface, ifid(0));
+        assert!(!rt.remove_learned(Prefix::default_route()));
+    }
+
+    #[test]
+    fn default_route_metric_never_beats_longer_prefix() {
+        let mut rt = RouteTable::new();
+        rt.insert(Route {
+            prefix: Prefix::amprnet(),
+            via: Some(Ipv4Addr::new(9, 9, 9, 9)),
+            iface: ifid(0),
+            source: RouteSource::Static,
+            metric: 15,
+        });
+        rt.add_learned(
+            Prefix::default_route(),
+            Some(Ipv4Addr::new(8, 8, 8, 8)),
+            ifid(1),
+            0,
+        );
+        // The /8 has a far worse metric than the /0 but still wins LPM.
+        assert_eq!(
+            rt.lookup(Ipv4Addr::new(44, 24, 0, 5)).unwrap().iface,
+            ifid(0)
+        );
+        assert_eq!(
+            rt.lookup(Ipv4Addr::new(128, 95, 1, 4)).unwrap().iface,
+            ifid(1)
+        );
+    }
+
+    #[test]
+    fn lookup_route_returns_matched_prefix_and_source() {
+        let mut rt = RouteTable::new();
+        rt.add(Prefix::amprnet(), Some(Ipv4Addr::new(9, 9, 9, 9)), ifid(0));
+        rt.add_learned(
+            Prefix::new(Ipv4Addr::new(44, 56, 0, 0), 16),
+            Some(Ipv4Addr::new(8, 8, 8, 8)),
+            ifid(1),
+            1,
+        );
+        let r = rt.lookup_route(Ipv4Addr::new(44, 56, 0, 5)).unwrap();
+        assert_eq!(r.prefix, Prefix::new(Ipv4Addr::new(44, 56, 0, 0), 16));
+        assert_eq!(r.source, RouteSource::Learned);
+        assert_eq!(r.metric, 1);
+        let r = rt.lookup_route(Ipv4Addr::new(44, 24, 0, 5)).unwrap();
+        assert_eq!(r.prefix, Prefix::amprnet());
+        assert_eq!(r.source, RouteSource::Static);
+    }
+
+    #[test]
+    fn remove_any_source_clears_both() {
+        let mut rt = RouteTable::new();
+        rt.add(Prefix::amprnet(), None, ifid(0));
+        rt.add_learned(Prefix::amprnet(), None, ifid(1), 1);
+        assert!(rt.remove(Prefix::amprnet()));
+        assert!(rt.routes().is_empty());
     }
 
     #[test]

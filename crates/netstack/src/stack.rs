@@ -77,6 +77,10 @@ pub struct StackConfig {
     pub forwarding: bool,
     /// Answer echo requests.
     pub icmp_echo_reply: bool,
+    /// Decapsulate IPIP (protocol 4) packets addressed to this host and
+    /// re-run the inner packet through input. Off, protocol 4 gets the
+    /// stock protocol-unreachable treatment.
+    pub ipip: bool,
 }
 
 impl Default for StackConfig {
@@ -85,8 +89,23 @@ impl Default for StackConfig {
             tcp: TcpConfig::default(),
             forwarding: false,
             icmp_echo_reply: true,
+            ipip: false,
         }
     }
+}
+
+/// An encapsulation table the stack consults on output *before* the plain
+/// routing table: if it returns a tunnel endpoint for the destination, the
+/// packet is wrapped in an outer IPIP header addressed to that endpoint
+/// and routing proceeds on the outer header instead.
+///
+/// The implementation (the `encap` crate's shared table) owns hit/miss
+/// accounting and entry expiry; the stack only asks the question. Expiry
+/// is deadline-driven by the table's owner, which is why this hook takes
+/// no clock.
+pub trait TunnelMap: std::fmt::Debug {
+    /// The tunnel endpoint whose encapsulation should carry `dst`, if any.
+    fn endpoint(&mut self, dst: Ipv4Addr) -> Option<Ipv4Addr>;
 }
 
 /// Actions the stack asks its owner to perform, and events it reports.
@@ -183,6 +202,10 @@ pub struct StackStats {
     pub ttl_expired: u64,
     /// Echo requests answered.
     pub echo_replies_sent: u64,
+    /// Packets wrapped in an outer IPIP header on output.
+    pub ipip_out: u64,
+    /// IPIP packets decapsulated on input.
+    pub ipip_in: u64,
 }
 
 #[derive(Debug)]
@@ -217,6 +240,7 @@ pub struct NetStack {
     ip_id: u16,
     iss: u32,
     next_port: u16,
+    tunnels: Option<Box<dyn TunnelMap>>,
     stats: StackStats,
 }
 
@@ -234,8 +258,16 @@ impl NetStack {
             ip_id: 1,
             iss: 1_000_000,
             next_port: 1024,
+            tunnels: None,
             stats: StackStats::default(),
         }
+    }
+
+    /// Installs the encapsulation table consulted by the output path (see
+    /// [`TunnelMap`]). Gateways participating in the tunnel mesh share the
+    /// table with their route-exchange service.
+    pub fn set_tunnel_map(&mut self, map: Box<dyn TunnelMap>) {
+        self.tunnels = Some(map);
     }
 
     /// Adds an interface and its connected route.
@@ -286,7 +318,27 @@ impl NetStack {
     }
 
     /// Routes, fragments, and emits a locally generated packet.
+    ///
+    /// The encapsulation table (if installed) is consulted *before* the
+    /// routing table: a destination matched there is wrapped in an outer
+    /// IPIP header toward the tunnel endpoint, and the routing decision is
+    /// then made for the endpoint instead. Packets that are already IPIP
+    /// and local destinations are never wrapped.
     pub fn send_ip(&mut self, mut packet: Ipv4Packet, out: &mut Vec<StackAction>) {
+        if packet.proto != Proto::Other(ip::IPIP) && !self.is_local_addr(packet.dst) {
+            if let Some(tunnels) = self.tunnels.as_mut() {
+                if let Some(endpoint) = tunnels.endpoint(packet.dst) {
+                    self.stats.ipip_out += 1;
+                    let inner = packet.encode();
+                    packet = Ipv4Packet::new(
+                        Ipv4Addr::UNSPECIFIED,
+                        endpoint,
+                        Proto::Other(ip::IPIP),
+                        inner,
+                    );
+                }
+            }
+        }
         let Some(NextHop { iface, hop }) = self.routes.lookup(packet.dst) else {
             self.stats.no_route += 1;
             return;
@@ -392,17 +444,30 @@ impl NetStack {
             Proto::Icmp => self.input_icmp(iface, &whole, &mut out),
             Proto::Tcp => self.input_tcp(now, &whole, &mut out),
             Proto::Udp => self.input_udp(&whole, &mut out),
+            Proto::Other(p) if p == ip::IPIP && self.cfg.ipip => {
+                // A tunnel endpoint: strip the outer header and run the
+                // inner packet through input again. The inner destination
+                // is usually *not* local, so it surfaces as a normal
+                // ForwardNeeded and crosses the gateway's policy exactly
+                // like natively routed traffic. Nesting terminates because
+                // every level removes a 20-byte header.
+                self.stats.ipip_in += 1;
+                out.extend(self.input(now, iface, &whole.payload));
+            }
             Proto::Other(_) => {
-                let quote = IcmpMessage::quote_original(&whole.encode());
-                let src = whole.src;
-                self.send_icmp(
-                    src,
-                    IcmpMessage::DestUnreachable {
-                        code: UnreachCode::Protocol,
-                        original: quote,
-                    },
-                    &mut out,
-                );
+                // Never generate ICMP errors about broadcasts.
+                if whole.dst != Ipv4Addr::BROADCAST {
+                    let quote = IcmpMessage::quote_original(&whole.encode());
+                    let src = whole.src;
+                    self.send_icmp(
+                        src,
+                        IcmpMessage::DestUnreachable {
+                            code: UnreachCode::Protocol,
+                            original: quote,
+                        },
+                        &mut out,
+                    );
+                }
             }
         }
         out
@@ -471,7 +536,10 @@ impl NetStack {
         {
             sock.rx.push((packet.src, dg.src_port, dg.payload));
             out.push(StackAction::UdpReadable(UdpId(i)));
-        } else {
+        } else if packet.dst != Ipv4Addr::BROADCAST {
+            // Broadcasts to an unbound port are silently ignored — a
+            // subnet full of hosts must not answer every announcement
+            // with a port-unreachable storm.
             let quote = IcmpMessage::quote_original(&packet.encode());
             let src = packet.src;
             self.send_icmp(
@@ -756,6 +824,38 @@ impl NetStack {
         let mut p = Ipv4Packet::new(src, dst, Proto::Udp, dg.encode(src, dst));
         p.src = src;
         self.send_ip(p, out);
+    }
+
+    /// Sends a limited-broadcast (255.255.255.255) datagram out of one
+    /// specific interface, bypassing the routing table — a broadcast has
+    /// no route; the caller names the link. The drivers map the broadcast
+    /// next hop to their link-layer broadcast address without ARP.
+    pub fn udp_send_broadcast(
+        &mut self,
+        udp: UdpId,
+        iface: IfaceId,
+        dst_port: u16,
+        payload: Vec<u8>,
+        out: &mut Vec<StackAction>,
+    ) {
+        let src_port = self.udp[udp.0].port;
+        let src = self.ifaces[iface.0].addr;
+        let dst = Ipv4Addr::BROADCAST;
+        let dg = UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        };
+        let mut p = Ipv4Packet::new(src, dst, Proto::Udp, dg.encode(src, dst));
+        p.id = self.next_ip_id();
+        // Broadcasts stay on the link.
+        p.ttl = 1;
+        self.stats.ip_out += 1;
+        out.push(StackAction::Egress {
+            iface,
+            next_hop: dst,
+            packet: p,
+        });
     }
 
     /// Drains received datagrams: `(source, source port, payload)`.
@@ -1222,5 +1322,118 @@ mod tests {
             &acts[..],
             [StackAction::GateControl { from, .. }] if *from == Ipv4Addr::new(44, 24, 0, 5)
         ));
+    }
+
+    /// A toy tunnel map: exact destination -> endpoint.
+    #[derive(Debug)]
+    struct FixedTunnel(Map<Ipv4Addr, Ipv4Addr>);
+
+    impl TunnelMap for FixedTunnel {
+        fn endpoint(&mut self, dst: Ipv4Addr) -> Option<Ipv4Addr> {
+            self.0.get(&dst).copied()
+        }
+    }
+
+    #[test]
+    fn tunnel_map_wraps_output_before_routing() {
+        let (mut st, ifid) = NetStack::simple_host(ipa(1), 24, 1500, None);
+        // The only route to 44/8 would be the connected /24's gateway —
+        // none exists, so without the tunnel this send would be no_route.
+        let far = Ipv4Addr::new(44, 56, 0, 5);
+        let mut map = Map::new();
+        map.insert(far, ipa(2));
+        st.set_tunnel_map(Box::new(FixedTunnel(map)));
+        let mut out = Vec::new();
+        st.ping(far, 1, 1, 8, &mut out);
+        let [StackAction::Egress {
+            iface,
+            next_hop,
+            packet,
+        }] = &out[..]
+        else {
+            panic!("{out:?}");
+        };
+        assert_eq!(*iface, ifid);
+        assert_eq!(*next_hop, ipa(2), "routed by the tunnel endpoint");
+        assert_eq!(packet.dst, ipa(2));
+        assert_eq!(packet.proto, Proto::Other(ip::IPIP));
+        let inner = Ipv4Packet::decode(&packet.payload).expect("inner packet");
+        assert_eq!(inner.dst, far, "inner packet intact");
+        assert_eq!(inner.proto, Proto::Icmp);
+        assert_eq!(st.stats().ipip_out, 1);
+        assert_eq!(st.stats().no_route, 0);
+    }
+
+    #[test]
+    fn ipip_input_decapsulates_and_forwards_inner() {
+        let (mut st, ifid) = NetStack::simple_host(ipa(2), 24, 1500, None);
+        st.cfg.ipip = true;
+        st.cfg.forwarding = true;
+        let inner = Ipv4Packet::new(ipa(1), Ipv4Addr::new(44, 56, 0, 5), Proto::Udp, vec![0; 8]);
+        let outer = Ipv4Packet::new(ipa(1), ipa(2), Proto::Other(ip::IPIP), inner.encode());
+        let acts = st.input(SimTime::ZERO, ifid, &outer.encode());
+        let [StackAction::ForwardNeeded { packet, .. }] = &acts[..] else {
+            panic!("{acts:?}");
+        };
+        assert_eq!(packet.dst, inner.dst, "inner surfaced for forwarding");
+        assert_eq!(st.stats().ipip_in, 1);
+    }
+
+    #[test]
+    fn ipip_input_delivers_inner_local_payload() {
+        let (mut st, ifid) = NetStack::simple_host(ipa(2), 24, 1500, None);
+        st.cfg.ipip = true;
+        let sock = st.udp_bind(520).unwrap();
+        let dg = UdpDatagram {
+            src_port: 520,
+            dst_port: 520,
+            payload: b"hello".to_vec(),
+        };
+        let inner = Ipv4Packet::new(ipa(1), ipa(2), Proto::Udp, dg.encode(ipa(1), ipa(2)));
+        let outer = Ipv4Packet::new(ipa(1), ipa(2), Proto::Other(ip::IPIP), inner.encode());
+        let acts = st.input(SimTime::ZERO, ifid, &outer.encode());
+        assert!(acts.contains(&StackAction::UdpReadable(sock)));
+        assert_eq!(st.udp_recv(sock)[0].2, b"hello");
+    }
+
+    #[test]
+    fn ipip_without_decap_stays_protocol_unreachable() {
+        let (mut st, ifid) = NetStack::simple_host(ipa(2), 24, 1500, None);
+        let inner = Ipv4Packet::new(ipa(1), ipa(9), Proto::Udp, vec![0; 8]);
+        let outer = Ipv4Packet::new(ipa(1), ipa(2), Proto::Other(ip::IPIP), inner.encode());
+        let acts = st.input(SimTime::ZERO, ifid, &outer.encode());
+        let [StackAction::Egress { packet, .. }] = &acts[..] else {
+            panic!("{acts:?}");
+        };
+        assert_eq!(packet.proto, Proto::Icmp);
+        assert_eq!(st.stats().ipip_in, 0);
+    }
+
+    #[test]
+    fn udp_broadcast_bypasses_routing_and_draws_no_icmp() {
+        let (mut a, a_if) = NetStack::simple_host(ipa(1), 24, 1500, None);
+        let ua = a.udp_bind(520).unwrap();
+        let mut out = Vec::new();
+        a.udp_send_broadcast(ua, a_if, 520, b"route 44.56/16".to_vec(), &mut out);
+        let [StackAction::Egress {
+            next_hop, packet, ..
+        }] = &out[..]
+        else {
+            panic!("{out:?}");
+        };
+        assert_eq!(*next_hop, Ipv4Addr::BROADCAST);
+        assert_eq!(packet.dst, Ipv4Addr::BROADCAST);
+        assert_eq!(packet.ttl, 1, "broadcasts stay on the link");
+
+        // A listener receives it; a host with no socket stays silent
+        // (no port-unreachable storm back at the announcer).
+        let (mut b, b_if) = NetStack::simple_host(ipa(2), 24, 1500, None);
+        let ub = b.udp_bind(520).unwrap();
+        let acts = b.input(SimTime::ZERO, b_if, &packet.encode());
+        assert!(acts.contains(&StackAction::UdpReadable(ub)));
+        assert_eq!(b.udp_recv(ub)[0].0, ipa(1));
+        let (mut c, c_if) = NetStack::simple_host(ipa(3), 24, 1500, None);
+        let acts = c.input(SimTime::ZERO, c_if, &packet.encode());
+        assert!(acts.is_empty(), "no ICMP about a broadcast: {acts:?}");
     }
 }

@@ -222,7 +222,14 @@ fn lost_handshake_ack_recovers_via_dup_synack() {
     let now = SimTime::ZERO;
     let (mut alice, ev) = Tcb::connect(now, (ipa(1), A), (ipa(2), B), 1000, TcpConfig::default());
     let syn = expect_one_segment(&ev);
-    let (mut bob, ev) = Tcb::accept(now, (ipa(2), B), (ipa(1), A), &syn, 7000, TcpConfig::default());
+    let (mut bob, ev) = Tcb::accept(
+        now,
+        (ipa(2), B),
+        (ipa(1), A),
+        &syn,
+        7000,
+        TcpConfig::default(),
+    );
     let synack = expect_one_segment(&ev);
     let ev = alice.on_segment(now, &synack);
     expect_one_segment(&ev); // the handshake ACK — dropped on the floor

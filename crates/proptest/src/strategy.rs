@@ -301,7 +301,9 @@ mod tests {
         for _ in 0..200 {
             let s = "[A-Z0-9]{1,6}".sample(&mut rng);
             assert!((1..=6).contains(&s.len()), "len {}", s.len());
-            assert!(s.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit()));
         }
         for _ in 0..200 {
             let s = "[ -~]{0,16}".sample(&mut rng);

@@ -104,6 +104,9 @@ pub struct Tnc {
     deframer: Deframer,
     mac: Csma,
     stats: TncStats,
+    /// Extra unicast addresses the filter accepts (digipeater aliases,
+    /// secondary SSIDs). Empty for a plain station.
+    accept: Vec<Ax25Addr>,
 }
 
 impl Tnc {
@@ -116,6 +119,7 @@ impl Tnc {
             deframer: Deframer::new(),
             mac,
             stats: TncStats::default(),
+            accept: Vec::new(),
         }
     }
 
@@ -138,6 +142,17 @@ impl Tnc {
     /// the TNC code" — this is that switch).
     pub fn set_mode(&mut self, mode: RxMode) {
         self.cfg.mode = mode;
+    }
+
+    /// §3's proposed fix as a runtime switch: turns on address filtering
+    /// so frames not addressed to this station, the broadcast set, or one
+    /// of `also_accept` are dropped inside the TNC — before they cost the
+    /// host one interrupt per serial character. Pass an empty slice to
+    /// accept just the own call and broadcasts; [`Tnc::set_mode`] with
+    /// [`RxMode::Promiscuous`] switches back.
+    pub fn set_address_filter(&mut self, also_accept: &[Ax25Addr]) {
+        self.cfg.mode = RxMode::AddressFilter;
+        self.accept = also_accept.to_vec();
     }
 
     /// Consumes one character from the host serial line.
@@ -217,7 +232,9 @@ impl Tnc {
                     return None;
                 }
             };
-            let wanted = dest == self.cfg.addr || self.cfg.broadcast.contains(&dest);
+            let wanted = dest == self.cfg.addr
+                || self.cfg.broadcast.contains(&dest)
+                || self.accept.contains(&dest);
             if !wanted {
                 self.stats.filtered += 1;
                 return None;
@@ -385,6 +402,28 @@ mod tests {
         let out = run_air(&mut ch, &mut a, &mut b, &mut rng);
         assert_eq!(out.len(), 2);
         assert_eq!(b.stats().passed_to_host, 2);
+    }
+
+    #[test]
+    fn set_address_filter_switches_at_runtime_with_accept_list() {
+        // Built promiscuous, flipped at runtime with an alias in the
+        // accept list: traffic for strangers now dies in the TNC; own,
+        // broadcast, and alias frames pass.
+        let (mut ch, mut a, mut b, mut rng) = setup(RxMode::Promiscuous);
+        assert_eq!(b.mode(), RxMode::Promiscuous);
+        b.set_address_filter(&[addr("ALIAS")]);
+        for f in [
+            Frame::ui(addr("ZZZ"), addr("AAA"), Pid::Text, vec![2]),
+            Frame::ui(addr("BBB"), addr("AAA"), Pid::Ip, vec![3]),
+            Frame::ui(Ax25Addr::broadcast(), addr("AAA"), Pid::Ip, vec![4]),
+            Frame::ui(addr("ALIAS"), addr("AAA"), Pid::Text, vec![5]),
+        ] {
+            host_sends(&mut a, &f);
+        }
+        let out = run_air(&mut ch, &mut a, &mut b, &mut rng);
+        assert_eq!(out.len(), 3, "stranger dropped, other three pass");
+        assert_eq!(b.stats().filtered, 1);
+        assert_eq!(b.mode(), RxMode::AddressFilter);
     }
 
     #[test]

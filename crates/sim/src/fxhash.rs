@@ -81,7 +81,7 @@ mod tests {
     }
 
     #[test]
-    fn map_and_set_work(){
+    fn map_and_set_work() {
         let mut m: FxHashMap<u64, u32> = FxHashMap::default();
         m.insert(7, 1);
         m.insert(9, 2);

@@ -39,6 +39,10 @@ pub enum Category {
     Acl,
     /// Application-level milestones.
     App,
+    /// IPIP encapsulation: tunnel wrap/unwrap, encap-table changes.
+    Encap,
+    /// RIP44-style route exchange: announcements, learns, expiries.
+    Rip44,
 }
 
 impl fmt::Display for Category {
@@ -57,6 +61,8 @@ impl fmt::Display for Category {
             Category::Driver => "driver",
             Category::Acl => "acl",
             Category::App => "app",
+            Category::Encap => "encap",
+            Category::Rip44 => "rip44",
         };
         write!(f, "{name}")
     }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Performance snapshot: runs the `engine` bench group (full-scan reference
-# stepper vs the deadline-indexed scheduler) and the `driver_rx` datapath
-# group, and records every measurement in BENCH_engine.json as
+# stepper vs the deadline-indexed scheduler), the `driver_rx` datapath
+# group, and the `encap_fwd` tunnel hot path, and records every
+# measurement in BENCH_engine.json as
 #   {"bench": <name>, "median_ns": <ns/iter>, "timestamp": <utc>}
 # This is informational — scripts/check.sh runs it non-gating, so a slow
 # machine never fails the tier-1 gate.
@@ -16,6 +17,8 @@ echo "==> cargo bench -p bench --bench engine -- engine"
 cargo bench -p bench --bench engine -- engine | tee "$tmp"
 echo "==> cargo bench -p bench --bench driver_rx"
 cargo bench -p bench --bench driver_rx | tee -a "$tmp"
+echo "==> cargo bench -p bench --bench encap_fwd"
+cargo bench -p bench --bench encap_fwd | tee -a "$tmp"
 
 ts=$(date -u +"%Y-%m-%dT%H:%M:%SZ")
 awk -v ts="$ts" '

@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -15,6 +18,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo bench -p bench --bench driver_rx -- --test"
 cargo bench -p bench --bench driver_rx -- --test
+
+echo "==> cargo bench -p bench --bench encap_fwd -- --test"
+cargo bench -p bench --bench encap_fwd -- --test
 
 echo "==> scripts/bench.sh (non-gating)"
 bash scripts/bench.sh || echo "WARN: bench snapshot failed (non-gating)"

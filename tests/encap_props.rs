@@ -1,0 +1,103 @@
+//! Longest-prefix-match properties for the PR's learned-route machinery:
+//! a learned subnet route must beat the static class-A aggregate for any
+//! destination it covers, and its expiry must restore the aggregate —
+//! never leave a hole. Checked both in the routing table
+//! (`netstack::route`) and in the encap table (`encap::table`).
+
+use encap::table::{EncapTable, LearnOutcome};
+use netstack::route::{Prefix, RouteTable};
+use netstack::stack::IfaceId;
+use proptest::prelude::*;
+use sim::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+/// An address inside 44/8.
+fn arb_amprnet_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(|x| Ipv4Addr::from(0x2C00_0000 | (x & 0x00FF_FFFF)))
+}
+
+const WEST_GW: Ipv4Addr = Ipv4Addr::new(128, 95, 1, 100);
+const EAST_GW: Ipv4Addr = Ipv4Addr::new(128, 95, 1, 101);
+
+proptest! {
+    /// A learned /24 covering the destination beats the static /8
+    /// aggregate regardless of metric (prefix length dominates), and
+    /// withdrawing it restores the aggregate instead of leaving no route.
+    #[test]
+    fn learned_slash24_overrides_aggregate_and_withdrawal_restores_it(
+        dst in arb_amprnet_addr(),
+        metric in 1u8..16,
+        extra in proptest::collection::vec(
+            (any::<u32>().prop_map(Ipv4Addr::from), 1u8..=32, 1u8..16),
+            0..8,
+        ),
+    ) {
+        let ether = IfaceId::new(0);
+        let mut rt = RouteTable::new();
+        rt.add(Prefix::amprnet(), Some(WEST_GW), ether);
+        // Background noise: learned routes that do NOT cover dst must
+        // never affect the outcome, whatever their length or metric.
+        for (addr, len, m) in extra {
+            let p = Prefix::new(addr, len);
+            if !p.contains(dst) && p != Prefix::amprnet() {
+                rt.add_learned(p, Some(EAST_GW), ether, m);
+            }
+        }
+
+        let subnet = Prefix::new(dst, 24);
+        rt.add_learned(subnet, Some(EAST_GW), ether, metric);
+        let r = rt.lookup_route(dst).expect("covered");
+        prop_assert_eq!(r.prefix, subnet, "learned /24 wins by length");
+        prop_assert_eq!(r.via, Some(EAST_GW));
+
+        prop_assert!(rt.remove_learned(subnet));
+        let r = rt.lookup_route(dst).expect("aggregate remains");
+        prop_assert_eq!(r.prefix, Prefix::amprnet(), "expiry restores 44/8");
+        prop_assert_eq!(r.via, Some(WEST_GW));
+    }
+
+    /// Same shape in the encap table, with time: a learned subnet maps
+    /// the destination to its own endpoint until TTL expiry, after which
+    /// the static aggregate answers again; re-learning is held down for
+    /// exactly the configured window and believed afterwards.
+    #[test]
+    fn encap_expiry_restores_aggregate_and_holddown_gates_relearning(
+        dst in arb_amprnet_addr(),
+        ttl_s in 1u64..120,
+        hold_s in 1u64..120,
+        metric in 1u8..16,
+    ) {
+        let ttl = SimDuration::from_secs(ttl_s);
+        let mut t = EncapTable::new(SimDuration::from_secs(hold_s));
+        t.add_static(Prefix::amprnet(), WEST_GW, 5);
+
+        let subnet = Prefix::new(dst, 24);
+        let t0 = SimTime::ZERO;
+        prop_assert_eq!(t.learn(t0, subnet, EAST_GW, metric, ttl), LearnOutcome::New);
+        prop_assert_eq!(t.lookup(dst), Some(EAST_GW), "learned subnet wins");
+
+        // Nothing expires before the deadline…
+        let expiry = t.next_deadline().expect("deadline armed");
+        prop_assert_eq!(expiry, t0.saturating_add(ttl));
+        prop_assert!(t.expire(SimTime::from_nanos(expiry.as_nanos() - 1)).is_empty());
+        // …and at the deadline the aggregate answers again.
+        let dead = t.expire(expiry);
+        prop_assert_eq!(dead.len(), 1);
+        prop_assert_eq!(t.lookup(dst), Some(WEST_GW), "expiry restores 44/8");
+
+        // Hold-down: the same announcement is rejected inside the window
+        // and believed after it.
+        let inside = expiry.saturating_add(SimDuration::from_secs(hold_s - 1));
+        prop_assert_eq!(
+            t.learn(inside, subnet, EAST_GW, metric, ttl),
+            LearnOutcome::HeldDown
+        );
+        prop_assert_eq!(t.lookup(dst), Some(WEST_GW));
+        let after = expiry.saturating_add(SimDuration::from_secs(hold_s));
+        prop_assert_eq!(
+            t.learn(after, subnet, EAST_GW, metric, ttl),
+            LearnOutcome::New
+        );
+        prop_assert_eq!(t.lookup(dst), Some(EAST_GW), "believed after hold-down");
+    }
+}

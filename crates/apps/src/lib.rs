@@ -12,6 +12,8 @@
 //! * [`bulk`] — a bulk TCP sender/sink pair with retransmission
 //!   accounting (E2, E3);
 //! * [`telnet`] — a login-style interactive session (remote login);
+//! * [`typist`] — a stop-and-wait keystroke/echo client (E13's
+//!   interactive workload for VJ header compression);
 //! * [`ftp`] — a file transfer with integrity checking;
 //! * [`smtp`] — electronic mail exchange;
 //! * [`callbook`] — §5's proposed distributed callbook over UDP;
@@ -35,6 +37,7 @@ pub mod ftp;
 pub mod ping;
 pub mod smtp;
 pub mod telnet;
+pub mod typist;
 
 /// Shared, interiorly mutable report cell (single-threaded simulation).
 pub type Shared<T> = Rc<RefCell<T>>;

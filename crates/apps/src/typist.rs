@@ -1,0 +1,149 @@
+//! A keystroke-at-a-time interactive client: the E13 workload.
+//!
+//! Models a human at a remote-echo terminal — the traffic RFC 1144 was
+//! invented for: one character per segment, stop-and-wait (the next key
+//! is not struck until the previous one echoes back), every echo's
+//! round-trip time recorded. Pointed at an [`crate::echo::EchoServer`],
+//! each keystroke costs two TCP data segments plus an ack on the radio
+//! link, so header bytes dominate the airtime — exactly the regime where
+//! VJ compression pays.
+
+use std::net::Ipv4Addr;
+
+use gateway::world::App;
+use gateway::Host;
+use netstack::stack::{SockId, StackAction};
+use sim::{SimDuration, SimTime};
+
+/// Results of a typing session.
+#[derive(Debug, Default)]
+pub struct TypistReport {
+    /// Keystrokes sent.
+    pub sent: usize,
+    /// Keystrokes whose echo came back.
+    pub echoed: usize,
+    /// When the connection opened.
+    pub started_at: Option<SimTime>,
+    /// When the session closed.
+    pub finished_at: Option<SimTime>,
+    /// Sum of per-keystroke round-trip times.
+    pub rtt_total: SimDuration,
+    /// Slowest single echo.
+    pub rtt_max: SimDuration,
+    /// All keystrokes echoed and the connection closed cleanly.
+    pub done: bool,
+}
+
+impl TypistReport {
+    /// Mean keystroke round-trip time, if any echoes arrived.
+    pub fn mean_rtt(&self) -> Option<SimDuration> {
+        (self.echoed > 0)
+            .then(|| SimDuration::from_secs_f64(self.rtt_total.as_secs_f64() / self.echoed as f64))
+    }
+
+    /// Wall-clock session length (connect to close).
+    pub fn session(&self) -> Option<SimDuration> {
+        Some(self.finished_at? - self.started_at?)
+    }
+
+    /// Keystrokes echoed per second of session time.
+    pub fn chars_per_sec(&self) -> f64 {
+        match self.session() {
+            Some(d) if d.as_secs_f64() > 0.0 => self.echoed as f64 / d.as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+}
+
+/// A stop-and-wait keystroke client.
+pub struct Typist {
+    dst: Ipv4Addr,
+    port: u16,
+    count: usize,
+    sock: Option<SockId>,
+    sent_at: Option<SimTime>,
+    awaiting: usize,
+    report: crate::Shared<TypistReport>,
+}
+
+impl Typist {
+    /// A typist who will strike `count` keys against `dst:port`.
+    pub fn new(dst: Ipv4Addr, port: u16, count: usize) -> Typist {
+        Typist {
+            dst,
+            port,
+            count,
+            sock: None,
+            sent_at: None,
+            awaiting: 0,
+            report: crate::shared(TypistReport::default()),
+        }
+    }
+
+    /// The shared report handle.
+    pub fn report(&self) -> crate::Shared<TypistReport> {
+        self.report.clone()
+    }
+
+    fn strike(&mut self, now: SimTime, host: &mut Host) {
+        let Some(sock) = self.sock else { return };
+        let r = self.report.borrow().sent;
+        if r >= self.count {
+            return;
+        }
+        let key = [b'a' + (r % 26) as u8];
+        host.tcp_send(now, sock, &key);
+        self.report.borrow_mut().sent += 1;
+        self.sent_at = Some(now);
+        self.awaiting = 1;
+    }
+}
+
+impl App for Typist {
+    fn on_start(&mut self, now: SimTime, host: &mut Host) {
+        self.sock = host.tcp_connect(now, self.dst, self.port).ok();
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        match event {
+            StackAction::TcpConnected(sock) if Some(*sock) == self.sock => {
+                self.report.borrow_mut().started_at = Some(now);
+                self.strike(now, host);
+            }
+            StackAction::TcpReadable(sock) if Some(*sock) == self.sock => {
+                let data = host.tcp_recv(now, *sock);
+                if data.is_empty() || self.awaiting == 0 {
+                    return;
+                }
+                // Stop-and-wait: one outstanding key, so any readable
+                // data completes it.
+                self.awaiting = 0;
+                {
+                    let mut r = self.report.borrow_mut();
+                    r.echoed += 1;
+                    if let Some(t0) = self.sent_at.take() {
+                        let rtt = now - t0;
+                        r.rtt_total += rtt;
+                        if rtt > r.rtt_max {
+                            r.rtt_max = rtt;
+                        }
+                    }
+                }
+                if self.report.borrow().sent >= self.count {
+                    host.tcp_close(now, *sock);
+                } else {
+                    self.strike(now, host);
+                }
+            }
+            StackAction::TcpClosed { sock, .. } if Some(*sock) == self.sock => {
+                let mut r = self.report.borrow_mut();
+                r.finished_at = Some(now);
+                r.done = r.echoed == self.count;
+            }
+            StackAction::TcpPeerClosed(sock) if Some(*sock) == self.sock => {
+                host.tcp_close(now, *sock);
+            }
+            _ => {}
+        }
+    }
+}

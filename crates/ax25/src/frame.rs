@@ -49,6 +49,10 @@ pub enum Pid {
     Arp,
     /// 0xCF — NET/ROM network layer.
     NetRom,
+    /// 0x06 — RFC 1144 Van Jacobson compressed TCP/IP.
+    CompressedTcp,
+    /// 0x07 — RFC 1144 uncompressed TCP/IP (decompressor refresh).
+    UncompressedTcp,
     /// Any other assignment, carried through opaquely.
     Other(u8),
 }
@@ -61,6 +65,8 @@ impl Pid {
             Pid::Ip => 0xCC,
             Pid::Arp => 0xCD,
             Pid::NetRom => 0xCF,
+            Pid::CompressedTcp => 0x06,
+            Pid::UncompressedTcp => 0x07,
             Pid::Other(v) => v,
         }
     }
@@ -72,6 +78,8 @@ impl Pid {
             0xCC => Pid::Ip,
             0xCD => Pid::Arp,
             0xCF => Pid::NetRom,
+            0x06 => Pid::CompressedTcp,
+            0x07 => Pid::UncompressedTcp,
             other => Pid::Other(other),
         }
     }
@@ -567,8 +575,36 @@ mod tests {
 
     #[test]
     fn pid_codes_roundtrip() {
-        for p in [Pid::Text, Pid::Ip, Pid::Arp, Pid::NetRom, Pid::Other(0x08)] {
+        for p in [
+            Pid::Text,
+            Pid::Ip,
+            Pid::Arp,
+            Pid::NetRom,
+            Pid::CompressedTcp,
+            Pid::UncompressedTcp,
+            Pid::Other(0x08),
+        ] {
             assert_eq!(Pid::from_code(p.code()), p);
+        }
+        // The RFC 1144 assignments must decode to the named variants, not
+        // fall through to `Other`.
+        assert_eq!(Pid::from_code(0x06), Pid::CompressedTcp);
+        assert_eq!(Pid::from_code(0x07), Pid::UncompressedTcp);
+    }
+
+    #[test]
+    fn unknown_pid_frames_decode_and_roundtrip() {
+        // An unassigned PID must carry through opaquely — the driver
+        // diverts such frames to the §2.4 tty queue, so decode can never
+        // panic or reject on the PID byte alone.
+        for code in [0x00u8, 0x05, 0x42, 0xFE] {
+            let f = Frame::ui(a("KB7DZ"), a("N7AKR"), Pid::from_code(code), b"??".to_vec());
+            let bytes = f.encode();
+            let back = Frame::decode(&bytes).expect("unknown PID decodes");
+            assert_eq!(back.pid.map(Pid::code), Some(code));
+            assert_eq!(back.info, b"??");
+            let hdr = FrameHeader::peek(&bytes).expect("peek too");
+            assert_eq!(hdr.pid.map(Pid::code), Some(code));
         }
     }
 

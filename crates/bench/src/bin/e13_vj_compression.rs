@@ -1,0 +1,225 @@
+//! E13 — RFC 1144 VJ header compression on the radio link, on vs. off.
+//!
+//! E1 showed transmission time dominating the 1200 bit/s channel; this
+//! experiment shows where those transmitted bytes go for interactive TCP.
+//! A stop-and-wait typist (one character per segment, remote echo — the
+//! RFC 1144 motivating workload) and a 6 kB FTP transfer each run twice
+//! through the paper topology: once with the link as the paper built it,
+//! once with VJ compression enabled on both radio drivers. The TCP MSS is
+//! clamped to the radio MTU in all runs so the comparison is segmentation
+//! -for-segmentation.
+//!
+//! Layered accounting, reported separately and honestly:
+//! * **TCP/IP bytes per keystroke** — the headline RFC 1144 number: a
+//!   40-byte header on one echoed byte shrinks to 3–4 delta bytes, so the
+//!   IP-level cost of a keystroke falls ~9x.
+//! * **Session-level speedup** (chars/s, echo RTT) is smaller — each
+//!   frame still pays ~19 bytes of AX.25 address + control + KISS
+//!   overhead that no IP-layer compression can touch (the frame-level
+//!   ceiling is (40+1+19)/(4+1+19) ≈ 2.6x).
+//! * **FTP goodput** moves least: data segments are header-light already.
+
+use apps::echo::EchoServer;
+use apps::ftp::{FileClient, FileServer};
+use apps::typist::Typist;
+use bench::banner;
+use gateway::scenario::{paper_topology, PaperConfig, ETHER_HOST_IP};
+use sim::stats::render_table;
+use sim::SimDuration;
+use vj::VjConfig;
+
+const KEYSTROKES: usize = 40;
+const FILE_BYTES: usize = 6000;
+
+struct RadioLink {
+    /// TCP/IP (info-field) bytes both radio drivers put on the air.
+    ip_bytes: u64,
+    /// Header bytes VJ removed (sum of both compressors).
+    saved: u64,
+    /// Compressed packets / refresh packets sent.
+    compressed: u64,
+    refreshes: u64,
+}
+
+fn radio_link_stats(s: &gateway::scenario::PaperScenario) -> RadioLink {
+    let mut out = RadioLink {
+        ip_bytes: 0,
+        saved: 0,
+        compressed: 0,
+        refreshes: 0,
+    };
+    for h in [s.pc, s.gw] {
+        let drv = s.world.host(h).pr_driver().expect("radio host");
+        out.ip_bytes += drv.stats().ip_bytes_out;
+        if let Some((cs, _)) = drv.vj_stats() {
+            out.saved += cs.hdr_bytes_saved;
+            out.compressed += cs.compressed;
+            out.refreshes += cs.refreshes;
+        }
+    }
+    out
+}
+
+fn config(vj: bool) -> PaperConfig {
+    PaperConfig {
+        vj: vj.then(VjConfig::default),
+        clamp_mss: true,
+        ..PaperConfig::default()
+    }
+}
+
+struct InteractiveRun {
+    echoed: usize,
+    done: bool,
+    mean_rtt: Option<SimDuration>,
+    chars_per_sec: f64,
+    link: RadioLink,
+}
+
+fn interactive(vj: bool) -> InteractiveRun {
+    let mut s = paper_topology(config(vj), 13001);
+    let server = EchoServer::new(7);
+    s.world.add_app(s.ether_host, Box::new(server));
+    let typist = Typist::new(ETHER_HOST_IP, 7, KEYSTROKES);
+    let r = typist.report();
+    s.world.add_app(s.pc, Box::new(typist));
+    s.world.run_for(SimDuration::from_secs(1800));
+    let rep = r.borrow();
+    InteractiveRun {
+        echoed: rep.echoed,
+        done: rep.done,
+        mean_rtt: rep.mean_rtt(),
+        chars_per_sec: rep.chars_per_sec(),
+        link: radio_link_stats(&s),
+    }
+}
+
+struct FtpRun {
+    received: usize,
+    intact: bool,
+    duration: Option<SimDuration>,
+    link: RadioLink,
+}
+
+fn ftp(vj: bool) -> FtpRun {
+    let mut s = paper_topology(config(vj), 13002);
+    let server = FileServer::new(21, &[("paper.dvi", FILE_BYTES)]);
+    s.world.add_app(s.ether_host, Box::new(server));
+    let client = FileClient::new(ETHER_HOST_IP, 21, "paper.dvi");
+    let r = client.report();
+    s.world.add_app(s.pc, Box::new(client));
+    s.world.run_for(SimDuration::from_secs(3600));
+    let rep = r.borrow();
+    FtpRun {
+        received: rep.received,
+        intact: rep.intact && rep.done,
+        duration: rep.duration(),
+        link: radio_link_stats(&s),
+    }
+}
+
+fn main() {
+    banner(
+        "E13",
+        "VJ (RFC 1144) TCP/IP header compression on the radio link",
+        "AX.25 reserves PIDs 0x06/0x07 for compressed TCP/IP; a 1-byte \
+         telnet echo otherwise costs ~41x its payload in header airtime",
+    );
+
+    // --- interactive: stop-and-wait keystroke echo --------------------------
+    let runs = [(false, interactive(false)), (true, interactive(true))];
+    let mut rows = vec![vec![
+        "mode".to_string(),
+        "echoes".to_string(),
+        "mean RTT".to_string(),
+        "chars/s".to_string(),
+        "TCP/IP B on air".to_string(),
+        "B/keystroke".to_string(),
+        "hdr B saved".to_string(),
+        "comp/refresh".to_string(),
+    ]];
+    for (vj, r) in &runs {
+        let per_char = r.link.ip_bytes as f64 / r.echoed.max(1) as f64;
+        rows.push(vec![
+            if *vj { "vj on" } else { "vj off" }.into(),
+            format!(
+                "{}/{}{}",
+                r.echoed,
+                KEYSTROKES,
+                if r.done { "" } else { " (INCOMPLETE)" }
+            ),
+            r.mean_rtt.map(|d| d.to_string()).unwrap_or("-".into()),
+            format!("{:.2}", r.chars_per_sec),
+            r.link.ip_bytes.to_string(),
+            format!("{per_char:.1}"),
+            r.link.saved.to_string(),
+            format!("{}/{}", r.link.compressed, r.link.refreshes),
+        ]);
+    }
+    println!("interactive (typist, {KEYSTROKES} keystrokes, remote echo):");
+    println!("{}", render_table(&rows));
+
+    let (off, on) = (&runs[0].1, &runs[1].1);
+    let per_char_off = off.link.ip_bytes as f64 / off.echoed.max(1) as f64;
+    let per_char_on = on.link.ip_bytes as f64 / on.echoed.max(1) as f64;
+    let ip_ratio = per_char_off / per_char_on;
+    let rtt_ratio = match (off.mean_rtt, on.mean_rtt) {
+        (Some(a), Some(b)) if b.as_secs_f64() > 0.0 => a.as_secs_f64() / b.as_secs_f64(),
+        _ => 0.0,
+    };
+    let rate_ratio = if off.chars_per_sec > 0.0 {
+        on.chars_per_sec / off.chars_per_sec
+    } else {
+        0.0
+    };
+    println!("interactive IP goodput: {ip_ratio:.1}x fewer TCP/IP bytes per keystroke");
+    println!("session level: {rate_ratio:.2}x chars/s, {rtt_ratio:.2}x echo RTT — capped near the");
+    println!("(40+1+19)/(4+1+19) = 2.6x frame ceiling by AX.25+KISS per-frame overhead");
+    println!();
+
+    // --- bulk: 6 kB FTP get --------------------------------------------------
+    let fruns = [(false, ftp(false)), (true, ftp(true))];
+    let mut rows = vec![vec![
+        "mode".to_string(),
+        "outcome".to_string(),
+        "duration".to_string(),
+        "goodput B/s".to_string(),
+        "TCP/IP B on air".to_string(),
+        "hdr B saved".to_string(),
+    ]];
+    for (vj, r) in &fruns {
+        let goodput = match r.duration {
+            Some(d) if d.as_secs_f64() > 0.0 => r.received as f64 / d.as_secs_f64(),
+            _ => 0.0,
+        };
+        rows.push(vec![
+            if *vj { "vj on" } else { "vj off" }.into(),
+            if r.intact {
+                format!("{} B intact", r.received)
+            } else {
+                format!("FAILED ({} B)", r.received)
+            },
+            r.duration.map(|d| d.to_string()).unwrap_or("-".into()),
+            format!("{goodput:.1}"),
+            r.link.ip_bytes.to_string(),
+            r.link.saved.to_string(),
+        ]);
+    }
+    println!("bulk (ftp get {FILE_BYTES} B, MSS clamped to radio MTU in both runs):");
+    println!("{}", render_table(&rows));
+    let (foff, fon) = (&fruns[0].1, &fruns[1].1);
+    let g = |r: &FtpRun| match r.duration {
+        Some(d) if d.as_secs_f64() > 0.0 => r.received as f64 / d.as_secs_f64(),
+        _ => 0.0,
+    };
+    if g(foff) > 0.0 {
+        println!(
+            "ftp goodput: {:.2}x — data segments are header-light already",
+            g(fon) / g(foff)
+        );
+    }
+    println!();
+    println!("expected shape: >=3x interactive IP goodput (B/keystroke), ~9x typical;");
+    println!("session chars/s gains bounded ~2.6x by frame overhead; ftp ~1.1x; all");
+    println!("transfers intact, compressed streams resynchronise via 0x07 refreshes.");
+}

@@ -30,6 +30,7 @@ use std::net::Ipv4Addr;
 use crate::arp_engine::{ArpConfig, ArpEngine, Resolution};
 use crate::hwaddr::Ax25Hw;
 use crate::ifnet::IfNet;
+use vj::{VjCompressor, VjConfig, VjDecompressor, VjOutcome};
 
 /// AX.25 interface MTU: the default N1 info-field limit.
 pub const AX25_MTU: usize = 256;
@@ -77,6 +78,12 @@ pub struct PrStats {
     pub diverted: u64,
     /// IP packets encapsulated and transmitted.
     pub ip_out: u64,
+    /// Info-field bytes of transmitted IP-bearing frames (after any VJ
+    /// compression) — the TCP/IP bytes actually put on the air.
+    pub ip_bytes_out: u64,
+    /// VJ frames (PID 0x06/0x07) dropped by the decompressor: tossed
+    /// while awaiting a refresh, or failing reconstruction.
+    pub vj_drop: u64,
 }
 
 /// What `rint` hands the rest of the kernel when a frame completes.
@@ -100,6 +107,16 @@ pub struct PacketRadioDriver {
     /// Pool backing every transmitted serial frame: once the driver has
     /// warmed up, transmissions recycle buffers instead of allocating.
     pool: BufPool,
+    /// RFC 1144 header compression state, when enabled on this link.
+    vj: Option<VjLink>,
+}
+
+/// Both halves of the RFC 1144 state for one radio link: this station
+/// compresses what it transmits and decompresses what it hears.
+#[derive(Debug)]
+struct VjLink {
+    comp: VjCompressor,
+    decomp: VjDecompressor,
 }
 
 impl PacketRadioDriver {
@@ -116,7 +133,29 @@ impl PacketRadioDriver {
             // Worst case, every payload byte is a FEND/FESC escape: header
             // + MTU, doubled, plus delimiters.
             pool: BufPool::new(2 * (AX25_MTU + 72) + 3),
+            vj: None,
         }
+    }
+
+    /// Turns on RFC 1144 TCP/IP header compression for this link (both
+    /// directions). Must be enabled with the same `cfg.slots` at every
+    /// station sharing the link; with it off, PIDs 0x06/0x07 divert to
+    /// the §2.4 tty queue like any other unknown protocol.
+    pub fn enable_vj(&mut self, cfg: VjConfig) {
+        self.vj = Some(VjLink {
+            comp: VjCompressor::new(cfg),
+            decomp: VjDecompressor::new(cfg),
+        });
+    }
+
+    /// Whether VJ compression is active on this link.
+    pub fn vj_enabled(&self) -> bool {
+        self.vj.is_some()
+    }
+
+    /// Compressor/decompressor counters, when VJ is enabled.
+    pub fn vj_stats(&self) -> Option<(vj::VjCompStats, vj::VjDecompStats)> {
+        self.vj.as_ref().map(|l| (l.comp.stats(), l.decomp.stats()))
     }
 
     /// The interface's callsign.
@@ -223,6 +262,40 @@ impl PacketRadioDriver {
                 }
                 Some(PrEvent::IpPacket(frame.info))
             }
+            Some(Pid::UncompressedTcp) if self.vj.is_some() => {
+                // RFC 1144 refresh: the full datagram with the protocol
+                // byte carrying the slot number. Re-seed the decompressor
+                // and hand the restored datagram up.
+                let mut bytes = payload[hdr.info_start..].to_vec();
+                let link = self.vj.as_mut().expect("guarded");
+                match link.decomp.refresh(&mut bytes) {
+                    Ok(()) => {
+                        self.stats.ip_in += 1;
+                        Some(PrEvent::IpPacket(bytes))
+                    }
+                    Err(_) => {
+                        self.stats.vj_drop += 1;
+                        None
+                    }
+                }
+            }
+            Some(Pid::CompressedTcp) if self.vj.is_some() => {
+                let link = self.vj.as_mut().expect("guarded");
+                let mut out = Vec::new();
+                match link.decomp.decompress(&payload[hdr.info_start..], &mut out) {
+                    Ok(()) => {
+                        self.stats.ip_in += 1;
+                        Some(PrEvent::IpPacket(out))
+                    }
+                    Err(_) => {
+                        // Tossed or failed reconstruction: drop here and
+                        // let TCP's retransmission (sent as a refresh)
+                        // resynchronise the slot.
+                        self.stats.vj_drop += 1;
+                        None
+                    }
+                }
+            }
             Some(Pid::Arp) => {
                 self.stats.arp_in += 1;
                 // §2.3: ARP entries "may contain additional callsigns for
@@ -315,12 +388,9 @@ impl PacketRadioDriver {
         if next_hop == Ipv4Addr::BROADCAST {
             self.stats.ip_out += 1;
             self.ifnet.stats.opackets += 1;
-            let frame = Frame::ui(
-                Ax25Addr::broadcast(),
-                self.cfg.my_call,
-                Pid::Ip,
-                packet.encode(),
-            );
+            let bytes = packet.encode();
+            self.stats.ip_bytes_out += bytes.len() as u64;
+            let frame = Frame::ui(Ax25Addr::broadcast(), self.cfg.my_call, Pid::Ip, bytes);
             self.emit_kiss(&frame, tx);
             return;
         }
@@ -359,7 +429,22 @@ impl PacketRadioDriver {
     fn encapsulate_ip(&mut self, packet: &Ipv4Packet, hw: &Ax25Hw, tx: &mut impl FrameSink) {
         self.stats.ip_out += 1;
         self.ifnet.stats.opackets += 1;
-        let frame = Frame::ui(hw.station, self.cfg.my_call, Pid::Ip, packet.encode()).via(&hw.path);
+        let mut bytes = packet.encode();
+        // RFC 1144 classification: TCP segments shrink their header to a
+        // handful of delta bytes; everything else rides PID 0xCC as ever.
+        let pid = match &mut self.vj {
+            Some(link) => match link.comp.compress(&mut bytes) {
+                VjOutcome::Ip => Pid::Ip,
+                VjOutcome::Uncompressed => Pid::UncompressedTcp,
+                VjOutcome::Compressed { start } => {
+                    bytes.drain(..start);
+                    Pid::CompressedTcp
+                }
+            },
+            None => Pid::Ip,
+        };
+        self.stats.ip_bytes_out += bytes.len() as u64;
+        let frame = Frame::ui(hw.station, self.cfg.my_call, pid, bytes).via(&hw.path);
         self.emit_kiss(&frame, tx);
     }
 
@@ -640,6 +725,156 @@ mod tests {
         let pool = drv.pool_stats();
         assert_eq!(pool.misses.get(), 0, "fast path must not allocate buffers");
         assert_eq!(pool.hits.get(), 0, "fast path must not even lease buffers");
+    }
+
+    /// A correctly checksummed TCP/IP datagram, as the stack would emit.
+    fn tcp_packet(src: Ipv4Addr, dst: Ipv4Addr, id: u16, seq: u32, body: &[u8]) -> Ipv4Packet {
+        let seg = netstack::tcp::TcpSegment {
+            src_port: 1024,
+            dst_port: 23,
+            seq,
+            ack: 5000,
+            flags: netstack::tcp::TcpFlags {
+                ack: true,
+                psh: true,
+                ..Default::default()
+            },
+            window: 4096,
+            mss: None,
+            payload: body.to_vec(),
+        };
+        let mut p = Ipv4Packet::new(src, dst, Proto::Tcp, seg.encode(src, dst));
+        p.id = id;
+        p
+    }
+
+    fn single_frame(tx: &[sim::PacketBuf]) -> Frame {
+        assert_eq!(tx.len(), 1);
+        let frames = kiss::decode_stream(&tx[0]);
+        Frame::decode(&frames[0].payload).unwrap()
+    }
+
+    #[test]
+    fn vj_link_compresses_tcp_and_rebuilds_it_byte_identically() {
+        // Gateway side compresses on output; PC side decompresses in rint.
+        let mut gw = driver();
+        gw.enable_vj(VjConfig::default());
+        let mut pc = PacketRadioDriver::new(PrConfig::new(a("KB7DZ")), pc_ip());
+        pc.enable_vj(VjConfig::default());
+        gw.arp_mut()
+            .insert_static(pc_ip(), Ax25Hw::direct(a("KB7DZ")).encode());
+
+        // First segment travels as an uncompressed refresh (PID 0x07)…
+        let p1 = tcp_packet(gw_ip(), pc_ip(), 1, 100, b"login:");
+        let mut tx: Vec<sim::PacketBuf> = Vec::new();
+        gw.output(SimTime::ZERO, p1.clone(), pc_ip(), &mut tx);
+        let f1 = single_frame(&tx);
+        assert_eq!(f1.pid, Some(Pid::UncompressedTcp));
+        let (events, _) = feed(&mut pc, &kiss_bytes(&f1));
+        assert_eq!(events, vec![PrEvent::IpPacket(p1.encode())]);
+
+        // …and the next one shrinks its 40-byte header to a few deltas.
+        let p2 = tcp_packet(gw_ip(), pc_ip(), 2, 106, b"ok");
+        let mut tx: Vec<sim::PacketBuf> = Vec::new();
+        gw.output(SimTime::ZERO, p2.clone(), pc_ip(), &mut tx);
+        let f2 = single_frame(&tx);
+        assert_eq!(f2.pid, Some(Pid::CompressedTcp));
+        assert!(
+            f2.info.len() < p2.encode().len() - 30,
+            "compressed {} vs full {}",
+            f2.info.len(),
+            p2.encode().len()
+        );
+        let (events, _) = feed(&mut pc, &kiss_bytes(&f2));
+        assert_eq!(events, vec![PrEvent::IpPacket(p2.encode())]);
+        assert_eq!(pc.stats().ip_in, 2);
+        let (cs, ds) = gw.vj_stats().unwrap();
+        assert_eq!((cs.refreshes, cs.compressed), (1, 1));
+        assert_eq!(ds, vj::VjDecompStats::default(), "gw heard nothing");
+        let (_, ds) = pc.vj_stats().unwrap();
+        assert_eq!((ds.uncompressed_in, ds.compressed_in), (1, 1));
+    }
+
+    #[test]
+    fn vj_non_tcp_and_disabled_paths_are_untouched() {
+        // With VJ on, UDP still rides PID 0xCC.
+        let mut gw = driver();
+        gw.enable_vj(VjConfig::default());
+        gw.arp_mut()
+            .insert_static(pc_ip(), Ax25Hw::direct(a("KB7DZ")).encode());
+        let udp = Ipv4Packet::new(gw_ip(), pc_ip(), Proto::Udp, vec![7; 16]);
+        let mut tx: Vec<sim::PacketBuf> = Vec::new();
+        gw.output(SimTime::ZERO, udp.clone(), pc_ip(), &mut tx);
+        let f = single_frame(&tx);
+        assert_eq!(f.pid, Some(Pid::Ip));
+        assert_eq!(f.info, udp.encode());
+
+        // With VJ off, inbound 0x06/0x07 divert to the §2.4 tty queue —
+        // an unknown protocol, exactly like any other PID.
+        let mut plain = driver();
+        for pid in [Pid::CompressedTcp, Pid::UncompressedTcp] {
+            let frame = Frame::ui(a("N7AKR-1"), a("KB7DZ"), pid, vec![0x0F, 0xAB, 0xCD]);
+            let (events, _) = feed(&mut plain, &kiss_bytes(&frame));
+            assert!(matches!(&events[..], [PrEvent::Divert(_)]), "{events:?}");
+        }
+        assert_eq!(plain.stats().diverted, 2);
+    }
+
+    #[test]
+    fn vj_receiver_drops_desynchronised_frames_until_refresh() {
+        let mut gw = driver();
+        gw.enable_vj(VjConfig::default());
+        let mut pc = PacketRadioDriver::new(PrConfig::new(a("KB7DZ")), pc_ip());
+        pc.enable_vj(VjConfig::default());
+        gw.arp_mut()
+            .insert_static(pc_ip(), Ax25Hw::direct(a("KB7DZ")).encode());
+
+        let send = |gw: &mut PacketRadioDriver, id, seq, body: &[u8]| {
+            let mut tx: Vec<sim::PacketBuf> = Vec::new();
+            gw.output(
+                SimTime::ZERO,
+                tcp_packet(gw_ip(), pc_ip(), id, seq, body),
+                pc_ip(),
+                &mut tx,
+            );
+            single_frame(&tx)
+        };
+        let f1 = send(&mut gw, 1, 100, b"aa");
+        feed(&mut pc, &kiss_bytes(&f1));
+        let _lost = send(&mut gw, 2, 102, b"bb"); // compressed, never delivered
+        let f3 = send(&mut gw, 3, 104, b"cc");
+        assert_eq!(f3.pid, Some(Pid::CompressedTcp));
+        let (events, _) = feed(&mut pc, &kiss_bytes(&f3));
+        assert!(events.is_empty(), "mis-delta'd frame must not be delivered");
+        assert_eq!(pc.stats().vj_drop, 1);
+        // The retransmission goes out as a refresh and resynchronises.
+        let f4 = send(&mut gw, 4, 100, b"aabbcc");
+        assert_eq!(f4.pid, Some(Pid::UncompressedTcp));
+        let (events, _) = feed(&mut pc, &kiss_bytes(&f4));
+        let expect = tcp_packet(gw_ip(), pc_ip(), 4, 100, b"aabbcc");
+        assert_eq!(events, vec![PrEvent::IpPacket(expect.encode())]);
+    }
+
+    #[test]
+    fn ip_bytes_out_counts_post_compression_sizes() {
+        let mut gw = driver();
+        gw.enable_vj(VjConfig::default());
+        gw.arp_mut()
+            .insert_static(pc_ip(), Ax25Hw::direct(a("KB7DZ")).encode());
+        let mut total = 0u64;
+        for (id, seq) in [(1u16, 100u32), (2, 101), (3, 102)] {
+            let mut tx: Vec<sim::PacketBuf> = Vec::new();
+            gw.output(
+                SimTime::ZERO,
+                tcp_packet(gw_ip(), pc_ip(), id, seq, b"x"),
+                pc_ip(),
+                &mut tx,
+            );
+            total += single_frame(&tx).info.len() as u64;
+        }
+        assert_eq!(gw.stats().ip_bytes_out, total);
+        // One 41-byte refresh + two few-byte compressed packets.
+        assert!(total < 41 + 2 * 10, "got {total}");
     }
 
     #[test]

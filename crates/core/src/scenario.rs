@@ -55,6 +55,14 @@ pub struct PaperConfig {
     pub cpu: CpuConfig,
     /// Install the §4.3 access-control table on the gateway.
     pub acl: bool,
+    /// Enable RFC 1144 VJ header compression on the radio link (both the
+    /// PC and the gateway; they must agree on the slot count). `None` —
+    /// the default — reproduces the paper's uncompressed link and keeps
+    /// the E1–E12 goldens byte-identical.
+    pub vj: Option<vj::VjConfig>,
+    /// Clamp every host's TCP MSS to its egress/ingress MTU minus 40
+    /// (radio: 256 → 216) so locally originated TCP never fragments.
+    pub clamp_mss: bool,
 }
 
 impl Default for PaperConfig {
@@ -66,6 +74,8 @@ impl Default for PaperConfig {
             mac: MacConfig::default(),
             cpu: CpuConfig::default(),
             acl: true,
+            vj: None,
+            clamp_mss: false,
         }
     }
 }
@@ -113,6 +123,7 @@ pub fn paper_topology(cfg: PaperConfig, seed: u64) -> PaperScenario {
     // The isolated PC: "connected to only a power outlet and a radio".
     let mut pc_cfg = HostConfig::named("pc");
     pc_cfg.cpu = cfg.cpu;
+    pc_cfg.stack.clamp_mss = cfg.clamp_mss;
     pc_cfg.radio = Some(RadioIfConfig {
         call: Ax25Addr::parse_or_panic("KB7DZ"),
         ip: PC_IP,
@@ -125,6 +136,7 @@ pub fn paper_topology(cfg: PaperConfig, seed: u64) -> PaperScenario {
     let mut gw_cfg = HostConfig::named("gw");
     gw_cfg.cpu = cfg.cpu;
     gw_cfg.stack.forwarding = true;
+    gw_cfg.stack.clamp_mss = cfg.clamp_mss;
     gw_cfg.radio = Some(RadioIfConfig {
         call: Ax25Addr::parse_or_panic("N7AKR-1"),
         ip: GW_RADIO_IP,
@@ -145,6 +157,7 @@ pub fn paper_topology(cfg: PaperConfig, seed: u64) -> PaperScenario {
     // A host on the department Ethernet.
     let mut eh_cfg = HostConfig::named("vax2");
     eh_cfg.cpu = CpuConfig::free(); // not the machine under study
+    eh_cfg.stack.clamp_mss = cfg.clamp_mss;
     eh_cfg.ether = Some(EtherIfConfig {
         mac: MacAddr::local(2),
         ip: ETHER_HOST_IP,
@@ -168,6 +181,18 @@ pub fn paper_topology(cfg: PaperConfig, seed: u64) -> PaperScenario {
         .stack
         .routes_mut()
         .add(Prefix::amprnet(), Some(GW_ETHER_IP), eh_if);
+
+    // VJ header compression is a per-link agreement: both radio drivers
+    // get matching slot tables, or neither does.
+    if let Some(vj_cfg) = cfg.vj {
+        for h in [pc, gw] {
+            world
+                .host_mut(h)
+                .pr_driver_mut()
+                .expect("radio host")
+                .enable_vj(vj_cfg);
+        }
+    }
 
     PaperScenario {
         world,

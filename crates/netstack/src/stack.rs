@@ -81,6 +81,13 @@ pub struct StackConfig {
     /// re-run the inner packet through input. Off, protocol 4 gets the
     /// stock protocol-unreachable treatment.
     pub ipip: bool,
+    /// Clamp the TCP MSS — both what a connection advertises and what it
+    /// uses — to the MTU of the interface it travels over, minus the
+    /// 40-byte TCP/IP header. On an AX.25 radio interface (MTU 256) that
+    /// is 216, so locally originated TCP never triggers E9-style
+    /// fragmentation. Off by default: the 1988 stacks did not clamp, and
+    /// E9's fragmentation experiment depends on the historic behaviour.
+    pub clamp_mss: bool,
 }
 
 impl Default for StackConfig {
@@ -90,6 +97,7 @@ impl Default for StackConfig {
             forwarding: false,
             icmp_echo_reply: true,
             ipip: false,
+            clamp_mss: false,
         }
     }
 }
@@ -442,7 +450,7 @@ impl NetStack {
         };
         match whole.proto {
             Proto::Icmp => self.input_icmp(iface, &whole, &mut out),
-            Proto::Tcp => self.input_tcp(now, &whole, &mut out),
+            Proto::Tcp => self.input_tcp(now, iface, &whole, &mut out),
             Proto::Udp => self.input_udp(&whole, &mut out),
             Proto::Other(p) if p == ip::IPIP && self.cfg.ipip => {
                 // A tunnel endpoint: strip the outer header and run the
@@ -553,7 +561,13 @@ impl NetStack {
         }
     }
 
-    fn input_tcp(&mut self, now: SimTime, packet: &Ipv4Packet, out: &mut Vec<StackAction>) {
+    fn input_tcp(
+        &mut self,
+        now: SimTime,
+        iface: IfaceId,
+        packet: &Ipv4Packet,
+        out: &mut Vec<StackAction>,
+    ) {
         let seg = match TcpSegment::decode(&packet.payload, packet.src, packet.dst) {
             Ok(s) => s,
             Err(_) => {
@@ -576,7 +590,10 @@ impl NetStack {
         if seg.flags.syn && !seg.flags.ack {
             if let Some(li) = self.listeners.iter().position(|l| l.port == seg.dst_port) {
                 let iss = self.next_iss();
-                let cfg = self.listeners[li].cfg;
+                let mut cfg = self.listeners[li].cfg;
+                if self.cfg.clamp_mss {
+                    cfg.mss = clamped_mss(cfg.mss, self.ifaces[iface.0].mtu);
+                }
                 let (tcb, events) = Tcb::accept(
                     now,
                     (packet.dst, seg.dst_port),
@@ -658,7 +675,11 @@ impl NetStack {
         let local_ip = self.ifaces[iface.0].addr;
         let port = self.alloc_port();
         let iss = self.next_iss();
-        let (tcb, events) = Tcb::connect(now, (local_ip, port), (dst, dst_port), iss, self.cfg.tcp);
+        let mut tcp_cfg = self.cfg.tcp;
+        if self.cfg.clamp_mss {
+            tcp_cfg.mss = clamped_mss(tcp_cfg.mss, self.ifaces[iface.0].mtu);
+        }
+        let (tcb, events) = Tcb::connect(now, (local_ip, port), (dst, dst_port), iss, tcp_cfg);
         let sock = SockId(self.socks.len());
         self.socks.push(TcpSock { tcb, parent: None });
         self.drive(sock, events, out);
@@ -920,6 +941,14 @@ impl NetStack {
     }
 }
 
+/// Largest segment `mtu` can carry without IP fragmentation: the MTU minus
+/// the 40 bytes of TCP/IP header, with a floor of 1 for degenerate
+/// interfaces. On the AX.25 radio MTU of 256 this yields 216.
+fn clamped_mss(mss: u16, mtu: usize) -> u16 {
+    let cap = mtu.saturating_sub(40).clamp(1, usize::from(u16::MAX)) as u16;
+    mss.min(cap)
+}
+
 /// Convenience: the RTO policy of the classic misbehaving fast-side host
 /// in §4.1 — a constant 1.5 s regardless of the path.
 pub fn fixed_rto_config() -> TcpConfig {
@@ -1073,6 +1102,128 @@ mod tests {
         let mut out = Vec::new();
         let data = w.a.tcp_recv(now, ca, &mut out);
         assert_eq!(data, b"welcome");
+    }
+
+    /// The TCP segment inside the first Egress action.
+    fn first_egress_segment(out: &[StackAction]) -> TcpSegment {
+        out.iter()
+            .find_map(|e| match e {
+                StackAction::Egress { packet, .. } => {
+                    Some(TcpSegment::decode(&packet.payload, packet.src, packet.dst).unwrap())
+                }
+                _ => None,
+            })
+            .expect("an egress segment")
+    }
+
+    #[test]
+    fn clamp_mss_caps_connect_advertisement_to_radio_mtu() {
+        for (clamp, want) in [(false, TcpConfig::default().mss), (true, 216)] {
+            let mut st = NetStack::new(StackConfig {
+                clamp_mss: clamp,
+                ..StackConfig::default()
+            });
+            let ifid = st.add_iface(IfaceConfig {
+                name: "pr0".into(),
+                addr: ipa(1),
+                prefix_len: 24,
+                mtu: 256,
+            });
+            let _ = ifid;
+            let mut out = Vec::new();
+            st.tcp_connect(SimTime::ZERO, ipa(2), 23, &mut out).unwrap();
+            let syn = first_egress_segment(&out);
+            assert!(syn.flags.syn);
+            assert_eq!(syn.mss, Some(want), "clamp={clamp}");
+        }
+    }
+
+    #[test]
+    fn clamp_mss_caps_accept_advertisement_on_the_ingress_iface() {
+        for (clamp, want) in [(false, TcpConfig::default().mss), (true, 216)] {
+            let mut st = NetStack::new(StackConfig {
+                clamp_mss: clamp,
+                ..StackConfig::default()
+            });
+            let ifid = st.add_iface(IfaceConfig {
+                name: "pr0".into(),
+                addr: ipa(2),
+                prefix_len: 24,
+                mtu: 256,
+            });
+            st.tcp_listen(23).unwrap();
+            let syn = TcpSegment {
+                src_port: 1024,
+                dst_port: 23,
+                seq: 1000,
+                ack: 0,
+                flags: crate::tcp::TcpFlags {
+                    syn: true,
+                    ..Default::default()
+                },
+                window: 4096,
+                mss: Some(TcpConfig::default().mss),
+                payload: Vec::new(),
+            };
+            let bytes = syn.encode(ipa(1), ipa(2));
+            let packet = Ipv4Packet::new(ipa(1), ipa(2), Proto::Tcp, bytes);
+            let out = st.input(SimTime::ZERO, ifid, &packet.encode());
+            let synack = first_egress_segment(&out);
+            assert!(synack.flags.syn && synack.flags.ack);
+            assert_eq!(synack.mss, Some(want), "clamp={clamp}");
+        }
+    }
+
+    #[test]
+    fn clamped_connection_never_emits_fragmentable_segments() {
+        // A bulk send over a 256-MTU interface with the clamp on must
+        // produce only unfragmented, MTU-sized-or-smaller packets.
+        let mut st = NetStack::new(StackConfig {
+            clamp_mss: true,
+            ..StackConfig::default()
+        });
+        st.add_iface(IfaceConfig {
+            name: "pr0".into(),
+            addr: ipa(1),
+            prefix_len: 24,
+            mtu: 256,
+        });
+        let now = SimTime::ZERO;
+        let mut out = Vec::new();
+        let sock = st.tcp_connect(now, ipa(2), 23, &mut out).unwrap();
+        // Complete the handshake by hand so the window opens.
+        let syn = first_egress_segment(&out);
+        let synack = TcpSegment {
+            src_port: 23,
+            dst_port: syn.src_port,
+            seq: 5000,
+            ack: syn.seq.wrapping_add(1),
+            flags: crate::tcp::TcpFlags {
+                syn: true,
+                ack: true,
+                ..Default::default()
+            },
+            window: 8192,
+            mss: Some(1460),
+            payload: Vec::new(),
+        };
+        let bytes = synack.encode(ipa(2), ipa(1));
+        let packet = Ipv4Packet::new(ipa(2), ipa(1), Proto::Tcp, bytes);
+        let mut actions = st.input(now, ifid_of(&st), &packet.encode());
+        st.tcp_send(now, sock, &vec![0xAB; 1000], &mut actions);
+        let mut saw_data = false;
+        for a in &actions {
+            if let StackAction::Egress { packet, .. } = a {
+                assert!(packet.encode().len() <= 256, "fits the radio MTU");
+                assert!(!packet.is_fragment(), "never fragmented");
+                saw_data |= packet.payload.len() > 20;
+            }
+        }
+        assert!(saw_data, "the send actually produced segments");
+    }
+
+    fn ifid_of(_st: &NetStack) -> IfaceId {
+        IfaceId(0)
     }
 
     #[test]

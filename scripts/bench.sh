@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Performance snapshot: runs the `engine` bench group (full-scan reference
 # stepper vs the deadline-indexed scheduler), the `driver_rx` datapath
-# group, and the `encap_fwd` tunnel hot path, and records every
+# group, the `encap_fwd` tunnel hot path, and the `vj_hdr` RFC 1144
+# header compression path, and records every
 # measurement in BENCH_engine.json as
 #   {"bench": <name>, "median_ns": <ns/iter>, "timestamp": <utc>}
 # This is informational — scripts/check.sh runs it non-gating, so a slow
@@ -19,6 +20,8 @@ echo "==> cargo bench -p bench --bench driver_rx"
 cargo bench -p bench --bench driver_rx | tee -a "$tmp"
 echo "==> cargo bench -p bench --bench encap_fwd"
 cargo bench -p bench --bench encap_fwd | tee -a "$tmp"
+echo "==> cargo bench -p bench --bench vj_hdr"
+cargo bench -p bench --bench vj_hdr | tee -a "$tmp"
 
 ts=$(date -u +"%Y-%m-%dT%H:%M:%SZ")
 awk -v ts="$ts" '

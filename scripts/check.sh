@@ -22,6 +22,9 @@ cargo bench -p bench --bench driver_rx -- --test
 echo "==> cargo bench -p bench --bench encap_fwd -- --test"
 cargo bench -p bench --bench encap_fwd -- --test
 
+echo "==> cargo bench -p bench --bench vj_hdr -- --test"
+cargo bench -p bench --bench vj_hdr -- --test
+
 echo "==> scripts/bench.sh (non-gating)"
 bash scripts/bench.sh || echo "WARN: bench snapshot failed (non-gating)"
 

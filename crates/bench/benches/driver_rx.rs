@@ -1,7 +1,9 @@
 //! Criterion benchmark for the paper's "most difficult routine": the
-//! per-character receive interrupt handler (`rint`), measured over a full
-//! frame — the work the gateway's CPU does for every frame a promiscuous
-//! TNC passes up (§2.2/§3).
+//! receive interrupt handler (`rint`), measured over a full frame — the
+//! work the gateway's CPU does for every frame a promiscuous TNC passes up
+//! (§2.2/§3). The hot path is the batched `rint_slice` (SWAR deframing
+//! over whole serial bursts); the per-byte scalar path it must match is
+//! benchmarked separately in `byte_kernels`.
 //!
 //! The binary installs a counting global allocator so that, besides
 //! throughput, it reports how many heap allocations each path performs.
@@ -83,19 +85,15 @@ fn bench_rint(c: &mut Criterion) {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let mut out = None;
-                for &byte in &wire {
-                    if let Some(ev) = drv.rint(SimTime::ZERO, byte, &mut tx) {
-                        out = Some(ev);
-                    }
-                }
+                drv.rint_slice(SimTime::ZERO, &wire, &mut tx, |_, ev| out = Some(ev));
                 tx.clear();
                 black_box(out)
             })
         });
         let allocs = allocs_during(|| {
-            for &byte in &wire {
-                black_box(drv.rint(SimTime::ZERO, byte, &mut tx));
-            }
+            drv.rint_slice(SimTime::ZERO, &wire, &mut tx, |_, ev| {
+                black_box(ev);
+            });
             tx.clear();
         });
         eprintln!("driver_rint/{label}: {allocs} heap allocations per frame");

@@ -243,29 +243,101 @@ impl Host {
     // --- Link input ---------------------------------------------------------
 
     /// Receives serial characters from the TNC (the tty interrupt path).
+    ///
+    /// All characters are charged at `now`, through the batched deframer:
+    /// behavior and §3 accounting are bit-identical to the old per-byte
+    /// loop — character interrupts are charged in segments so each
+    /// completed frame's packet processing starts exactly when its closing
+    /// `FEND`'s interrupt retires.
     pub fn on_serial_bytes(&mut self, now: SimTime, bytes: &[u8]) {
         if self.down {
             return;
         }
-        for &b in bytes {
-            let after_char = self.cpu.charge_char(now);
-            let Some((iface, ref mut drv)) = self.pr else {
-                continue;
-            };
-            let outbox = &mut self.outbox;
-            let event = drv.rint(now, b, &mut SinkFn(|t| outbox.push(HostOut::SerialTx(t))));
-            match event {
-                Some(PrEvent::IpPacket(ip_bytes)) => {
-                    let ready = self.cpu.charge_packet(after_char);
-                    if !self.input_queue.push(ready, (iface, ip_bytes)) {
-                        drv.ifnet.stats.iqdrops += 1;
+        let Some((iface, drv)) = self.pr.as_mut() else {
+            // No radio driver: the tty still takes every interrupt.
+            self.cpu.charge_chars(now, bytes.len() as u64);
+            return;
+        };
+        let iface = *iface;
+        let cpu = &mut self.cpu;
+        let input_queue = &mut self.input_queue;
+        let tty_queue = &mut self.tty_queue;
+        let outbox = &mut self.outbox;
+        let mut charged = 0usize;
+        let mut iqdrops = 0u64;
+        drv.rint_slice(
+            now,
+            bytes,
+            &mut SinkFn(|t| outbox.push(HostOut::SerialTx(t))),
+            |idx, event| {
+                let after_char = cpu.charge_chars(now, (idx + 1 - charged) as u64);
+                charged = idx + 1;
+                match event {
+                    PrEvent::IpPacket(ip_bytes) => {
+                        let ready = cpu.charge_packet(after_char);
+                        if !input_queue.push(ready, (iface, ip_bytes)) {
+                            iqdrops += 1;
+                        }
+                    }
+                    PrEvent::Divert(frame) => {
+                        tty_queue.push_back(frame);
                     }
                 }
-                Some(PrEvent::Divert(frame)) => {
-                    self.tty_queue.push_back(frame);
+            },
+        );
+        self.cpu.charge_chars(now, (bytes.len() - charged) as u64);
+        if iqdrops > 0 {
+            drv.ifnet.stats.iqdrops += iqdrops;
+        }
+    }
+
+    /// Receives one line-paced run of serial characters: character `i`
+    /// arrives at `t0 + i·char_time`.
+    ///
+    /// This is the world's serial fast lane handing over a whole quiet run
+    /// of back-to-back deliveries in one call. It is exactly equivalent to
+    /// calling [`on_serial_bytes`](Host::on_serial_bytes) per character at
+    /// its own arrival instant, **provided** no byte before the last can
+    /// complete a frame — the caller guarantees that by ending runs at
+    /// `FEND` bytes (only a `FEND` can close a frame).
+    pub fn on_serial_run(&mut self, t0: SimTime, char_time: sim::SimDuration, bytes: &[u8]) {
+        if self.down || bytes.is_empty() {
+            return;
+        }
+        let n = bytes.len() as u64;
+        let Some((iface, drv)) = self.pr.as_mut() else {
+            self.cpu.charge_chars_paced(t0, char_time, n);
+            return;
+        };
+        let iface = *iface;
+        let after_last = self.cpu.charge_chars_paced(t0, char_time, n);
+        let t_last = t0 + char_time * (n - 1);
+        let cpu = &mut self.cpu;
+        let input_queue = &mut self.input_queue;
+        let tty_queue = &mut self.tty_queue;
+        let outbox = &mut self.outbox;
+        let mut iqdrops = 0u64;
+        drv.rint_slice(
+            t_last,
+            bytes,
+            &mut SinkFn(|t| outbox.push(HostOut::SerialTx(t))),
+            |idx, event| {
+                debug_assert_eq!(idx, bytes.len() - 1, "runs must end at frame boundaries");
+                match event {
+                    PrEvent::IpPacket(ip_bytes) => {
+                        let ready = cpu.charge_packet(after_last);
+                        if !input_queue.push(ready, (iface, ip_bytes)) {
+                            iqdrops += 1;
+                        }
+                    }
+                    PrEvent::Divert(frame) => {
+                        tty_queue.push_back(frame);
+                    }
                 }
-                None => {}
-            }
+            },
+        );
+        if iqdrops > 0 {
+            drv.ifnet.stats.iqdrops += iqdrops;
         }
     }
 
@@ -717,6 +789,40 @@ mod tests {
         };
         assert_eq!(f.ethertype, ether::EtherType::Arp);
         assert!(f.dst.is_broadcast());
+    }
+
+    #[test]
+    fn on_serial_run_matches_per_character_delivery() {
+        // A paced run (one call) against per-character on_serial_bytes at
+        // each arrival instant: same queue state, same CPU accounting.
+        let ip = Ipv4Packet::new(
+            Ipv4Addr::new(44, 24, 0, 28),
+            Ipv4Addr::new(44, 24, 0, 5),
+            Proto::Udp,
+            vec![3; 24],
+        );
+        let frame = Frame::ui(a("KB7DZ"), a("N7AKR-1"), Pid::Ip, ip.encode());
+        let wire = kiss::encode(0, kiss::Command::Data, &frame.encode());
+        let t0 = SimTime::from_millis(7);
+        let ct = sim::SimDuration::from_micros(1042); // 9600 baud
+        let mut bulk = radio_host("pc", "KB7DZ", [44, 24, 0, 5]);
+        bulk.on_serial_run(t0, ct, &wire);
+        let mut scalar = radio_host("pc", "KB7DZ", [44, 24, 0, 5]);
+        for (i, &b) in wire.iter().enumerate() {
+            scalar.on_serial_bytes(t0 + ct * (i as u64), &[b]);
+        }
+        assert_eq!(bulk.cpu.busy_until(), scalar.cpu.busy_until());
+        assert_eq!(bulk.cpu.stats().busy_ns, scalar.cpu.stats().busy_ns);
+        assert_eq!(
+            bulk.cpu.stats().char_interrupts,
+            scalar.cpu.stats().char_interrupts
+        );
+        assert_eq!(bulk.input_queue_len(), scalar.input_queue_len());
+        assert_eq!(bulk.next_deadline(), scalar.next_deadline());
+        let s = bulk.pr_driver().unwrap().stats();
+        let r = scalar.pr_driver().unwrap().stats();
+        assert_eq!(s.rint_chars, r.rint_chars);
+        assert_eq!(s.ip_in, r.ip_in);
     }
 
     #[test]

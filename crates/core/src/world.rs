@@ -317,6 +317,8 @@ pub struct World {
     cal: CalCache,
     /// Reusable buffer for draining dirty lists in index order.
     scratch: Vec<usize>,
+    /// Reusable buffer for batched serial runs in the fast lane.
+    run_scratch: Vec<u8>,
 }
 
 impl World {
@@ -347,6 +349,7 @@ impl World {
             flush_after_apps: DirtyCat::default(),
             cal: CalCache::default(),
             scratch: Vec::new(),
+            run_scratch: Vec::new(),
         }
     }
 
@@ -854,42 +857,100 @@ impl World {
     fn serial_fast_lane(&mut self, li: usize, limit: SimTime) {
         let host_idx = self.line_host[li];
         let tnc_idx = self.line_tnc[li];
+        let mut run_buf = std::mem::take(&mut self.run_scratch);
         loop {
-            self.lines[li].advance(self.now);
             let mut quiet = true;
-            let host_bytes = self.lines[li].take_rx(End::A);
-            if !host_bytes.is_empty() {
-                self.sched.stats_mut().batched_chars += host_bytes.len() as u64;
-                if let Some(hi) = host_idx {
-                    let h = &mut self.hosts[hi].host;
-                    let before_dl = h.next_deadline();
-                    let before_tty = h.tty_len();
-                    h.on_serial_bytes(self.now, &host_bytes);
-                    if h.has_pending_output()
-                        || h.next_deadline() != before_dl
-                        || h.tty_len() != before_tty
-                    {
-                        self.dirty.mark(Key::Host(hi));
-                        self.mark_apps(hi);
-                        quiet = false;
+            // Run batching: when one direction carries a clean burst, pull
+            // every character up to (and including) the next FEND in a
+            // single call and hand the whole slice to the receiver's bulk
+            // path. Characters before a FEND are provably quiet — they can
+            // only be buffered — so the one quiet check at the run's end
+            // observes everything the per-character loop would have.
+            // Counter bookkeeping matches that loop exactly: `m` batched
+            // characters and `m − 1` further time instants (the first was
+            // counted when this deadline popped).
+            if let Some(run) = self.lines[li].take_run(
+                self.now,
+                limit,
+                self.sched.peek_time(),
+                kiss::FEND,
+                &mut run_buf,
+            ) {
+                let m = run_buf.len() as u64;
+                self.sched.stats_mut().batched_chars += m;
+                self.sched.stats_mut().instants += m - 1;
+                self.now = run.t_last;
+                match run.to {
+                    End::A => {
+                        if let Some(hi) = host_idx {
+                            let char_time = self.lines[li].config().char_time();
+                            let h = &mut self.hosts[hi].host;
+                            let before_dl = h.next_deadline();
+                            let before_tty = h.tty_len();
+                            h.on_serial_run(run.t0, char_time, &run_buf);
+                            if h.has_pending_output()
+                                || h.next_deadline() != before_dl
+                                || h.tty_len() != before_tty
+                            {
+                                self.dirty.mark(Key::Host(hi));
+                                self.mark_apps(hi);
+                                quiet = false;
+                            }
+                        }
+                    }
+                    End::B => {
+                        if let Some(ti) = tnc_idx {
+                            let t = &mut self.tncs[ti].tnc;
+                            let before_dl = t.next_deadline();
+                            let s = t.stats();
+                            let before = (s.from_host, s.params);
+                            t.on_serial_bytes(&run_buf);
+                            let s = t.stats();
+                            if (s.from_host, s.params) != before || t.next_deadline() != before_dl {
+                                self.dirty.mark(Key::Tnc(ti));
+                                quiet = false;
+                            }
+                        }
                     }
                 }
-            }
-            let tnc_bytes = self.lines[li].take_rx(End::B);
-            if !tnc_bytes.is_empty() {
-                self.sched.stats_mut().batched_chars += tnc_bytes.len() as u64;
-                if let Some(ti) = tnc_idx {
-                    let t = &mut self.tncs[ti].tnc;
-                    let before_dl = t.next_deadline();
-                    let s = t.stats();
-                    let before = (s.from_host, s.params);
-                    for &b in &tnc_bytes {
-                        t.on_serial_byte(b);
+            } else {
+                // Per-character reference path: noisy or bidirectional
+                // lines, or an undrained FIFO.
+                self.lines[li].advance(self.now);
+                let host_bytes = self.lines[li].take_rx(End::A);
+                if !host_bytes.is_empty() {
+                    self.sched.stats_mut().batched_chars += host_bytes.len() as u64;
+                    if let Some(hi) = host_idx {
+                        let h = &mut self.hosts[hi].host;
+                        let before_dl = h.next_deadline();
+                        let before_tty = h.tty_len();
+                        h.on_serial_bytes(self.now, &host_bytes);
+                        if h.has_pending_output()
+                            || h.next_deadline() != before_dl
+                            || h.tty_len() != before_tty
+                        {
+                            self.dirty.mark(Key::Host(hi));
+                            self.mark_apps(hi);
+                            quiet = false;
+                        }
                     }
-                    let s = t.stats();
-                    if (s.from_host, s.params) != before || t.next_deadline() != before_dl {
-                        self.dirty.mark(Key::Tnc(ti));
-                        quiet = false;
+                }
+                let tnc_bytes = self.lines[li].take_rx(End::B);
+                if !tnc_bytes.is_empty() {
+                    self.sched.stats_mut().batched_chars += tnc_bytes.len() as u64;
+                    if let Some(ti) = tnc_idx {
+                        let t = &mut self.tncs[ti].tnc;
+                        let before_dl = t.next_deadline();
+                        let s = t.stats();
+                        let before = (s.from_host, s.params);
+                        for &b in &tnc_bytes {
+                            t.on_serial_byte(b);
+                        }
+                        let s = t.stats();
+                        if (s.from_host, s.params) != before || t.next_deadline() != before_dl {
+                            self.dirty.mark(Key::Tnc(ti));
+                            quiet = false;
+                        }
                     }
                 }
             }
@@ -899,6 +960,7 @@ impl World {
                 // instant's first-pass progress, as it did when the
                 // reference stepper delivered it inside `settle`.
                 self.reg_line(li);
+                self.run_scratch = run_buf;
                 self.settle_dirty(true);
                 return;
             }
@@ -911,6 +973,7 @@ impl World {
                 }
             }
             self.reg_line(li);
+            self.run_scratch = run_buf;
             return;
         }
     }

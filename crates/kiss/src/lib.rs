@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use sim::bytekernels::{find_byte, find_either};
 use sim::wire::Codec;
 use sim::ByteSink;
 
@@ -176,9 +177,7 @@ pub fn encode_into(port: u8, command: Command, payload: &[u8], out: &mut impl By
     // The type byte is escaped like any other content byte: a data frame on
     // port 12 encodes its type byte 0xC0, which would otherwise read as FEND.
     push_escaped(out, (port << 4) | command.code());
-    for &b in payload {
-        push_escaped(out, b);
-    }
+    push_escaped_slice(out, payload);
     out.put(FEND);
 }
 
@@ -203,6 +202,33 @@ fn push_escaped(out: &mut impl ByteSink, b: u8) {
     }
 }
 
+/// KISS-escapes a whole slice into `out`, emitting each unescaped run as a
+/// single `put_slice`.
+///
+/// This is the bulk form of the per-byte escape: a word-at-a-time scan
+/// (`sim::bytekernels`) finds the next `FEND`/`FESC`, the clean span before
+/// it lands in the sink in one copy, and only the special byte itself goes
+/// through the two-byte escape. Most AX.25 payloads contain no specials at
+/// all, so the common case is one memcpy.
+pub fn push_escaped_slice(out: &mut impl ByteSink, bytes: &[u8]) {
+    let mut rest = bytes;
+    while !rest.is_empty() {
+        match find_either(rest, FEND, FESC) {
+            None => {
+                out.put_slice(rest);
+                return;
+            }
+            Some(off) => {
+                if off > 0 {
+                    out.put_slice(&rest[..off]);
+                }
+                push_escaped(out, rest[off]);
+                rest = &rest[off + 1..];
+            }
+        }
+    }
+}
+
 /// A [`ByteSink`] adapter that KISS-escapes everything written through it.
 ///
 /// Obtained inside [`encode_frame_into`]; upper-layer codecs write their
@@ -216,9 +242,7 @@ impl<S: ByteSink> ByteSink for EscapedWriter<'_, S> {
     }
 
     fn put_slice(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            push_escaped(self.0, b);
-        }
+        push_escaped_slice(self.0, bytes);
     }
 }
 
@@ -363,6 +387,23 @@ impl Deframer {
         }
     }
 
+    /// A capacity-free stand-in for `mem::replace` detach patterns.
+    ///
+    /// A caller whose struct owns a deframer can move the live decoder out
+    /// (so a [`push_slice`](Deframer::push_slice) callback may borrow the
+    /// rest of the struct mutably) and park this in its place without
+    /// touching the heap — the zero-allocation receive path depends on
+    /// that. Never feed it bytes: its length cap is zero.
+    pub fn placeholder() -> Deframer {
+        Deframer {
+            state: State::Hunt,
+            buf: Vec::new(),
+            pending_reset: false,
+            max_len: 0,
+            stats: DeframerStats::default(),
+        }
+    }
+
     /// Consumes one character from the serial line; returns a frame when
     /// the closing `FEND` arrives. The returned [`KissFrameRef`] borrows
     /// the deframer and is invalidated by the next `push`.
@@ -425,6 +466,107 @@ impl Deframer {
         }
     }
 
+    /// Consumes a whole slice of serial input, invoking `on_frame` for
+    /// each completed frame together with the slice index of the `FEND`
+    /// that terminated it.
+    ///
+    /// This is the bulk form of [`push`](Deframer::push), which stays as
+    /// the executable reference (DESIGN.md §9). Observable behavior — the
+    /// frames produced and every [`DeframerStats`] counter — is
+    /// bit-identical to feeding the same bytes through `push` one at a
+    /// time, at any chunking; the chunk-boundary differential proptest
+    /// holds it to that. The speed comes from not running the per-byte
+    /// state machine over frame bodies: a word-at-a-time scan
+    /// (`sim::bytekernels`) finds the next `FEND`/`FESC`, and the clean
+    /// span before it lands in the frame buffer as one `extend_from_slice`.
+    ///
+    /// Frame refs passed to `on_frame` borrow the deframer's buffer and
+    /// are valid only for the duration of the call.
+    pub fn push_slice(&mut self, bytes: &[u8], mut on_frame: impl FnMut(usize, KissFrameRef<'_>)) {
+        if bytes.is_empty() {
+            return;
+        }
+        if self.pending_reset {
+            self.pending_reset = false;
+            self.buf.clear();
+        }
+        let mut i = 0;
+        while i < bytes.len() {
+            match self.state {
+                State::Hunt | State::Drop => {
+                    // Both states discard everything up to the next FEND.
+                    match find_byte(&bytes[i..], FEND) {
+                        Some(off) => {
+                            self.stats.bytes += off as u64 + 1;
+                            i += off + 1;
+                            self.state = State::Open;
+                            self.buf.clear();
+                        }
+                        None => {
+                            self.stats.bytes += (bytes.len() - i) as u64;
+                            return;
+                        }
+                    }
+                }
+                State::Open => {
+                    let rest = &bytes[i..];
+                    let stop = find_either(rest, FEND, FESC);
+                    let run = stop.unwrap_or(rest.len());
+                    self.accept_run(&rest[..run]);
+                    self.stats.bytes += run as u64;
+                    i += run;
+                    let Some(off) = stop else { return };
+                    self.stats.bytes += 1;
+                    i += 1;
+                    if self.state != State::Open {
+                        // accept_run hit the length cap, so the delimiter
+                        // lands in Drop state where only FEND matters.
+                        if rest[off] == FEND {
+                            self.state = State::Open;
+                            self.buf.clear();
+                        }
+                    } else if rest[off] == FESC {
+                        self.state = State::Escape;
+                    } else {
+                        if let Some(frame) = self.finish() {
+                            on_frame(i - 1, frame);
+                        }
+                        // The borrow ends with the callback; reset eagerly
+                        // instead of deferring to the next push.
+                        self.pending_reset = false;
+                        self.buf.clear();
+                    }
+                }
+                State::Escape => {
+                    // Escapes are rare: run the scalar step for one byte.
+                    self.stats.bytes += 1;
+                    let byte = bytes[i];
+                    i += 1;
+                    match byte {
+                        TFEND => {
+                            self.state = State::Open;
+                            self.accept(FEND);
+                        }
+                        TFESC => {
+                            self.state = State::Open;
+                            self.accept(FESC);
+                        }
+                        FEND => {
+                            // Truncated escape; the FEND resynchronizes.
+                            self.stats.bad_escapes += 1;
+                            self.buf.clear();
+                            self.state = State::Open;
+                        }
+                        _ => {
+                            self.stats.bad_escapes += 1;
+                            self.state = State::Drop;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     fn accept(&mut self, byte: u8) {
         // +1 accounts for the type byte occupying buf[0].
         if self.buf.len() > self.max_len {
@@ -433,6 +575,25 @@ impl Deframer {
             return;
         }
         self.buf.push(byte);
+    }
+
+    /// Bulk [`accept`](Deframer::accept) for a delimiter-free span,
+    /// preserving the per-byte length-cap semantics: `accept` admits a byte
+    /// while `buf.len() <= max_len`, so the buffer holds up to
+    /// `max_len + 1` bytes (type byte + payload) and the *next* byte trips
+    /// a single oversize drop without being stored.
+    fn accept_run(&mut self, run: &[u8]) {
+        if run.is_empty() {
+            return;
+        }
+        let admit = (self.max_len + 1).saturating_sub(self.buf.len());
+        if run.len() <= admit {
+            self.buf.extend_from_slice(run);
+        } else {
+            self.buf.extend_from_slice(&run[..admit]);
+            self.stats.oversize += 1;
+            self.state = State::Drop;
+        }
     }
 
     fn finish(&mut self) -> Option<KissFrameRef<'_>> {
@@ -651,6 +812,105 @@ mod tests {
         d.push(b'a');
         assert!(d.in_frame());
         d.push(FEND);
+        assert!(!d.in_frame());
+    }
+
+    /// Pushes a stream through `push_slice` in the given chunking and
+    /// through per-byte `push`, asserting identical frames and stats.
+    fn assert_slice_matches_per_byte(stream: &[u8], chunk: usize) {
+        let mut per_byte = Deframer::with_max_len(16);
+        let ref_frames: Vec<KissFrame> = stream
+            .iter()
+            .filter_map(|&b| per_byte.push(b).map(|f| f.to_owned()))
+            .collect();
+        let mut bulk = Deframer::with_max_len(16);
+        let mut frames = Vec::new();
+        for piece in stream.chunks(chunk.max(1)) {
+            bulk.push_slice(piece, |_, f| frames.push(f.to_owned()));
+        }
+        assert_eq!(frames, ref_frames, "chunk {chunk}");
+        assert_eq!(bulk.stats(), per_byte.stats(), "chunk {chunk}");
+    }
+
+    #[test]
+    fn push_slice_matches_push_at_every_chunking() {
+        // Noise, a good frame, an escaped frame, a bad escape, an oversize
+        // frame, idles, and a frame left open at the end.
+        let mut stream = b"garbage".to_vec();
+        stream.extend(encode(0, Command::Data, b"hello"));
+        stream.extend(encode(1, Command::Data, &[FEND, FESC, 0x00]));
+        stream.extend([FEND, 0x00, b'a', FESC, 0x99, b'x', FEND]);
+        stream.extend(encode(0, Command::Data, &[0x55; 20]));
+        stream.extend([FEND, FEND, FEND]);
+        stream.extend(encode(0, Command::TxDelay, &[30]));
+        stream.extend([FEND, 0x00, b'p', b'a', b'r', b't']);
+        for chunk in 1..=stream.len() {
+            assert_slice_matches_per_byte(&stream, chunk);
+        }
+    }
+
+    #[test]
+    fn push_slice_reports_the_terminating_fend_index() {
+        let mut d = Deframer::new();
+        let mut wire = encode(0, Command::Data, b"ab");
+        let end_first = wire.len() - 1;
+        wire.extend(encode(0, Command::Data, b"cd"));
+        let mut seen = Vec::new();
+        d.push_slice(&wire, |idx, f| seen.push((idx, f.to_owned())));
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].0, end_first);
+        assert_eq!(seen[1].0, wire.len() - 1);
+        assert_eq!(seen[0].1.payload, b"ab");
+        assert_eq!(seen[1].1.payload, b"cd");
+    }
+
+    #[test]
+    fn push_slice_interoperates_with_per_byte_push() {
+        // Switch paths mid-stream, including right after a completed frame
+        // (the pending_reset hand-off).
+        let mut d = Deframer::new();
+        let wire = encode(0, Command::Data, b"one");
+        let mut frames = Vec::new();
+        d.push_slice(&wire, |_, f| frames.push(f.to_owned()));
+        let wire2 = encode(0, Command::Data, b"two");
+        for &b in &wire2 {
+            if let Some(f) = d.push(b) {
+                frames.push(f.to_owned());
+            }
+        }
+        let wire3 = encode(0, Command::Data, b"three");
+        d.push_slice(&wire3, |_, f| frames.push(f.to_owned()));
+        let payloads: Vec<_> = frames.iter().map(|f| f.payload.clone()).collect();
+        assert_eq!(
+            payloads,
+            vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]
+        );
+    }
+
+    #[test]
+    fn escaped_slice_matches_per_byte_escaping() {
+        let cases: [&[u8]; 5] = [
+            b"no specials at all",
+            &[FEND, FESC, FEND],
+            &[0x01, FEND, 0x02, FESC, 0x03],
+            &[],
+            &[FESC],
+        ];
+        for payload in cases {
+            let mut bulk = Vec::new();
+            push_escaped_slice(&mut bulk, payload);
+            let mut scalar = Vec::new();
+            for &b in payload {
+                push_escaped(&mut scalar, b);
+            }
+            assert_eq!(bulk, scalar);
+        }
+    }
+
+    #[test]
+    fn placeholder_is_heap_free_and_inert() {
+        let d = Deframer::placeholder();
+        assert_eq!(d.buf.capacity(), 0);
         assert!(!d.in_frame());
     }
 

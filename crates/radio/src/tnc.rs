@@ -165,6 +165,21 @@ impl Tnc {
         Tnc::on_kiss_frame(&mut self.stats, &mut self.mac, frame.command, frame.payload);
     }
 
+    /// Consumes a whole run of host serial characters through the bulk
+    /// deframer; behavior is identical to feeding each byte through
+    /// [`Tnc::on_serial_byte`].
+    pub fn on_serial_bytes(&mut self, bytes: &[u8]) {
+        let Tnc {
+            deframer,
+            stats,
+            mac,
+            ..
+        } = self;
+        deframer.push_slice(bytes, |_, frame| {
+            Tnc::on_kiss_frame(stats, mac, frame.command, frame.payload);
+        });
+    }
+
     fn on_kiss_frame(stats: &mut TncStats, mac: &mut Csma, command: Command, payload: &[u8]) {
         match command {
             Command::Data => {

@@ -125,6 +125,17 @@ pub struct DirStats {
     pub errors: u64,
 }
 
+/// Description of a batched delivery produced by [`SerialLine::take_run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunInfo {
+    /// The end that received the run.
+    pub to: End,
+    /// Delivery instant of the first character (the `now` passed in).
+    pub t0: SimTime,
+    /// Delivery instant of the last character in the run.
+    pub t_last: SimTime,
+}
+
 #[derive(Debug)]
 struct Direction {
     /// Characters waiting to go onto the wire.
@@ -253,6 +264,93 @@ impl SerialLine {
         }
         self.recache_deadline();
         delivered
+    }
+
+    /// Extracts a whole run of back-to-back deliveries in one call,
+    /// bypassing the per-character [`SerialLine::advance`]/
+    /// [`SerialLine::take_rx`] cycle. This is the world's serial fast lane:
+    /// a quiet run of characters is pulled off the wire in a batch instead
+    /// of one event per character.
+    ///
+    /// The run starts with the character completing exactly at `now` and
+    /// extends through queued characters at `now + i·char_time`, stopping
+    ///
+    /// * after including the first `stop_byte` (only a frame delimiter can
+    ///   make the receiver do more than buffer the character),
+    /// * before any delivery past `limit`, and
+    /// * before any delivery at or past `before` (the scheduler's next
+    ///   foreign event — those must still interleave).
+    ///
+    /// Returns `None` — with the line untouched — whenever batching could
+    /// be observably different from the per-character path: noise is
+    /// enabled (the RNG must be rolled in global delivery order), both
+    /// directions are active (their deliveries interleave), undrained
+    /// receive FIFOs exist, the FIFO capacity is zero (every delivery would
+    /// overrun), or nothing completes exactly at `now`.
+    ///
+    /// On success `out` is cleared and filled with the run, the per-char
+    /// delivery stats are applied, and the next queued character (if any)
+    /// is put on the wire at `t_last + char_time`, exactly as repeated
+    /// `advance` calls would have.
+    pub fn take_run(
+        &mut self,
+        now: SimTime,
+        limit: SimTime,
+        before: Option<SimTime>,
+        stop_byte: u8,
+        out: &mut Vec<u8>,
+    ) -> Option<RunInfo> {
+        if self.noise.is_some() && self.cfg.error_rate > 0.0 {
+            return None;
+        }
+        if self.cfg.rx_fifo == 0 {
+            return None;
+        }
+        let active = match (&self.dirs[0].in_flight, &self.dirs[1].in_flight) {
+            (Some(_), None) => 0,
+            (None, Some(_)) => 1,
+            _ => return None,
+        };
+        let other = &self.dirs[1 - active];
+        if !other.tx_queue.is_empty() || !other.rx_fifo.is_empty() {
+            return None;
+        }
+        let char_time = self.cfg.char_time();
+        let dir = &mut self.dirs[active];
+        if !dir.rx_fifo.is_empty() {
+            return None;
+        }
+        let (done0, b0) = dir
+            .in_flight
+            .expect("active direction has a char in flight");
+        if done0 != now {
+            return None;
+        }
+        out.clear();
+        out.push(b0);
+        let mut t_last = now;
+        if b0 != stop_byte {
+            while let Some(&next) = dir.tx_queue.front() {
+                let t = t_last + char_time;
+                if t > limit || before.is_some_and(|o| t >= o) {
+                    break;
+                }
+                dir.tx_queue.pop_front();
+                out.push(next);
+                t_last = t;
+                if next == stop_byte {
+                    break;
+                }
+            }
+        }
+        dir.stats.delivered += out.len() as u64;
+        dir.in_flight = dir.tx_queue.pop_front().map(|b| (t_last + char_time, b));
+        self.recache_deadline();
+        Some(RunInfo {
+            to: if active == 0 { End::B } else { End::A },
+            t0: now,
+            t_last,
+        })
     }
 
     /// Takes all characters waiting in the FIFO at `end`.
@@ -433,6 +531,126 @@ mod tests {
         // 9600 baud, 10 bits/char => 1.0416..ms, rounded up to ns.
         let cfg = SerialConfig::baud(9600);
         assert_eq!(cfg.char_time(), SimDuration::from_nanos(1_041_667));
+    }
+
+    #[test]
+    fn take_run_matches_per_character_delivery() {
+        let cfg = SerialConfig::baud(9600);
+        let far = SimTime::from_secs(10);
+        // Reference: advance one char at a time, draining after each.
+        let mut per_char = SerialLine::new(cfg);
+        per_char.send(SimTime::ZERO, End::A, b"hello\xC0tail");
+        let mut ref_bytes = Vec::new();
+        let mut ref_times = Vec::new();
+        while let Some(t) = per_char.next_deadline() {
+            per_char.advance(t);
+            for b in per_char.take_rx(End::B) {
+                ref_bytes.push(b);
+                ref_times.push(t);
+            }
+            if *ref_bytes.last().unwrap() == 0xC0 {
+                break;
+            }
+        }
+        // Batched: one take_run at the first deadline.
+        let mut line = SerialLine::new(cfg);
+        line.send(SimTime::ZERO, End::A, b"hello\xC0tail");
+        let t0 = line.next_deadline().unwrap();
+        let mut run = Vec::new();
+        let info = line.take_run(t0, far, None, 0xC0, &mut run).unwrap();
+        assert_eq!(run, ref_bytes, "run stops after the delimiter");
+        assert_eq!(info.to, End::B);
+        assert_eq!(info.t0, ref_times[0]);
+        assert_eq!(info.t_last, *ref_times.last().unwrap());
+        assert_eq!(line.stats(End::A).delivered, run.len() as u64);
+        // The remainder re-arms back-to-back, exactly like advance would.
+        assert_eq!(
+            line.next_deadline(),
+            Some(info.t_last + cfg.char_time()),
+            "next queued char continues at char pacing"
+        );
+        let rest: Vec<SimTime> = std::iter::from_fn(|| {
+            let t = line.next_deadline()?;
+            line.advance(t);
+            Some(t)
+        })
+        .collect();
+        assert_eq!(rest.len(), 4);
+        assert_eq!(line.take_rx(End::B), b"tail".to_vec());
+    }
+
+    #[test]
+    fn take_run_respects_limit_and_foreign_events() {
+        let cfg = SerialConfig::baud(9600);
+        let ct = cfg.char_time();
+        let mut line = SerialLine::new(cfg);
+        line.send(SimTime::ZERO, End::A, b"abcdef");
+        let t0 = line.next_deadline().unwrap();
+        // Cap by `limit`: only chars due within the window are taken.
+        let mut run = Vec::new();
+        let info = line
+            .take_run(t0, t0 + ct * 2, None, 0xC0, &mut run)
+            .unwrap();
+        assert_eq!(run, b"abc".to_vec());
+        assert_eq!(info.t_last, t0 + ct * 2);
+        // Cap by `before`: a foreign event at the next char's instant stops
+        // the run (the scheduler must interleave it).
+        let t3 = line.next_deadline().unwrap();
+        let info = line
+            .take_run(t3, SimTime::from_secs(1), Some(t3 + ct), 0xC0, &mut run)
+            .unwrap();
+        assert_eq!(run, b"d".to_vec());
+        assert_eq!(info.t_last, t3);
+    }
+
+    #[test]
+    fn take_run_refuses_ambiguous_lines() {
+        let cfg = SerialConfig::baud(9600);
+        let far = SimTime::from_secs(1);
+        let mut run = Vec::new();
+        // Noise: the RNG must be rolled in per-character delivery order.
+        let noisy_cfg = cfg.with_error_rate(0.5);
+        let mut noisy = SerialLine::with_noise(noisy_cfg, SimRng::seed_from(3));
+        noisy.send(SimTime::ZERO, End::A, b"ab");
+        let t = noisy.next_deadline().unwrap();
+        assert!(noisy.take_run(t, far, None, 0xC0, &mut run).is_none());
+        // Both directions active: deliveries interleave.
+        let mut duplex = SerialLine::new(cfg);
+        duplex.send(SimTime::ZERO, End::A, b"ab");
+        duplex.send(SimTime::ZERO, End::B, b"yz");
+        let t = duplex.next_deadline().unwrap();
+        assert!(duplex.take_run(t, far, None, 0xC0, &mut run).is_none());
+        // Undrained receiver FIFO: batching would reorder the backlog.
+        let mut backlog = SerialLine::new(cfg);
+        backlog.send(SimTime::ZERO, End::A, b"ab");
+        let t1 = backlog.next_deadline().unwrap();
+        backlog.advance(t1);
+        let t2 = backlog.next_deadline().unwrap();
+        assert!(backlog.take_run(t2, far, None, 0xC0, &mut run).is_none());
+        // Nothing completing exactly at `now`.
+        let mut early = SerialLine::new(cfg);
+        early.send(SimTime::ZERO, End::A, b"ab");
+        assert!(early
+            .take_run(SimTime::ZERO, far, None, 0xC0, &mut run)
+            .is_none());
+        // All refusals leave the line untouched for the per-char path.
+        let t = early.next_deadline().unwrap();
+        assert_eq!(early.advance(t), 1);
+        assert_eq!(early.take_rx(End::B), b"a".to_vec());
+    }
+
+    #[test]
+    fn take_run_with_delimiter_in_flight_is_a_single_char() {
+        let cfg = SerialConfig::baud(9600);
+        let mut line = SerialLine::new(cfg);
+        line.send(SimTime::ZERO, End::A, &[0xC0, b'x']);
+        let t0 = line.next_deadline().unwrap();
+        let mut run = Vec::new();
+        let info = line
+            .take_run(t0, SimTime::from_secs(1), None, 0xC0, &mut run)
+            .unwrap();
+        assert_eq!(run, vec![0xC0]);
+        assert_eq!(info.t0, info.t_last);
     }
 
     #[test]

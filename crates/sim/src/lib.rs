@@ -10,6 +10,8 @@
 //!
 //! * [`time`] — virtual time ([`SimTime`]) and durations ([`SimDuration`]),
 //!   plus [`Bandwidth`] for serialization-delay math.
+//! * [`bytekernels`] — word-at-a-time (SWAR) byte-scanning primitives for
+//!   the bulk datapath kernels (KISS deframing/escaping).
 //! * [`queue`] — a cancellable, deterministic [`EventQueue`].
 //! * [`fxhash`] — a fast deterministic hasher for the calendar's maps.
 //! * [`sched`] — a deadline-indexed component [`Scheduler`] (lazy re-keying
@@ -41,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytekernels;
 pub mod fxhash;
 pub mod pktbuf;
 pub mod queue;

@@ -241,6 +241,16 @@ impl Writer {
 
 /// The ones-complement checksum used by IPv4, ICMP, UDP, and TCP (RFC 1071).
 ///
+/// The accumulation is RFC 1071's folded form: each part's even-aligned
+/// middle is summed eight bytes at a time as a 64-bit ones-complement add
+/// (end-around carry on overflow), folded to 16 bits, and byte-swapped
+/// into big-endian word space — RFC 1071 §2(B)/(2): *"the sum of 16-bit
+/// integers can be computed by means of the sum of their byte-swapped
+/// images"*, so the wide loop is endian-agnostic. Odd lengths and the
+/// byte-parity carried across multi-slice inputs are handled exactly as
+/// the scalar reference [`internet_checksum_ref`], which the differential
+/// proptests hold this kernel to.
+///
 /// # Examples
 ///
 /// ```
@@ -254,6 +264,61 @@ impl Writer {
 /// assert_eq!(internet_checksum(&[&with_sum]), 0);
 /// ```
 pub fn internet_checksum(parts: &[&[u8]]) -> u16 {
+    // Big-endian 16-bit word sum; u64 headroom means no fold is needed
+    // until the very end.
+    let mut sum: u64 = 0;
+    let mut leftover: Option<u8> = None;
+    for part in parts {
+        let mut part = *part;
+        // A part boundary can split a 16-bit word: pair the carried high
+        // byte with this part's first byte, keeping global byte parity.
+        if let Some(hi) = leftover.take() {
+            match part.split_first() {
+                Some((&lo, rest)) => {
+                    sum += u64::from(u16::from_be_bytes([hi, lo]));
+                    part = rest;
+                }
+                None => {
+                    leftover = Some(hi);
+                    continue;
+                }
+            }
+        }
+        // Wide middle: native-lane 64-bit ones-complement accumulation.
+        let mut wide: u64 = 0;
+        let mut chunks = part.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let word = u64::from_ne_bytes(chunk.try_into().expect("chunks_exact(8)"));
+            let (s, carry) = wide.overflowing_add(word);
+            wide = s + u64::from(carry);
+        }
+        let mut folded = (wide >> 32) + (wide & 0xFFFF_FFFF);
+        folded = (folded >> 16) + (folded & 0xFFFF);
+        folded = (folded >> 16) + (folded & 0xFFFF);
+        // Native lanes hold native-order words; `to_be` swaps the folded
+        // sum into big-endian word space (a no-op on big-endian hosts).
+        sum += u64::from((folded as u16).to_be());
+        // Sub-word tail: 16-bit pairs, then at most one carried byte.
+        let mut pairs = chunks.remainder().chunks_exact(2);
+        for pair in pairs.by_ref() {
+            sum += u64::from(u16::from_be_bytes([pair[0], pair[1]]));
+        }
+        if let [last] = pairs.remainder() {
+            leftover = Some(*last);
+        }
+    }
+    if let Some(hi) = leftover {
+        sum += u64::from(u16::from_be_bytes([hi, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Scalar reference for [`internet_checksum`]: the executable spec the
+/// folded kernel is differentially tested against (DESIGN.md §9).
+pub fn internet_checksum_ref(parts: &[&[u8]]) -> u16 {
     let mut sum: u32 = 0;
     let mut leftover: Option<u8> = None;
     for part in parts {
@@ -351,5 +416,27 @@ mod tests {
         let sum = internet_checksum(&[&data]);
         let check = internet_checksum(&[&data, &sum.to_be_bytes()]);
         assert_eq!(check, 0);
+    }
+
+    #[test]
+    fn checksum_folded_matches_scalar_reference() {
+        // Every split of a pseudo-random buffer into two parts, covering
+        // odd-length parts, odd-offset boundaries, and sub-word tails.
+        let mut x: u64 = 0x243F_6A88_85A3_08D3;
+        let data: Vec<u8> = (0..61)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 56) as u8
+            })
+            .collect();
+        for cut in 0..=data.len() {
+            let parts: [&[u8]; 2] = [&data[..cut], &data[cut..]];
+            assert_eq!(
+                internet_checksum(&parts),
+                internet_checksum_ref(&parts),
+                "cut {cut}"
+            );
+        }
+        assert_eq!(internet_checksum(&[]), internet_checksum_ref(&[]));
     }
 }

@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
 # Performance snapshot: runs the `engine` bench group (full-scan reference
 # stepper vs the deadline-indexed scheduler), the `driver_rx` datapath
-# group, the `encap_fwd` tunnel hot path, and the `vj_hdr` RFC 1144
-# header compression path, and records every
-# measurement in BENCH_engine.json as
+# group, the `encap_fwd` tunnel hot path, the `vj_hdr` RFC 1144 header
+# compression path, and the `byte_kernels` bulk/scalar pairs, and APPENDS
+# every measurement to BENCH_engine.json as
 #   {"bench": <name>, "median_ns": <ns/iter>, "timestamp": <utc>}
-# This is informational — scripts/check.sh runs it non-gating, so a slow
-# machine never fails the tier-1 gate.
+# so the file accumulates a history. Each fresh median is diffed against
+# the most recent prior row of the same bench; anything >25% slower is
+# flagged with a REGRESSION line. This is informational — scripts/check.sh
+# runs it non-gating, so a slow machine never fails the tier-1 gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=BENCH_engine.json
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+new_rows=$(mktemp)
+rows=$(mktemp)
+trap 'rm -f "$tmp" "$new_rows" "$rows"' EXIT
 
 echo "==> cargo bench -p bench --bench engine -- engine"
 cargo bench -p bench --bench engine -- engine | tee "$tmp"
@@ -22,21 +26,51 @@ echo "==> cargo bench -p bench --bench encap_fwd"
 cargo bench -p bench --bench encap_fwd | tee -a "$tmp"
 echo "==> cargo bench -p bench --bench vj_hdr"
 cargo bench -p bench --bench vj_hdr | tee -a "$tmp"
+echo "==> cargo bench -p bench --bench byte_kernels"
+cargo bench -p bench --bench byte_kernels | tee -a "$tmp"
 
+# "name median" pairs from Criterion's "<name> ... <median> ns/iter" lines.
+awk '
+    { for (i = 3; i <= NF; i++) if ($i == "ns/iter") { print $1, $(i - 1); break } }
+' "$tmp" > "$new_rows"
+
+# Regression guard: compare each fresh median against the most recent prior
+# row for the same bench. Informational only — the exit status stays 0.
+if [ -f "$out" ]; then
+    echo "==> comparing against previous rows in $out"
+    awk '
+        NR == FNR {
+            if (match($0, /"bench": "[^"]*"/)) {
+                name = substr($0, RSTART + 10, RLENGTH - 11)
+                if (match($0, /"median_ns": [0-9.]+/))
+                    prev[name] = substr($0, RSTART + 13, RLENGTH - 13) + 0
+            }
+            next
+        }
+        {
+            if (($1 in prev) && prev[$1] > 0 && $2 > prev[$1] * 1.25)
+                printf "REGRESSION %s: %.1f ns/iter vs %.1f ns/iter (+%.0f%%)\n", \
+                    $1, $2, prev[$1], ($2 / prev[$1] - 1) * 100
+            else if ($1 in prev)
+                printf "ok %s: %.1f ns/iter (prev %.1f)\n", $1, $2, prev[$1]
+            else
+                printf "new %s: %.1f ns/iter\n", $1, $2
+        }
+    ' "$out" "$new_rows"
+fi
+
+# Append the fresh rows, preserving all history.
+if [ -f "$out" ]; then
+    grep '"bench"' "$out" | sed 's/,$//' > "$rows" || true
+fi
 ts=$(date -u +"%Y-%m-%dT%H:%M:%SZ")
 awk -v ts="$ts" '
-    BEGIN { printf "[\n"; sep = "" }
-    {
-        for (i = 3; i <= NF; i++) {
-            if ($i == "ns/iter") {
-                printf "%s  {\"bench\": \"%s\", \"median_ns\": %s, \"timestamp\": \"%s\"}", \
-                    sep, $1, $(i - 1), ts
-                sep = ",\n"
-                break
-            }
-        }
-    }
-    END { printf "\n]\n" }
-' "$tmp" > "$out"
+    { printf "  {\"bench\": \"%s\", \"median_ns\": %s, \"timestamp\": \"%s\"}\n", $1, $2, ts }
+' "$new_rows" >> "$rows"
+{
+    echo "["
+    sed '$!s/$/,/' "$rows"
+    echo "]"
+} > "$out"
 
-echo "==> wrote $out"
+echo "==> appended $(wc -l < "$new_rows") rows to $out"

@@ -25,6 +25,9 @@ cargo bench -p bench --bench encap_fwd -- --test
 echo "==> cargo bench -p bench --bench vj_hdr -- --test"
 cargo bench -p bench --bench vj_hdr -- --test
 
+echo "==> cargo bench -p bench --bench byte_kernels -- --test"
+cargo bench -p bench --bench byte_kernels -- --test
+
 echo "==> scripts/bench.sh (non-gating)"
 bash scripts/bench.sh || echo "WARN: bench snapshot failed (non-gating)"
 

@@ -1,0 +1,153 @@
+//! Differential properties for the bulk byte kernels (DESIGN.md §9): the
+//! SWAR/bulk implementations must be **observably identical** to the
+//! scalar reference paths they replaced, over arbitrary inputs and — for
+//! the streaming deframer — arbitrary chunk boundaries, including splits
+//! that land between a FESC and its escape code.
+
+use ax25::fcs::{crc16_x25, crc16_x25_ref};
+use proptest::prelude::*;
+use sim::wire::{internet_checksum, internet_checksum_ref};
+
+/// Bytes biased heavily toward the KISS specials so frames, escapes, bad
+/// escapes, and resyncs all appear in short streams.
+fn arb_kiss_stream() -> impl Strategy<Value = Vec<u8>> {
+    let byte = (any::<u8>(), any::<u8>()).prop_map(|(sel, raw)| match sel % 8 {
+        0 | 1 => kiss::FEND,
+        2 => kiss::FESC,
+        3 => kiss::TFEND,
+        4 => kiss::TFESC,
+        // Mostly-valid type bytes keep whole frames alive often enough.
+        5 => raw & 0x0F,
+        _ => raw,
+    });
+    proptest::collection::vec(byte, 0..200)
+}
+
+/// Feeds `stream` one byte at a time through the scalar reference path.
+fn deframe_per_byte(
+    stream: &[u8],
+    max_len: usize,
+) -> (Vec<(u8, kiss::Command, Vec<u8>)>, kiss::DeframerStats) {
+    let mut d = kiss::Deframer::with_max_len(max_len);
+    let mut frames = Vec::new();
+    for &b in stream {
+        if let Some(f) = d.push(b) {
+            frames.push((f.port, f.command, f.payload.to_vec()));
+        }
+    }
+    (frames, d.stats())
+}
+
+/// Feeds `stream` through the bulk path, split at the given cut points.
+fn deframe_chunked(
+    stream: &[u8],
+    max_len: usize,
+    cuts: &[usize],
+) -> (Vec<(u8, kiss::Command, Vec<u8>)>, kiss::DeframerStats) {
+    let mut d = kiss::Deframer::with_max_len(max_len);
+    let mut frames = Vec::new();
+    let mut start = 0;
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (stream.len() + 1)).collect();
+    bounds.push(stream.len());
+    bounds.sort_unstable();
+    for end in bounds {
+        let chunk = &stream[start..end.max(start)];
+        start = start.max(end);
+        d.push_slice(chunk, |_, f| {
+            frames.push((f.port, f.command, f.payload.to_vec()));
+        });
+    }
+    (frames, d.stats())
+}
+
+/// Scalar oracle for KISS escaping, written independently of the crate.
+fn escape_oracle(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for &b in bytes {
+        match b {
+            kiss::FEND => out.extend_from_slice(&[kiss::FESC, kiss::TFEND]),
+            kiss::FESC => out.extend_from_slice(&[kiss::FESC, kiss::TFESC]),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+proptest! {
+    /// The bulk deframer produces the same frames (port, command, payload)
+    /// and the same statistics as the per-byte reference, no matter where
+    /// the input is cut into chunks — including cuts that split a FESC
+    /// from its escape code or a frame across many `push_slice` calls.
+    #[test]
+    fn bulk_deframing_matches_per_byte_at_any_chunking(
+        stream in arb_kiss_stream(),
+        max_len in (0usize..4).prop_map(|i| [1usize, 8, 16, 1024][i]),
+        cuts in proptest::collection::vec(any::<usize>(), 0..12),
+    ) {
+        let (ref_frames, ref_stats) = deframe_per_byte(&stream, max_len);
+        let (bulk_frames, bulk_stats) = deframe_chunked(&stream, max_len, &cuts);
+        prop_assert_eq!(&bulk_frames, &ref_frames, "frames diverged");
+        prop_assert_eq!(bulk_stats, ref_stats, "stats diverged");
+    }
+
+    /// A chunk boundary placed directly between FESC and its escape code
+    /// (the nastiest split) never changes the outcome.
+    #[test]
+    fn fesc_straddling_a_chunk_boundary_is_transparent(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        escaped_at in any::<usize>(),
+    ) {
+        let mut p = payload;
+        if !p.is_empty() {
+            let at = escaped_at % p.len();
+            p[at] = kiss::FEND; // guarantees a FESC on the wire
+        }
+        let wire = kiss::encode(0, kiss::Command::Data, &p);
+        // Split exactly after each FESC in turn.
+        for (i, &b) in wire.iter().enumerate() {
+            if b != kiss::FESC {
+                continue;
+            }
+            let mut d = kiss::Deframer::new();
+            let mut got = Vec::new();
+            d.push_slice(&wire[..=i], |_, f| got.push(f.payload.to_vec()));
+            d.push_slice(&wire[i + 1..], |_, f| got.push(f.payload.to_vec()));
+            prop_assert_eq!(got.len(), 1, "one frame expected");
+            prop_assert_eq!(&got[0], &p, "payload corrupted at split {}", i);
+        }
+    }
+
+    /// Bulk escaping emits exactly what the byte-at-a-time oracle does.
+    #[test]
+    fn bulk_escaping_matches_the_scalar_oracle(
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut got = Vec::new();
+        kiss::push_escaped_slice(&mut got, &payload);
+        prop_assert_eq!(got, escape_oracle(&payload));
+    }
+
+    /// The slice-by-8 CRC equals the bitwise reference on any input,
+    /// whatever its length modulo the 8-byte chunk width.
+    #[test]
+    fn sliced_crc_matches_bitwise_reference(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        prop_assert_eq!(crc16_x25(&data), crc16_x25_ref(&data));
+    }
+
+    /// The folded internet checksum equals the scalar reference over any
+    /// multi-part input, including odd-length parts (whose trailing byte
+    /// must pair with the next part's first byte, preserving global
+    /// big-endian word alignment).
+    #[test]
+    fn folded_checksum_matches_scalar_reference(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..80),
+            0..5,
+        ),
+    ) {
+        let views: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
+        prop_assert_eq!(internet_checksum(&views), internet_checksum_ref(&views));
+    }
+}

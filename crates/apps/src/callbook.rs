@@ -74,8 +74,10 @@ impl App for CallbookServer {
         if Some(*udp) != self.udp {
             return;
         }
-        for (src, sport, payload) in host.stack.udp_recv(*udp) {
-            let query = String::from_utf8_lossy(&payload).trim().to_string();
+        while let Some((src, sport, payload)) = host.stack.udp_recv(*udp) {
+            let query = String::from_utf8_lossy(payload.as_slice())
+                .trim()
+                .to_string();
             let Some(call) = query.strip_prefix('?') else {
                 continue;
             };
@@ -159,8 +161,10 @@ impl App for CallbookClient {
         if Some(*udp) != self.udp {
             return;
         }
-        for (_src, _sport, payload) in host.stack.udp_recv(*udp) {
-            let line = String::from_utf8_lossy(&payload).trim().to_string();
+        while let Some((_src, _sport, payload)) = host.stack.udp_recv(*udp) {
+            let line = String::from_utf8_lossy(payload.as_slice())
+                .trim()
+                .to_string();
             if let Some(target) = line.strip_prefix("REFER ") {
                 if let Ok(ip) = target.parse::<Ipv4Addr>() {
                     self.query(now, ip, host);

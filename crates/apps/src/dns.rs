@@ -1,0 +1,574 @@
+//! A userspace DNS resolver and name server over the socket layer.
+//!
+//! The socket layer's capstone application: once the gateway mesh can carry UDP
+//! end to end, hosts should not need to memorise 44.x.y.z addresses.
+//! [`DnsServer`] serves an A-record subset of RFC 1035 from a static
+//! zone (the AMPRnet callsign→address table a coordinator would
+//! publish), and [`Resolver`] is the stub clients link against:
+//! cache-with-TTL, retry-with-deadline, and a [`ResolverCore`] handle
+//! that other apps (or the experiment driver) query.
+//!
+//! The wire format is real RFC 1035 — 12-byte header, QNAME label
+//! sequence, QTYPE/QCLASS, answers with the classic `0xC00C` compression
+//! pointer back to the question name — restricted to QTYPE=A, QCLASS=IN,
+//! one question per message. NXDOMAIN is RCODE 3.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use gateway::world::App;
+use gateway::Host;
+use netstack::stack::StackAction;
+use sim::{SimDuration, SimTime};
+use socket::{Readiness, SocketHandle};
+
+use crate::sockapp::{SockApp, SockCtx, SocketProgram};
+
+/// The well-known DNS port.
+pub const DNS_PORT: u16 = 53;
+
+/// How long the stub waits for an answer before retransmitting.
+const RETRY_AFTER: SimDuration = SimDuration::from_secs(5);
+
+/// Transmissions per query before the stub gives up.
+const MAX_TRIES: u32 = 4;
+
+// ---------------------------------------------------------------------------
+// Wire codec (RFC 1035 subset: one A/IN question, one answer)
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn get_u16(buf: &[u8], at: usize) -> Option<u16> {
+    Some(u16::from_be_bytes([*buf.get(at)?, *buf.get(at + 1)?]))
+}
+
+fn put_name(out: &mut Vec<u8>, name: &str) {
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        let label = &label.as_bytes()[..label.len().min(63)];
+        out.push(label.len() as u8);
+        out.extend_from_slice(label);
+    }
+    out.push(0);
+}
+
+/// Reads a label sequence at `at`; returns (lower-cased name, next offset).
+/// A compression pointer terminates the walk (the target is not chased —
+/// the only pointer this codec emits is `0xC00C`, the question name).
+fn get_name(buf: &[u8], at: usize) -> Option<(String, usize)> {
+    let mut name = String::new();
+    let mut pos = at;
+    loop {
+        let len = *buf.get(pos)? as usize;
+        if len & 0xC0 == 0xC0 {
+            return Some((name, pos + 2));
+        }
+        if len == 0 {
+            return Some((name, pos + 1));
+        }
+        let label = buf.get(pos + 1..pos + 1 + len)?;
+        if !name.is_empty() {
+            name.push('.');
+        }
+        name.push_str(&String::from_utf8_lossy(label).to_ascii_lowercase());
+        pos += 1 + len;
+    }
+}
+
+/// Encodes a standard query for the A record of `name`.
+pub fn encode_query(id: u16, name: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17 + name.len());
+    put_u16(&mut out, id);
+    put_u16(&mut out, 0x0100); // RD
+    put_u16(&mut out, 1); // QDCOUNT
+    put_u16(&mut out, 0);
+    put_u16(&mut out, 0);
+    put_u16(&mut out, 0);
+    put_name(&mut out, name);
+    put_u16(&mut out, 1); // QTYPE=A
+    put_u16(&mut out, 1); // QCLASS=IN
+    out
+}
+
+/// Decodes a query: (id, name). `None` on anything but one A/IN question.
+pub fn decode_query(buf: &[u8]) -> Option<(u16, String)> {
+    let id = get_u16(buf, 0)?;
+    let flags = get_u16(buf, 2)?;
+    if flags & 0x8000 != 0 || get_u16(buf, 4)? != 1 {
+        return None;
+    }
+    let (name, after) = get_name(buf, 12)?;
+    if get_u16(buf, after)? != 1 || get_u16(buf, after + 2)? != 1 {
+        return None;
+    }
+    Some((id, name))
+}
+
+/// Encodes a response to the query for `name`: an A record if
+/// `answer` is `Some((addr, ttl))`, NXDOMAIN otherwise.
+pub fn encode_response(id: u16, name: &str, answer: Option<(Ipv4Addr, u32)>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(33 + name.len());
+    put_u16(&mut out, id);
+    // QR | AA | RD | RA, plus RCODE 3 when the name is not ours.
+    let rcode = if answer.is_some() { 0 } else { 3 };
+    put_u16(&mut out, 0x8580 | rcode);
+    put_u16(&mut out, 1); // QDCOUNT: question echoed
+    put_u16(&mut out, u16::from(answer.is_some())); // ANCOUNT
+    put_u16(&mut out, 0);
+    put_u16(&mut out, 0);
+    put_name(&mut out, name);
+    put_u16(&mut out, 1);
+    put_u16(&mut out, 1);
+    if let Some((addr, ttl)) = answer {
+        put_u16(&mut out, 0xC00C); // pointer to the question name
+        put_u16(&mut out, 1); // TYPE=A
+        put_u16(&mut out, 1); // CLASS=IN
+        out.extend_from_slice(&ttl.to_be_bytes());
+        put_u16(&mut out, 4); // RDLENGTH
+        out.extend_from_slice(&addr.octets());
+    }
+    out
+}
+
+/// A decoded answer record: `Some((addr, ttl))`, or `None` for
+/// NXDOMAIN / no answer.
+pub type DnsAnswer = Option<(Ipv4Addr, u32)>;
+
+/// Decodes a response into (id, name, answer).
+pub fn decode_response(buf: &[u8]) -> Option<(u16, String, DnsAnswer)> {
+    let id = get_u16(buf, 0)?;
+    let flags = get_u16(buf, 2)?;
+    if flags & 0x8000 == 0 {
+        return None;
+    }
+    let (name, mut pos) = get_name(buf, 12)?;
+    pos += 4; // QTYPE + QCLASS
+    if flags & 0x000F != 0 || get_u16(buf, 6)? == 0 {
+        return Some((id, name, None));
+    }
+    let (_aname, apos) = get_name(buf, pos)?;
+    let rtype = get_u16(buf, apos)?;
+    let ttl = u32::from_be_bytes([
+        *buf.get(apos + 4)?,
+        *buf.get(apos + 5)?,
+        *buf.get(apos + 6)?,
+        *buf.get(apos + 7)?,
+    ]);
+    let rdlen = get_u16(buf, apos + 8)? as usize;
+    if rtype != 1 || rdlen != 4 {
+        return Some((id, name, None));
+    }
+    let rd = buf.get(apos + 10..apos + 14)?;
+    let addr = Ipv4Addr::new(rd[0], rd[1], rd[2], rd[3]);
+    Some((id, name, Some((addr, ttl))))
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Name server counters.
+#[derive(Debug, Default)]
+pub struct DnsServerReport {
+    /// Queries received and parsed.
+    pub queries: u64,
+    /// Answered with an A record.
+    pub answered: u64,
+    /// Answered NXDOMAIN.
+    pub nxdomain: u64,
+    /// Datagrams that would not parse as a query.
+    pub malformed: u64,
+}
+
+struct DnsServerProgram {
+    zone: HashMap<String, Ipv4Addr>,
+    ttl: u32,
+    sock: Option<SocketHandle>,
+    report: crate::Shared<DnsServerReport>,
+}
+
+impl SocketProgram for DnsServerProgram {
+    fn on_start(&mut self, now: SimTime, cx: &mut SockCtx<'_>) {
+        self.sock = Some(cx.bind_udp(now, DNS_PORT).expect("port 53 free"));
+    }
+
+    fn on_ready(&mut self, now: SimTime, h: SocketHandle, ready: Readiness, cx: &mut SockCtx<'_>) {
+        if Some(h) != self.sock || !ready.readable() {
+            return;
+        }
+        while let Ok((src, sport, dgram)) = cx.host.sock_recv_from(h) {
+            let Some((id, name)) = decode_query(dgram.as_slice()) else {
+                self.report.borrow_mut().malformed += 1;
+                continue;
+            };
+            let answer = self.zone.get(&name).map(|&a| (a, self.ttl));
+            {
+                let mut r = self.report.borrow_mut();
+                r.queries += 1;
+                if answer.is_some() {
+                    r.answered += 1;
+                } else {
+                    r.nxdomain += 1;
+                }
+            }
+            let resp = encode_response(id, &name, answer);
+            let _ = cx.host.sock_send_to(now, h, src, sport, resp);
+        }
+    }
+}
+
+/// An authoritative A-record server for a static zone on UDP port 53.
+pub struct DnsServer {
+    inner: SockApp<DnsServerProgram>,
+    report: crate::Shared<DnsServerReport>,
+}
+
+impl DnsServer {
+    /// Serves `zone` (name → address) with the given answer TTL.
+    pub fn new(zone: &[(&str, Ipv4Addr)], ttl: SimDuration) -> DnsServer {
+        let report = crate::shared(DnsServerReport::default());
+        DnsServer {
+            inner: SockApp::new(DnsServerProgram {
+                zone: zone
+                    .iter()
+                    .map(|(n, a)| (n.to_ascii_lowercase(), *a))
+                    .collect(),
+                ttl: ttl.as_secs_f64() as u32,
+                sock: None,
+                report: report.clone(),
+            }),
+            report,
+        }
+    }
+
+    /// The shared report handle.
+    pub fn report(&self) -> crate::Shared<DnsServerReport> {
+        self.report.clone()
+    }
+}
+
+impl App for DnsServer {
+    fn on_start(&mut self, now: SimTime, host: &mut Host) {
+        self.inner.on_start(now, host);
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        self.inner.on_event(now, event, host);
+    }
+
+    fn poll(&mut self, now: SimTime, host: &mut Host) {
+        self.inner.poll(now, host);
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.inner.next_deadline()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stub resolver
+// ---------------------------------------------------------------------------
+
+/// Resolver statistics.
+#[derive(Debug, Default)]
+pub struct ResolverStats {
+    /// Query datagrams transmitted (including retries).
+    pub queries_sent: u64,
+    /// Answers accepted.
+    pub answers: u64,
+    /// Lookups served straight from the cache.
+    pub from_cache: u64,
+    /// Retransmissions.
+    pub retries: u64,
+    /// Lookups abandoned after [`MAX_TRIES`].
+    pub failures: u64,
+}
+
+/// The shared half of the stub resolver: applications and drivers call
+/// [`ResolverCore::resolve`]/[`ResolverCore::result`] on this; the
+/// [`Resolver`] app drains the request queue onto the wire.
+#[derive(Debug)]
+pub struct ResolverCore {
+    server: Ipv4Addr,
+    cache: HashMap<String, (Ipv4Addr, SimTime)>,
+    pending: Vec<String>,
+    results: HashMap<String, Option<Ipv4Addr>>,
+    /// Running counters.
+    pub stats: ResolverStats,
+}
+
+impl ResolverCore {
+    /// A core pointed at `server`.
+    pub fn new(server: Ipv4Addr) -> crate::Shared<ResolverCore> {
+        crate::shared(ResolverCore {
+            server,
+            cache: HashMap::new(),
+            pending: Vec::new(),
+            results: HashMap::new(),
+            stats: ResolverStats::default(),
+        })
+    }
+
+    /// Non-blocking lookup: a cached, unexpired answer comes back
+    /// immediately; otherwise the name is queued for the wire and the
+    /// caller polls [`ResolverCore::result`] later.
+    pub fn resolve(&mut self, name: &str, now: SimTime) -> Option<Ipv4Addr> {
+        let name = name.to_ascii_lowercase();
+        if let Some(&(addr, expiry)) = self.cache.get(&name) {
+            if now < expiry {
+                self.stats.from_cache += 1;
+                return Some(addr);
+            }
+            self.cache.remove(&name);
+        }
+        if !self.pending.contains(&name) && !self.results.contains_key(&name) {
+            self.pending.push(name);
+        }
+        None
+    }
+
+    /// The outcome of a queued lookup: `None` = still in flight,
+    /// `Some(None)` = NXDOMAIN or timed out, `Some(Some(addr))` = answer.
+    pub fn result(&self, name: &str) -> Option<Option<Ipv4Addr>> {
+        self.results.get(&name.to_ascii_lowercase()).copied()
+    }
+}
+
+struct InFlight {
+    name: String,
+    deadline: SimTime,
+    tries: u32,
+}
+
+struct ResolverProgram {
+    core: crate::Shared<ResolverCore>,
+    port: u16,
+    sock: Option<SocketHandle>,
+    next_id: u16,
+    in_flight: HashMap<u16, InFlight>,
+}
+
+impl ResolverProgram {
+    fn transmit(&mut self, now: SimTime, id: u16, cx: &mut SockCtx<'_>) {
+        let Some(sock) = self.sock else { return };
+        let Some(q) = self.in_flight.get_mut(&id) else {
+            return;
+        };
+        q.deadline = now + RETRY_AFTER;
+        q.tries += 1;
+        let server = self.core.borrow().server;
+        let query = encode_query(id, &q.name);
+        self.core.borrow_mut().stats.queries_sent += 1;
+        let _ = cx.host.sock_send_to(now, sock, server, DNS_PORT, query);
+    }
+}
+
+impl SocketProgram for ResolverProgram {
+    fn on_start(&mut self, now: SimTime, cx: &mut SockCtx<'_>) {
+        self.sock = Some(cx.bind_udp(now, self.port).expect("resolver port free"));
+    }
+
+    fn on_ready(&mut self, now: SimTime, h: SocketHandle, ready: Readiness, cx: &mut SockCtx<'_>) {
+        if Some(h) != self.sock || !ready.readable() {
+            return;
+        }
+        while let Ok((_src, _sport, dgram)) = cx.host.sock_recv_from(h) {
+            let Some((id, name, answer)) = decode_response(dgram.as_slice()) else {
+                continue;
+            };
+            let Some(q) = self.in_flight.remove(&id) else {
+                continue;
+            };
+            if q.name != name {
+                self.in_flight.insert(id, q);
+                continue;
+            }
+            let mut core = self.core.borrow_mut();
+            core.stats.answers += 1;
+            if let Some((addr, ttl)) = answer {
+                core.cache.insert(
+                    name.clone(),
+                    (addr, now + SimDuration::from_secs(u64::from(ttl))),
+                );
+                core.results.insert(name, Some(addr));
+            } else {
+                core.results.insert(name, None);
+            }
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime, cx: &mut SockCtx<'_>) {
+        // New requests queued by consumers since the last visit.
+        let pending = std::mem::take(&mut self.core.borrow_mut().pending);
+        for name in pending {
+            let id = self.next_id;
+            self.next_id = self.next_id.wrapping_add(1);
+            self.in_flight.insert(
+                id,
+                InFlight {
+                    name,
+                    deadline: now,
+                    tries: 0,
+                },
+            );
+            self.transmit(now, id, cx);
+        }
+        // Retries and give-ups.
+        let expired: Vec<u16> = self
+            .in_flight
+            .iter()
+            .filter(|(_, q)| q.deadline <= now && q.tries > 0)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            if self.in_flight[&id].tries >= MAX_TRIES {
+                let q = self.in_flight.remove(&id).unwrap();
+                let mut core = self.core.borrow_mut();
+                core.stats.failures += 1;
+                core.results.insert(q.name, None);
+            } else {
+                self.core.borrow_mut().stats.retries += 1;
+                self.transmit(now, id, cx);
+            }
+        }
+    }
+
+    fn next_wakeup(&self) -> Option<SimTime> {
+        let queued = (!self.core.borrow().pending.is_empty()).then_some(SimTime::ZERO);
+        let retry = self.in_flight.values().map(|q| q.deadline).min();
+        match (queued, retry) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// The stub resolver app: owns the UDP socket, drains the
+/// [`ResolverCore`] request queue, retries on a timer.
+pub struct Resolver {
+    inner: SockApp<ResolverProgram>,
+    core: crate::Shared<ResolverCore>,
+}
+
+impl Resolver {
+    /// A resolver querying `server`, bound to local `port`.
+    pub fn new(server: Ipv4Addr, port: u16) -> Resolver {
+        let core = ResolverCore::new(server);
+        Resolver {
+            inner: SockApp::new(ResolverProgram {
+                core: core.clone(),
+                port,
+                sock: None,
+                next_id: 1,
+                in_flight: HashMap::new(),
+            }),
+            core,
+        }
+    }
+
+    /// The shared core other apps and drivers hold.
+    pub fn core(&self) -> crate::Shared<ResolverCore> {
+        self.core.clone()
+    }
+}
+
+impl App for Resolver {
+    fn on_start(&mut self, now: SimTime, host: &mut Host) {
+        self.inner.on_start(now, host);
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        self.inner.on_event(now, event, host);
+    }
+
+    fn poll(&mut self, now: SimTime, host: &mut Host) {
+        self.inner.poll(now, host);
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.inner.next_deadline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let q = encode_query(0x1234, "kb7uv.ampr.org");
+        let (id, name) = decode_query(&q).unwrap();
+        assert_eq!(id, 0x1234);
+        assert_eq!(name, "kb7uv.ampr.org");
+    }
+
+    #[test]
+    fn response_roundtrip_with_answer() {
+        let addr = Ipv4Addr::new(44, 56, 0, 5);
+        let r = encode_response(7, "kb7uv.ampr.org", Some((addr, 300)));
+        let (id, name, ans) = decode_response(&r).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(name, "kb7uv.ampr.org");
+        assert_eq!(ans, Some((addr, 300)));
+    }
+
+    #[test]
+    fn nxdomain_roundtrip() {
+        let r = encode_response(9, "nosuch.ampr.org", None);
+        let (id, name, ans) = decode_response(&r).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(name, "nosuch.ampr.org");
+        assert_eq!(ans, None);
+    }
+
+    #[test]
+    fn names_are_case_folded() {
+        let q = encode_query(1, "KB7UV.Ampr.Org");
+        let (_, name) = decode_query(&q).unwrap();
+        assert_eq!(name, "kb7uv.ampr.org");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(decode_query(&[]).is_none());
+        assert!(decode_query(&[0xFF; 7]).is_none());
+        assert!(decode_response(&[0x00; 12]).is_none());
+        // A response is not a query and vice versa.
+        let q = encode_query(3, "a.b");
+        assert!(decode_response(&q).is_none());
+        let r = encode_response(3, "a.b", None);
+        assert!(decode_query(&r).is_none());
+    }
+
+    #[test]
+    fn truncated_messages_are_rejected() {
+        let r = encode_response(5, "host.ampr.org", Some((Ipv4Addr::new(44, 1, 2, 3), 60)));
+        for cut in 1..r.len() {
+            // Must never panic; short answers may decode as no-answer.
+            let _ = decode_response(&r[..r.len() - cut]);
+        }
+    }
+
+    #[test]
+    fn resolver_core_caches_and_expires() {
+        let core = ResolverCore::new(Ipv4Addr::new(44, 0, 0, 1));
+        let mut c = core.borrow_mut();
+        let t0 = SimTime::ZERO;
+        assert_eq!(c.resolve("host.ampr.org", t0), None);
+        assert_eq!(c.pending, vec!["host.ampr.org".to_string()]);
+        let addr = Ipv4Addr::new(44, 56, 0, 5);
+        c.cache.insert(
+            "host.ampr.org".into(),
+            (addr, t0 + SimDuration::from_secs(300)),
+        );
+        assert_eq!(c.resolve("HOST.ampr.org", t0), Some(addr));
+        // Past the TTL the entry is dropped and the name re-queued.
+        c.pending.clear();
+        let late = t0 + SimDuration::from_secs(301);
+        assert_eq!(c.resolve("host.ampr.org", late), None);
+        assert!(c.cache.is_empty());
+        assert_eq!(c.pending.len(), 1);
+    }
+}

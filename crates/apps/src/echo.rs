@@ -1,4 +1,11 @@
 //! A TCP echo server: everything received goes straight back.
+//!
+//! Two implementations live here on purpose. [`EchoServer`] is the
+//! production app, a [`SocketProgram`] on the BSD-style socket layer (DESIGN.md §10).
+//! [`RawEchoServer`] is the pre-socket original driving
+//! `NetStack::tcp_*` directly — kept as the executable reference for the
+//! differential test (`tests/socket_differential.rs`) that proves the
+//! ported server produces byte-identical wire traffic.
 
 use std::collections::HashSet;
 
@@ -6,6 +13,9 @@ use gateway::world::App;
 use gateway::Host;
 use netstack::stack::{SockId, StackAction};
 use sim::SimTime;
+use socket::{Readiness, SocketHandle};
+
+use crate::sockapp::{SockApp, SockCtx, SocketProgram};
 
 /// Echo server counters.
 #[derive(Debug, Default)]
@@ -16,17 +26,98 @@ pub struct EchoReport {
     pub bytes_echoed: u64,
 }
 
-/// A TCP echo server on one port.
-pub struct EchoServer {
+/// The socket-program behind [`EchoServer`].
+struct EchoProgram {
     port: u16,
-    socks: HashSet<SockId>,
+    listener: Option<SocketHandle>,
+    report: crate::Shared<EchoReport>,
+}
+
+impl SocketProgram for EchoProgram {
+    fn on_start(&mut self, now: SimTime, cx: &mut SockCtx<'_>) {
+        self.listener = Some(
+            cx.listen(now, self.port, None)
+                .expect("echo port available"),
+        );
+    }
+
+    fn on_ready(&mut self, now: SimTime, h: SocketHandle, ready: Readiness, cx: &mut SockCtx<'_>) {
+        if Some(h) == self.listener {
+            while let Ok(_sess) = cx.accept(now, h) {
+                self.report.borrow_mut().accepted += 1;
+            }
+            return;
+        }
+        if ready.readable() {
+            match cx.host.sock_recv(now, h) {
+                Ok(data) if !data.is_empty() => {
+                    self.report.borrow_mut().bytes_echoed += data.len() as u64;
+                    let _ = cx.host.sock_send(now, h, &data);
+                }
+                _ => {}
+            }
+        }
+        if ready.eof() || ready.error() {
+            cx.close(now, h);
+        }
+    }
+}
+
+/// A TCP echo server on one port (socket-layer implementation).
+pub struct EchoServer {
+    inner: SockApp<EchoProgram>,
     report: crate::Shared<EchoReport>,
 }
 
 impl EchoServer {
     /// Creates a server for `port`.
     pub fn new(port: u16) -> EchoServer {
+        let report = crate::shared(EchoReport::default());
         EchoServer {
+            inner: SockApp::new(EchoProgram {
+                port,
+                listener: None,
+                report: report.clone(),
+            }),
+            report,
+        }
+    }
+
+    /// The shared report handle.
+    pub fn report(&self) -> crate::Shared<EchoReport> {
+        self.report.clone()
+    }
+}
+
+impl App for EchoServer {
+    fn on_start(&mut self, now: SimTime, host: &mut Host) {
+        self.inner.on_start(now, host);
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        self.inner.on_event(now, event, host);
+    }
+
+    fn poll(&mut self, now: SimTime, host: &mut Host) {
+        self.inner.poll(now, host);
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.inner.next_deadline()
+    }
+}
+
+/// The pre-socket echo server, kept verbatim as the raw-API reference.
+pub struct RawEchoServer {
+    port: u16,
+    socks: HashSet<SockId>,
+    report: crate::Shared<EchoReport>,
+}
+
+impl RawEchoServer {
+    /// Creates a server for `port`.
+    pub fn new(port: u16) -> RawEchoServer {
+        RawEchoServer {
             port,
             socks: HashSet::new(),
             report: crate::shared(EchoReport::default()),
@@ -39,7 +130,7 @@ impl EchoServer {
     }
 }
 
-impl App for EchoServer {
+impl App for RawEchoServer {
     fn on_start(&mut self, _now: SimTime, host: &mut Host) {
         host.stack
             .tcp_listen(self.port)

@@ -5,17 +5,25 @@
 //! `GET <name>\n`, the server answers `OK <len>\n` followed by the file
 //! bytes and closes. File contents are a deterministic pattern seeded by
 //! the name, so the client can verify every byte.
+//!
+//! Both ends are [`SocketProgram`]s (DESIGN.md §10): the server accepts on
+//! ACCEPTABLE edges and pumps its send queue from `on_tick` (exactly the
+//! cadence the raw version pumped from `App::poll`); the client sends its
+//! GET on the first WRITABLE edge and finishes on EOF.
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use gateway::world::App;
 use gateway::Host;
-use netstack::stack::{SockId, StackAction};
+use netstack::stack::StackAction;
 use sim::{SimDuration, SimTime};
+use socket::{Readiness, SocketHandle};
+
+use crate::sockapp::{SockApp, SockCtx, SocketProgram};
 
 /// Deterministic file contents: byte `i` of file `name`.
-fn file_byte(name: &str, i: usize) -> u8 {
+pub(crate) fn file_byte(name: &str, i: usize) -> u8 {
     let seed: u32 = name.bytes().fold(0x811C9DC5u32, |h, b| {
         (h ^ u32::from(b)).wrapping_mul(16777619)
     });
@@ -33,71 +41,63 @@ pub struct FileServerReport {
     pub not_found: u64,
 }
 
-/// The file server: name → size catalogue.
-pub struct FileServer {
+/// The socket program behind [`FileServer`].
+struct FileServerProgram {
     port: u16,
+    listener: Option<SocketHandle>,
     catalogue: HashMap<String, usize>,
-    sessions: HashMap<SockId, Vec<u8>>,
-    /// Sends in progress: socket → (name, next offset, size).
-    sending: HashMap<SockId, (String, usize, usize)>,
+    sessions: HashMap<SocketHandle, Vec<u8>>,
+    /// Sends in progress: handle → (name, next offset, size).
+    sending: HashMap<SocketHandle, (String, usize, usize)>,
     report: crate::Shared<FileServerReport>,
 }
 
-impl FileServer {
-    /// Creates a server for `port` with the given catalogue.
-    pub fn new(port: u16, files: &[(&str, usize)]) -> FileServer {
-        FileServer {
-            port,
-            catalogue: files.iter().map(|(n, s)| (n.to_string(), *s)).collect(),
-            sessions: HashMap::new(),
-            sending: HashMap::new(),
-            report: crate::shared(FileServerReport::default()),
-        }
-    }
-
-    /// The shared report handle.
-    pub fn report(&self) -> crate::Shared<FileServerReport> {
-        self.report.clone()
-    }
-
-    fn pump_send(&mut self, now: SimTime, sock: SockId, host: &mut Host) {
-        let Some((name, offset, size)) = self.sending.get_mut(&sock) else {
+impl FileServerProgram {
+    fn pump_send(&mut self, now: SimTime, h: SocketHandle, cx: &mut SockCtx<'_>) {
+        let Some((name, offset, size)) = self.sending.get_mut(&h) else {
             return;
         };
         while *offset < *size {
-            let cap = host.stack.tcp_send_capacity(sock);
+            let cap = cx.host.sock_send_capacity(h);
             if cap == 0 {
                 return;
             }
             let n = cap.min(*size - *offset).min(2048);
             let chunk: Vec<u8> = (*offset..*offset + n).map(|i| file_byte(name, i)).collect();
-            let accepted = host.tcp_send(now, sock, &chunk);
+            let accepted = cx.host.sock_send(now, h, &chunk).unwrap_or(0);
             *offset += accepted;
             self.report.borrow_mut().bytes_sent += accepted as u64;
             if accepted == 0 {
                 return;
             }
         }
-        self.sending.remove(&sock);
-        host.tcp_close(now, sock);
+        self.sending.remove(&h);
+        self.sessions.remove(&h);
+        cx.close(now, h);
     }
 }
 
-impl App for FileServer {
-    fn on_start(&mut self, _now: SimTime, host: &mut Host) {
-        host.stack.tcp_listen(self.port).expect("ftp port");
+impl SocketProgram for FileServerProgram {
+    fn on_start(&mut self, now: SimTime, cx: &mut SockCtx<'_>) {
+        self.listener = Some(cx.listen(now, self.port, None).expect("ftp port"));
     }
 
-    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
-        match event {
-            StackAction::TcpAccepted { sock, .. } => {
-                self.sessions.insert(*sock, Vec::new());
+    fn on_ready(&mut self, now: SimTime, h: SocketHandle, ready: Readiness, cx: &mut SockCtx<'_>) {
+        if Some(h) == self.listener {
+            while let Ok(sess) = cx.accept(now, h) {
+                self.sessions.insert(sess, Vec::new());
             }
-            StackAction::TcpReadable(sock) => {
-                let data = host.tcp_recv(now, *sock);
-                let Some(buf) = self.sessions.get_mut(sock) else {
-                    return;
-                };
+            return;
+        }
+        if ready.error() {
+            self.sessions.remove(&h);
+            self.sending.remove(&h);
+            cx.close(now, h);
+            return;
+        }
+        if ready.readable() {
+            let data = cx.host.sock_recv(now, h).unwrap_or_default();
+            if let Some(buf) = self.sessions.get_mut(&h) {
                 buf.extend_from_slice(&data);
                 if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
                     let line: Vec<u8> = buf.drain(..=pos).collect();
@@ -107,37 +107,79 @@ impl App for FileServer {
                             Some(&size) => {
                                 self.report.borrow_mut().serves += 1;
                                 let header = format!("OK {size}\n");
-                                host.tcp_send(now, *sock, header.as_bytes());
-                                self.sending.insert(*sock, (name.to_string(), 0, size));
-                                self.pump_send(now, *sock, host);
+                                let _ = cx.host.sock_send(now, h, header.as_bytes());
+                                self.sending.insert(h, (name.to_string(), 0, size));
+                                self.pump_send(now, h, cx);
                             }
                             None => {
                                 self.report.borrow_mut().not_found += 1;
-                                host.tcp_send(now, *sock, b"ERR no such file\n");
-                                host.tcp_close(now, *sock);
+                                let _ = cx.host.sock_send(now, h, b"ERR no such file\n");
+                                self.sessions.remove(&h);
+                                cx.close(now, h);
                             }
                         }
                     }
                 }
             }
-            StackAction::TcpPeerClosed(sock)
-                if self.sessions.remove(sock).is_some() && !self.sending.contains_key(sock) =>
-            {
-                host.tcp_close(now, *sock);
-            }
-            StackAction::TcpClosed { sock, .. } => {
-                self.sessions.remove(sock);
-                self.sending.remove(sock);
-            }
-            _ => {}
+            return;
+        }
+        if ready.eof() && self.sessions.remove(&h).is_some() && !self.sending.contains_key(&h) {
+            cx.close(now, h);
         }
     }
 
-    fn poll(&mut self, now: SimTime, host: &mut Host) {
-        let socks: Vec<SockId> = self.sending.keys().copied().collect();
-        for sock in socks {
-            self.pump_send(now, sock, host);
+    fn on_tick(&mut self, now: SimTime, cx: &mut SockCtx<'_>) {
+        let handles: Vec<SocketHandle> = self.sending.keys().copied().collect();
+        for h in handles {
+            self.pump_send(now, h, cx);
         }
+    }
+}
+
+/// The file server: name → size catalogue (socket-layer implementation).
+pub struct FileServer {
+    inner: SockApp<FileServerProgram>,
+    report: crate::Shared<FileServerReport>,
+}
+
+impl FileServer {
+    /// Creates a server for `port` with the given catalogue.
+    pub fn new(port: u16, files: &[(&str, usize)]) -> FileServer {
+        let report = crate::shared(FileServerReport::default());
+        FileServer {
+            inner: SockApp::new(FileServerProgram {
+                port,
+                listener: None,
+                catalogue: files.iter().map(|(n, s)| (n.to_string(), *s)).collect(),
+                sessions: HashMap::new(),
+                sending: HashMap::new(),
+                report: report.clone(),
+            }),
+            report,
+        }
+    }
+
+    /// The shared report handle.
+    pub fn report(&self) -> crate::Shared<FileServerReport> {
+        self.report.clone()
+    }
+}
+
+impl App for FileServer {
+    fn on_start(&mut self, now: SimTime, host: &mut Host) {
+        self.inner.on_start(now, host);
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        self.inner.on_event(now, event, host);
+    }
+
+    fn poll(&mut self, now: SimTime, host: &mut Host) {
+        self.inner.poll(now, host);
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.inner.next_deadline()
     }
 }
 
@@ -167,30 +209,100 @@ impl FileClientReport {
     }
 }
 
-/// A one-file GET client.
-pub struct FileClient {
+/// The socket program behind [`FileClient`].
+struct FileClientProgram {
     dst: Ipv4Addr,
     port: u16,
     name: String,
-    sock: Option<SockId>,
+    sock: Option<SocketHandle>,
+    sent_req: bool,
     buf: Vec<u8>,
     header_done: bool,
     mismatch: bool,
     report: crate::Shared<FileClientReport>,
 }
 
+impl SocketProgram for FileClientProgram {
+    fn on_start(&mut self, now: SimTime, cx: &mut SockCtx<'_>) {
+        self.report.borrow_mut().started_at = Some(now);
+        self.sock = cx.connect(now, self.dst, self.port).ok();
+    }
+
+    fn on_ready(&mut self, now: SimTime, h: SocketHandle, ready: Readiness, cx: &mut SockCtx<'_>) {
+        if Some(h) != self.sock {
+            return;
+        }
+        if ready.error() {
+            cx.close(now, h);
+            self.sock = None;
+            return;
+        }
+        if !self.sent_req && ready.writable() {
+            self.sent_req = true;
+            let req = format!("GET {}\n", self.name);
+            let _ = cx.host.sock_send(now, h, req.as_bytes());
+            return;
+        }
+        if ready.readable() {
+            let data = cx.host.sock_recv(now, h).unwrap_or_default();
+            self.buf.extend_from_slice(&data);
+            if !self.header_done {
+                if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line).trim().to_string();
+                    self.header_done = true;
+                    if let Some(size) = line.strip_prefix("OK ") {
+                        self.report.borrow_mut().announced = size.parse().unwrap_or(0);
+                    } else {
+                        self.report.borrow_mut().not_found = true;
+                    }
+                }
+            }
+            if self.header_done {
+                let mut r = self.report.borrow_mut();
+                for b in self.buf.drain(..) {
+                    if b != file_byte(&self.name, r.received) {
+                        self.mismatch = true;
+                    }
+                    r.received += 1;
+                }
+            }
+            return;
+        }
+        if ready.eof() {
+            cx.close(now, h);
+            self.sock = None;
+            let mut r = self.report.borrow_mut();
+            r.finished_at = Some(now);
+            r.intact = !self.mismatch && r.received == r.announced;
+            r.done = r.intact && r.announced > 0;
+        }
+    }
+}
+
+/// A one-file GET client (socket-layer implementation).
+pub struct FileClient {
+    inner: SockApp<FileClientProgram>,
+    report: crate::Shared<FileClientReport>,
+}
+
 impl FileClient {
     /// Fetches `name` from `dst:port`.
     pub fn new(dst: Ipv4Addr, port: u16, name: &str) -> FileClient {
+        let report = crate::shared(FileClientReport::default());
         FileClient {
-            dst,
-            port,
-            name: name.to_string(),
-            sock: None,
-            buf: Vec::new(),
-            header_done: false,
-            mismatch: false,
-            report: crate::shared(FileClientReport::default()),
+            inner: SockApp::new(FileClientProgram {
+                dst,
+                port,
+                name: name.to_string(),
+                sock: None,
+                sent_req: false,
+                buf: Vec::new(),
+                header_done: false,
+                mismatch: false,
+                report: report.clone(),
+            }),
+            report,
         }
     }
 
@@ -202,50 +314,19 @@ impl FileClient {
 
 impl App for FileClient {
     fn on_start(&mut self, now: SimTime, host: &mut Host) {
-        self.report.borrow_mut().started_at = Some(now);
-        self.sock = host.tcp_connect(now, self.dst, self.port).ok();
+        self.inner.on_start(now, host);
     }
 
     fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
-        match event {
-            StackAction::TcpConnected(sock) if Some(*sock) == self.sock => {
-                let req = format!("GET {}\n", self.name);
-                host.tcp_send(now, *sock, req.as_bytes());
-            }
-            StackAction::TcpReadable(sock) if Some(*sock) == self.sock => {
-                let data = host.tcp_recv(now, *sock);
-                self.buf.extend_from_slice(&data);
-                if !self.header_done {
-                    if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
-                        let line: Vec<u8> = self.buf.drain(..=pos).collect();
-                        let line = String::from_utf8_lossy(&line).trim().to_string();
-                        self.header_done = true;
-                        if let Some(size) = line.strip_prefix("OK ") {
-                            self.report.borrow_mut().announced = size.parse().unwrap_or(0);
-                        } else {
-                            self.report.borrow_mut().not_found = true;
-                        }
-                    }
-                }
-                if self.header_done {
-                    let mut r = self.report.borrow_mut();
-                    for b in self.buf.drain(..) {
-                        if b != file_byte(&self.name, r.received) {
-                            self.mismatch = true;
-                        }
-                        r.received += 1;
-                    }
-                }
-            }
-            StackAction::TcpPeerClosed(sock) if Some(*sock) == self.sock => {
-                host.tcp_close(now, *sock);
-                let mut r = self.report.borrow_mut();
-                r.finished_at = Some(now);
-                r.intact = !self.mismatch && r.received == r.announced;
-                r.done = r.intact && r.announced > 0;
-            }
-            _ => {}
-        }
+        self.inner.on_event(now, event, host);
+    }
+
+    fn poll(&mut self, now: SimTime, host: &mut Host) {
+        self.inner.poll(now, host);
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.inner.next_deadline()
     }
 }
 

@@ -18,7 +18,11 @@
 //! * [`smtp`] — electronic mail exchange;
 //! * [`callbook`] — §5's proposed distributed callbook over UDP;
 //! * [`ax25chat`] — connected-mode AX.25 endpoints: the BBS and terminal
-//!   users that the §2.4 application gateway serves.
+//!   users that the §2.4 application gateway serves;
+//! * [`sockapp`] — the socket-program runtime ([`sockapp::SockApp`]
+//!   schedules a [`sockapp::SocketProgram`] over poll/select readiness);
+//! * [`dns`] — a stub resolver and an authoritative A-record server for
+//!   the AMPRnet callsign zone, both socket programs (E14).
 //!
 //! Each app publishes its results through a [`Shared`] report handle that
 //! survives the app being boxed into the world.
@@ -32,10 +36,12 @@ use std::rc::Rc;
 pub mod ax25chat;
 pub mod bulk;
 pub mod callbook;
+pub mod dns;
 pub mod echo;
 pub mod ftp;
 pub mod ping;
 pub mod smtp;
+pub mod sockapp;
 pub mod telnet;
 pub mod typist;
 

@@ -4,6 +4,12 @@
 //! from an isolated IBM PC to a system that was on our Ethernet by way of
 //! the new gateway"* (§2.3). The server mimics a 4.3BSD login dialogue;
 //! the client walks an expect/send script and keeps a transcript.
+//!
+//! Unlike [`crate::echo`], [`crate::typist`], and [`crate::ftp`], this
+//! module deliberately stays on the raw `NetStack::tcp_*` API: it is the
+//! in-tree executable reference for event-driven stack programming
+//! without the socket layer, so the two styles can be compared
+//! side by side (and the raw API keeps a nontrivial exerciser).
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;

@@ -7,13 +7,23 @@
 //! each keystroke costs two TCP data segments plus an ack on the radio
 //! link, so header bytes dominate the airtime — exactly the regime where
 //! VJ compression pays.
+//!
+//! Ported to the socket layer (DESIGN.md §10): the typist is a
+//! [`SocketProgram`] — connect, strike on the first WRITABLE edge, strike
+//! again on each READABLE echo, shutdown after the last echo, finish on
+//! the HANGUP edge when the connection is fully torn down (the same
+//! instant the raw API reported `TcpClosed`, so session timings match
+//! the pre-socket reports exactly).
 
 use std::net::Ipv4Addr;
 
 use gateway::world::App;
 use gateway::Host;
-use netstack::stack::{SockId, StackAction};
+use netstack::stack::StackAction;
 use sim::{SimDuration, SimTime};
+use socket::{Readiness, SocketHandle};
+
+use crate::sockapp::{SockApp, SockCtx, SocketProgram};
 
 /// Results of a typing session.
 #[derive(Debug, Default)]
@@ -55,66 +65,65 @@ impl TypistReport {
     }
 }
 
-/// A stop-and-wait keystroke client.
-pub struct Typist {
+/// The socket program behind [`Typist`].
+struct TypistProgram {
     dst: Ipv4Addr,
     port: u16,
     count: usize,
-    sock: Option<SockId>,
+    sock: Option<SocketHandle>,
+    started: bool,
     sent_at: Option<SimTime>,
     awaiting: usize,
     report: crate::Shared<TypistReport>,
 }
 
-impl Typist {
-    /// A typist who will strike `count` keys against `dst:port`.
-    pub fn new(dst: Ipv4Addr, port: u16, count: usize) -> Typist {
-        Typist {
-            dst,
-            port,
-            count,
-            sock: None,
-            sent_at: None,
-            awaiting: 0,
-            report: crate::shared(TypistReport::default()),
-        }
-    }
-
-    /// The shared report handle.
-    pub fn report(&self) -> crate::Shared<TypistReport> {
-        self.report.clone()
-    }
-
-    fn strike(&mut self, now: SimTime, host: &mut Host) {
+impl TypistProgram {
+    fn strike(&mut self, now: SimTime, cx: &mut SockCtx<'_>) {
         let Some(sock) = self.sock else { return };
         let r = self.report.borrow().sent;
         if r >= self.count {
             return;
         }
         let key = [b'a' + (r % 26) as u8];
-        host.tcp_send(now, sock, &key);
+        let _ = cx.host.sock_send(now, sock, &key);
         self.report.borrow_mut().sent += 1;
         self.sent_at = Some(now);
         self.awaiting = 1;
     }
+
+    fn finish(&mut self, now: SimTime, h: SocketHandle, cx: &mut SockCtx<'_>) {
+        {
+            let mut r = self.report.borrow_mut();
+            r.finished_at = Some(now);
+            r.done = r.echoed == self.count;
+        }
+        cx.close(now, h);
+        self.sock = None;
+    }
 }
 
-impl App for Typist {
-    fn on_start(&mut self, now: SimTime, host: &mut Host) {
-        self.sock = host.tcp_connect(now, self.dst, self.port).ok();
+impl SocketProgram for TypistProgram {
+    fn on_start(&mut self, now: SimTime, cx: &mut SockCtx<'_>) {
+        self.sock = cx.connect(now, self.dst, self.port).ok();
     }
 
-    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
-        match event {
-            StackAction::TcpConnected(sock) if Some(*sock) == self.sock => {
-                self.report.borrow_mut().started_at = Some(now);
-                self.strike(now, host);
-            }
-            StackAction::TcpReadable(sock) if Some(*sock) == self.sock => {
-                let data = host.tcp_recv(now, *sock);
-                if data.is_empty() || self.awaiting == 0 {
-                    return;
-                }
+    fn on_ready(&mut self, now: SimTime, h: SocketHandle, ready: Readiness, cx: &mut SockCtx<'_>) {
+        if Some(h) != self.sock {
+            return;
+        }
+        if ready.error() {
+            self.finish(now, h, cx);
+            return;
+        }
+        if !self.started && ready.writable() {
+            self.started = true;
+            self.report.borrow_mut().started_at = Some(now);
+            self.strike(now, cx);
+            return;
+        }
+        if ready.readable() {
+            let data = cx.host.sock_recv(now, h).unwrap_or_default();
+            if !data.is_empty() && self.awaiting > 0 {
                 // Stop-and-wait: one outstanding key, so any readable
                 // data completes it.
                 self.awaiting = 0;
@@ -130,20 +139,67 @@ impl App for Typist {
                     }
                 }
                 if self.report.borrow().sent >= self.count {
-                    host.tcp_close(now, *sock);
+                    // Last echo in hand: half-close, let the server's FIN
+                    // and TIME_WAIT run out, and finish on the HANGUP
+                    // edge below.
+                    let _ = cx.host.sock_shutdown(now, h);
                 } else {
-                    self.strike(now, host);
+                    self.strike(now, cx);
                 }
             }
-            StackAction::TcpClosed { sock, .. } if Some(*sock) == self.sock => {
-                let mut r = self.report.borrow_mut();
-                r.finished_at = Some(now);
-                r.done = r.echoed == self.count;
-            }
-            StackAction::TcpPeerClosed(sock) if Some(*sock) == self.sock => {
-                host.tcp_close(now, *sock);
-            }
-            _ => {}
+            return;
         }
+        if ready.hangup() {
+            self.finish(now, h, cx);
+        }
+    }
+}
+
+/// A stop-and-wait keystroke client (socket-layer implementation).
+pub struct Typist {
+    inner: SockApp<TypistProgram>,
+    report: crate::Shared<TypistReport>,
+}
+
+impl Typist {
+    /// A typist who will strike `count` keys against `dst:port`.
+    pub fn new(dst: Ipv4Addr, port: u16, count: usize) -> Typist {
+        let report = crate::shared(TypistReport::default());
+        Typist {
+            inner: SockApp::new(TypistProgram {
+                dst,
+                port,
+                count,
+                sock: None,
+                started: false,
+                sent_at: None,
+                awaiting: 0,
+                report: report.clone(),
+            }),
+            report,
+        }
+    }
+
+    /// The shared report handle.
+    pub fn report(&self) -> crate::Shared<TypistReport> {
+        self.report.clone()
+    }
+}
+
+impl App for Typist {
+    fn on_start(&mut self, now: SimTime, host: &mut Host) {
+        self.inner.on_start(now, host);
+    }
+
+    fn on_event(&mut self, now: SimTime, event: &StackAction, host: &mut Host) {
+        self.inner.on_event(now, event, host);
+    }
+
+    fn poll(&mut self, now: SimTime, host: &mut Host) {
+        self.inner.poll(now, host);
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.inner.next_deadline()
     }
 }

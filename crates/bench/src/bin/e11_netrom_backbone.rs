@@ -125,7 +125,7 @@ fn run(nodes: usize, seed: u64) -> Outcome {
     let mut delivered_at = None;
     for _ in 0..120 {
         world.run_for(SimDuration::from_secs(5));
-        if !world.host_mut(east).stack.udp_recv(udp).is_empty() {
+        if world.host_mut(east).stack.udp_recv(udp).is_some() {
             delivered_at = Some(world.now);
             break;
         }

@@ -1,0 +1,189 @@
+//! E14 — socket-layer capstone: name resolution and socket applications
+//! across the two-coast gateway mesh.
+//!
+//! Everything in this run is a program on the BSD-style socket layer:
+//! the west gateway publishes the AMPRnet callsign zone from a DNS
+//! server (UDP port 53), the Internet host runs a stub resolver plus a
+//! typist and an FTP client, and the radio hosts run the echo and file
+//! servers — all `SocketProgram`s scheduled through poll/select
+//! readiness, none touching `NetStack::tcp_*`/`udp_*` directly.
+//!
+//! The sequence a 4.3BSD user would take for granted: resolve a
+//! callsign-host name, connect to the returned 44.x address, transfer —
+//! with the packets crossing the Ethernet in IPIP tunnels and the last
+//! hop at 1200 b/s over radio.
+
+use std::collections::BTreeMap;
+
+use apps::dns::{DnsServer, Resolver};
+use apps::echo::EchoServer;
+use apps::ftp::{FileClient, FileServer};
+use apps::typist::Typist;
+use bench::banner;
+use gateway::ripd::RipConfig;
+use gateway::scenario::{mesh_addrs, three_gateway, PaperConfig};
+use sim::stats::render_table;
+use sim::SimDuration;
+
+fn main() {
+    banner(
+        "E14",
+        "DNS + socket apps end to end across the gateway mesh",
+        "the BSD socket layer carries real applications: resolve a \
+         callsign host, connect, transfer — no app touches the raw stack API",
+    );
+    println!("(names served by west-gw from the AMPRnet callsign zone, TTL 300 s;");
+    println!(" echo on east-host, FTP on gulf-host, clients on the Internet host)\n");
+
+    let rip = RipConfig {
+        announce_interval: SimDuration::from_secs(10),
+        route_ttl: SimDuration::from_secs(60),
+        holddown: SimDuration::from_secs(20),
+        ..RipConfig::default()
+    };
+    let cfg = PaperConfig {
+        acl: false,
+        ..PaperConfig::default()
+    };
+    let mut s = three_gateway(&cfg, rip, 1400);
+
+    // Servers first, so every listener is up before any client asks.
+    let dns = DnsServer::new(
+        &[
+            ("ka2eh.ampr.org", mesh_addrs::EAST_HOST),
+            ("kd5gh.ampr.org", mesh_addrs::GULF_HOST),
+            ("n7akr-1.ampr.org", mesh_addrs::WEST_GW_RADIO),
+        ],
+        SimDuration::from_secs(300),
+    );
+    let dns_report = dns.report();
+    s.world.add_app(s.west_gw, Box::new(dns));
+
+    let echo = EchoServer::new(7);
+    let echo_report = echo.report();
+    s.world.add_app(s.east_host, Box::new(echo));
+
+    let files = FileServer::new(21, &[("map.txt", 1500)]);
+    let files_report = files.report();
+    s.world.add_app(s.gulf_host, Box::new(files));
+
+    let resolver = Resolver::new(mesh_addrs::WEST_GW_ETHER, 1053);
+    let core = resolver.core();
+    s.world.add_app(s.internet_host, Box::new(resolver));
+
+    // Let RIP44 converge so the 44.56/16 and 44.88/16 tunnels exist.
+    s.world.run_for(SimDuration::from_secs(30));
+
+    // --- Phase 1: resolve three names (one of them bogus). --------------
+    let names = ["ka2eh.ampr.org", "kd5gh.ampr.org", "nocall.ampr.org"];
+    let t_ask = s.world.now;
+    for n in names {
+        core.borrow_mut().resolve(n, s.world.now);
+    }
+    let mut answered_at: BTreeMap<&str, (Option<std::net::Ipv4Addr>, f64)> = BTreeMap::new();
+    for _ in 0..600 {
+        s.world.run_for(SimDuration::from_millis(100));
+        for n in names {
+            if !answered_at.contains_key(n) {
+                if let Some(outcome) = core.borrow().result(n) {
+                    answered_at.insert(
+                        n,
+                        (outcome, s.world.now.saturating_since(t_ask).as_secs_f64()),
+                    );
+                }
+            }
+        }
+        if answered_at.len() == names.len() {
+            break;
+        }
+    }
+
+    let mut rows = vec![vec![
+        "name".to_string(),
+        "answer".to_string(),
+        "latency".to_string(),
+    ]];
+    for n in names {
+        let (outcome, dt) = answered_at.get(n).copied().unwrap_or((None, f64::NAN));
+        rows.push(vec![
+            n.to_string(),
+            outcome.map_or("NXDOMAIN".to_string(), |a| a.to_string()),
+            format!("{dt:.3} s"),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+
+    // A repeat lookup is answered from the cache, no datagram sent.
+    let east = core
+        .borrow_mut()
+        .resolve("ka2eh.ampr.org", s.world.now)
+        .expect("cached answer");
+    let gulf = core
+        .borrow_mut()
+        .resolve("kd5gh.ampr.org", s.world.now)
+        .expect("cached answer");
+    {
+        let st = &core.borrow().stats;
+        println!(
+            "\nresolver: {} queries sent ({} retries), {} answers, {} from cache, {} failures",
+            st.queries_sent, st.retries, st.answers, st.from_cache, st.failures
+        );
+        let d = dns_report.borrow();
+        println!(
+            "server:   {} queries, {} answered, {} nxdomain\n",
+            d.queries, d.answered, d.nxdomain
+        );
+    }
+
+    // --- Phase 2: connect to the resolved addresses and transfer. -------
+    let typist = Typist::new(east, 7, 10);
+    let typist_report = typist.report();
+    s.world.add_app(s.internet_host, Box::new(typist));
+
+    let get = FileClient::new(gulf, 21, "map.txt");
+    let get_report = get.report();
+    s.world.add_app(s.internet_host, Box::new(get));
+
+    s.world.run_for(SimDuration::from_secs(900));
+
+    let mut rows = vec![vec![
+        "app".to_string(),
+        "target".to_string(),
+        "outcome".to_string(),
+        "detail".to_string(),
+    ]];
+    {
+        let t = typist_report.borrow();
+        rows.push(vec![
+            "typist (echo)".into(),
+            format!("{east}:7"),
+            if t.done { "ok".into() } else { "FAILED".into() },
+            format!(
+                "{}/{} echoed, mean rtt {:.2} s",
+                t.echoed,
+                t.sent,
+                t.mean_rtt().map_or(f64::NAN, |d| d.as_secs_f64())
+            ),
+        ]);
+        let f = get_report.borrow();
+        rows.push(vec![
+            "ftp GET map.txt".into(),
+            format!("{gulf}:21"),
+            if f.done { "ok".into() } else { "FAILED".into() },
+            format!(
+                "{}/{} bytes intact in {:.1} s",
+                f.received,
+                f.announced,
+                f.duration().map_or(f64::NAN, |d| d.as_secs_f64())
+            ),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+    println!(
+        "\nservers: echo accepted {} conn / {} B echoed; ftp served {} GET / {} B sent",
+        echo_report.borrow().accepted,
+        echo_report.borrow().bytes_echoed,
+        files_report.borrow().serves,
+        files_report.borrow().bytes_sent,
+    );
+}

@@ -22,7 +22,8 @@ use ether::{EtherFrame, MacAddr};
 use netstack::icmp::IcmpMessage;
 use netstack::stack::{IfaceConfig, IfaceId, NetStack, SockId, StackAction, StackConfig};
 use netstack::NetError;
-use sim::{SimTime, SinkFn};
+use sim::{PacketBuf, SimTime, SinkFn};
+use socket::{Readiness, SockError, SocketHandle, SocketTable};
 
 use crate::acl::{AclConfig, AclVerdict, GatewayAcl};
 use crate::arp_engine::ArpConfig;
@@ -100,6 +101,9 @@ pub struct Host {
     pub name: String,
     /// The TCP/IP stack.
     pub stack: NetStack,
+    /// The BSD-flavored descriptor layer over `stack` (DESIGN.md §10): apps
+    /// that speak sockets go through the `sock_*` wrappers below.
+    pub sockets: SocketTable,
     /// The CPU cost model.
     pub cpu: Cpu,
     pr: Option<(IfaceId, PacketRadioDriver)>,
@@ -153,6 +157,7 @@ impl Host {
         Host {
             name: cfg.name,
             stack,
+            sockets: SocketTable::new(),
             cpu: Cpu::new(cfg.cpu),
             pr,
             eth,
@@ -378,6 +383,7 @@ impl Host {
             };
         };
         fold(self.stack.next_deadline());
+        fold(self.sockets.next_deadline());
         fold(self.input_queue.next_ready());
         let arp_pending = self
             .pr
@@ -402,6 +408,11 @@ impl Host {
         }
         let actions = self.stack.poll(now);
         self.handle_actions(now, actions);
+        if self.sockets.next_deadline().is_some_and(|t| t <= now) {
+            self.sockets.on_deadline(&mut self.stack, now);
+            let out = self.stack.drain_actions();
+            self.handle_actions(now, out);
+        }
         if now.saturating_since(self.last_arp_age) >= sim::SimDuration::from_secs(1) {
             self.last_arp_age = now;
             let outbox = &mut self.outbox;
@@ -452,6 +463,9 @@ impl Host {
     pub fn handle_actions(&mut self, now: SimTime, actions: Vec<StackAction>) {
         let mut work: VecDeque<StackAction> = actions.into();
         while let Some(act) = work.pop_front() {
+            // The socket table observes every action (accept queues,
+            // connect completion, latched errors) before it is consumed.
+            self.sockets.on_action(&self.stack, &act);
             match act {
                 StackAction::Egress {
                     iface,
@@ -466,9 +480,8 @@ impl Host {
                         None => AclVerdict::Allow,
                     };
                     if verdict == AclVerdict::Allow {
-                        let mut more = Vec::new();
-                        self.stack.forward(packet, &mut more);
-                        work.extend(more);
+                        self.stack.forward(packet);
+                        work.extend(self.stack.drain_actions());
                     }
                     let _ = ingress;
                 }
@@ -524,11 +537,19 @@ impl Host {
         }
     }
 
+    /// Runs one stack operation and routes whatever actions it produced.
+    /// Every user-level wrapper below funnels through this: op, drain,
+    /// handle.
+    fn run_stack_op<R>(&mut self, now: SimTime, op: impl FnOnce(&mut NetStack) -> R) -> R {
+        let r = op(&mut self.stack);
+        let out = self.stack.drain_actions();
+        self.handle_actions(now, out);
+        r
+    }
+
     /// Sends a ping.
     pub fn ping(&mut self, now: SimTime, dst: Ipv4Addr, id: u16, seq: u16, len: usize) {
-        let mut out = Vec::new();
-        self.stack.ping(dst, id, seq, len, &mut out);
-        self.handle_actions(now, out);
+        self.run_stack_op(now, |st| st.ping(dst, id, seq, len));
     }
 
     /// Opens a TCP connection.
@@ -538,10 +559,7 @@ impl Host {
         dst: Ipv4Addr,
         port: u16,
     ) -> Result<SockId, NetError> {
-        let mut out = Vec::new();
-        let r = self.stack.tcp_connect(now, dst, port, &mut out);
-        self.handle_actions(now, out);
-        r
+        self.run_stack_op(now, |st| st.tcp_connect(now, dst, port))
     }
 
     /// Opens a TCP connection with an explicit TCP configuration.
@@ -552,33 +570,22 @@ impl Host {
         port: u16,
         cfg: netstack::tcp::TcpConfig,
     ) -> Result<SockId, NetError> {
-        let mut out = Vec::new();
-        let r = self.stack.tcp_connect_with(now, dst, port, cfg, &mut out);
-        self.handle_actions(now, out);
-        r
+        self.run_stack_op(now, |st| st.tcp_connect_with(now, dst, port, cfg))
     }
 
     /// Sends on a TCP socket; returns octets accepted.
     pub fn tcp_send(&mut self, now: SimTime, sock: SockId, data: &[u8]) -> usize {
-        let mut out = Vec::new();
-        let n = self.stack.tcp_send(now, sock, data, &mut out);
-        self.handle_actions(now, out);
-        n
+        self.run_stack_op(now, |st| st.tcp_send(now, sock, data))
     }
 
     /// Reads from a TCP socket.
     pub fn tcp_recv(&mut self, now: SimTime, sock: SockId) -> Vec<u8> {
-        let mut out = Vec::new();
-        let data = self.stack.tcp_recv(now, sock, &mut out);
-        self.handle_actions(now, out);
-        data
+        self.run_stack_op(now, |st| st.tcp_recv(now, sock))
     }
 
     /// Closes a TCP socket's send side.
     pub fn tcp_close(&mut self, now: SimTime, sock: SockId) {
-        let mut out = Vec::new();
-        self.stack.tcp_close(now, sock, &mut out);
-        self.handle_actions(now, out);
+        self.run_stack_op(now, |st| st.tcp_close(now, sock));
     }
 
     /// Sends a UDP datagram from a bound socket.
@@ -590,9 +597,7 @@ impl Host {
         port: u16,
         payload: Vec<u8>,
     ) {
-        let mut out = Vec::new();
-        self.stack.udp_send(udp, dst, port, payload, &mut out);
-        self.handle_actions(now, out);
+        self.run_stack_op(now, |st| st.udp_send(udp, dst, port, payload));
     }
 
     /// Broadcasts a UDP datagram on one interface (the RIP44 announcement
@@ -606,17 +611,143 @@ impl Host {
         dst_port: u16,
         payload: Vec<u8>,
     ) {
-        let mut out = Vec::new();
-        self.stack
-            .udp_send_broadcast(udp, iface, dst_port, payload, &mut out);
-        self.handle_actions(now, out);
+        self.run_stack_op(now, |st| {
+            st.udp_send_broadcast(udp, iface, dst_port, payload)
+        });
     }
 
     /// Sends a §4.3 gateway-control message toward `dst`.
     pub fn send_gate_message(&mut self, now: SimTime, dst: Ipv4Addr, msg: IcmpMessage) {
-        let mut out = Vec::new();
-        self.stack.send_icmp(dst, msg, &mut out);
+        self.run_stack_op(now, |st| st.send_icmp(dst, msg));
+    }
+
+    // --- Socket layer (DESIGN.md §10) ----------------------------------------
+    //
+    // The BSD-flavored verbs: each runs a `SocketTable` operation against
+    // this host's stack and routes whatever actions it provoked, exactly
+    // like the raw wrappers above.
+
+    /// Runs one socket-table operation and routes the resulting actions.
+    fn run_sock_op<R>(
+        &mut self,
+        now: SimTime,
+        op: impl FnOnce(&mut SocketTable, &mut NetStack) -> R,
+    ) -> R {
+        let r = op(&mut self.sockets, &mut self.stack);
+        let out = self.stack.drain_actions();
         self.handle_actions(now, out);
+        r
+    }
+
+    /// `socket`+`bind`+`listen`: passive TCP socket on `port`, with an
+    /// optional accept-queue bound (overflow SYNs are refused with RST).
+    pub fn sock_listen(
+        &mut self,
+        now: SimTime,
+        port: u16,
+        backlog: Option<usize>,
+    ) -> Result<SocketHandle, SockError> {
+        self.run_sock_op(now, |so, st| so.listen(st, port, backlog))
+    }
+
+    /// Active open; the handle turns WRITABLE on handshake completion or
+    /// ERROR-ready on refusal/unreachable/timeout.
+    pub fn sock_connect(
+        &mut self,
+        now: SimTime,
+        dst: Ipv4Addr,
+        port: u16,
+    ) -> Result<SocketHandle, SockError> {
+        self.run_sock_op(now, |so, st| so.connect(st, now, dst, port))
+    }
+
+    /// Pops one completed connection off a listener.
+    pub fn sock_accept(
+        &mut self,
+        now: SimTime,
+        h: SocketHandle,
+    ) -> Result<SocketHandle, SockError> {
+        self.run_sock_op(now, |so, st| so.accept(st, h))
+    }
+
+    /// Queues bytes on a stream; `Ok(n)` is the count accepted.
+    pub fn sock_send(
+        &mut self,
+        now: SimTime,
+        h: SocketHandle,
+        data: &[u8],
+    ) -> Result<usize, SockError> {
+        self.run_sock_op(now, |so, st| so.send(st, now, h, data))
+    }
+
+    /// Drains readable bytes; `Ok(empty)` is EOF.
+    pub fn sock_recv(&mut self, now: SimTime, h: SocketHandle) -> Result<Vec<u8>, SockError> {
+        self.run_sock_op(now, |so, st| so.recv(st, now, h))
+    }
+
+    /// Half-close: sends FIN, keeps the read side open.
+    pub fn sock_shutdown(&mut self, now: SimTime, h: SocketHandle) -> Result<(), SockError> {
+        self.run_sock_op(now, |so, st| so.shutdown(st, now, h))
+    }
+
+    /// Releases the handle (orderly close for streams still open).
+    pub fn sock_close(&mut self, now: SimTime, h: SocketHandle) {
+        self.run_sock_op(now, |so, st| so.close(st, now, h));
+    }
+
+    /// `socket`+`bind` for datagrams.
+    pub fn sock_bind_udp(&mut self, now: SimTime, port: u16) -> Result<SocketHandle, SockError> {
+        self.run_sock_op(now, |so, st| so.bind_udp(st, port))
+    }
+
+    /// Sends one datagram.
+    pub fn sock_send_to(
+        &mut self,
+        now: SimTime,
+        h: SocketHandle,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: Vec<u8>,
+    ) -> Result<(), SockError> {
+        self.run_sock_op(now, |so, st| so.send_to(st, h, dst, dst_port, payload))
+    }
+
+    /// Pops one received datagram (pooled payload buffer).
+    pub fn sock_recv_from(
+        &mut self,
+        h: SocketHandle,
+    ) -> Result<(Ipv4Addr, u16, PacketBuf), SockError> {
+        self.sockets.recv_from(&mut self.stack, h)
+    }
+
+    /// Readiness mask for one handle (pure, no side effects).
+    pub fn sock_poll(&self, h: SocketHandle) -> Readiness {
+        self.sockets.poll(&self.stack, h)
+    }
+
+    /// `select(2)`: the ready subset of `handles`.
+    pub fn sock_select(&self, handles: &[SocketHandle]) -> Vec<(SocketHandle, Readiness)> {
+        self.sockets.select(&self.stack, handles)
+    }
+
+    /// Room in a stream's send buffer (bulk senders pump on WRITABLE).
+    pub fn sock_send_capacity(&self, h: SocketHandle) -> usize {
+        self.sockets.send_capacity(&self.stack, h)
+    }
+
+    /// Flips a handle between blocking and nonblocking notification.
+    pub fn sock_set_nonblocking(&mut self, h: SocketHandle, on: bool) -> Result<(), SockError> {
+        self.sockets.set_nonblocking(h, on)
+    }
+
+    /// The latched asynchronous error, if any.
+    pub fn sock_error(&self, h: SocketHandle) -> Option<SockError> {
+        self.sockets.take_error(h)
+    }
+
+    /// The remote end of a connected stream.
+    pub fn sock_peer(&self, h: SocketHandle) -> Option<(Ipv4Addr, u16)> {
+        self.sockets.peer_addr(&self.stack, h)
     }
 
     /// Sends a raw AX.25 frame from "user space" via the radio driver

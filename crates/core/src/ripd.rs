@@ -241,8 +241,8 @@ impl App for Rip44Service {
         if Some(*id) != self.udp {
             return;
         }
-        for (_src, _port, payload) in host.stack.udp_recv(*id) {
-            match RipUpdate::decode(&payload) {
+        while let Some((_src, _port, payload)) = host.stack.udp_recv(*id) {
+            match RipUpdate::decode(payload.as_slice()) {
                 Ok(update) => self.on_update(now, update, host),
                 Err(_) => self.stats.bad += 1,
             }

@@ -14,9 +14,10 @@
 //! [`NetStack::forward`] to complete it. A plain host leaves forwarding
 //! disabled and the packet is dropped.
 
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
-use sim::SimTime;
+use sim::{BufPool, PacketBuf, SimTime};
 
 use crate::icmp::{IcmpMessage, UnreachCode};
 use crate::ip::{self, FragResult, Ipv4Packet, Proto, Reassembler};
@@ -24,6 +25,11 @@ use crate::route::{NextHop, Prefix, RouteTable};
 use crate::tcp::{RtoPolicy, Tcb, TcbEvent, TcpConfig, TcpSegment, TcpState};
 use crate::udp::UdpDatagram;
 use crate::NetError;
+
+/// Capacity of the pooled buffers that carry received UDP payloads. Most
+/// datagrams in the testbed (RIP-44 updates, callbook queries, DNS) fit
+/// well inside this; a larger payload simply grows its buffer once.
+const UDP_RX_BUF: usize = 512;
 
 /// Identifies an interface within one host's stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -214,6 +220,8 @@ pub struct StackStats {
     pub ipip_out: u64,
     /// IPIP packets decapsulated on input.
     pub ipip_in: u64,
+    /// SYNs refused with RST because a listener's accept queue was full.
+    pub accept_overflow: u64,
 }
 
 #[derive(Debug)]
@@ -221,18 +229,24 @@ struct TcpSock {
     tcb: Tcb,
     /// Listener that spawned this socket, if passive.
     parent: Option<ListenerId>,
+    /// True once the application accepted (claimed) this passive socket.
+    /// Claimed sockets no longer count against the listener's backlog.
+    claimed: bool,
 }
 
 #[derive(Debug)]
 struct Listener {
     port: u16,
     cfg: TcpConfig,
+    /// Accept-queue bound: at most this many unclaimed, live children.
+    /// `None` (the legacy [`NetStack::tcp_listen`] path) means unbounded.
+    backlog: Option<usize>,
 }
 
 #[derive(Debug)]
 struct UdpSock {
     port: u16,
-    rx: Vec<(Ipv4Addr, u16, Vec<u8>)>,
+    rx: VecDeque<(Ipv4Addr, u16, PacketBuf)>,
 }
 
 /// A host's network stack. See the [module docs](self).
@@ -250,6 +264,10 @@ pub struct NetStack {
     next_port: u16,
     tunnels: Option<Box<dyn TunnelMap>>,
     stats: StackStats,
+    /// Actions produced by socket calls, awaiting [`NetStack::drain_actions`].
+    pending: Vec<StackAction>,
+    /// Pooled storage for received UDP payloads.
+    pool: BufPool,
 }
 
 impl NetStack {
@@ -268,7 +286,31 @@ impl NetStack {
             next_port: 1024,
             tunnels: None,
             stats: StackStats::default(),
+            pending: Vec::new(),
+            pool: BufPool::new(UDP_RX_BUF),
         }
+    }
+
+    /// Takes every action the stack has produced since the last drain.
+    ///
+    /// Socket and output calls (`tcp_send`, `udp_send`, `ping`, …) no
+    /// longer thread an `out: &mut Vec<StackAction>` through every
+    /// signature; they queue their actions here instead, in the exact
+    /// order they were produced. Call this after one or more operations
+    /// and hand the result to the driver layer.
+    pub fn drain_actions(&mut self) -> Vec<StackAction> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Appends pending actions to `out`, preserving `out`'s capacity —
+    /// the zero-steady-state-allocation form of [`Self::drain_actions`].
+    pub fn drain_actions_into(&mut self, out: &mut Vec<StackAction>) {
+        out.append(&mut self.pending);
+    }
+
+    /// True when no produced action is awaiting a drain.
+    pub fn actions_empty(&self) -> bool {
+        self.pending.is_empty()
     }
 
     /// Installs the encapsulation table consulted by the output path (see
@@ -332,7 +374,7 @@ impl NetStack {
     /// IPIP header toward the tunnel endpoint, and the routing decision is
     /// then made for the endpoint instead. Packets that are already IPIP
     /// and local destinations are never wrapped.
-    pub fn send_ip(&mut self, mut packet: Ipv4Packet, out: &mut Vec<StackAction>) {
+    pub fn send_ip(&mut self, mut packet: Ipv4Packet) {
         if packet.proto != Proto::Other(ip::IPIP) && !self.is_local_addr(packet.dst) {
             if let Some(tunnels) = self.tunnels.as_mut() {
                 if let Some(endpoint) = tunnels.endpoint(packet.dst) {
@@ -361,7 +403,7 @@ impl NetStack {
         match ip::fragment(packet, mtu) {
             FragResult::Fits(p) => {
                 self.stats.ip_out += 1;
-                out.push(StackAction::Egress {
+                self.pending.push(StackAction::Egress {
                     iface,
                     next_hop: hop,
                     packet: p,
@@ -370,7 +412,7 @@ impl NetStack {
             FragResult::Fragmented(ps) => {
                 for p in ps {
                     self.stats.ip_out += 1;
-                    out.push(StackAction::Egress {
+                    self.pending.push(StackAction::Egress {
                         iface,
                         next_hop: hop,
                         packet: p,
@@ -385,73 +427,67 @@ impl NetStack {
 
     /// Completes a forward the owner approved: TTL, fragmentation, egress.
     /// Emits ICMP time-exceeded back to the source on TTL expiry.
-    pub fn forward(&mut self, mut packet: Ipv4Packet, out: &mut Vec<StackAction>) {
+    pub fn forward(&mut self, mut packet: Ipv4Packet) {
         if packet.ttl <= 1 {
             self.stats.ttl_expired += 1;
             let quote = IcmpMessage::quote_original(&packet.encode());
-            self.send_icmp(
-                packet.src,
-                IcmpMessage::TimeExceeded { original: quote },
-                out,
-            );
+            self.send_icmp(packet.src, IcmpMessage::TimeExceeded { original: quote });
             return;
         }
         packet.ttl -= 1;
         self.stats.forwarded += 1;
-        self.send_ip(packet, out);
+        self.send_ip(packet);
     }
 
     /// Builds and sends an ICMP message to `dst`.
-    pub fn send_icmp(&mut self, dst: Ipv4Addr, msg: IcmpMessage, out: &mut Vec<StackAction>) {
+    pub fn send_icmp(&mut self, dst: Ipv4Addr, msg: IcmpMessage) {
         let packet = Ipv4Packet::new(Ipv4Addr::UNSPECIFIED, dst, Proto::Icmp, msg.encode());
-        self.send_ip(packet, out);
+        self.send_ip(packet);
     }
 
     /// Sends an echo request (ping).
-    pub fn ping(
-        &mut self,
-        dst: Ipv4Addr,
-        id: u16,
-        seq: u16,
-        len: usize,
-        out: &mut Vec<StackAction>,
-    ) {
+    pub fn ping(&mut self, dst: Ipv4Addr, id: u16, seq: u16, len: usize) {
         let payload = vec![0xA5; len];
-        self.send_icmp(dst, IcmpMessage::EchoRequest { id, seq, payload }, out);
+        self.send_icmp(dst, IcmpMessage::EchoRequest { id, seq, payload });
     }
 
     // --- Input path ----------------------------------------------------------
 
-    /// Processes an IP packet arriving on `iface`.
+    /// Processes an IP packet arriving on `iface`, returning the actions
+    /// it produced (equivalently: processes and drains).
     pub fn input(&mut self, now: SimTime, iface: IfaceId, bytes: &[u8]) -> Vec<StackAction> {
-        let mut out = Vec::new();
+        self.input_inner(now, iface, bytes);
+        self.drain_actions()
+    }
+
+    fn input_inner(&mut self, now: SimTime, iface: IfaceId, bytes: &[u8]) {
         self.stats.ip_in += 1;
         let packet = match Ipv4Packet::decode(bytes) {
             Ok(p) => p,
             Err(_) => {
                 self.stats.bad_packets += 1;
-                return out;
+                return;
             }
         };
         if !self.is_local_addr(packet.dst) {
             if self.cfg.forwarding {
                 self.stats.forward_requests += 1;
-                out.push(StackAction::ForwardNeeded {
+                self.pending.push(StackAction::ForwardNeeded {
                     ingress: iface,
                     packet,
                 });
             } else {
                 self.stats.not_for_us += 1;
             }
-            return out;
+            return;
         }
         let Some(whole) = self.reasm.push(now, packet) else {
-            return out;
+            return;
         };
         match whole.proto {
-            Proto::Icmp => self.input_icmp(iface, &whole, &mut out),
-            Proto::Tcp => self.input_tcp(now, iface, &whole, &mut out),
-            Proto::Udp => self.input_udp(&whole, &mut out),
+            Proto::Icmp => self.input_icmp(iface, &whole),
+            Proto::Tcp => self.input_tcp(now, iface, &whole),
+            Proto::Udp => self.input_udp(&whole),
             Proto::Other(p) if p == ip::IPIP && self.cfg.ipip => {
                 // A tunnel endpoint: strip the outer header and run the
                 // inner packet through input again. The inner destination
@@ -460,7 +496,7 @@ impl NetStack {
                 // like natively routed traffic. Nesting terminates because
                 // every level removes a 20-byte header.
                 self.stats.ipip_in += 1;
-                out.extend(self.input(now, iface, &whole.payload));
+                self.input_inner(now, iface, &whole.payload);
             }
             Proto::Other(_) => {
                 // Never generate ICMP errors about broadcasts.
@@ -473,15 +509,13 @@ impl NetStack {
                             code: UnreachCode::Protocol,
                             original: quote,
                         },
-                        &mut out,
                     );
                 }
             }
         }
-        out
     }
 
-    fn input_icmp(&mut self, iface: IfaceId, packet: &Ipv4Packet, out: &mut Vec<StackAction>) {
+    fn input_icmp(&mut self, iface: IfaceId, packet: &Ipv4Packet) {
         let msg = match IcmpMessage::decode(&packet.payload) {
             Ok(m) => m,
             Err(_) => {
@@ -501,11 +535,11 @@ impl NetStack {
                     );
                     // Reply from the address they pinged.
                     reply.src = packet.dst;
-                    self.send_ip(reply, out);
+                    self.send_ip(reply);
                 }
             }
             IcmpMessage::EchoReply { id, seq, payload } => {
-                out.push(StackAction::PingReply {
+                self.pending.push(StackAction::PingReply {
                     from: packet.src,
                     id,
                     seq,
@@ -513,14 +547,14 @@ impl NetStack {
                 });
             }
             m @ (IcmpMessage::GateOpen { .. } | IcmpMessage::GateClose { .. }) => {
-                out.push(StackAction::GateControl {
+                self.pending.push(StackAction::GateControl {
                     from: packet.src,
                     ingress: iface,
                     message: m,
                 });
             }
             m @ (IcmpMessage::DestUnreachable { .. } | IcmpMessage::TimeExceeded { .. }) => {
-                out.push(StackAction::IcmpProblem {
+                self.pending.push(StackAction::IcmpProblem {
                     from: packet.src,
                     message: m,
                 });
@@ -528,22 +562,23 @@ impl NetStack {
         }
     }
 
-    fn input_udp(&mut self, packet: &Ipv4Packet, out: &mut Vec<StackAction>) {
-        let dg = match UdpDatagram::decode(&packet.payload, packet.src, packet.dst) {
-            Ok(d) => d,
-            Err(_) => {
-                self.stats.bad_packets += 1;
-                return;
-            }
-        };
-        if let Some((i, sock)) = self
-            .udp
-            .iter_mut()
-            .enumerate()
-            .find(|(_, s)| s.port == dg.dst_port)
-        {
-            sock.rx.push((packet.src, dg.src_port, dg.payload));
-            out.push(StackAction::UdpReadable(UdpId(i)));
+    fn input_udp(&mut self, packet: &Ipv4Packet) {
+        let (src_port, dst_port, payload) =
+            match UdpDatagram::decode_ref(&packet.payload, packet.src, packet.dst) {
+                Ok(d) => d,
+                Err(_) => {
+                    self.stats.bad_packets += 1;
+                    return;
+                }
+            };
+        if let Some(i) = self.udp.iter().position(|s| s.port == dst_port) {
+            // Copy the payload into a pooled buffer: steady-state receive
+            // recycles storage instead of allocating a fresh Vec per
+            // datagram.
+            let mut buf = self.pool.take();
+            buf.extend_from_slice(payload);
+            self.udp[i].rx.push_back((packet.src, src_port, buf));
+            self.pending.push(StackAction::UdpReadable(UdpId(i)));
         } else if packet.dst != Ipv4Addr::BROADCAST {
             // Broadcasts to an unbound port are silently ignored — a
             // subnet full of hosts must not answer every announcement
@@ -556,18 +591,11 @@ impl NetStack {
                     code: UnreachCode::Port,
                     original: quote,
                 },
-                out,
             );
         }
     }
 
-    fn input_tcp(
-        &mut self,
-        now: SimTime,
-        iface: IfaceId,
-        packet: &Ipv4Packet,
-        out: &mut Vec<StackAction>,
-    ) {
+    fn input_tcp(&mut self, now: SimTime, iface: IfaceId, packet: &Ipv4Packet) {
         let seg = match TcpSegment::decode(&packet.payload, packet.src, packet.dst) {
             Ok(s) => s,
             Err(_) => {
@@ -583,12 +611,35 @@ impl NetStack {
         });
         if let Some(i) = found {
             let events = self.socks[i].tcb.on_segment(now, &seg);
-            self.drive(SockId(i), events, out);
+            self.drive(SockId(i), events);
             return;
         }
         // Listener match for a fresh SYN.
         if seg.flags.syn && !seg.flags.ack {
             if let Some(li) = self.listeners.iter().position(|l| l.port == seg.dst_port) {
+                // Accept-queue bound: a listener created with
+                // `tcp_listen_with` refuses fresh SYNs once it already
+                // holds `backlog` live, unclaimed children. The refusal
+                // is an RST — the 4.3BSD tcp_input drop, visible to the
+                // peer — rather than a silent drop, so the simulation
+                // surfaces overload immediately instead of after a
+                // retransmission timeout.
+                if let Some(backlog) = self.listeners[li].backlog {
+                    let queued = self
+                        .socks
+                        .iter()
+                        .filter(|s| {
+                            s.parent == Some(ListenerId(li))
+                                && !s.claimed
+                                && s.tcb.state() != TcpState::Closed
+                        })
+                        .count();
+                    if queued >= backlog {
+                        self.stats.accept_overflow += 1;
+                        self.send_rst(packet, &seg);
+                        return;
+                    }
+                }
                 let iss = self.next_iss();
                 let mut cfg = self.listeners[li].cfg;
                 if self.cfg.clamp_mss {
@@ -606,32 +657,38 @@ impl NetStack {
                 self.socks.push(TcpSock {
                     tcb,
                     parent: Some(ListenerId(li)),
+                    claimed: false,
                 });
-                self.drive(sock, events, out);
+                self.drive(sock, events);
                 return;
             }
         }
         // No takers: RST (unless the stray segment was itself a RST).
         if !seg.flags.rst {
-            let rst = TcpSegment {
-                src_port: seg.dst_port,
-                dst_port: seg.src_port,
-                seq: if seg.flags.ack { seg.ack } else { 0 },
-                ack: seg.seq.wrapping_add(seg.seq_len()),
-                flags: crate::tcp::TcpFlags {
-                    rst: true,
-                    ack: true,
-                    ..Default::default()
-                },
-                window: 0,
-                mss: None,
-                payload: Vec::new(),
-            };
-            let bytes = rst.encode(packet.dst, packet.src);
-            let mut p = Ipv4Packet::new(packet.dst, packet.src, Proto::Tcp, bytes);
-            p.src = packet.dst;
-            self.send_ip(p, out);
+            self.send_rst(packet, &seg);
         }
+    }
+
+    /// Answers a segment nobody wants with the standard RST.
+    fn send_rst(&mut self, packet: &Ipv4Packet, seg: &TcpSegment) {
+        let rst = TcpSegment {
+            src_port: seg.dst_port,
+            dst_port: seg.src_port,
+            seq: if seg.flags.ack { seg.ack } else { 0 },
+            ack: seg.seq.wrapping_add(seg.seq_len()),
+            flags: crate::tcp::TcpFlags {
+                rst: true,
+                ack: true,
+                ..Default::default()
+            },
+            window: 0,
+            mss: None,
+            payload: Vec::new(),
+        };
+        let bytes = rst.encode(packet.dst, packet.src);
+        let mut p = Ipv4Packet::new(packet.dst, packet.src, Proto::Tcp, bytes);
+        p.src = packet.dst;
+        self.send_ip(p);
     }
 
     // --- TCP socket API ---------------------------------------------------------
@@ -661,13 +718,13 @@ impl NetStack {
         }
     }
 
-    /// Opens a TCP connection; the SYN goes out via `out`.
+    /// Opens a TCP connection; the SYN lands in the pending-action queue
+    /// (see [`Self::drain_actions`]).
     pub fn tcp_connect(
         &mut self,
         now: SimTime,
         dst: Ipv4Addr,
         dst_port: u16,
-        out: &mut Vec<StackAction>,
     ) -> Result<SockId, NetError> {
         let Some(NextHop { iface, .. }) = self.routes.lookup(dst) else {
             return Err(NetError::NoRoute(dst));
@@ -681,8 +738,12 @@ impl NetStack {
         }
         let (tcb, events) = Tcb::connect(now, (local_ip, port), (dst, dst_port), iss, tcp_cfg);
         let sock = SockId(self.socks.len());
-        self.socks.push(TcpSock { tcb, parent: None });
-        self.drive(sock, events, out);
+        self.socks.push(TcpSock {
+            tcb,
+            parent: None,
+            claimed: true,
+        });
+        self.drive(sock, events);
         Ok(sock)
     }
 
@@ -694,17 +755,28 @@ impl NetStack {
         dst: Ipv4Addr,
         dst_port: u16,
         cfg: TcpConfig,
-        out: &mut Vec<StackAction>,
     ) -> Result<SockId, NetError> {
         let saved = self.cfg.tcp;
         self.cfg.tcp = cfg;
-        let r = self.tcp_connect(now, dst, dst_port, out);
+        let r = self.tcp_connect(now, dst, dst_port);
         self.cfg.tcp = saved;
         r
     }
 
-    /// Starts listening on `port`.
+    /// Starts listening on `port` with an unbounded accept queue (the
+    /// legacy shape every pre-socket-layer app relies on).
     pub fn tcp_listen(&mut self, port: u16) -> Result<ListenerId, NetError> {
+        self.listen_inner(port, None)
+    }
+
+    /// Starts listening on `port`, refusing (RST) fresh SYNs whenever
+    /// `backlog` accepted-but-unclaimed connections are already queued.
+    /// A `backlog` of 0 refuses everything — the classic closed shop.
+    pub fn tcp_listen_with(&mut self, port: u16, backlog: usize) -> Result<ListenerId, NetError> {
+        self.listen_inner(port, Some(backlog))
+    }
+
+    fn listen_inner(&mut self, port: u16, backlog: Option<usize>) -> Result<ListenerId, NetError> {
         if self.listeners.iter().any(|l| l.port == port) {
             return Err(NetError::InUse);
         }
@@ -712,52 +784,56 @@ impl NetStack {
         self.listeners.push(Listener {
             port,
             cfg: self.cfg.tcp,
+            backlog,
         });
         Ok(id)
     }
 
+    /// Marks a passively opened socket as accepted by the application: it
+    /// stops counting against its listener's backlog. Idempotent; unknown
+    /// handles are ignored.
+    pub fn tcp_claim(&mut self, sock: SockId) {
+        if let Some(s) = self.socks.get_mut(sock.0) {
+            s.claimed = true;
+        }
+    }
+
     /// Queues data on a socket; returns octets accepted.
-    pub fn tcp_send(
-        &mut self,
-        now: SimTime,
-        sock: SockId,
-        data: &[u8],
-        out: &mut Vec<StackAction>,
-    ) -> usize {
+    pub fn tcp_send(&mut self, now: SimTime, sock: SockId, data: &[u8]) -> usize {
         let Some(s) = self.socks.get_mut(sock.0) else {
             return 0;
         };
         let (n, events) = s.tcb.send(now, data);
-        self.drive(sock, events, out);
+        self.drive(sock, events);
         n
     }
 
     /// Drains readable data from a socket.
-    pub fn tcp_recv(&mut self, now: SimTime, sock: SockId, out: &mut Vec<StackAction>) -> Vec<u8> {
+    pub fn tcp_recv(&mut self, now: SimTime, sock: SockId) -> Vec<u8> {
         let Some(s) = self.socks.get_mut(sock.0) else {
             return Vec::new();
         };
         let (data, events) = s.tcb.recv(now);
-        self.drive(sock, events, out);
+        self.drive(sock, events);
         data
     }
 
     /// Closes the send direction of a socket.
-    pub fn tcp_close(&mut self, now: SimTime, sock: SockId, out: &mut Vec<StackAction>) {
+    pub fn tcp_close(&mut self, now: SimTime, sock: SockId) {
         let Some(s) = self.socks.get_mut(sock.0) else {
             return;
         };
         let events = s.tcb.close(now);
-        self.drive(sock, events, out);
+        self.drive(sock, events);
     }
 
     /// Aborts a socket with RST.
-    pub fn tcp_abort(&mut self, now: SimTime, sock: SockId, out: &mut Vec<StackAction>) {
+    pub fn tcp_abort(&mut self, now: SimTime, sock: SockId) {
         let Some(s) = self.socks.get_mut(sock.0) else {
             return;
         };
         let events = s.tcb.abort(now);
-        self.drive(sock, events, out);
+        self.drive(sock, events);
     }
 
     /// A socket's connection state.
@@ -781,6 +857,14 @@ impl NetStack {
         self.socks
             .get(sock.0)
             .map(|s| s.tcb.send_backlog())
+            .unwrap_or(0)
+    }
+
+    /// Octets buffered and ready for [`Self::tcp_recv`].
+    pub fn tcp_recv_available(&self, sock: SockId) -> usize {
+        self.socks
+            .get(sock.0)
+            .map(|s| s.tcb.recv_available())
             .unwrap_or(0)
     }
 
@@ -817,20 +901,13 @@ impl NetStack {
         let id = UdpId(self.udp.len());
         self.udp.push(UdpSock {
             port,
-            rx: Vec::new(),
+            rx: VecDeque::new(),
         });
         Ok(id)
     }
 
     /// Sends a datagram from a bound socket.
-    pub fn udp_send(
-        &mut self,
-        udp: UdpId,
-        dst: Ipv4Addr,
-        dst_port: u16,
-        payload: Vec<u8>,
-        out: &mut Vec<StackAction>,
-    ) {
+    pub fn udp_send(&mut self, udp: UdpId, dst: Ipv4Addr, dst_port: u16, payload: Vec<u8>) {
         let src_port = self.udp[udp.0].port;
         let Some(NextHop { iface, .. }) = self.routes.lookup(dst) else {
             self.stats.no_route += 1;
@@ -844,7 +921,7 @@ impl NetStack {
         };
         let mut p = Ipv4Packet::new(src, dst, Proto::Udp, dg.encode(src, dst));
         p.src = src;
-        self.send_ip(p, out);
+        self.send_ip(p);
     }
 
     /// Sends a limited-broadcast (255.255.255.255) datagram out of one
@@ -857,7 +934,6 @@ impl NetStack {
         iface: IfaceId,
         dst_port: u16,
         payload: Vec<u8>,
-        out: &mut Vec<StackAction>,
     ) {
         let src_port = self.udp[udp.0].port;
         let src = self.ifaces[iface.0].addr;
@@ -872,16 +948,24 @@ impl NetStack {
         // Broadcasts stay on the link.
         p.ttl = 1;
         self.stats.ip_out += 1;
-        out.push(StackAction::Egress {
+        self.pending.push(StackAction::Egress {
             iface,
             next_hop: dst,
             packet: p,
         });
     }
 
-    /// Drains received datagrams: `(source, source port, payload)`.
-    pub fn udp_recv(&mut self, udp: UdpId) -> Vec<(Ipv4Addr, u16, Vec<u8>)> {
-        std::mem::take(&mut self.udp[udp.0].rx)
+    /// Pops the oldest received datagram: `(source, source port, payload)`.
+    /// The payload rides in a pooled buffer that returns its storage to
+    /// the stack's pool when dropped; call in a `while let Some(...)` loop
+    /// to drain. Unknown handles return `None`.
+    pub fn udp_recv(&mut self, udp: UdpId) -> Option<(Ipv4Addr, u16, PacketBuf)> {
+        self.udp.get_mut(udp.0)?.rx.pop_front()
+    }
+
+    /// Queued datagrams awaiting [`Self::udp_recv`].
+    pub fn udp_rx_queued(&self, udp: UdpId) -> usize {
+        self.udp.get(udp.0).map(|s| s.rx.len()).unwrap_or(0)
     }
 
     // --- Timers -----------------------------------------------------------------
@@ -900,23 +984,23 @@ impl NetStack {
         }
     }
 
-    /// Fires expired timers.
+    /// Fires expired timers, returning the actions they produced
+    /// (equivalently: fires and drains).
     pub fn poll(&mut self, now: SimTime) -> Vec<StackAction> {
-        let mut out = Vec::new();
         self.reasm.expire(now);
         for i in 0..self.socks.len() {
             if self.socks[i].tcb.next_deadline().is_some_and(|t| t <= now) {
                 let events = self.socks[i].tcb.on_timer(now);
-                self.drive(SockId(i), events, &mut out);
+                self.drive(SockId(i), events);
             }
         }
-        out
+        self.drain_actions()
     }
 
     // --- Internals --------------------------------------------------------------
 
     /// Maps TCB events to stack actions, wrapping segments in IP.
-    fn drive(&mut self, sock: SockId, events: Vec<TcbEvent>, out: &mut Vec<StackAction>) {
+    fn drive(&mut self, sock: SockId, events: Vec<TcbEvent>) {
         let (local, remote, parent) = {
             let s = &self.socks[sock.0];
             (s.tcb.local(), s.tcb.remote(), s.parent)
@@ -927,15 +1011,19 @@ impl NetStack {
                     let bytes = seg.encode(local.0, remote.0);
                     let mut p = Ipv4Packet::new(local.0, remote.0, Proto::Tcp, bytes);
                     p.src = local.0;
-                    self.send_ip(p, out);
+                    self.send_ip(p);
                 }
                 TcbEvent::Connected => match parent {
-                    Some(listener) => out.push(StackAction::TcpAccepted { listener, sock }),
-                    None => out.push(StackAction::TcpConnected(sock)),
+                    Some(listener) => self
+                        .pending
+                        .push(StackAction::TcpAccepted { listener, sock }),
+                    None => self.pending.push(StackAction::TcpConnected(sock)),
                 },
-                TcbEvent::DataReadable => out.push(StackAction::TcpReadable(sock)),
-                TcbEvent::PeerClosed => out.push(StackAction::TcpPeerClosed(sock)),
-                TcbEvent::Closed { reset } => out.push(StackAction::TcpClosed { sock, reset }),
+                TcbEvent::DataReadable => self.pending.push(StackAction::TcpReadable(sock)),
+                TcbEvent::PeerClosed => self.pending.push(StackAction::TcpPeerClosed(sock)),
+                TcbEvent::Closed { reset } => {
+                    self.pending.push(StackAction::TcpClosed { sock, reset })
+                }
             }
         }
     }
@@ -1054,8 +1142,8 @@ mod tests {
     #[test]
     fn ping_across_a_wire() {
         let mut w = Wire::new();
-        let mut out = Vec::new();
-        w.a.ping(ipa(2), 7, 1, 56, &mut out);
+        w.a.ping(ipa(2), 7, 1, 56);
+        let out = w.a.drain_actions();
         w.run(SimTime::ZERO, out, vec![]);
         assert_eq!(
             w.a_ev,
@@ -1074,8 +1162,8 @@ mod tests {
         let mut w = Wire::new();
         let now = SimTime::ZERO;
         w.b.tcp_listen(23).unwrap();
-        let mut out = Vec::new();
-        let ca = w.a.tcp_connect(now, ipa(2), 23, &mut out).unwrap();
+        let ca = w.a.tcp_connect(now, ipa(2), 23).unwrap();
+        let out = w.a.drain_actions();
         w.run(now, out, vec![]);
         assert!(w.a_ev.contains(&StackAction::TcpConnected(ca)));
         let accepted = w
@@ -1087,20 +1175,20 @@ mod tests {
             })
             .expect("accept");
         // a -> b data.
-        let mut out = Vec::new();
-        let n = w.a.tcp_send(now, ca, b"login: guest", &mut out);
+        let n = w.a.tcp_send(now, ca, b"login: guest");
         assert_eq!(n, 12);
+        let out = w.a.drain_actions();
         w.run(now, out, vec![]);
         assert!(w.b_ev.contains(&StackAction::TcpReadable(accepted)));
-        let mut out = Vec::new();
-        let data = w.b.tcp_recv(now, accepted, &mut out);
+        let data = w.b.tcp_recv(now, accepted);
         assert_eq!(data, b"login: guest");
+        let acks = w.b.drain_actions();
+        w.run(now, vec![], acks);
         // b -> a data.
-        let mut out = Vec::new();
-        w.b.tcp_send(now, accepted, b"welcome", &mut out);
+        w.b.tcp_send(now, accepted, b"welcome");
+        let out = w.b.drain_actions();
         w.run(now, vec![], out);
-        let mut out = Vec::new();
-        let data = w.a.tcp_recv(now, ca, &mut out);
+        let data = w.a.tcp_recv(now, ca);
         assert_eq!(data, b"welcome");
     }
 
@@ -1130,8 +1218,8 @@ mod tests {
                 mtu: 256,
             });
             let _ = ifid;
-            let mut out = Vec::new();
-            st.tcp_connect(SimTime::ZERO, ipa(2), 23, &mut out).unwrap();
+            st.tcp_connect(SimTime::ZERO, ipa(2), 23).unwrap();
+            let out = st.drain_actions();
             let syn = first_egress_segment(&out);
             assert!(syn.flags.syn);
             assert_eq!(syn.mss, Some(want), "clamp={clamp}");
@@ -1189,8 +1277,8 @@ mod tests {
             mtu: 256,
         });
         let now = SimTime::ZERO;
-        let mut out = Vec::new();
-        let sock = st.tcp_connect(now, ipa(2), 23, &mut out).unwrap();
+        let sock = st.tcp_connect(now, ipa(2), 23).unwrap();
+        let out = st.drain_actions();
         // Complete the handshake by hand so the window opens.
         let syn = first_egress_segment(&out);
         let synack = TcpSegment {
@@ -1210,7 +1298,8 @@ mod tests {
         let bytes = synack.encode(ipa(2), ipa(1));
         let packet = Ipv4Packet::new(ipa(2), ipa(1), Proto::Tcp, bytes);
         let mut actions = st.input(now, ifid_of(&st), &packet.encode());
-        st.tcp_send(now, sock, &vec![0xAB; 1000], &mut actions);
+        st.tcp_send(now, sock, &vec![0xAB; 1000]);
+        st.drain_actions_into(&mut actions);
         let mut saw_data = false;
         for a in &actions {
             if let StackAction::Egress { packet, .. } = a {
@@ -1231,8 +1320,8 @@ mod tests {
         let mut w = Wire::new();
         let now = SimTime::ZERO;
         w.b.tcp_listen(23).unwrap();
-        let mut out = Vec::new();
-        let ca = w.a.tcp_connect(now, ipa(2), 23, &mut out).unwrap();
+        let ca = w.a.tcp_connect(now, ipa(2), 23).unwrap();
+        let out = w.a.drain_actions();
         w.run(now, out, vec![]);
         let accepted = w
             .b_ev
@@ -1242,12 +1331,12 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        let mut out = Vec::new();
-        w.a.tcp_close(now, ca, &mut out);
+        w.a.tcp_close(now, ca);
+        let out = w.a.drain_actions();
         w.run(now, out, vec![]);
         assert!(w.b_ev.contains(&StackAction::TcpPeerClosed(accepted)));
-        let mut out = Vec::new();
-        w.b.tcp_close(now, accepted, &mut out);
+        w.b.tcp_close(now, accepted);
+        let out = w.b.drain_actions();
         w.run(now, vec![], out);
         assert!(w
             .b_ev
@@ -1260,8 +1349,8 @@ mod tests {
     fn syn_to_closed_port_draws_rst() {
         let mut w = Wire::new();
         let now = SimTime::ZERO;
-        let mut out = Vec::new();
-        let ca = w.a.tcp_connect(now, ipa(2), 9999, &mut out).unwrap();
+        let ca = w.a.tcp_connect(now, ipa(2), 9999).unwrap();
+        let out = w.a.drain_actions();
         w.run(now, out, vec![]);
         assert!(w
             .a_ev
@@ -1271,24 +1360,75 @@ mod tests {
     }
 
     #[test]
+    fn listen_backlog_overflows_with_rst_until_claimed() {
+        let mut w = Wire::new();
+        let now = SimTime::ZERO;
+        w.b.tcp_listen_with(23, 1).unwrap();
+        // First connection fills the queue of one.
+        let c1 = w.a.tcp_connect(now, ipa(2), 23).unwrap();
+        let out = w.a.drain_actions();
+        w.run(now, out, vec![]);
+        assert!(w.a_ev.contains(&StackAction::TcpConnected(c1)));
+        let queued = w
+            .b_ev
+            .iter()
+            .find_map(|e| match e {
+                StackAction::TcpAccepted { sock, .. } => Some(*sock),
+                _ => None,
+            })
+            .expect("first connection queued");
+        // Second SYN overflows: refused with RST, counted.
+        let c2 = w.a.tcp_connect(now, ipa(2), 23).unwrap();
+        let out = w.a.drain_actions();
+        w.run(now, out, vec![]);
+        assert!(w.a_ev.contains(&StackAction::TcpClosed {
+            sock: c2,
+            reset: true
+        }));
+        assert_eq!(w.b.stats().accept_overflow, 1);
+        // The application accepts (claims) the queued connection; the
+        // freed slot admits the next SYN.
+        w.b.tcp_claim(queued);
+        let c3 = w.a.tcp_connect(now, ipa(2), 23).unwrap();
+        let out = w.a.drain_actions();
+        w.run(now, out, vec![]);
+        assert!(w.a_ev.contains(&StackAction::TcpConnected(c3)));
+        assert_eq!(w.b.stats().accept_overflow, 1);
+    }
+
+    #[test]
+    fn legacy_listen_stays_unbounded() {
+        let mut w = Wire::new();
+        let now = SimTime::ZERO;
+        w.b.tcp_listen(23).unwrap();
+        for _ in 0..8 {
+            let c = w.a.tcp_connect(now, ipa(2), 23).unwrap();
+            let out = w.a.drain_actions();
+            w.run(now, out, vec![]);
+            assert!(w.a_ev.contains(&StackAction::TcpConnected(c)));
+        }
+        assert_eq!(w.b.stats().accept_overflow, 0);
+    }
+
+    #[test]
     fn udp_exchange_and_port_unreachable() {
         let mut w = Wire::new();
         let now = SimTime::ZERO;
         let ub = w.b.udp_bind(4242).unwrap();
         let ua = w.a.udp_bind(2001).unwrap();
-        let mut out = Vec::new();
-        w.a.udp_send(ua, ipa(2), 4242, b"callbook? N7AKR".to_vec(), &mut out);
+        w.a.udp_send(ua, ipa(2), 4242, b"callbook? N7AKR".to_vec());
+        let out = w.a.drain_actions();
         w.run(now, out, vec![]);
         assert!(w.b_ev.contains(&StackAction::UdpReadable(ub)));
-        let got = w.b.udp_recv(ub);
-        assert_eq!(got.len(), 1);
-        assert_eq!(got[0].0, ipa(1));
-        assert_eq!(got[0].1, 2001);
-        assert_eq!(got[0].2, b"callbook? N7AKR");
+        let (from, from_port, payload) = w.b.udp_recv(ub).expect("one datagram");
+        assert_eq!(from, ipa(1));
+        assert_eq!(from_port, 2001);
+        assert_eq!(payload.as_slice(), b"callbook? N7AKR");
+        assert!(w.b.udp_recv(ub).is_none(), "queue drained");
 
         // To a closed port: ICMP port unreachable comes back.
-        let mut out = Vec::new();
-        w.a.udp_send(ua, ipa(2), 5555, b"hello?".to_vec(), &mut out);
+        w.a.udp_send(ua, ipa(2), 5555, b"hello?".to_vec());
+        let out = w.a.drain_actions();
         w.run(now, out, vec![]);
         assert!(w.a_ev.iter().any(|e| matches!(
             e,
@@ -1341,9 +1481,9 @@ mod tests {
             panic!("{acts:?}");
         };
         assert_eq!(*ingress, eth);
-        let mut out = Vec::new();
         let ttl_before = packet.ttl;
-        st.forward(packet.clone(), &mut out);
+        st.forward(packet.clone());
+        let out = st.drain_actions();
         // 500B payload over 256B MTU: fragmented onto the radio interface.
         assert!(out.len() >= 3, "{out:?}");
         for act in &out {
@@ -1375,8 +1515,8 @@ mod tests {
             vec![0; 10],
         );
         p.ttl = 1;
-        let mut out = Vec::new();
-        st.forward(p, &mut out);
+        st.forward(p);
+        let out = st.drain_actions();
         let [StackAction::Egress { packet, .. }] = &out[..] else {
             panic!("{out:?}");
         };
@@ -1391,8 +1531,8 @@ mod tests {
         let mut w = Wire::new();
         // Shrink a's MTU so the request fragments.
         w.a.iface_mut(w.a_if).mtu = 256;
-        let mut out = Vec::new();
-        w.a.ping(ipa(2), 9, 3, 600, &mut out);
+        w.a.ping(ipa(2), 9, 3, 600);
+        let out = w.a.drain_actions();
         assert!(out.len() >= 3, "request fragmented: {}", out.len());
         w.run(SimTime::ZERO, out, vec![]);
         assert_eq!(
@@ -1409,9 +1549,8 @@ mod tests {
     #[test]
     fn no_route_is_counted() {
         let (mut st, _) = NetStack::simple_host(ipa(1), 24, 1500, None);
-        let mut out = Vec::new();
-        st.ping(Ipv4Addr::new(99, 99, 99, 99), 1, 1, 8, &mut out);
-        assert!(out.is_empty());
+        st.ping(Ipv4Addr::new(99, 99, 99, 99), 1, 1, 8);
+        assert!(st.drain_actions().is_empty());
         assert_eq!(st.stats().no_route, 1);
     }
 
@@ -1431,8 +1570,8 @@ mod tests {
         w.b.tcp_listen(23).unwrap();
         let mut seen = Map::new();
         for i in 0..5 {
-            let mut out = Vec::new();
-            let s = w.a.tcp_connect(now, ipa(2), 23, &mut out).unwrap();
+            let s = w.a.tcp_connect(now, ipa(2), 23).unwrap();
+            let out = w.a.drain_actions();
             w.run(now, out, vec![]);
             let port = w.a.tcp_local(s).unwrap().1;
             assert!(seen.insert(port, i).is_none(), "port {port} reused");
@@ -1443,9 +1582,8 @@ mod tests {
     fn stack_timers_drive_tcp_retransmission() {
         let now = SimTime::ZERO;
         let (mut a, _aif) = NetStack::simple_host(ipa(1), 24, 1500, None);
-        let mut out = Vec::new();
-        let _s = a.tcp_connect(now, ipa(2), 23, &mut out).unwrap();
-        assert_eq!(out.len(), 1, "SYN egress");
+        let _s = a.tcp_connect(now, ipa(2), 23).unwrap();
+        assert_eq!(a.drain_actions().len(), 1, "SYN egress");
         let t = a.next_deadline().expect("rtx timer armed");
         let acts = a.poll(t);
         assert!(
@@ -1494,8 +1632,8 @@ mod tests {
         let mut map = Map::new();
         map.insert(far, ipa(2));
         st.set_tunnel_map(Box::new(FixedTunnel(map)));
-        let mut out = Vec::new();
-        st.ping(far, 1, 1, 8, &mut out);
+        st.ping(far, 1, 1, 8);
+        let out = st.drain_actions();
         let [StackAction::Egress {
             iface,
             next_hop,
@@ -1544,7 +1682,7 @@ mod tests {
         let outer = Ipv4Packet::new(ipa(1), ipa(2), Proto::Other(ip::IPIP), inner.encode());
         let acts = st.input(SimTime::ZERO, ifid, &outer.encode());
         assert!(acts.contains(&StackAction::UdpReadable(sock)));
-        assert_eq!(st.udp_recv(sock)[0].2, b"hello");
+        assert_eq!(st.udp_recv(sock).unwrap().2.as_slice(), b"hello");
     }
 
     #[test]
@@ -1564,8 +1702,8 @@ mod tests {
     fn udp_broadcast_bypasses_routing_and_draws_no_icmp() {
         let (mut a, a_if) = NetStack::simple_host(ipa(1), 24, 1500, None);
         let ua = a.udp_bind(520).unwrap();
-        let mut out = Vec::new();
-        a.udp_send_broadcast(ua, a_if, 520, b"route 44.56/16".to_vec(), &mut out);
+        a.udp_send_broadcast(ua, a_if, 520, b"route 44.56/16".to_vec());
+        let out = a.drain_actions();
         let [StackAction::Egress {
             next_hop, packet, ..
         }] = &out[..]
@@ -1582,7 +1720,7 @@ mod tests {
         let ub = b.udp_bind(520).unwrap();
         let acts = b.input(SimTime::ZERO, b_if, &packet.encode());
         assert!(acts.contains(&StackAction::UdpReadable(ub)));
-        assert_eq!(b.udp_recv(ub)[0].0, ipa(1));
+        assert_eq!(b.udp_recv(ub).unwrap().0, ipa(1));
         let (mut c, c_if) = NetStack::simple_host(ipa(3), 24, 1500, None);
         let acts = c.input(SimTime::ZERO, c_if, &packet.encode());
         assert!(acts.is_empty(), "no ICMP about a broadcast: {acts:?}");

@@ -62,6 +62,22 @@ impl UdpDatagram {
 
     /// Decodes and verifies a datagram arriving on `src`→`dst`.
     pub fn decode(bytes: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<UdpDatagram, NetError> {
+        let (src_port, dst_port, payload) = UdpDatagram::decode_ref(bytes, src, dst)?;
+        Ok(UdpDatagram {
+            src_port,
+            dst_port,
+            payload: payload.to_vec(),
+        })
+    }
+
+    /// Decodes and verifies a datagram without copying the payload:
+    /// `(src_port, dst_port, payload)` borrowed from `bytes`. The stack's
+    /// receive path uses this to land payloads straight in pooled buffers.
+    pub fn decode_ref(
+        bytes: &[u8],
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+    ) -> Result<(u16, u16, &[u8]), NetError> {
         let mut r = Reader::new(bytes);
         let src_port = r.u16().map_err(|_| NetError::Malformed("udp header"))?;
         let dst_port = r.u16().map_err(|_| NetError::Malformed("udp header"))?;
@@ -76,11 +92,7 @@ impl UdpDatagram {
                 return Err(NetError::BadChecksum("udp"));
             }
         }
-        Ok(UdpDatagram {
-            src_port,
-            dst_port,
-            payload: bytes[8..len].to_vec(),
-        })
+        Ok((src_port, dst_port, &bytes[8..len]))
     }
 }
 

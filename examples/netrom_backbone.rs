@@ -97,12 +97,12 @@ fn main() {
     world.run_for(SimDuration::from_secs(60));
 
     let got = world.host_mut(east).stack.udp_recv(udp);
-    match got.first() {
+    match got {
         Some((src, port, payload)) => {
             println!(
                 "t={}  EGATE's UDP socket received from {src}:{port}: {:?}",
                 world.now,
-                String::from_utf8_lossy(payload)
+                String::from_utf8_lossy(payload.as_slice())
             );
         }
         None => println!("datagram did not arrive (unexpected)"),

@@ -28,6 +28,8 @@ echo "==> cargo bench -p bench --bench vj_hdr"
 cargo bench -p bench --bench vj_hdr | tee -a "$tmp"
 echo "==> cargo bench -p bench --bench byte_kernels"
 cargo bench -p bench --bench byte_kernels | tee -a "$tmp"
+echo "==> cargo bench -p bench --bench socket_ops"
+cargo bench -p bench --bench socket_ops | tee -a "$tmp"
 
 # "name median" pairs from Criterion's "<name> ... <median> ns/iter" lines.
 awk '

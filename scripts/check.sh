@@ -28,6 +28,9 @@ cargo bench -p bench --bench vj_hdr -- --test
 echo "==> cargo bench -p bench --bench byte_kernels -- --test"
 cargo bench -p bench --bench byte_kernels -- --test
 
+echo "==> cargo bench -p bench --bench socket_ops -- --test"
+cargo bench -p bench --bench socket_ops -- --test
+
 echo "==> scripts/bench.sh (non-gating)"
 bash scripts/bench.sh || echo "WARN: bench snapshot failed (non-gating)"
 

@@ -38,6 +38,7 @@ pub struct Pinger {
     count: u32,
     interval: SimDuration,
     payload_len: usize,
+    start_delay: SimDuration,
     next_at: Option<SimTime>,
     next_seq: u16,
     in_flight: HashMap<u16, SimTime>,
@@ -60,11 +61,20 @@ impl Pinger {
             count,
             interval,
             payload_len,
+            start_delay: SimDuration::ZERO,
             next_at: None,
             next_seq: 1,
             in_flight: HashMap::new(),
             report: crate::shared(PingReport::default()),
         }
+    }
+
+    /// Delays the first request by `delay` after start. Staggered starts
+    /// keep a many-pinger scenario (E15's mesh) from synchronizing every
+    /// station's first CSMA contention on the same instant.
+    pub fn delayed(mut self, delay: SimDuration) -> Pinger {
+        self.start_delay = delay;
+        self
     }
 
     /// The shared report handle.
@@ -75,7 +85,7 @@ impl Pinger {
 
 impl App for Pinger {
     fn on_start(&mut self, now: SimTime, _host: &mut Host) {
-        self.next_at = Some(now);
+        self.next_at = Some(now + self.start_delay);
     }
 
     fn poll(&mut self, now: SimTime, host: &mut Host) {

@@ -226,11 +226,68 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
+/// Worker-count scaling on a 16-island mesh (DESIGN.md §11): the same
+/// world stepped by the sharded engine at 1, 2, 4, and 8 workers, plus
+/// the full-scan reference. On a multi-core host the worker sweep shows
+/// speedup; on a single core it shows coordination overhead — either way
+/// the digest is bit-identical (asserted in `shard_equivalence`), so the
+/// numbers are comparable. bench.sh stamps each row's worker count into
+/// the `threads` field via the `_<n>w` name suffix.
+fn bench_engine_shard(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_shard");
+    g.sample_size(10);
+
+    fn mesh_setup() -> gateway::scenario::MeshNet {
+        let gateways = 16;
+        let mut m = gateway::scenario::mesh(gateways, 2, 3);
+        for gw in 0..gateways {
+            let p = apps::ping::Pinger::new(
+                gateway::scenario::city::host_ip((gw + 1) % gateways, 0),
+                gw as u16,
+                2,
+                SimDuration::from_secs(5),
+                64,
+            )
+            .delayed(SimDuration::from_millis(200 + (37 * gw as u64) % 1800));
+            m.world.add_app(m.hosts[gw][0], Box::new(p));
+        }
+        m
+    }
+    g.bench_function("mesh16_30s_reference", |b| {
+        b.iter_batched(
+            mesh_setup,
+            |mut m| {
+                m.world.run_until_reference(SimTime::from_secs(30));
+                black_box(m.world.now)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_function(&format!("mesh16_30s_{workers}w"), |b| {
+            b.iter_batched(
+                || {
+                    let mut m = mesh_setup();
+                    m.world.set_workers(workers);
+                    m
+                },
+                |mut m| {
+                    m.world.run_for(SimDuration::from_secs(30));
+                    black_box(m.world.now)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
     bench_tcp_machine,
     bench_world,
-    bench_engine
+    bench_engine,
+    bench_engine_shard
 );
 criterion_main!(benches);

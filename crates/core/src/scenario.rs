@@ -29,7 +29,7 @@ use crate::cpu::CpuConfig;
 use crate::host::{EtherIfConfig, HostConfig, RadioIfConfig};
 use crate::hwaddr::Ax25Hw;
 use crate::ripd::RipConfig;
-use crate::world::{ChanId, HostId, SegId, TncId, World};
+use crate::world::{ChanId, HostId, SegId, ShardId, TncId, World};
 
 /// The gateway's radio-side address (the paper's actual assignment).
 pub const GW_RADIO_IP: Ipv4Addr = Ipv4Addr::new(44, 24, 0, 28);
@@ -598,6 +598,191 @@ pub fn three_gateway(cfg: &PaperConfig, rip: RipConfig, seed: u64) -> MeshScenar
         west_tunnels,
         east_tunnels,
         gulf_tunnels,
+    }
+}
+
+// --- City-scale mesh (E15) ---------------------------------------------
+
+/// Address and callsign scheme for [`mesh`] topologies.
+///
+/// Gateway `g` serves radio subnet `44.(g>>8).(g&255).0/24` — itself at
+/// host octet 1, attached host `i` at octet `2 + i` — and sits on the
+/// shared Ethernet as `10.(g>>8).(g&255).1/8`. The wired internet host is
+/// `10.255.255.1`.
+pub mod city {
+    use std::net::Ipv4Addr;
+
+    /// The wired-internet host on the Ethernet.
+    pub const INTERNET_IP: Ipv4Addr = Ipv4Addr::new(10, 255, 255, 1);
+
+    /// Gateway `g`'s radio-side address.
+    pub fn gw_radio_ip(g: usize) -> Ipv4Addr {
+        Ipv4Addr::new(44, (g >> 8) as u8, (g & 0xff) as u8, 1)
+    }
+
+    /// Gateway `g`'s Ethernet-side address.
+    pub fn gw_ether_ip(g: usize) -> Ipv4Addr {
+        Ipv4Addr::new(10, (g >> 8) as u8, (g & 0xff) as u8, 1)
+    }
+
+    /// Radio host `i` behind gateway `g`.
+    pub fn host_ip(g: usize, i: usize) -> Ipv4Addr {
+        Ipv4Addr::new(44, (g >> 8) as u8, (g & 0xff) as u8, (2 + i) as u8)
+    }
+
+    /// Gateway `g`'s callsign (`GW0042`).
+    pub fn gw_call(g: usize) -> String {
+        format!("GW{g:04}")
+    }
+
+    /// Radio host `(g, i)`'s callsign (`H04207`).
+    pub fn host_call(g: usize, i: usize) -> String {
+        format!("H{g:03}{i:02}")
+    }
+}
+
+/// The full-mesh encapsulation table a [`mesh`] gateway carries: every
+/// other gateway's subnet maps O(1) — by arithmetic on the destination's
+/// middle octets — to that gateway's Ethernet address. Static tunnels
+/// stand in for §4.2's RIP exchange at city scale, where a thousand
+/// gateways' periodic broadcasts would swamp both the simulated Ethernet
+/// and the benchmark's purpose (measuring the engine, not RIP chatter).
+#[derive(Debug, Clone)]
+pub struct StaticTunnels {
+    own: usize,
+    gateways: usize,
+}
+
+impl netstack::stack::TunnelMap for StaticTunnels {
+    fn endpoint(&mut self, dst: Ipv4Addr) -> Option<Ipv4Addr> {
+        let o = dst.octets();
+        if o[0] != 44 {
+            return None;
+        }
+        let g = (usize::from(o[1]) << 8) | usize::from(o[2]);
+        if g == self.own || g >= self.gateways {
+            return None;
+        }
+        Some(city::gw_ether_ip(g))
+    }
+}
+
+/// A built [`mesh`] topology.
+pub struct MeshNet {
+    /// The world (one shard per gateway).
+    pub world: World,
+    /// The shared Ethernet segment.
+    pub seg: SegId,
+    /// The wired-internet host (shard 0, Ethernet only).
+    pub internet_host: HostId,
+    /// Gateway `g`, living in shard `g`.
+    pub gateways: Vec<HostId>,
+    /// Gateway `g`'s radio channel.
+    pub channels: Vec<ChanId>,
+    /// `hosts[g][i]` — radio host `i` behind gateway `g`.
+    pub hosts: Vec<Vec<HostId>>,
+}
+
+/// Builds the city-scale AMPRnet of EXPERIMENTS.md E15: `gateways` radio
+/// islands — one 1200 b/s channel, one MicroVAX gateway, `hosts_per_gw`
+/// PCs each — joined by one department Ethernet carrying IPIP tunnels
+/// between every gateway pair, plus a wired internet host routing net 44
+/// via gateway 0 (§4.2's aggregate-route premise).
+///
+/// Each island is its own shard, so the sharded engine steps islands in
+/// parallel; only tunnel traffic crosses shard boundaries. Routing is
+/// static ([`StaticTunnels`]); the MAC keeps its nonzero default slot
+/// time, which the DESIGN.md §11 digest-equivalence contract requires.
+/// No traffic is installed — callers attach their own apps.
+pub fn mesh(gateways: usize, hosts_per_gw: usize, seed: u64) -> MeshNet {
+    assert!((1..=1000).contains(&gateways), "1..=1000 gateways");
+    assert!(hosts_per_gw <= 97, "host octets run 44.x.y.2 ..= 44.x.y.99");
+    let cfg = PaperConfig::default();
+    let mut world = World::new(seed);
+    let seg = world.add_segment(Bandwidth::ETHERNET_10M);
+
+    let mut gw_ids = Vec::with_capacity(gateways);
+    let mut chans = Vec::with_capacity(gateways);
+    let mut hosts = Vec::with_capacity(gateways);
+    for g in 0..gateways {
+        let shard = if g == 0 {
+            ShardId::ZERO
+        } else {
+            world.add_shard()
+        };
+        let chan = world.add_channel_in(shard, cfg.radio_rate);
+
+        let mut gc = HostConfig::named(&city::gw_call(g));
+        gc.cpu = cfg.cpu;
+        gc.stack.forwarding = true;
+        gc.stack.ipip = true;
+        gc.radio = Some(RadioIfConfig {
+            call: Ax25Addr::parse_or_panic(&city::gw_call(g)),
+            ip: city::gw_radio_ip(g),
+            prefix_len: 24,
+        });
+        gc.ether = Some(EtherIfConfig {
+            mac: MacAddr::local((1 + g) as u16),
+            ip: city::gw_ether_ip(g),
+            prefix_len: 8,
+        });
+        let gw = world.add_host_in(shard, gc);
+        world.attach_radio(gw, chan, cfg.serial_baud, cfg.tnc_mode, cfg.mac);
+        world.attach_ether(gw, seg);
+        world
+            .host_mut(gw)
+            .stack
+            .set_tunnel_map(Box::new(StaticTunnels { own: g, gateways }));
+
+        let mut island = Vec::with_capacity(hosts_per_gw);
+        for i in 0..hosts_per_gw {
+            let mut hc = HostConfig::named(&city::host_call(g, i));
+            hc.cpu = cfg.cpu;
+            hc.radio = Some(RadioIfConfig {
+                call: Ax25Addr::parse_or_panic(&city::host_call(g, i)),
+                ip: city::host_ip(g, i),
+                prefix_len: 24,
+            });
+            let h = world.add_host_in(shard, hc);
+            world.attach_radio(h, chan, cfg.serial_baud, cfg.tnc_mode, cfg.mac);
+            let h_if = world.host(h).radio_iface().expect("radio host");
+            world.host_mut(h).stack.routes_mut().add(
+                Prefix::default_route(),
+                Some(city::gw_radio_ip(g)),
+                h_if,
+            );
+            island.push(h);
+        }
+        gw_ids.push(gw);
+        chans.push(chan);
+        hosts.push(island);
+    }
+
+    // The wired internet: one free-CPU host holding §4.2's aggregate —
+    // all of net 44 via a single gateway.
+    let mut ih = HostConfig::named("internet");
+    ih.cpu = CpuConfig::free();
+    ih.ether = Some(EtherIfConfig {
+        mac: MacAddr::local(0),
+        ip: city::INTERNET_IP,
+        prefix_len: 8,
+    });
+    let internet_host = world.add_host(ih);
+    world.attach_ether(internet_host, seg);
+    let ih_if = world.host(internet_host).ether_iface().expect("ether host");
+    world.host_mut(internet_host).stack.routes_mut().add(
+        Prefix::amprnet(),
+        Some(city::gw_ether_ip(0)),
+        ih_if,
+    );
+
+    MeshNet {
+        world,
+        seg,
+        internet_host,
+        gateways: gw_ids,
+        channels: chans,
+        hosts,
     }
 }
 

@@ -1,0 +1,1357 @@
+//! Per-shard simulation state and stepping engine.
+//!
+//! A shard owns a closed island of components — radio channels, serial
+//! lines, TNCs, digipeaters, beacons, hosts, and apps — plus its own
+//! deadline calendar, dirty set, RNG stream, and clock. Everything inside
+//! a shard interacts synchronously exactly as the original single-world
+//! engine did; the only way in or out is the Ethernet, which the world
+//! coordinator mediates between windows (DESIGN.md §11):
+//!
+//! * **Outbound**: in a multi-shard world a host's `EtherTx` is not
+//!   applied to the segment directly; it is appended to `ether_out`
+//!   stamped `(time, seq)` and the coordinator turns it into a segment
+//!   send at `time + lookahead`.
+//! * **Inbound**: the coordinator pre-computes segment deliveries and
+//!   pushes them into `ether_in` with their exact delivery times, in
+//!   nondecreasing time order; the shard consumes entries at their stamps
+//!   as settle step 4 (exactly where direct segment delivery sits in the
+//!   single-shard engine). Spent frames go to `spent` for the coordinator
+//!   to recycle — the hand-off allocates nothing once warm.
+//!
+//! In a single-shard world the shard is handed the segments directly
+//! (`Segs = Some(..)`) and this module's engines are byte-for-byte the
+//! pre-shard `World` engines: same pass structure, same RNG draws, same
+//! calendar traffic, same event streams.
+
+use ether::{EtherFrame, NicId, Segment};
+use netstack::stack::StackAction;
+use radio::channel::{Channel, StationId};
+use radio::digi::Digipeater;
+use radio::tnc::Tnc;
+use radio::traffic::BeaconStation;
+use serial::{End, SerialLine};
+use sim::mailbox::Mailbox;
+use sim::sched::Scheduler;
+use sim::trace::Trace;
+use sim::{SimRng, SimTime};
+
+use crate::host::{Host, HostOut};
+use crate::world::{App, HostId};
+
+pub(crate) use cell::ShardBox;
+
+/// Segment access mode for a shard step: a single-shard world hands the
+/// engine its segments (`Some`), a multi-shard world defers all Ethernet
+/// traffic to the coordinator (`None`).
+pub(crate) type Segs<'a> = Option<&'a mut Vec<Segment>>;
+
+pub(crate) struct TncEntry {
+    pub tnc: Tnc,
+    /// Shard-local channel index.
+    pub chan: usize,
+    /// Shard-local serial-line index.
+    pub line: usize,
+}
+
+pub(crate) struct DigiEntry {
+    pub digi: Digipeater,
+    pub chan: usize,
+}
+
+pub(crate) struct BeaconEntry {
+    pub beacon: BeaconStation,
+    pub chan: usize,
+}
+
+pub(crate) struct HostEntry {
+    pub host: Host,
+    /// Shard-local serial line whose A end this host holds.
+    pub serial: Option<usize>,
+    /// Ethernet attachment: world segment index + NIC.
+    pub nic: Option<(usize, NicId)>,
+}
+
+pub(crate) struct AppEntry {
+    /// Shard-local host index.
+    pub host: usize,
+    pub app: Box<dyn App>,
+    pub started: bool,
+}
+
+/// A component key in the deadline index and dirty set (shard-local
+/// indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Key {
+    Line(usize),
+    Chan(usize),
+    Seg(usize),
+    Tnc(usize),
+    Digi(usize),
+    Beacon(usize),
+    Host(usize),
+    App(usize),
+}
+
+/// One category's dirty members: a flag per component for O(1) dedup,
+/// plus the list of marked indices so the settle pass visits only dirty
+/// components instead of sweeping every flag.
+#[derive(Default)]
+pub(crate) struct DirtyCat {
+    flags: Vec<bool>,
+    list: Vec<usize>,
+}
+
+impl DirtyCat {
+    fn reset(&mut self, n: usize) {
+        self.flags.clear();
+        self.flags.resize(n, true);
+        self.list.clear();
+        self.list.extend(0..n);
+    }
+
+    fn reset_clear(&mut self, n: usize) {
+        self.flags.clear();
+        self.flags.resize(n, false);
+        self.list.clear();
+    }
+
+    /// Marks `i`; returns whether it was newly marked.
+    fn mark(&mut self, i: usize) -> bool {
+        if self.flags[i] {
+            false
+        } else {
+            self.flags[i] = true;
+            self.list.push(i);
+            true
+        }
+    }
+
+    /// Drains the current marks into `todo`, sorted ascending (component
+    /// index order — the deterministic processing order), clearing the
+    /// flags. Marks made while processing land in the next drain.
+    fn drain_into(&mut self, todo: &mut Vec<usize>) -> usize {
+        todo.clear();
+        todo.append(&mut self.list);
+        todo.sort_unstable();
+        for &i in todo.iter() {
+            self.flags[i] = false;
+        }
+        todo.len()
+    }
+}
+
+/// Per-category dirty sets with an exact total count, so the run loop can
+/// tell in O(1) whether any work is pending.
+#[derive(Default)]
+struct DirtySet {
+    lines: DirtyCat,
+    chans: DirtyCat,
+    segs: DirtyCat,
+    tncs: DirtyCat,
+    digis: DirtyCat,
+    beacons: DirtyCat,
+    hosts: DirtyCat,
+    apps: DirtyCat,
+    count: usize,
+}
+
+impl DirtySet {
+    fn cat(&mut self, key: Key) -> (&mut DirtyCat, usize) {
+        match key {
+            Key::Line(i) => (&mut self.lines, i),
+            Key::Chan(i) => (&mut self.chans, i),
+            Key::Seg(i) => (&mut self.segs, i),
+            Key::Tnc(i) => (&mut self.tncs, i),
+            Key::Digi(i) => (&mut self.digis, i),
+            Key::Beacon(i) => (&mut self.beacons, i),
+            Key::Host(i) => (&mut self.hosts, i),
+            Key::App(i) => (&mut self.apps, i),
+        }
+    }
+
+    fn mark(&mut self, key: Key) {
+        let (cat, i) = self.cat(key);
+        if cat.mark(i) {
+            self.count += 1;
+        }
+    }
+
+    /// Marks every component of every category dirty.
+    fn mark_all(&mut self, sizes: [usize; 8]) {
+        let [l, c, s, t, d, b, h, a] = sizes;
+        self.lines.reset(l);
+        self.chans.reset(c);
+        self.segs.reset(s);
+        self.tncs.reset(t);
+        self.digis.reset(d);
+        self.beacons.reset(b);
+        self.hosts.reset(h);
+        self.apps.reset(a);
+        self.count = l + c + s + t + d + b + h + a;
+    }
+}
+
+/// World-side mirror of each component's currently registered deadline.
+/// Most re-registrations after a poll are no-ops (the deadline did not
+/// move); comparing against this dense cache answers that in one vector
+/// load instead of a calendar map lookup.
+#[derive(Default)]
+struct CalCache {
+    lines: Vec<Option<SimTime>>,
+    chans: Vec<Option<SimTime>>,
+    segs: Vec<Option<SimTime>>,
+    tncs: Vec<Option<SimTime>>,
+    digis: Vec<Option<SimTime>>,
+    beacons: Vec<Option<SimTime>>,
+    hosts: Vec<Option<SimTime>>,
+    apps: Vec<Option<SimTime>>,
+}
+
+impl CalCache {
+    fn reset(&mut self, sizes: [usize; 8]) {
+        let [l, c, s, t, d, b, h, a] = sizes;
+        for (v, n) in [
+            (&mut self.lines, l),
+            (&mut self.chans, c),
+            (&mut self.segs, s),
+            (&mut self.tncs, t),
+            (&mut self.digis, d),
+            (&mut self.beacons, b),
+            (&mut self.hosts, h),
+            (&mut self.apps, a),
+        ] {
+            v.clear();
+            v.resize(n, None);
+        }
+    }
+
+    fn slot(&mut self, key: Key) -> &mut Option<SimTime> {
+        match key {
+            Key::Line(i) => &mut self.lines[i],
+            Key::Chan(i) => &mut self.chans[i],
+            Key::Seg(i) => &mut self.segs[i],
+            Key::Tnc(i) => &mut self.tncs[i],
+            Key::Digi(i) => &mut self.digis[i],
+            Key::Beacon(i) => &mut self.beacons[i],
+            Key::Host(i) => &mut self.hosts[i],
+            Key::App(i) => &mut self.apps[i],
+        }
+    }
+}
+
+/// A deferred Ethernet transmission, collected by the coordinator at the
+/// next window barrier. `(time, shard, seq)` orders concurrent sends
+/// deterministically regardless of worker count.
+pub(crate) struct OutFrame {
+    /// Emission time (the host's flush instant).
+    pub time: SimTime,
+    /// Per-shard emission sequence number.
+    pub seq: u64,
+    /// World segment index.
+    pub seg: usize,
+    pub nic: NicId,
+    pub frame: EtherFrame,
+}
+
+/// A timed cross-shard delivery: `(delivery time, local host, frame)`.
+pub(crate) type InFrame = (SimTime, usize, EtherFrame);
+
+/// One shard's components, calendar, and clock. See the module docs.
+pub(crate) struct ShardData {
+    pub now: SimTime,
+    pub rng: SimRng,
+    pub trace: Trace,
+    pub channels: Vec<Channel>,
+    pub lines: Vec<SerialLine>,
+    pub tncs: Vec<TncEntry>,
+    pub digis: Vec<DigiEntry>,
+    pub beacons: Vec<BeaconEntry>,
+    pub hosts: Vec<HostEntry>,
+    pub apps: Vec<AppEntry>,
+    /// Global `HostId` of each local host (event attribution).
+    pub host_gids: Vec<usize>,
+    pub record_events: bool,
+    /// Events recorded this window, in shard-local time order.
+    pub events: Vec<(HostId, SimTime, StackAction)>,
+    /// Incoming cross-shard deliveries (multi-shard worlds only).
+    pub ether_in: Mailbox<InFrame>,
+    /// Outgoing deferred transmissions (multi-shard worlds only).
+    pub ether_out: Vec<OutFrame>,
+    /// Consumed delivery frames, returned to the coordinator's pool.
+    pub spent: Vec<EtherFrame>,
+    out_seq: u64,
+    sched: Scheduler<Key>,
+    dirty: DirtySet,
+    /// Routing maps rebuilt by `sync_all` (first match, like the
+    /// reference stepper's linear `find`).
+    line_host: Vec<Option<usize>>,
+    line_tnc: Vec<Option<usize>>,
+    chan_tncs: Vec<Vec<usize>>,
+    chan_digis: Vec<Vec<usize>>,
+    chan_beacons: Vec<Vec<usize>>,
+    host_apps: Vec<Vec<usize>>,
+    /// Hosts to flush after the app-poll step of the current pass.
+    flush_after_apps: DirtyCat,
+    cal: CalCache,
+    /// Reusable buffer for draining dirty lists in index order.
+    scratch: Vec<usize>,
+    /// Reusable buffer for batched serial runs in the fast lane.
+    run_scratch: Vec<u8>,
+    /// Reusable buffer for popped calendar keys.
+    key_scratch: Vec<Key>,
+}
+
+impl ShardData {
+    pub(crate) fn new(rng: SimRng) -> ShardData {
+        ShardData {
+            now: SimTime::ZERO,
+            rng,
+            trace: Trace::disabled(),
+            channels: Vec::new(),
+            lines: Vec::new(),
+            tncs: Vec::new(),
+            digis: Vec::new(),
+            beacons: Vec::new(),
+            hosts: Vec::new(),
+            apps: Vec::new(),
+            host_gids: Vec::new(),
+            record_events: true,
+            events: Vec::new(),
+            ether_in: Mailbox::new(),
+            ether_out: Vec::new(),
+            spent: Vec::new(),
+            out_seq: 0,
+            sched: Scheduler::new(),
+            dirty: DirtySet::default(),
+            line_host: Vec::new(),
+            line_tnc: Vec::new(),
+            chan_tncs: Vec::new(),
+            chan_digis: Vec::new(),
+            chan_beacons: Vec::new(),
+            host_apps: Vec::new(),
+            flush_after_apps: DirtyCat::default(),
+            cal: CalCache::default(),
+            scratch: Vec::new(),
+            run_scratch: Vec::new(),
+            key_scratch: Vec::new(),
+        }
+    }
+
+    /// Replaces the calendar backend (entries rebuild at the next sync).
+    pub(crate) fn set_sched(&mut self, sched: Scheduler<Key>) {
+        self.sched = sched;
+    }
+
+    pub(crate) fn sched_stats(&self) -> sim::sched::SchedStats {
+        self.sched.stats()
+    }
+
+    /// The earliest thing this shard must wake for: its calendar head and
+    /// any queued cross-shard delivery. (Indexed engine's view of time.)
+    pub(crate) fn next_event_indexed(&mut self) -> Option<SimTime> {
+        let sp = self.sched.peek_time();
+        let ep = self.ether_in.peek().map(|e| e.0);
+        match (sp, ep) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
+    }
+
+    /// The earliest self-reported deadline of any component, by scanning
+    /// every component (the reference stepper's view of time).
+    pub(crate) fn scan_next_deadline(&self, segs: Option<&Vec<Segment>>) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        let mut fold = |t: Option<SimTime>| {
+            if let Some(t) = t {
+                best = Some(best.map_or(t, |b: SimTime| b.min(t)));
+            }
+        };
+        for l in &self.lines {
+            fold(l.next_deadline());
+        }
+        for c in &self.channels {
+            fold(c.next_deadline());
+        }
+        if let Some(segments) = segs {
+            for s in segments {
+                fold(s.next_deadline());
+            }
+        }
+        for t in &self.tncs {
+            fold(t.tnc.next_deadline());
+        }
+        for d in &self.digis {
+            fold(d.digi.next_deadline());
+        }
+        for b in &self.beacons {
+            fold(b.beacon.next_deadline());
+        }
+        for h in &self.hosts {
+            fold(h.host.next_deadline());
+        }
+        for a in &self.apps {
+            fold(a.app.next_deadline());
+        }
+        fold(self.ether_in.peek().map(|e| e.0));
+        best
+    }
+
+    pub(crate) fn start_apps(&mut self) {
+        let now = self.now;
+        let mut apps = std::mem::take(&mut self.apps);
+        for entry in &mut apps {
+            if !entry.started {
+                entry.started = true;
+                entry.app.on_start(now, &mut self.hosts[entry.host].host);
+            }
+        }
+        self.apps = apps;
+    }
+
+    /// Rebuilds the routing maps, registers every component's current
+    /// deadline, and marks everything dirty — run-call entry is the one
+    /// moment external mutations (via `host_mut`, `tnc_mut`, new
+    /// components…) can have happened without the world noticing.
+    pub(crate) fn sync_all(&mut self, segs: &mut Segs<'_>) {
+        self.line_host = vec![None; self.lines.len()];
+        for (hi, h) in self.hosts.iter().enumerate() {
+            if let Some(li) = h.serial {
+                if self.line_host[li].is_none() {
+                    self.line_host[li] = Some(hi);
+                }
+            }
+        }
+        self.line_tnc = vec![None; self.lines.len()];
+        for (ti, t) in self.tncs.iter().enumerate() {
+            if self.line_tnc[t.line].is_none() {
+                self.line_tnc[t.line] = Some(ti);
+            }
+        }
+        self.chan_tncs = vec![Vec::new(); self.channels.len()];
+        for (ti, t) in self.tncs.iter().enumerate() {
+            self.chan_tncs[t.chan].push(ti);
+        }
+        self.chan_digis = vec![Vec::new(); self.channels.len()];
+        for (di, d) in self.digis.iter().enumerate() {
+            self.chan_digis[d.chan].push(di);
+        }
+        self.chan_beacons = vec![Vec::new(); self.channels.len()];
+        for (bi, b) in self.beacons.iter().enumerate() {
+            self.chan_beacons[b.chan].push(bi);
+        }
+        self.host_apps = vec![Vec::new(); self.hosts.len()];
+        for (ai, a) in self.apps.iter().enumerate() {
+            self.host_apps[a.host].push(ai);
+        }
+        let nsegs = segs.as_ref().map_or(0, |s| s.len());
+        let sizes = [
+            self.lines.len(),
+            self.channels.len(),
+            nsegs,
+            self.tncs.len(),
+            self.digis.len(),
+            self.beacons.len(),
+            self.hosts.len(),
+            self.apps.len(),
+        ];
+        self.flush_after_apps.reset_clear(self.hosts.len());
+        self.cal.reset(sizes);
+        self.dirty.mark_all(sizes);
+        for li in 0..self.lines.len() {
+            self.reg_line(li);
+        }
+        for ci in 0..self.channels.len() {
+            self.reg_chan(ci);
+        }
+        if let Some(segments) = segs {
+            for si in 0..segments.len() {
+                self.reg_seg(si, segments);
+            }
+        }
+        for ti in 0..self.tncs.len() {
+            self.reg_tnc(ti);
+        }
+        for di in 0..self.digis.len() {
+            self.reg_digi(di);
+        }
+        for bi in 0..self.beacons.len() {
+            self.reg_beacon(bi);
+        }
+        for hi in 0..self.hosts.len() {
+            self.reg_host(hi);
+        }
+        for ai in 0..self.apps.len() {
+            self.reg_app(ai);
+        }
+    }
+
+    // Deadline-change reporting: re-register a component after anything
+    // may have moved its deadline. Unchanged deadlines are a no-op.
+
+    fn reg_line(&mut self, li: usize) {
+        let d = self.lines[li].next_deadline();
+        match self.cal.lines.get_mut(li) {
+            // Cache hit: the calendar already holds this deadline.
+            Some(slot) if *slot == d => {
+                self.sched.stats_mut().unchanged += 1;
+                return;
+            }
+            Some(slot) => *slot = d,
+            // Reference stepper: sync_all never sized the cache.
+            None => {}
+        }
+        self.sched.set_deadline(Key::Line(li), d);
+    }
+
+    fn reg_chan(&mut self, ci: usize) {
+        let d = self.channels[ci].next_deadline();
+        match self.cal.chans.get_mut(ci) {
+            Some(slot) if *slot == d => {
+                self.sched.stats_mut().unchanged += 1;
+                return;
+            }
+            Some(slot) => *slot = d,
+            None => {}
+        }
+        self.sched.set_deadline(Key::Chan(ci), d);
+    }
+
+    fn reg_seg(&mut self, si: usize, segments: &[Segment]) {
+        let d = segments[si].next_deadline();
+        match self.cal.segs.get_mut(si) {
+            Some(slot) if *slot == d => {
+                self.sched.stats_mut().unchanged += 1;
+                return;
+            }
+            Some(slot) => *slot = d,
+            None => {}
+        }
+        self.sched.set_deadline(Key::Seg(si), d);
+    }
+
+    fn reg_tnc(&mut self, ti: usize) {
+        let d = self.tncs[ti].tnc.next_deadline();
+        match self.cal.tncs.get_mut(ti) {
+            Some(slot) if *slot == d => {
+                self.sched.stats_mut().unchanged += 1;
+                return;
+            }
+            Some(slot) => *slot = d,
+            None => {}
+        }
+        self.sched.set_deadline(Key::Tnc(ti), d);
+    }
+
+    fn reg_digi(&mut self, di: usize) {
+        let d = self.digis[di].digi.next_deadline();
+        match self.cal.digis.get_mut(di) {
+            Some(slot) if *slot == d => {
+                self.sched.stats_mut().unchanged += 1;
+                return;
+            }
+            Some(slot) => *slot = d,
+            None => {}
+        }
+        self.sched.set_deadline(Key::Digi(di), d);
+    }
+
+    fn reg_beacon(&mut self, bi: usize) {
+        let d = self.beacons[bi].beacon.next_deadline();
+        match self.cal.beacons.get_mut(bi) {
+            Some(slot) if *slot == d => {
+                self.sched.stats_mut().unchanged += 1;
+                return;
+            }
+            Some(slot) => *slot = d,
+            None => {}
+        }
+        self.sched.set_deadline(Key::Beacon(bi), d);
+    }
+
+    fn reg_host(&mut self, hi: usize) {
+        let d = self.hosts[hi].host.next_deadline();
+        match self.cal.hosts.get_mut(hi) {
+            Some(slot) if *slot == d => {
+                self.sched.stats_mut().unchanged += 1;
+                return;
+            }
+            Some(slot) => *slot = d,
+            None => {}
+        }
+        self.sched.set_deadline(Key::Host(hi), d);
+    }
+
+    fn reg_app(&mut self, ai: usize) {
+        let d = self.apps[ai].app.next_deadline();
+        match self.cal.apps.get_mut(ai) {
+            Some(slot) if *slot == d => {
+                self.sched.stats_mut().unchanged += 1;
+                return;
+            }
+            Some(slot) => *slot = d,
+            None => {}
+        }
+        self.sched.set_deadline(Key::App(ai), d);
+    }
+
+    /// Marks every app on host `hi` dirty (the host was touched, so apps
+    /// watching its state — windows, tty queue — must get a poll).
+    fn mark_apps(&mut self, hi: usize) {
+        for i in 0..self.host_apps[hi].len() {
+            let ai = self.host_apps[hi][i];
+            self.dirty.mark(Key::App(ai));
+        }
+    }
+
+    /// The earliest *other* event competing with the fast lane: the
+    /// calendar head and any queued cross-shard delivery.
+    fn other_next(&mut self) -> Option<SimTime> {
+        let sp = self.sched.peek_time();
+        let ep = self.ether_in.peek().map(|e| e.0);
+        match (sp, ep) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
+    }
+
+    /// The indexed run loop over one window: pop due keys from the
+    /// calendar (and due cross-shard deliveries), mark them dirty, settle
+    /// the instant over dirty components only.
+    pub(crate) fn run_window_indexed(&mut self, w_end: SimTime, segs: &mut Segs<'_>) {
+        let mut popped = std::mem::take(&mut self.key_scratch);
+        while let Some(d) = self.next_event_indexed() {
+            if d > w_end {
+                break;
+            }
+            if d > self.now {
+                self.now = d;
+                self.sched.stats_mut().instants += 1;
+            }
+            popped.clear();
+            while self.sched.peek_time().is_some_and(|pt| pt <= self.now) {
+                let k = self.sched.pop().expect("peeked entry pops").1;
+                *self.cal.slot(k) = None;
+                popped.push(k);
+            }
+            // Dense per-character band: a lone serial-line deadline with no
+            // other pending work takes the batched fast lane.
+            if popped.len() == 1
+                && self.dirty.count == 0
+                && self.ether_in.peek().is_none_or(|e| e.0 > self.now)
+            {
+                if let Key::Line(li) = popped[0] {
+                    self.key_scratch = std::mem::take(&mut popped);
+                    self.serial_fast_lane(li, w_end, segs);
+                    popped = std::mem::take(&mut self.key_scratch);
+                    continue;
+                }
+            }
+            for &key in &popped {
+                self.dirty.mark(key);
+            }
+            self.settle_dirty(false, segs);
+        }
+        self.key_scratch = popped;
+    }
+
+    /// The reference run loop over one window: scan for the earliest
+    /// deadline, advance, re-poll everything until quiescent.
+    pub(crate) fn run_window_scan(&mut self, w_end: SimTime, segs: &mut Segs<'_>) {
+        while let Some(d) = self.scan_next_deadline(segs.as_deref()) {
+            if d > w_end {
+                break;
+            }
+            self.now = self.now.max(d);
+            self.settle_scan(segs);
+        }
+    }
+
+    /// Batched serial delivery (the lone-line instant). Advances character
+    /// by character at exact completion times with **zero calendar traffic
+    /// per byte**, as long as each delivered character is *quiet*: the
+    /// receiver's deadline, pending output, tty queue, and (TNC side)
+    /// frame/param counters are unchanged — i.e. only the per-character
+    /// interrupt accounting happened, which stays per-byte (§3). The first
+    /// non-quiet character (frame boundary, param command) falls back to a
+    /// full settle at its exact instant.
+    fn serial_fast_lane(&mut self, li: usize, limit: SimTime, segs: &mut Segs<'_>) {
+        let host_idx = self.line_host[li];
+        let tnc_idx = self.line_tnc[li];
+        let mut run_buf = std::mem::take(&mut self.run_scratch);
+        loop {
+            let mut quiet = true;
+            // Run batching: when one direction carries a clean burst, pull
+            // every character up to (and including) the next FEND in a
+            // single call and hand the whole slice to the receiver's bulk
+            // path. Characters before a FEND are provably quiet — they can
+            // only be buffered — so the one quiet check at the run's end
+            // observes everything the per-character loop would have.
+            // Counter bookkeeping matches that loop exactly: `m` batched
+            // characters and `m − 1` further time instants (the first was
+            // counted when this deadline popped).
+            let before = self.other_next();
+            if let Some(run) =
+                self.lines[li].take_run(self.now, limit, before, kiss::FEND, &mut run_buf)
+            {
+                let m = run_buf.len() as u64;
+                self.sched.stats_mut().batched_chars += m;
+                self.sched.stats_mut().instants += m - 1;
+                self.now = run.t_last;
+                match run.to {
+                    End::A => {
+                        if let Some(hi) = host_idx {
+                            let char_time = self.lines[li].config().char_time();
+                            let h = &mut self.hosts[hi].host;
+                            let before_dl = h.next_deadline();
+                            let before_tty = h.tty_len();
+                            h.on_serial_run(run.t0, char_time, &run_buf);
+                            if h.has_pending_output()
+                                || h.next_deadline() != before_dl
+                                || h.tty_len() != before_tty
+                            {
+                                self.dirty.mark(Key::Host(hi));
+                                self.mark_apps(hi);
+                                quiet = false;
+                            }
+                        }
+                    }
+                    End::B => {
+                        if let Some(ti) = tnc_idx {
+                            let t = &mut self.tncs[ti].tnc;
+                            let before_dl = t.next_deadline();
+                            let s = t.stats();
+                            let before = (s.from_host, s.params);
+                            t.on_serial_bytes(&run_buf);
+                            let s = t.stats();
+                            if (s.from_host, s.params) != before || t.next_deadline() != before_dl {
+                                self.dirty.mark(Key::Tnc(ti));
+                                quiet = false;
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Per-character reference path: noisy or bidirectional
+                // lines, or an undrained FIFO.
+                self.lines[li].advance(self.now);
+                let host_bytes = self.lines[li].take_rx(End::A);
+                if !host_bytes.is_empty() {
+                    self.sched.stats_mut().batched_chars += host_bytes.len() as u64;
+                    if let Some(hi) = host_idx {
+                        let h = &mut self.hosts[hi].host;
+                        let before_dl = h.next_deadline();
+                        let before_tty = h.tty_len();
+                        h.on_serial_bytes(self.now, &host_bytes);
+                        if h.has_pending_output()
+                            || h.next_deadline() != before_dl
+                            || h.tty_len() != before_tty
+                        {
+                            self.dirty.mark(Key::Host(hi));
+                            self.mark_apps(hi);
+                            quiet = false;
+                        }
+                    }
+                }
+                let tnc_bytes = self.lines[li].take_rx(End::B);
+                if !tnc_bytes.is_empty() {
+                    self.sched.stats_mut().batched_chars += tnc_bytes.len() as u64;
+                    if let Some(ti) = tnc_idx {
+                        let t = &mut self.tncs[ti].tnc;
+                        let before_dl = t.next_deadline();
+                        let s = t.stats();
+                        let before = (s.from_host, s.params);
+                        for &b in &tnc_bytes {
+                            t.on_serial_byte(b);
+                        }
+                        let s = t.stats();
+                        if (s.from_host, s.params) != before || t.next_deadline() != before_dl {
+                            self.dirty.mark(Key::Tnc(ti));
+                            quiet = false;
+                        }
+                    }
+                }
+            }
+            let line_dl = self.lines[li].next_deadline();
+            if !quiet {
+                // The delivery that broke quiescence counts as this
+                // instant's first-pass progress, as it did when the
+                // reference stepper delivered it inside `settle`.
+                self.reg_line(li);
+                self.run_scratch = run_buf;
+                self.settle_dirty(true, segs);
+                return;
+            }
+            if let Some(dl) = line_dl {
+                // Keep batching while the line is strictly the next event.
+                if dl <= limit && self.other_next().is_none_or(|o| dl < o) {
+                    self.now = dl;
+                    self.sched.stats_mut().instants += 1;
+                    continue;
+                }
+            }
+            self.reg_line(li);
+            self.run_scratch = run_buf;
+            return;
+        }
+    }
+
+    /// Processes everything dirty at `self.now` until the instant is
+    /// quiet, visiting categories in the same fixed order as the
+    /// reference stepper: lines → channels → MACs → segments → hosts →
+    /// apps. `initial_progress` seeds the first pass's progress flag when
+    /// the caller already made progress at this instant (the fast lane's
+    /// bail-out delivery).
+    pub(crate) fn settle_dirty(&mut self, initial_progress: bool, segs: &mut Segs<'_>) {
+        let now = self.now;
+        let mut first = initial_progress;
+        let mut todo = std::mem::take(&mut self.scratch);
+        for _pass in 0..10_000 {
+            let mut progressed = std::mem::take(&mut first);
+            let mut polled: u64 = 0;
+
+            // 1. Serial lines: finish due characters, route rx bytes.
+            todo.clear();
+            if !self.dirty.lines.list.is_empty() {
+                self.dirty.count -= self.dirty.lines.drain_into(&mut todo);
+            }
+            for &li in &todo {
+                polled += 1;
+                if self.lines[li].next_deadline().is_some_and(|t| t <= now) {
+                    self.lines[li].advance(now);
+                }
+                // Host side (End::A).
+                let host_bytes = self.lines[li].take_rx(End::A);
+                if !host_bytes.is_empty() {
+                    progressed = true;
+                    if let Some(hi) = self.line_host[li] {
+                        self.hosts[hi].host.on_serial_bytes(now, &host_bytes);
+                        self.dirty.mark(Key::Host(hi));
+                        self.mark_apps(hi);
+                    }
+                }
+                // TNC side (End::B).
+                let tnc_bytes = self.lines[li].take_rx(End::B);
+                if !tnc_bytes.is_empty() {
+                    progressed = true;
+                    if let Some(ti) = self.line_tnc[li] {
+                        for &b in &tnc_bytes {
+                            self.tncs[ti].tnc.on_serial_byte(b);
+                        }
+                        self.dirty.mark(Key::Tnc(ti));
+                    }
+                }
+                self.reg_line(li);
+            }
+
+            // 2. Radio channels: completed transmissions become
+            // receptions, and the carrier drops — wake the stations whose
+            // queued frames were blocked only on carrier sense (everyone
+            // else has a registered deadline of their own, or nothing to
+            // send; a carrier turning *busy* never enables a send).
+            todo.clear();
+            if !self.dirty.chans.list.is_empty() {
+                self.dirty.count -= self.dirty.chans.drain_into(&mut todo);
+            }
+            for &ci in &todo {
+                polled += 1;
+                if self.channels[ci].next_deadline().is_some_and(|t| t <= now) {
+                    let receptions = self.channels[ci].advance(now);
+                    if !receptions.is_empty() {
+                        progressed = true;
+                    }
+                    for rx in receptions {
+                        self.route_reception(now, ci, rx.to, &rx);
+                    }
+                    for i in 0..self.chan_tncs[ci].len() {
+                        let ti = self.chan_tncs[ci][i];
+                        if self.tncs[ti].tnc.waiting_on_carrier() {
+                            self.dirty.mark(Key::Tnc(ti));
+                        }
+                    }
+                    for i in 0..self.chan_digis[ci].len() {
+                        let di = self.chan_digis[ci][i];
+                        if self.digis[di].digi.waiting_on_carrier() {
+                            self.dirty.mark(Key::Digi(di));
+                        }
+                    }
+                    for i in 0..self.chan_beacons[ci].len() {
+                        let bi = self.chan_beacons[ci][i];
+                        if self.beacons[bi].beacon.waiting_on_carrier() {
+                            self.dirty.mark(Key::Beacon(bi));
+                        }
+                    }
+                }
+                self.reg_chan(ci);
+            }
+
+            // 3. MAC polls (TNCs, digipeaters, beacons), in the reference
+            // stepper's category/index order so shared-RNG draws match. A
+            // MAC still due at this instant (zero slot time) is re-marked
+            // so it re-draws each pass, exactly like the re-poll-all
+            // reference.
+            todo.clear();
+            if !self.dirty.tncs.list.is_empty() {
+                self.dirty.count -= self.dirty.tncs.drain_into(&mut todo);
+            }
+            for &ti in &todo {
+                polled += 1;
+                let ci = self.tncs[ti].chan;
+                let entry = &mut self.tncs[ti];
+                entry.tnc.poll(now, &mut self.channels[ci], &mut self.rng);
+                if entry.tnc.next_deadline().is_some_and(|d| d <= now) {
+                    self.dirty.mark(Key::Tnc(ti));
+                }
+                self.reg_tnc(ti);
+                self.reg_chan(ci);
+            }
+            todo.clear();
+            if !self.dirty.digis.list.is_empty() {
+                self.dirty.count -= self.dirty.digis.drain_into(&mut todo);
+            }
+            for &di in &todo {
+                polled += 1;
+                let ci = self.digis[di].chan;
+                let entry = &mut self.digis[di];
+                entry.digi.poll(now, &mut self.channels[ci], &mut self.rng);
+                if entry.digi.next_deadline().is_some_and(|d| d <= now) {
+                    self.dirty.mark(Key::Digi(di));
+                }
+                self.reg_digi(di);
+                self.reg_chan(ci);
+            }
+            todo.clear();
+            if !self.dirty.beacons.list.is_empty() {
+                self.dirty.count -= self.dirty.beacons.drain_into(&mut todo);
+            }
+            for &bi in &todo {
+                polled += 1;
+                let ci = self.beacons[bi].chan;
+                let entry = &mut self.beacons[bi];
+                entry.beacon.poll(now, &mut self.channels[ci]);
+                if entry.beacon.next_deadline().is_some_and(|d| d <= now) {
+                    self.dirty.mark(Key::Beacon(bi));
+                }
+                self.reg_beacon(bi);
+                self.reg_chan(ci);
+            }
+
+            // 4. Ethernet: direct segments (single-shard), or timed
+            // cross-shard deliveries the coordinator queued (multi-shard).
+            match segs {
+                Some(segments) => {
+                    todo.clear();
+                    if !self.dirty.segs.list.is_empty() {
+                        self.dirty.count -= self.dirty.segs.drain_into(&mut todo);
+                    }
+                    for &si in &todo {
+                        polled += 1;
+                        if segments[si].next_deadline().is_some_and(|t| t <= now) {
+                            let deliveries = segments[si].advance(now);
+                            if !deliveries.is_empty() {
+                                progressed = true;
+                            }
+                            for (nic, frame) in deliveries {
+                                if let Some(hi) =
+                                    self.hosts.iter().position(|h| h.nic == Some((si, nic)))
+                                {
+                                    self.hosts[hi].host.on_ether_frame(now, &frame);
+                                    self.dirty.mark(Key::Host(hi));
+                                    self.mark_apps(hi);
+                                }
+                            }
+                        }
+                        self.reg_seg(si, segments);
+                    }
+                }
+                None => {
+                    while self.ether_in.peek().is_some_and(|e| e.0 <= now) {
+                        let (_, hi, frame) = self.ether_in.pop().expect("peeked entry pops");
+                        progressed = true;
+                        polled += 1;
+                        self.hosts[hi].host.on_ether_frame(now, &frame);
+                        self.dirty.mark(Key::Host(hi));
+                        self.mark_apps(hi);
+                        self.spent.push(frame);
+                    }
+                }
+            }
+
+            // 5. Hosts: CPU-gated stack work, then route their output.
+            todo.clear();
+            if !self.dirty.hosts.list.is_empty() {
+                self.dirty.count -= self.dirty.hosts.drain_into(&mut todo);
+            }
+            for &hi in &todo {
+                polled += 1;
+                if self.hosts[hi]
+                    .host
+                    .next_deadline()
+                    .is_some_and(|t| t <= now)
+                {
+                    self.hosts[hi].host.advance(now);
+                    self.mark_apps(hi);
+                }
+                if self.flush_host(now, hi, segs) {
+                    progressed = true;
+                    // on_event handlers may have queued more output and
+                    // changed app state; catch both this instant.
+                    self.dirty.mark(Key::Host(hi));
+                    self.mark_apps(hi);
+                    self.flush_after_apps.mark(hi);
+                }
+                self.reg_host(hi);
+            }
+
+            // 6. Applications: poll dirty apps in index order, then flush
+            // their hosts in host-index order (the reference polls all
+            // apps, then flushes all hosts).
+            todo.clear();
+            if !self.dirty.apps.list.is_empty() {
+                self.dirty.count -= self.dirty.apps.drain_into(&mut todo);
+            }
+            for &ai in &todo {
+                polled += 1;
+                let hi = self.apps[ai].host;
+                let entry = &mut self.apps[ai];
+                entry.app.poll(now, &mut self.hosts[hi].host);
+                self.reg_app(ai);
+                self.flush_after_apps.mark(hi);
+            }
+            todo.clear();
+            if !self.flush_after_apps.list.is_empty() {
+                self.flush_after_apps.drain_into(&mut todo);
+            }
+            for &hi in &todo {
+                if self.flush_host(now, hi, segs) {
+                    progressed = true;
+                    self.dirty.mark(Key::Host(hi));
+                    self.mark_apps(hi);
+                }
+                self.reg_host(hi);
+            }
+
+            self.sched.stats_mut().polled += polled;
+            if !progressed {
+                self.scratch = todo;
+                return;
+            }
+        }
+        panic!("world did not settle at {now}");
+    }
+
+    /// Processes everything due at `self.now` until the instant is quiet,
+    /// visiting every component on every pass (the reference stepper).
+    pub(crate) fn settle_scan(&mut self, segs: &mut Segs<'_>) {
+        let now = self.now;
+        for _pass in 0..10_000 {
+            let mut progressed = false;
+
+            // 1. Serial lines: finish due characters, route rx bytes.
+            for li in 0..self.lines.len() {
+                if self.lines[li].next_deadline().is_some_and(|t| t <= now) {
+                    self.lines[li].advance(now);
+                }
+                // Host side (End::A).
+                let host_bytes = self.lines[li].take_rx(End::A);
+                if !host_bytes.is_empty() {
+                    progressed = true;
+                    if let Some(h) = self.hosts.iter_mut().find(|h| h.serial == Some(li)) {
+                        h.host.on_serial_bytes(now, &host_bytes);
+                    }
+                }
+                // TNC side (End::B).
+                let tnc_bytes = self.lines[li].take_rx(End::B);
+                if !tnc_bytes.is_empty() {
+                    progressed = true;
+                    if let Some(t) = self.tncs.iter_mut().find(|t| t.line == li) {
+                        for b in tnc_bytes {
+                            t.tnc.on_serial_byte(b);
+                        }
+                    }
+                }
+            }
+
+            // 2. Radio channels: completed transmissions become receptions.
+            for ci in 0..self.channels.len() {
+                if self.channels[ci].next_deadline().is_none_or(|t| t > now) {
+                    continue;
+                }
+                let receptions = self.channels[ci].advance(now);
+                if !receptions.is_empty() {
+                    progressed = true;
+                }
+                for rx in receptions {
+                    self.route_reception(now, ci, rx.to, &rx);
+                }
+            }
+
+            // 3. MAC polls (TNCs, digipeaters, beacons).
+            for t in &mut self.tncs {
+                t.tnc.poll(now, &mut self.channels[t.chan], &mut self.rng);
+            }
+            for d in &mut self.digis {
+                d.digi.poll(now, &mut self.channels[d.chan], &mut self.rng);
+            }
+            for b in &mut self.beacons {
+                b.beacon.poll(now, &mut self.channels[b.chan]);
+            }
+
+            // 4. Ethernet: direct segments, or queued cross-shard
+            // deliveries.
+            match segs {
+                Some(segments) => {
+                    for si in 0..segments.len() {
+                        if segments[si].next_deadline().is_none_or(|t| t > now) {
+                            continue;
+                        }
+                        let deliveries = segments[si].advance(now);
+                        if !deliveries.is_empty() {
+                            progressed = true;
+                        }
+                        for (nic, frame) in deliveries {
+                            if let Some(h) =
+                                self.hosts.iter_mut().find(|h| h.nic == Some((si, nic)))
+                            {
+                                h.host.on_ether_frame(now, &frame);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    while self.ether_in.peek().is_some_and(|e| e.0 <= now) {
+                        let (_, hi, frame) = self.ether_in.pop().expect("peeked entry pops");
+                        progressed = true;
+                        self.hosts[hi].host.on_ether_frame(now, &frame);
+                        self.spent.push(frame);
+                    }
+                }
+            }
+
+            // 5. Hosts: CPU-gated stack work, then route their output.
+            for hi in 0..self.hosts.len() {
+                if self.hosts[hi]
+                    .host
+                    .next_deadline()
+                    .is_some_and(|t| t <= now)
+                {
+                    self.hosts[hi].host.advance(now);
+                }
+                progressed |= self.flush_host(now, hi, segs);
+            }
+
+            // 6. Applications.
+            progressed |= self.run_apps(now, segs);
+
+            if !progressed {
+                return;
+            }
+        }
+        panic!("world did not settle at {now}");
+    }
+
+    // --- Shared routing (both steppers) -------------------------------------
+
+    fn route_reception(
+        &mut self,
+        now: SimTime,
+        chan: usize,
+        to: StationId,
+        rx: &radio::channel::Reception,
+    ) {
+        if self.trace.is_enabled() {
+            self.trace.record(
+                now,
+                sim::trace::Category::Radio,
+                format!("sta{}", to.0),
+                format!(
+                    "heard {}B from sta{}{}",
+                    rx.data.len(),
+                    rx.from.0,
+                    if rx.corrupted { " (corrupted)" } else { "" }
+                ),
+            );
+        }
+        for i in 0..self.tncs.len() {
+            if self.tncs[i].chan == chan && self.tncs[i].tnc.station() == to {
+                if let Some(bytes) = self.tncs[i].tnc.on_reception(rx) {
+                    if self.trace.is_enabled() {
+                        self.trace.record(
+                            now,
+                            sim::trace::Category::Kiss,
+                            format!("tnc:{}", self.tncs[i].tnc.addr()),
+                            format!("passed {}B frame up the serial line", bytes.len()),
+                        );
+                    }
+                    let li = self.tncs[i].line;
+                    self.lines[li].send(now, End::B, &bytes);
+                    self.reg_line(li);
+                }
+                return;
+            }
+        }
+        for d in &mut self.digis {
+            if d.chan == chan && d.digi.station() == to {
+                d.digi.on_reception(rx);
+                return;
+            }
+        }
+        // Beacons ignore receptions.
+    }
+
+    /// Routes a host's outbox and records/dispatches its events. Links the
+    /// host pushed output into get their new deadlines registered here, so
+    /// both steppers keep the calendar coherent. Ethernet output goes to
+    /// the segment directly (single-shard) or to `ether_out` for the
+    /// coordinator (multi-shard).
+    fn flush_host(&mut self, now: SimTime, hi: usize, segs: &mut Segs<'_>) -> bool {
+        let mut progressed = false;
+        let outs = self.hosts[hi].host.take_outbox();
+        let serial = self.hosts[hi].serial;
+        let nic = self.hosts[hi].nic;
+        for out in outs {
+            progressed = true;
+            match out {
+                HostOut::SerialTx(bytes) => {
+                    if let Some(li) = serial {
+                        self.lines[li].send(now, End::A, &bytes);
+                        self.reg_line(li);
+                    }
+                }
+                HostOut::EtherTx(frame) => {
+                    if let Some((seg, nic)) = nic {
+                        match segs {
+                            Some(segments) => {
+                                segments[seg].send(now, nic, frame);
+                                self.reg_seg(seg, segments);
+                            }
+                            None => {
+                                self.out_seq += 1;
+                                self.ether_out.push(OutFrame {
+                                    time: now,
+                                    seq: self.out_seq,
+                                    seg,
+                                    nic,
+                                    frame,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let events = self.hosts[hi].host.take_events();
+        if !events.is_empty() {
+            progressed = true;
+            let gid = HostId::from_raw(self.host_gids[hi]);
+            let mut apps = std::mem::take(&mut self.apps);
+            for ev in events {
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        now,
+                        sim::trace::Category::App,
+                        self.hosts[hi].host.name.clone(),
+                        format!("{ev:?}"),
+                    );
+                }
+                for entry in apps.iter_mut().filter(|a| a.host == hi) {
+                    entry.app.on_event(now, &ev, &mut self.hosts[hi].host);
+                }
+                if self.record_events {
+                    self.events.push((gid, now, ev));
+                }
+            }
+            self.apps = apps;
+        }
+        progressed
+    }
+
+    /// Reference-stepper app step: poll every app, then flush every host.
+    fn run_apps(&mut self, now: SimTime, segs: &mut Segs<'_>) -> bool {
+        let mut progressed = false;
+        let mut apps = std::mem::take(&mut self.apps);
+        for entry in &mut apps {
+            entry.app.poll(now, &mut self.hosts[entry.host].host);
+        }
+        self.apps = apps;
+        // App activity shows up as host outbox/event work.
+        for hi in 0..self.hosts.len() {
+            progressed |= self.flush_host(now, hi, segs);
+        }
+        progressed
+    }
+}
+
+/// The one unsafe island in the workspace: a heap-pinned shard cell that
+/// can be handed to the worker pool.
+mod cell {
+    #![allow(unsafe_code)]
+
+    use std::cell::UnsafeCell;
+
+    use super::ShardData;
+
+    /// A heap-pinned [`ShardData`] that worker threads can step.
+    ///
+    /// # Safety contract (DESIGN.md §11)
+    ///
+    /// `ShardData` is not `Send` (hosts and apps hold `Rc`/`RefCell`
+    /// graphs). Sending it across threads is sound because those graphs
+    /// are **shard-closed**: every `Rc` clone of state reachable from a
+    /// shard's components lives inside the same shard, so moving the
+    /// whole shard moves every reference with it. External handles kept
+    /// by scenario builders (shared report cells, encap tables) may only
+    /// be touched between run calls — `World::drive` takes `&mut World`
+    /// and joins its workers before returning, which gives the required
+    /// happens-before edge.
+    ///
+    /// Exclusivity is phase-based: during a window each shard is claimed
+    /// by exactly one worker (an atomic ticket over the active list);
+    /// between windows only the coordinator touches shards. Barriers
+    /// separate the phases.
+    pub(crate) struct ShardBox(Box<UnsafeCell<ShardData>>);
+
+    // SAFETY: see the type-level contract above — shard graphs are
+    // closed, access is exclusive per phase, and phases are separated by
+    // barriers (or by &mut World outside runs).
+    unsafe impl Send for ShardBox {}
+    // SAFETY: &ShardBox exposes no &ShardData without `steal`, whose
+    // callers uphold the exclusivity contract.
+    unsafe impl Sync for ShardBox {}
+
+    impl ShardBox {
+        pub(crate) fn new(data: ShardData) -> ShardBox {
+            ShardBox(Box::new(UnsafeCell::new(data)))
+        }
+
+        /// Shared read access from the owning thread.
+        ///
+        /// Sound because `World` is `!Send + !Sync` (it holds
+        /// `PhantomData<Rc<()>>`), so `&World` — the only path here —
+        /// exists on a single thread, and worker threads only live inside
+        /// `World::drive`, which holds `&mut World` for its whole extent:
+        /// no worker can be running while a `&World` method executes.
+        pub(crate) fn get(&self) -> &ShardData {
+            // SAFETY: see above — no concurrent mutator can exist.
+            unsafe { &*self.0.get() }
+        }
+
+        /// Exclusive access through an exclusive handle (always safe).
+        pub(crate) fn get_mut(&mut self) -> &mut ShardData {
+            self.0.get_mut()
+        }
+
+        /// Exclusive access asserted by the caller.
+        ///
+        /// # Safety
+        ///
+        /// The caller must hold logical exclusivity over this shard: a
+        /// worker that claimed it for the current window, or the
+        /// coordinator between barriers.
+        #[allow(clippy::mut_from_ref)]
+        pub(crate) unsafe fn steal(&self) -> &mut ShardData {
+            unsafe { &mut *self.0.get() }
+        }
+    }
+}

@@ -1,14 +1,24 @@
 //! The event-driven testbed: hosts, serial lines, TNCs, radio channels,
 //! digipeaters, Ethernet segments, and applications under one clock.
 //!
-//! The world advances on a **deadline-indexed calendar** ([`sim::sched`]):
-//! every component registers its self-reported `next_deadline()` under a
-//! [`Key`], the run loop pops the earliest entries, marks exactly those
-//! components **dirty**, and the quiescence pass re-polls only dirty
-//! components — when a component emits output routed to another, only the
-//! receiver is marked dirty. Untouched components are never visited. The
-//! scheduler contract (who must be marked dirty when, deadline-change
-//! reporting, tie-break order) is documented in DESIGN.md §6.
+//! The world is partitioned into **shards** ([`crate::shard`]): each shard
+//! owns a closed island of components — radio channels plus their attached
+//! hosts, TNCs, digipeaters, beacons, and apps — with its own
+//! deadline-indexed calendar, dirty set, RNG stream, and clock. Ethernet
+//! segments are the only cross-shard links; the world coordinator owns
+//! them and moves frames between shards through per-shard mailboxes.
+//!
+//! A single-shard world (the default — every builder call without an
+//! explicit shard lands in shard 0) runs exactly the pre-shard engine:
+//! the shard is handed the segments directly and steps to the limit in
+//! one call. A multi-shard world runs **windows** of conservative
+//! lookahead: each window covers `(w_prev, w_end]` where `w_end` is the
+//! earliest pending event plus the cross-shard latency `LOOKAHEAD`;
+//! every shard steps its own window independently (in parallel on a
+//! worker pool when [`World::set_workers`] asked for one), and the
+//! coordinator applies deferred Ethernet traffic between windows in
+//! deterministic `(time, shard, seq)` order — so results are identical
+//! at every worker count. DESIGN.md §11 has the full contract.
 //!
 //! The previous engine — scan every component for its deadline on every
 //! event, re-poll everything every pass — is retained verbatim as the
@@ -19,20 +29,52 @@
 //! All components are sans-io state machines from the substrate crates;
 //! this module is the only place where they touch.
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::marker::PhantomData;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
 use ax25::addr::Ax25Addr;
-use ether::{NicId, Segment};
+use ether::{EtherFrame, NicId, Segment};
 use netstack::stack::StackAction;
-use radio::channel::{Channel, StationId};
+use radio::channel::Channel;
 use radio::csma::MacConfig;
 use radio::digi::Digipeater;
 use radio::tnc::{RxMode, Tnc, TncConfig};
 use radio::traffic::{BeaconConfig, BeaconStation};
-use serial::{End, SerialConfig, SerialLine};
+use serial::{SerialConfig, SerialLine};
 use sim::sched::{SchedStats, Scheduler};
 use sim::trace::Trace;
 use sim::{Bandwidth, SimDuration, SimRng, SimTime};
 
-use crate::host::{Host, HostConfig, HostOut};
+use crate::host::{Host, HostConfig};
+use crate::shard::{
+    AppEntry, BeaconEntry, DigiEntry, HostEntry, Segs, ShardBox, ShardData, TncEntry,
+};
+
+/// The conservative cross-shard lookahead: a frame leaving a shard for
+/// the Ethernet backbone is applied to the segment `LOOKAHEAD` after its
+/// emission instant. At 1200–9600 b/s radio timescales one millisecond is
+/// far below any observable protocol timer, and it is what lets every
+/// shard step a whole window without seeing its neighbors (DESIGN.md
+/// §11). Single-shard worlds bypass it entirely.
+pub const LOOKAHEAD: SimDuration = SimDuration::from_millis(1);
+
+/// Handle to a shard of the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardId(usize);
+
+impl ShardId {
+    /// Shard 0, which every world starts with.
+    pub const ZERO: ShardId = ShardId(0);
+
+    /// The shard's index (shard 0 always exists).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Handle to a radio channel in the world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,6 +87,12 @@ pub struct SegId(usize);
 /// Handle to a host in the world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HostId(usize);
+
+impl HostId {
+    pub(crate) fn from_raw(i: usize) -> HostId {
+        HostId(i)
+    }
+}
 
 /// Handle to a TNC in the world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -93,193 +141,50 @@ pub trait App {
     }
 }
 
-struct TncEntry {
-    tnc: Tnc,
-    chan: ChanId,
-    line: usize,
+/// Which stepping engine a run call drives.
+#[derive(Clone, Copy)]
+enum Mode {
+    /// Deadline-indexed calendar + dirty-set quiescence (production).
+    Indexed,
+    /// Full scan + re-poll-everything quiescence (executable spec).
+    Scan,
 }
 
-struct DigiEntry {
-    digi: Digipeater,
-    chan: ChanId,
+/// A deferred cross-shard Ethernet send waiting for its effect time.
+/// Ordered by `(effect, shard, seq)` — the deterministic merge order at
+/// shard boundaries, independent of which worker stepped which shard.
+struct PendingSend {
+    effect: SimTime,
+    shard: u32,
+    seq: u64,
+    seg: usize,
+    nic: NicId,
+    frame: EtherFrame,
 }
 
-struct BeaconEntry {
-    beacon: BeaconStation,
-    chan: ChanId,
-}
-
-struct HostEntry {
-    host: Host,
-    /// Serial line index whose A end this host holds.
-    serial: Option<usize>,
-    /// Ethernet attachment.
-    nic: Option<(SegId, NicId)>,
-}
-
-struct AppEntry {
-    host: HostId,
-    app: Box<dyn App>,
-    started: bool,
-}
-
-/// A component key in the deadline index and dirty set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Key {
-    Line(usize),
-    Chan(usize),
-    Seg(usize),
-    Tnc(usize),
-    Digi(usize),
-    Beacon(usize),
-    Host(usize),
-    App(usize),
-}
-
-/// One category's dirty members: a flag per component for O(1) dedup,
-/// plus the list of marked indices so the settle pass visits only dirty
-/// components instead of sweeping every flag.
-#[derive(Default)]
-struct DirtyCat {
-    flags: Vec<bool>,
-    list: Vec<usize>,
-}
-
-impl DirtyCat {
-    fn reset(&mut self, n: usize) {
-        self.flags.clear();
-        self.flags.resize(n, true);
-        self.list.clear();
-        self.list.extend(0..n);
-    }
-
-    fn reset_clear(&mut self, n: usize) {
-        self.flags.clear();
-        self.flags.resize(n, false);
-        self.list.clear();
-    }
-
-    /// Marks `i`; returns whether it was newly marked.
-    fn mark(&mut self, i: usize) -> bool {
-        if self.flags[i] {
-            false
-        } else {
-            self.flags[i] = true;
-            self.list.push(i);
-            true
-        }
-    }
-
-    /// Drains the current marks into `todo`, sorted ascending (component
-    /// index order — the deterministic processing order), clearing the
-    /// flags. Marks made while processing land in the next drain.
-    fn drain_into(&mut self, todo: &mut Vec<usize>) -> usize {
-        todo.clear();
-        todo.append(&mut self.list);
-        todo.sort_unstable();
-        for &i in todo.iter() {
-            self.flags[i] = false;
-        }
-        todo.len()
+impl PendingSend {
+    fn key(&self) -> (SimTime, u32, u64) {
+        (self.effect, self.shard, self.seq)
     }
 }
 
-/// Per-category dirty sets with an exact total count, so the run loop can
-/// tell in O(1) whether any work is pending.
-#[derive(Default)]
-struct DirtySet {
-    lines: DirtyCat,
-    chans: DirtyCat,
-    segs: DirtyCat,
-    tncs: DirtyCat,
-    digis: DirtyCat,
-    beacons: DirtyCat,
-    hosts: DirtyCat,
-    apps: DirtyCat,
-    count: usize,
-}
-
-impl DirtySet {
-    fn cat(&mut self, key: Key) -> (&mut DirtyCat, usize) {
-        match key {
-            Key::Line(i) => (&mut self.lines, i),
-            Key::Chan(i) => (&mut self.chans, i),
-            Key::Seg(i) => (&mut self.segs, i),
-            Key::Tnc(i) => (&mut self.tncs, i),
-            Key::Digi(i) => (&mut self.digis, i),
-            Key::Beacon(i) => (&mut self.beacons, i),
-            Key::Host(i) => (&mut self.hosts, i),
-            Key::App(i) => (&mut self.apps, i),
-        }
-    }
-
-    fn mark(&mut self, key: Key) {
-        let (cat, i) = self.cat(key);
-        if cat.mark(i) {
-            self.count += 1;
-        }
-    }
-
-    /// Marks every component of every category dirty.
-    fn mark_all(&mut self, sizes: [usize; 8]) {
-        let [l, c, s, t, d, b, h, a] = sizes;
-        self.lines.reset(l);
-        self.chans.reset(c);
-        self.segs.reset(s);
-        self.tncs.reset(t);
-        self.digis.reset(d);
-        self.beacons.reset(b);
-        self.hosts.reset(h);
-        self.apps.reset(a);
-        self.count = l + c + s + t + d + b + h + a;
+impl PartialEq for PendingSend {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
     }
 }
 
-/// World-side mirror of each component's currently registered deadline.
-/// Most re-registrations after a poll are no-ops (the deadline did not
-/// move); comparing against this dense cache answers that in one vector
-/// load instead of a calendar map lookup.
-#[derive(Default)]
-struct CalCache {
-    lines: Vec<Option<SimTime>>,
-    chans: Vec<Option<SimTime>>,
-    segs: Vec<Option<SimTime>>,
-    tncs: Vec<Option<SimTime>>,
-    digis: Vec<Option<SimTime>>,
-    beacons: Vec<Option<SimTime>>,
-    hosts: Vec<Option<SimTime>>,
-    apps: Vec<Option<SimTime>>,
+impl Eq for PendingSend {}
+
+impl PartialOrd for PendingSend {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
-impl CalCache {
-    fn reset(&mut self, sizes: [usize; 8]) {
-        let [l, c, s, t, d, b, h, a] = sizes;
-        for (v, n) in [
-            (&mut self.lines, l),
-            (&mut self.chans, c),
-            (&mut self.segs, s),
-            (&mut self.tncs, t),
-            (&mut self.digis, d),
-            (&mut self.beacons, b),
-            (&mut self.hosts, h),
-            (&mut self.apps, a),
-        ] {
-            v.clear();
-            v.resize(n, None);
-        }
-    }
-
-    fn slot(&mut self, key: Key) -> &mut Option<SimTime> {
-        match key {
-            Key::Line(i) => &mut self.lines[i],
-            Key::Chan(i) => &mut self.chans[i],
-            Key::Seg(i) => &mut self.segs[i],
-            Key::Tnc(i) => &mut self.tncs[i],
-            Key::Digi(i) => &mut self.digis[i],
-            Key::Beacon(i) => &mut self.beacons[i],
-            Key::Host(i) => &mut self.hosts[i],
-            Key::App(i) => &mut self.apps[i],
-        }
+impl Ord for PendingSend {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
     }
 }
 
@@ -287,116 +192,202 @@ impl CalCache {
 pub struct World {
     /// Current simulated time.
     pub now: SimTime,
-    rng: SimRng,
-    /// Optional event trace (disabled by default).
+    /// Optional event trace (disabled by default; multi-shard worlds
+    /// trace shard 0's island).
     pub trace: Trace,
-    channels: Vec<Channel>,
-    segments: Vec<Segment>,
-    lines: Vec<SerialLine>,
-    tncs: Vec<TncEntry>,
-    digis: Vec<DigiEntry>,
-    beacons: Vec<BeaconEntry>,
-    hosts: Vec<HostEntry>,
-    apps: Vec<AppEntry>,
     /// Recorded (host, time, event) triples when enabled.
     pub record_events: bool,
+    shards: Vec<ShardBox>,
+    /// Ethernet segments: world-owned, the cross-shard links.
+    segments: Vec<Segment>,
+    /// Per segment: which shard-local host each NIC delivers to.
+    seg_hosts: Vec<HashMap<NicId, (u32, u32)>>,
+    /// Global handle → (shard, local index) maps.
+    chan_map: Vec<(u32, u32)>,
+    host_map: Vec<(u32, u32)>,
+    tnc_map: Vec<(u32, u32)>,
+    digi_map: Vec<(u32, u32)>,
+    beacon_map: Vec<(u32, u32)>,
     events: Vec<(HostId, SimTime, StackAction)>,
-    /// The deadline-indexed calendar.
-    sched: Scheduler<Key>,
-    dirty: DirtySet,
-    /// Routing maps rebuilt by `sync_all` (first match, like the
-    /// reference stepper's linear `find`).
-    line_host: Vec<Option<usize>>,
-    line_tnc: Vec<Option<usize>>,
-    chan_tncs: Vec<Vec<usize>>,
-    chan_digis: Vec<Vec<usize>>,
-    chan_beacons: Vec<Vec<usize>>,
-    host_apps: Vec<Vec<usize>>,
-    /// Hosts to flush after the app-poll step of the current pass.
-    flush_after_apps: DirtyCat,
-    cal: CalCache,
-    /// Reusable buffer for draining dirty lists in index order.
-    scratch: Vec<usize>,
-    /// Reusable buffer for batched serial runs in the fast lane.
-    run_scratch: Vec<u8>,
+    /// Worker threads for multi-shard runs (1 = step shards serially).
+    workers: usize,
+    /// Timer-wheel granularity applied to every shard's calendar.
+    wheel: Option<SimDuration>,
+    /// In-flight cross-shard sends, min-ordered by `(effect, shard, seq)`.
+    pending: BinaryHeap<Reverse<PendingSend>>,
+    /// Recycled delivery frames (§11 zero-alloc hand-off pool).
+    spare_frames: Vec<EtherFrame>,
+    /// Shards hold `Rc` graphs; the world must stay on one thread (worker
+    /// threads only ever live *inside* a `drive` call).
+    _not_send: PhantomData<Rc<()>>,
 }
 
 impl World {
-    /// Creates an empty world with a deterministic seed.
+    /// Creates an empty world with a deterministic seed (one shard).
     pub fn new(seed: u64) -> World {
         World {
             now: SimTime::ZERO,
-            rng: SimRng::seed_from(seed),
             trace: Trace::disabled(),
-            channels: Vec::new(),
-            segments: Vec::new(),
-            lines: Vec::new(),
-            tncs: Vec::new(),
-            digis: Vec::new(),
-            beacons: Vec::new(),
-            hosts: Vec::new(),
-            apps: Vec::new(),
             record_events: true,
+            shards: vec![ShardBox::new(ShardData::new(SimRng::seed_from(seed)))],
+            segments: Vec::new(),
+            seg_hosts: Vec::new(),
+            chan_map: Vec::new(),
+            host_map: Vec::new(),
+            tnc_map: Vec::new(),
+            digi_map: Vec::new(),
+            beacon_map: Vec::new(),
             events: Vec::new(),
-            sched: Scheduler::new(),
-            dirty: DirtySet::default(),
-            line_host: Vec::new(),
-            line_tnc: Vec::new(),
-            chan_tncs: Vec::new(),
-            chan_digis: Vec::new(),
-            chan_beacons: Vec::new(),
-            host_apps: Vec::new(),
-            flush_after_apps: DirtyCat::default(),
-            cal: CalCache::default(),
-            scratch: Vec::new(),
-            run_scratch: Vec::new(),
+            workers: 1,
+            wheel: None,
+            pending: BinaryHeap::new(),
+            spare_frames: Vec::new(),
+            _not_send: PhantomData,
         }
     }
 
-    /// Switches the calendar to the hierarchical timer-wheel backend with
-    /// the given slot granularity (one millisecond suits the 9600 Bd
-    /// per-character band). Takes effect at the next run call, which
-    /// rebuilds the index; pop order is identical to the heap backend.
+    /// Switches every shard's calendar to the hierarchical timer-wheel
+    /// backend with the given slot granularity (one millisecond suits the
+    /// 9600 Bd per-character band). Takes effect at the next run call,
+    /// which rebuilds the index; pop order is identical to the heap
+    /// backend.
     pub fn use_timer_wheel(&mut self, granularity: SimDuration) {
-        self.sched = Scheduler::with_wheel(granularity);
+        self.wheel = Some(granularity);
+        for sb in &mut self.shards {
+            sb.get_mut().set_sched(Scheduler::with_wheel(granularity));
+        }
     }
 
     /// Scheduler work counters (pops, re-keys, tombstone skips, component
-    /// polls, instants, batched serial characters).
+    /// polls, instants, batched serial characters), summed over shards.
     pub fn sched_stats(&self) -> SchedStats {
-        self.sched.stats()
+        let mut total = SchedStats::default();
+        for sb in &self.shards {
+            let s = sb.get().sched_stats();
+            total.pops += s.pops;
+            total.rekeys += s.rekeys;
+            total.unchanged += s.unchanged;
+            total.tombstone_skips += s.tombstone_skips;
+            total.polled += s.polled;
+            total.instants += s.instants;
+            total.batched_chars += s.batched_chars;
+        }
+        total
+    }
+
+    /// Cross-shard mailbox counters (pushes, pops, ring growths, peak
+    /// occupancy), summed over every shard's inbound `ether_in` ring.
+    /// `grows` stabilizing while `pushed` keeps climbing is the §11
+    /// zero-allocation hand-off contract, asserted by the `shard_sync`
+    /// bench.
+    pub fn mailbox_stats(&self) -> sim::mailbox::MailboxStats {
+        let mut total = sim::mailbox::MailboxStats::default();
+        for sb in &self.shards {
+            let s = sb.get().ether_in.stats();
+            total.pushed += s.pushed;
+            total.popped += s.popped;
+            total.grows += s.grows;
+            total.peak = total.peak.max(s.peak);
+        }
+        total
+    }
+
+    /// Sets the worker-thread count for multi-shard runs. `1` steps
+    /// shards serially on the caller's thread; results are identical at
+    /// every count. Single-shard worlds ignore it.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     // --- Topology building -------------------------------------------------
 
-    /// Adds a radio channel.
+    /// Adds a shard: an independently stepped island of components.
+    /// Components must be shard-closed — a radio channel and everything
+    /// attached to it live in one shard; only Ethernet segments may span
+    /// shards.
+    pub fn add_shard(&mut self) -> ShardId {
+        let rng = self.shards[0].get_mut().rng.fork();
+        let mut sh = ShardData::new(rng);
+        if let Some(g) = self.wheel {
+            sh.set_sched(Scheduler::with_wheel(g));
+        }
+        self.shards.push(ShardBox::new(sh));
+        ShardId(self.shards.len() - 1)
+    }
+
+    /// Adds a radio channel (shard 0).
     pub fn add_channel(&mut self, rate: Bandwidth) -> ChanId {
-        self.channels.push(Channel::new(rate));
-        ChanId(self.channels.len() - 1)
+        self.add_channel_in(ShardId(0), rate)
     }
 
-    /// Adds a radio channel with byte errors.
+    /// Adds a radio channel to a shard.
+    pub fn add_channel_in(&mut self, shard: ShardId, rate: Bandwidth) -> ChanId {
+        let sh = self.shards[shard.0].get_mut();
+        sh.channels.push(Channel::new(rate));
+        self.chan_map
+            .push((shard.0 as u32, (sh.channels.len() - 1) as u32));
+        ChanId(self.chan_map.len() - 1)
+    }
+
+    /// Adds a radio channel with byte errors (shard 0).
     pub fn add_noisy_channel(&mut self, rate: Bandwidth, byte_error_rate: f64) -> ChanId {
-        let rng = self.rng.fork();
-        self.channels
-            .push(Channel::new(rate).with_byte_errors(byte_error_rate, rng));
-        ChanId(self.channels.len() - 1)
+        self.add_noisy_channel_in(ShardId(0), rate, byte_error_rate)
     }
 
-    /// Adds an Ethernet segment.
+    /// Adds a radio channel with byte errors to a shard. The error RNG
+    /// forks from shard 0's build-time stream regardless of the target
+    /// shard, so topology construction order alone fixes every stream.
+    pub fn add_noisy_channel_in(
+        &mut self,
+        shard: ShardId,
+        rate: Bandwidth,
+        byte_error_rate: f64,
+    ) -> ChanId {
+        let rng = self.shards[0].get_mut().rng.fork();
+        let sh = self.shards[shard.0].get_mut();
+        sh.channels
+            .push(Channel::new(rate).with_byte_errors(byte_error_rate, rng));
+        self.chan_map
+            .push((shard.0 as u32, (sh.channels.len() - 1) as u32));
+        ChanId(self.chan_map.len() - 1)
+    }
+
+    /// Adds an Ethernet segment (world-owned; hosts from any shard may
+    /// attach).
     pub fn add_segment(&mut self, rate: Bandwidth) -> SegId {
         self.segments.push(Segment::new(rate));
+        self.seg_hosts.push(HashMap::new());
         SegId(self.segments.len() - 1)
     }
 
-    /// Adds a host (attach its links separately).
+    /// Adds a host (shard 0; attach its links separately).
     pub fn add_host(&mut self, cfg: HostConfig) -> HostId {
-        self.hosts.push(HostEntry {
+        self.add_host_in(ShardId(0), cfg)
+    }
+
+    /// Adds a host to a shard.
+    pub fn add_host_in(&mut self, shard: ShardId, cfg: HostConfig) -> HostId {
+        let gid = self.host_map.len();
+        let sh = self.shards[shard.0].get_mut();
+        sh.hosts.push(HostEntry {
             host: Host::new(cfg),
             serial: None,
             nic: None,
         });
-        HostId(self.hosts.len() - 1)
+        sh.host_gids.push(gid);
+        self.host_map
+            .push((shard.0 as u32, (sh.hosts.len() - 1) as u32));
+        HostId(gid)
     }
 
     /// Attaches a host's radio interface to `chan` through a serial line
@@ -404,7 +395,8 @@ impl World {
     ///
     /// # Panics
     ///
-    /// Panics if the host has no radio interface.
+    /// Panics if the host has no radio interface, or if the host and
+    /// channel live in different shards (radio links are shard-internal).
     pub fn attach_radio(
         &mut self,
         host: HostId,
@@ -413,21 +405,29 @@ impl World {
         mode: RxMode,
         mac: MacConfig,
     ) -> TncId {
-        let call = self.hosts[host.0]
+        let (hs, hl) = self.host_map[host.0];
+        let (cs, cl) = self.chan_map[chan.0];
+        assert_eq!(
+            hs, cs,
+            "attach_radio: host (shard {hs}) and channel (shard {cs}) must share a shard"
+        );
+        let sh = self.shards[hs as usize].get_mut();
+        let call = sh.hosts[hl as usize]
             .host
             .callsign()
             .expect("host has no radio interface");
-        let line_idx = self.lines.len();
-        self.lines.push(SerialLine::new(SerialConfig::baud(baud)));
-        self.hosts[host.0].serial = Some(line_idx);
-        let station = self.channels[chan.0].add_station();
+        let line_idx = sh.lines.len();
+        sh.lines.push(SerialLine::new(SerialConfig::baud(baud)));
+        sh.hosts[hl as usize].serial = Some(line_idx);
+        let station = sh.channels[cl as usize].add_station();
         let cfg = TncConfig::new(call).with_mode(mode).with_mac(mac);
-        self.tncs.push(TncEntry {
+        sh.tncs.push(TncEntry {
             tnc: Tnc::new(cfg, station),
-            chan,
+            chan: cl as usize,
             line: line_idx,
         });
-        TncId(self.tncs.len() - 1)
+        self.tnc_map.push((hs, (sh.tncs.len() - 1) as u32));
+        TncId(self.tnc_map.len() - 1)
     }
 
     /// Attaches a host's Ethernet interface to `seg`.
@@ -436,39 +436,51 @@ impl World {
     ///
     /// Panics if the host has no Ethernet interface.
     pub fn attach_ether(&mut self, host: HostId, seg: SegId) {
-        let mac = self.hosts[host.0]
+        let (hs, hl) = self.host_map[host.0];
+        let sh = self.shards[hs as usize].get_mut();
+        let mac = sh.hosts[hl as usize]
             .host
             .mac()
             .expect("host has no Ethernet interface");
         let nic = self.segments[seg.0].attach(mac);
-        self.hosts[host.0].nic = Some((seg, nic));
+        sh.hosts[hl as usize].nic = Some((seg.0, nic));
+        self.seg_hosts[seg.0].insert(nic, (hs, hl));
     }
 
     /// Adds a standalone digipeater station on `chan`.
     pub fn add_digipeater(&mut self, chan: ChanId, call: Ax25Addr, mac: MacConfig) -> DigiId {
-        let station = self.channels[chan.0].add_station();
-        self.digis.push(DigiEntry {
+        let (cs, cl) = self.chan_map[chan.0];
+        let sh = self.shards[cs as usize].get_mut();
+        let station = sh.channels[cl as usize].add_station();
+        sh.digis.push(DigiEntry {
             digi: Digipeater::new(call, station, mac),
-            chan,
+            chan: cl as usize,
         });
-        DigiId(self.digis.len() - 1)
+        self.digi_map.push((cs, (sh.digis.len() - 1) as u32));
+        DigiId(self.digi_map.len() - 1)
     }
 
-    /// Adds a background traffic station on `chan`.
+    /// Adds a background traffic station on `chan`. Its RNG forks from
+    /// shard 0's build-time stream (see [`World::add_noisy_channel_in`]).
     pub fn add_beacon(&mut self, chan: ChanId, cfg: BeaconConfig) -> BeaconId {
-        let station = self.channels[chan.0].add_station();
-        let rng = self.rng.fork();
-        self.beacons.push(BeaconEntry {
+        let rng = self.shards[0].get_mut().rng.fork();
+        let (cs, cl) = self.chan_map[chan.0];
+        let sh = self.shards[cs as usize].get_mut();
+        let station = sh.channels[cl as usize].add_station();
+        sh.beacons.push(BeaconEntry {
             beacon: BeaconStation::new(cfg, station, rng),
-            chan,
+            chan: cl as usize,
         });
-        BeaconId(self.beacons.len() - 1)
+        self.beacon_map.push((cs, (sh.beacons.len() - 1) as u32));
+        BeaconId(self.beacon_map.len() - 1)
     }
 
-    /// Installs an application on a host.
+    /// Installs an application on a host (same shard as the host).
     pub fn add_app(&mut self, host: HostId, app: Box<dyn App>) {
-        self.apps.push(AppEntry {
-            host,
+        let (hs, hl) = self.host_map[host.0];
+        let sh = self.shards[hs as usize].get_mut();
+        sh.apps.push(AppEntry {
+            host: hl as usize,
             app,
             started: false,
         });
@@ -478,22 +490,26 @@ impl World {
 
     /// A host, immutably.
     pub fn host(&self, id: HostId) -> &Host {
-        &self.hosts[id.0].host
+        let (s, l) = self.host_map[id.0];
+        &self.shards[s as usize].get().hosts[l as usize].host
     }
 
     /// A host, mutably (socket operations, route edits…).
     pub fn host_mut(&mut self, id: HostId) -> &mut Host {
-        &mut self.hosts[id.0].host
+        let (s, l) = self.host_map[id.0];
+        &mut self.shards[s as usize].get_mut().hosts[l as usize].host
     }
 
     /// A radio channel.
     pub fn channel(&self, id: ChanId) -> &Channel {
-        &self.channels[id.0]
+        let (s, l) = self.chan_map[id.0];
+        &self.shards[s as usize].get().channels[l as usize]
     }
 
     /// A radio channel, mutably (hearing matrix edits).
     pub fn channel_mut(&mut self, id: ChanId) -> &mut Channel {
-        &mut self.channels[id.0]
+        let (s, l) = self.chan_map[id.0];
+        &mut self.shards[s as usize].get_mut().channels[l as usize]
     }
 
     /// An Ethernet segment.
@@ -503,27 +519,33 @@ impl World {
 
     /// A TNC.
     pub fn tnc(&self, id: TncId) -> &Tnc {
-        &self.tncs[id.0].tnc
+        let (s, l) = self.tnc_map[id.0];
+        &self.shards[s as usize].get().tncs[l as usize].tnc
     }
 
     /// A TNC, mutably (mode switches).
     pub fn tnc_mut(&mut self, id: TncId) -> &mut Tnc {
-        &mut self.tncs[id.0].tnc
+        let (s, l) = self.tnc_map[id.0];
+        &mut self.shards[s as usize].get_mut().tncs[l as usize].tnc
     }
 
     /// A digipeater.
     pub fn digipeater(&self, id: DigiId) -> &Digipeater {
-        &self.digis[id.0].digi
+        let (s, l) = self.digi_map[id.0];
+        &self.shards[s as usize].get().digis[l as usize].digi
     }
 
     /// A background station.
     pub fn beacon(&self, id: BeaconId) -> &BeaconStation {
-        &self.beacons[id.0].beacon
+        let (s, l) = self.beacon_map[id.0];
+        &self.shards[s as usize].get().beacons[l as usize].beacon
     }
 
     /// The serial line attached to a host, if any.
     pub fn host_serial_line(&self, id: HostId) -> Option<&SerialLine> {
-        self.hosts[id.0].serial.map(|i| &self.lines[i])
+        let (s, l) = self.host_map[id.0];
+        let sh = self.shards[s as usize].get();
+        sh.hosts[l as usize].serial.map(|i| &sh.lines[i])
     }
 
     /// Drains recorded stack events.
@@ -540,7 +562,7 @@ impl World {
 
     /// The earliest self-reported deadline of any component, by scanning
     /// every component (the reference stepper's view of time; the indexed
-    /// run loop reads the calendar instead).
+    /// run loop reads the calendars instead).
     pub fn next_deadline(&self) -> Option<SimTime> {
         let mut best: Option<SimTime> = None;
         let mut fold = |t: Option<SimTime>| {
@@ -548,38 +570,20 @@ impl World {
                 best = Some(best.map_or(t, |b: SimTime| b.min(t)));
             }
         };
-        for l in &self.lines {
-            fold(l.next_deadline());
-        }
-        for c in &self.channels {
-            fold(c.next_deadline());
+        for sb in &self.shards {
+            fold(sb.get().scan_next_deadline(None));
         }
         for s in &self.segments {
             fold(s.next_deadline());
         }
-        for t in &self.tncs {
-            fold(t.tnc.next_deadline());
-        }
-        for d in &self.digis {
-            fold(d.digi.next_deadline());
-        }
-        for b in &self.beacons {
-            fold(b.beacon.next_deadline());
-        }
-        for h in &self.hosts {
-            fold(h.host.next_deadline());
-        }
-        for a in &self.apps {
-            fold(a.app.next_deadline());
-        }
+        fold(self.pending.peek().map(|r| r.0.effect));
         best
     }
 
     /// Runs the world up to (and including) deadlines at `t`; the clock
     /// finishes exactly at `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        self.run_indexed(t);
-        self.now = self.now.max(t);
+        self.drive(t, Mode::Indexed, true);
     }
 
     /// Runs for `d` more simulated time.
@@ -590,886 +594,343 @@ impl World {
     /// Runs until no component has any pending work (or `limit` passes).
     /// A deadline exactly at `limit` is processed.
     pub fn run_until_idle(&mut self, limit: SimTime) {
-        self.run_indexed(limit);
-    }
-
-    /// The indexed run loop: pop due keys from the calendar, mark them
-    /// dirty, settle the instant over dirty components only.
-    fn run_indexed(&mut self, t: SimTime) {
-        self.start_apps();
-        self.sync_all();
-        self.settle_dirty(false);
-        let mut popped: Vec<Key> = Vec::new();
-        while let Some(d) = self.sched.peek_time() {
-            if d > t {
-                break;
-            }
-            if d > self.now {
-                self.now = d;
-                self.sched.stats_mut().instants += 1;
-            }
-            popped.clear();
-            let k = self.sched.pop().expect("peeked entry pops").1;
-            *self.cal.slot(k) = None;
-            popped.push(k);
-            while self.sched.peek_time().is_some_and(|pt| pt <= self.now) {
-                let k = self.sched.pop().expect("peeked entry pops").1;
-                *self.cal.slot(k) = None;
-                popped.push(k);
-            }
-            // Dense per-character band: a lone serial-line deadline with no
-            // other pending work takes the batched fast lane.
-            if popped.len() == 1 && self.dirty.count == 0 {
-                if let Key::Line(li) = popped[0] {
-                    self.serial_fast_lane(li, t);
-                    continue;
-                }
-            }
-            for &key in &popped {
-                self.dirty.mark(key);
-            }
-            self.settle_dirty(false);
-        }
-    }
-
-    /// Rebuilds the routing maps, registers every component's current
-    /// deadline, and marks everything dirty — run-call entry is the one
-    /// moment external mutations (via `host_mut`, `tnc_mut`, new
-    /// components…) can have happened without the world noticing.
-    fn sync_all(&mut self) {
-        self.line_host = vec![None; self.lines.len()];
-        for (hi, h) in self.hosts.iter().enumerate() {
-            if let Some(li) = h.serial {
-                if self.line_host[li].is_none() {
-                    self.line_host[li] = Some(hi);
-                }
-            }
-        }
-        self.line_tnc = vec![None; self.lines.len()];
-        for (ti, t) in self.tncs.iter().enumerate() {
-            if self.line_tnc[t.line].is_none() {
-                self.line_tnc[t.line] = Some(ti);
-            }
-        }
-        self.chan_tncs = vec![Vec::new(); self.channels.len()];
-        for (ti, t) in self.tncs.iter().enumerate() {
-            self.chan_tncs[t.chan.0].push(ti);
-        }
-        self.chan_digis = vec![Vec::new(); self.channels.len()];
-        for (di, d) in self.digis.iter().enumerate() {
-            self.chan_digis[d.chan.0].push(di);
-        }
-        self.chan_beacons = vec![Vec::new(); self.channels.len()];
-        for (bi, b) in self.beacons.iter().enumerate() {
-            self.chan_beacons[b.chan.0].push(bi);
-        }
-        self.host_apps = vec![Vec::new(); self.hosts.len()];
-        for (ai, a) in self.apps.iter().enumerate() {
-            self.host_apps[a.host.0].push(ai);
-        }
-        self.flush_after_apps.reset_clear(self.hosts.len());
-        self.cal.reset([
-            self.lines.len(),
-            self.channels.len(),
-            self.segments.len(),
-            self.tncs.len(),
-            self.digis.len(),
-            self.beacons.len(),
-            self.hosts.len(),
-            self.apps.len(),
-        ]);
-        self.dirty.mark_all([
-            self.lines.len(),
-            self.channels.len(),
-            self.segments.len(),
-            self.tncs.len(),
-            self.digis.len(),
-            self.beacons.len(),
-            self.hosts.len(),
-            self.apps.len(),
-        ]);
-        for li in 0..self.lines.len() {
-            self.reg_line(li);
-        }
-        for ci in 0..self.channels.len() {
-            self.reg_chan(ci);
-        }
-        for si in 0..self.segments.len() {
-            self.reg_seg(si);
-        }
-        for ti in 0..self.tncs.len() {
-            self.reg_tnc(ti);
-        }
-        for di in 0..self.digis.len() {
-            self.reg_digi(di);
-        }
-        for bi in 0..self.beacons.len() {
-            self.reg_beacon(bi);
-        }
-        for hi in 0..self.hosts.len() {
-            self.reg_host(hi);
-        }
-        for ai in 0..self.apps.len() {
-            self.reg_app(ai);
-        }
-    }
-
-    // Deadline-change reporting: re-register a component after anything
-    // may have moved its deadline. Unchanged deadlines are a no-op.
-
-    fn reg_line(&mut self, li: usize) {
-        let d = self.lines[li].next_deadline();
-        match self.cal.lines.get_mut(li) {
-            // Cache hit: the calendar already holds this deadline.
-            Some(slot) if *slot == d => {
-                self.sched.stats_mut().unchanged += 1;
-                return;
-            }
-            Some(slot) => *slot = d,
-            // Reference stepper: sync_all never sized the cache.
-            None => {}
-        }
-        self.sched.set_deadline(Key::Line(li), d);
-    }
-
-    fn reg_chan(&mut self, ci: usize) {
-        let d = self.channels[ci].next_deadline();
-        match self.cal.chans.get_mut(ci) {
-            // Cache hit: the calendar already holds this deadline.
-            Some(slot) if *slot == d => {
-                self.sched.stats_mut().unchanged += 1;
-                return;
-            }
-            Some(slot) => *slot = d,
-            // Reference stepper: sync_all never sized the cache.
-            None => {}
-        }
-        self.sched.set_deadline(Key::Chan(ci), d);
-    }
-
-    fn reg_seg(&mut self, si: usize) {
-        let d = self.segments[si].next_deadline();
-        match self.cal.segs.get_mut(si) {
-            // Cache hit: the calendar already holds this deadline.
-            Some(slot) if *slot == d => {
-                self.sched.stats_mut().unchanged += 1;
-                return;
-            }
-            Some(slot) => *slot = d,
-            // Reference stepper: sync_all never sized the cache.
-            None => {}
-        }
-        self.sched.set_deadline(Key::Seg(si), d);
-    }
-
-    fn reg_tnc(&mut self, ti: usize) {
-        let d = self.tncs[ti].tnc.next_deadline();
-        match self.cal.tncs.get_mut(ti) {
-            // Cache hit: the calendar already holds this deadline.
-            Some(slot) if *slot == d => {
-                self.sched.stats_mut().unchanged += 1;
-                return;
-            }
-            Some(slot) => *slot = d,
-            // Reference stepper: sync_all never sized the cache.
-            None => {}
-        }
-        self.sched.set_deadline(Key::Tnc(ti), d);
-    }
-
-    fn reg_digi(&mut self, di: usize) {
-        let d = self.digis[di].digi.next_deadline();
-        match self.cal.digis.get_mut(di) {
-            // Cache hit: the calendar already holds this deadline.
-            Some(slot) if *slot == d => {
-                self.sched.stats_mut().unchanged += 1;
-                return;
-            }
-            Some(slot) => *slot = d,
-            // Reference stepper: sync_all never sized the cache.
-            None => {}
-        }
-        self.sched.set_deadline(Key::Digi(di), d);
-    }
-
-    fn reg_beacon(&mut self, bi: usize) {
-        let d = self.beacons[bi].beacon.next_deadline();
-        match self.cal.beacons.get_mut(bi) {
-            // Cache hit: the calendar already holds this deadline.
-            Some(slot) if *slot == d => {
-                self.sched.stats_mut().unchanged += 1;
-                return;
-            }
-            Some(slot) => *slot = d,
-            // Reference stepper: sync_all never sized the cache.
-            None => {}
-        }
-        self.sched.set_deadline(Key::Beacon(bi), d);
-    }
-
-    fn reg_host(&mut self, hi: usize) {
-        let d = self.hosts[hi].host.next_deadline();
-        match self.cal.hosts.get_mut(hi) {
-            // Cache hit: the calendar already holds this deadline.
-            Some(slot) if *slot == d => {
-                self.sched.stats_mut().unchanged += 1;
-                return;
-            }
-            Some(slot) => *slot = d,
-            // Reference stepper: sync_all never sized the cache.
-            None => {}
-        }
-        self.sched.set_deadline(Key::Host(hi), d);
-    }
-
-    fn reg_app(&mut self, ai: usize) {
-        let d = self.apps[ai].app.next_deadline();
-        match self.cal.apps.get_mut(ai) {
-            // Cache hit: the calendar already holds this deadline.
-            Some(slot) if *slot == d => {
-                self.sched.stats_mut().unchanged += 1;
-                return;
-            }
-            Some(slot) => *slot = d,
-            // Reference stepper: sync_all never sized the cache.
-            None => {}
-        }
-        self.sched.set_deadline(Key::App(ai), d);
-    }
-
-    /// Marks every app on host `hi` dirty (the host was touched, so apps
-    /// watching its state — windows, tty queue — must get a poll).
-    fn mark_apps(&mut self, hi: usize) {
-        for i in 0..self.host_apps[hi].len() {
-            let ai = self.host_apps[hi][i];
-            self.dirty.mark(Key::App(ai));
-        }
-    }
-
-    /// Batched serial delivery (the lone-line instant). Advances character
-    /// by character at exact completion times with **zero calendar traffic
-    /// per byte**, as long as each delivered character is *quiet*: the
-    /// receiver's deadline, pending output, tty queue, and (TNC side)
-    /// frame/param counters are unchanged — i.e. only the per-character
-    /// interrupt accounting happened, which stays per-byte (§3). The first
-    /// non-quiet character (frame boundary, param command) falls back to a
-    /// full settle at its exact instant.
-    fn serial_fast_lane(&mut self, li: usize, limit: SimTime) {
-        let host_idx = self.line_host[li];
-        let tnc_idx = self.line_tnc[li];
-        let mut run_buf = std::mem::take(&mut self.run_scratch);
-        loop {
-            let mut quiet = true;
-            // Run batching: when one direction carries a clean burst, pull
-            // every character up to (and including) the next FEND in a
-            // single call and hand the whole slice to the receiver's bulk
-            // path. Characters before a FEND are provably quiet — they can
-            // only be buffered — so the one quiet check at the run's end
-            // observes everything the per-character loop would have.
-            // Counter bookkeeping matches that loop exactly: `m` batched
-            // characters and `m − 1` further time instants (the first was
-            // counted when this deadline popped).
-            if let Some(run) = self.lines[li].take_run(
-                self.now,
-                limit,
-                self.sched.peek_time(),
-                kiss::FEND,
-                &mut run_buf,
-            ) {
-                let m = run_buf.len() as u64;
-                self.sched.stats_mut().batched_chars += m;
-                self.sched.stats_mut().instants += m - 1;
-                self.now = run.t_last;
-                match run.to {
-                    End::A => {
-                        if let Some(hi) = host_idx {
-                            let char_time = self.lines[li].config().char_time();
-                            let h = &mut self.hosts[hi].host;
-                            let before_dl = h.next_deadline();
-                            let before_tty = h.tty_len();
-                            h.on_serial_run(run.t0, char_time, &run_buf);
-                            if h.has_pending_output()
-                                || h.next_deadline() != before_dl
-                                || h.tty_len() != before_tty
-                            {
-                                self.dirty.mark(Key::Host(hi));
-                                self.mark_apps(hi);
-                                quiet = false;
-                            }
-                        }
-                    }
-                    End::B => {
-                        if let Some(ti) = tnc_idx {
-                            let t = &mut self.tncs[ti].tnc;
-                            let before_dl = t.next_deadline();
-                            let s = t.stats();
-                            let before = (s.from_host, s.params);
-                            t.on_serial_bytes(&run_buf);
-                            let s = t.stats();
-                            if (s.from_host, s.params) != before || t.next_deadline() != before_dl {
-                                self.dirty.mark(Key::Tnc(ti));
-                                quiet = false;
-                            }
-                        }
-                    }
-                }
-            } else {
-                // Per-character reference path: noisy or bidirectional
-                // lines, or an undrained FIFO.
-                self.lines[li].advance(self.now);
-                let host_bytes = self.lines[li].take_rx(End::A);
-                if !host_bytes.is_empty() {
-                    self.sched.stats_mut().batched_chars += host_bytes.len() as u64;
-                    if let Some(hi) = host_idx {
-                        let h = &mut self.hosts[hi].host;
-                        let before_dl = h.next_deadline();
-                        let before_tty = h.tty_len();
-                        h.on_serial_bytes(self.now, &host_bytes);
-                        if h.has_pending_output()
-                            || h.next_deadline() != before_dl
-                            || h.tty_len() != before_tty
-                        {
-                            self.dirty.mark(Key::Host(hi));
-                            self.mark_apps(hi);
-                            quiet = false;
-                        }
-                    }
-                }
-                let tnc_bytes = self.lines[li].take_rx(End::B);
-                if !tnc_bytes.is_empty() {
-                    self.sched.stats_mut().batched_chars += tnc_bytes.len() as u64;
-                    if let Some(ti) = tnc_idx {
-                        let t = &mut self.tncs[ti].tnc;
-                        let before_dl = t.next_deadline();
-                        let s = t.stats();
-                        let before = (s.from_host, s.params);
-                        for &b in &tnc_bytes {
-                            t.on_serial_byte(b);
-                        }
-                        let s = t.stats();
-                        if (s.from_host, s.params) != before || t.next_deadline() != before_dl {
-                            self.dirty.mark(Key::Tnc(ti));
-                            quiet = false;
-                        }
-                    }
-                }
-            }
-            let line_dl = self.lines[li].next_deadline();
-            if !quiet {
-                // The delivery that broke quiescence counts as this
-                // instant's first-pass progress, as it did when the
-                // reference stepper delivered it inside `settle`.
-                self.reg_line(li);
-                self.run_scratch = run_buf;
-                self.settle_dirty(true);
-                return;
-            }
-            if let Some(dl) = line_dl {
-                // Keep batching while the line is strictly the next event.
-                if dl <= limit && self.sched.peek_time().is_none_or(|o| dl < o) {
-                    self.now = dl;
-                    self.sched.stats_mut().instants += 1;
-                    continue;
-                }
-            }
-            self.reg_line(li);
-            self.run_scratch = run_buf;
-            return;
-        }
-    }
-
-    fn start_apps(&mut self) {
-        let now = self.now;
-        let mut apps = std::mem::take(&mut self.apps);
-        for entry in &mut apps {
-            if !entry.started {
-                entry.started = true;
-                entry.app.on_start(now, &mut self.hosts[entry.host.0].host);
-            }
-        }
-        self.apps = apps;
-    }
-
-    /// Processes everything dirty at `self.now` until the instant is
-    /// quiet, visiting categories in the same fixed order as the
-    /// reference stepper: lines → channels → MACs → segments → hosts →
-    /// apps. `initial_progress` seeds the first pass's progress flag when
-    /// the caller already made progress at this instant (the fast lane's
-    /// bail-out delivery).
-    fn settle_dirty(&mut self, initial_progress: bool) {
-        let now = self.now;
-        let mut first = initial_progress;
-        let mut todo = std::mem::take(&mut self.scratch);
-        for _pass in 0..10_000 {
-            let mut progressed = std::mem::take(&mut first);
-            let mut polled: u64 = 0;
-
-            // 1. Serial lines: finish due characters, route rx bytes.
-            todo.clear();
-            if !self.dirty.lines.list.is_empty() {
-                self.dirty.count -= self.dirty.lines.drain_into(&mut todo);
-            }
-            for &li in &todo {
-                polled += 1;
-                if self.lines[li].next_deadline().is_some_and(|t| t <= now) {
-                    self.lines[li].advance(now);
-                }
-                // Host side (End::A).
-                let host_bytes = self.lines[li].take_rx(End::A);
-                if !host_bytes.is_empty() {
-                    progressed = true;
-                    if let Some(hi) = self.line_host[li] {
-                        self.hosts[hi].host.on_serial_bytes(now, &host_bytes);
-                        self.dirty.mark(Key::Host(hi));
-                        self.mark_apps(hi);
-                    }
-                }
-                // TNC side (End::B).
-                let tnc_bytes = self.lines[li].take_rx(End::B);
-                if !tnc_bytes.is_empty() {
-                    progressed = true;
-                    if let Some(ti) = self.line_tnc[li] {
-                        for &b in &tnc_bytes {
-                            self.tncs[ti].tnc.on_serial_byte(b);
-                        }
-                        self.dirty.mark(Key::Tnc(ti));
-                    }
-                }
-                self.reg_line(li);
-            }
-
-            // 2. Radio channels: completed transmissions become
-            // receptions, and the carrier drops — wake the stations whose
-            // queued frames were blocked only on carrier sense (everyone
-            // else has a registered deadline of their own, or nothing to
-            // send; a carrier turning *busy* never enables a send).
-            todo.clear();
-            if !self.dirty.chans.list.is_empty() {
-                self.dirty.count -= self.dirty.chans.drain_into(&mut todo);
-            }
-            for &ci in &todo {
-                polled += 1;
-                if self.channels[ci].next_deadline().is_some_and(|t| t <= now) {
-                    let receptions = self.channels[ci].advance(now);
-                    if !receptions.is_empty() {
-                        progressed = true;
-                    }
-                    for rx in receptions {
-                        self.route_reception(now, ChanId(ci), rx.to, &rx);
-                    }
-                    for i in 0..self.chan_tncs[ci].len() {
-                        let ti = self.chan_tncs[ci][i];
-                        if self.tncs[ti].tnc.waiting_on_carrier() {
-                            self.dirty.mark(Key::Tnc(ti));
-                        }
-                    }
-                    for i in 0..self.chan_digis[ci].len() {
-                        let di = self.chan_digis[ci][i];
-                        if self.digis[di].digi.waiting_on_carrier() {
-                            self.dirty.mark(Key::Digi(di));
-                        }
-                    }
-                    for i in 0..self.chan_beacons[ci].len() {
-                        let bi = self.chan_beacons[ci][i];
-                        if self.beacons[bi].beacon.waiting_on_carrier() {
-                            self.dirty.mark(Key::Beacon(bi));
-                        }
-                    }
-                }
-                self.reg_chan(ci);
-            }
-
-            // 3. MAC polls (TNCs, digipeaters, beacons), in the reference
-            // stepper's category/index order so shared-RNG draws match. A
-            // MAC still due at this instant (zero slot time) is re-marked
-            // so it re-draws each pass, exactly like the re-poll-all
-            // reference.
-            todo.clear();
-            if !self.dirty.tncs.list.is_empty() {
-                self.dirty.count -= self.dirty.tncs.drain_into(&mut todo);
-            }
-            for &ti in &todo {
-                polled += 1;
-                let ci = self.tncs[ti].chan.0;
-                let entry = &mut self.tncs[ti];
-                entry.tnc.poll(now, &mut self.channels[ci], &mut self.rng);
-                if entry.tnc.next_deadline().is_some_and(|d| d <= now) {
-                    self.dirty.mark(Key::Tnc(ti));
-                }
-                self.reg_tnc(ti);
-                self.reg_chan(ci);
-            }
-            todo.clear();
-            if !self.dirty.digis.list.is_empty() {
-                self.dirty.count -= self.dirty.digis.drain_into(&mut todo);
-            }
-            for &di in &todo {
-                polled += 1;
-                let ci = self.digis[di].chan.0;
-                let entry = &mut self.digis[di];
-                entry.digi.poll(now, &mut self.channels[ci], &mut self.rng);
-                if entry.digi.next_deadline().is_some_and(|d| d <= now) {
-                    self.dirty.mark(Key::Digi(di));
-                }
-                self.reg_digi(di);
-                self.reg_chan(ci);
-            }
-            todo.clear();
-            if !self.dirty.beacons.list.is_empty() {
-                self.dirty.count -= self.dirty.beacons.drain_into(&mut todo);
-            }
-            for &bi in &todo {
-                polled += 1;
-                let ci = self.beacons[bi].chan.0;
-                let entry = &mut self.beacons[bi];
-                entry.beacon.poll(now, &mut self.channels[ci]);
-                if entry.beacon.next_deadline().is_some_and(|d| d <= now) {
-                    self.dirty.mark(Key::Beacon(bi));
-                }
-                self.reg_beacon(bi);
-                self.reg_chan(ci);
-            }
-
-            // 4. Ethernet segments.
-            todo.clear();
-            if !self.dirty.segs.list.is_empty() {
-                self.dirty.count -= self.dirty.segs.drain_into(&mut todo);
-            }
-            for &si in &todo {
-                polled += 1;
-                if self.segments[si].next_deadline().is_some_and(|t| t <= now) {
-                    let deliveries = self.segments[si].advance(now);
-                    if !deliveries.is_empty() {
-                        progressed = true;
-                    }
-                    for (nic, frame) in deliveries {
-                        if let Some(hi) = self
-                            .hosts
-                            .iter()
-                            .position(|h| h.nic == Some((SegId(si), nic)))
-                        {
-                            self.hosts[hi].host.on_ether_frame(now, &frame);
-                            self.dirty.mark(Key::Host(hi));
-                            self.mark_apps(hi);
-                        }
-                    }
-                }
-                self.reg_seg(si);
-            }
-
-            // 5. Hosts: CPU-gated stack work, then route their output.
-            todo.clear();
-            if !self.dirty.hosts.list.is_empty() {
-                self.dirty.count -= self.dirty.hosts.drain_into(&mut todo);
-            }
-            for &hi in &todo {
-                polled += 1;
-                if self.hosts[hi]
-                    .host
-                    .next_deadline()
-                    .is_some_and(|t| t <= now)
-                {
-                    self.hosts[hi].host.advance(now);
-                    self.mark_apps(hi);
-                }
-                if self.flush_host(now, HostId(hi)) {
-                    progressed = true;
-                    // on_event handlers may have queued more output and
-                    // changed app state; catch both this instant.
-                    self.dirty.mark(Key::Host(hi));
-                    self.mark_apps(hi);
-                    self.flush_after_apps.mark(hi);
-                }
-                self.reg_host(hi);
-            }
-
-            // 6. Applications: poll dirty apps in index order, then flush
-            // their hosts in host-index order (the reference polls all
-            // apps, then flushes all hosts).
-            todo.clear();
-            if !self.dirty.apps.list.is_empty() {
-                self.dirty.count -= self.dirty.apps.drain_into(&mut todo);
-            }
-            for &ai in &todo {
-                polled += 1;
-                let hi = self.apps[ai].host.0;
-                let entry = &mut self.apps[ai];
-                entry.app.poll(now, &mut self.hosts[hi].host);
-                self.reg_app(ai);
-                self.flush_after_apps.mark(hi);
-            }
-            todo.clear();
-            if !self.flush_after_apps.list.is_empty() {
-                self.flush_after_apps.drain_into(&mut todo);
-            }
-            for &hi in &todo {
-                if self.flush_host(now, HostId(hi)) {
-                    progressed = true;
-                    self.dirty.mark(Key::Host(hi));
-                    self.mark_apps(hi);
-                }
-                self.reg_host(hi);
-            }
-
-            self.sched.stats_mut().polled += polled;
-            if !progressed {
-                self.scratch = todo;
-                return;
-            }
-        }
-        panic!("world did not settle at {now}");
+        self.drive(limit, Mode::Indexed, false);
     }
 
     // --- Reference stepper --------------------------------------------------
     //
-    // The pre-index engine, kept verbatim: scan every component for the
-    // earliest deadline, then re-poll everything until quiescent. The
-    // equivalence tests pin the indexed scheduler against it, and the
-    // `engine` benchmarks measure the speedup. Not for mixed use with the
-    // indexed run methods on the same World instance within a run — pick
-    // one driver per world.
+    // The pre-index engine, kept verbatim in `shard.rs`: scan every
+    // component for the earliest deadline, then re-poll everything until
+    // quiescent. The equivalence tests pin the indexed scheduler against
+    // it, and the `engine` benchmarks measure the speedup. Not for mixed
+    // use with the indexed run methods on the same World instance within
+    // a run — pick one driver per world. On a multi-shard world the
+    // reference runs the same lookahead windows (serially), so it is also
+    // the spec for the parallel engine's merge order.
 
     /// Reference (full-scan) equivalent of [`World::run_until`].
     #[doc(hidden)]
     pub fn run_until_reference(&mut self, t: SimTime) {
-        self.start_apps();
-        self.settle_scan();
-        while let Some(d) = self.next_deadline() {
-            if d > t {
-                break;
-            }
-            self.now = self.now.max(d);
-            self.settle_scan();
-        }
-        self.now = self.now.max(t);
+        self.drive(t, Mode::Scan, true);
     }
 
     /// Reference (full-scan) equivalent of [`World::run_until_idle`].
     #[doc(hidden)]
     pub fn run_until_idle_reference(&mut self, limit: SimTime) {
-        self.start_apps();
-        self.settle_scan();
-        while let Some(d) = self.next_deadline() {
-            if d > limit {
+        self.drive(limit, Mode::Scan, false);
+    }
+
+    /// The shared run epilogue behind all four public run methods: pick
+    /// the engine (`mode`), run to `limit`, and either clamp the clock to
+    /// exactly `limit` (`run_until`) or leave it at the last processed
+    /// instant (`run_until_idle`).
+    fn drive(&mut self, limit: SimTime, mode: Mode, clamp: bool) {
+        if self.shards.len() == 1 {
+            self.drive_single(limit, mode, clamp);
+        } else {
+            self.drive_sharded(limit, mode, clamp);
+        }
+    }
+
+    /// Single-shard fast path: hand the shard the segments and step to
+    /// the limit in one call — the exact pre-shard engine, no windows, no
+    /// lookahead.
+    fn drive_single(&mut self, limit: SimTime, mode: Mode, clamp: bool) {
+        let sh = self.shards[0].get_mut();
+        sh.now = self.now;
+        sh.record_events = self.record_events;
+        std::mem::swap(&mut sh.trace, &mut self.trace);
+        let mut segs: Segs = Some(&mut self.segments);
+        sh.start_apps();
+        match mode {
+            Mode::Indexed => {
+                sh.sync_all(&mut segs);
+                sh.settle_dirty(false, &mut segs);
+                sh.run_window_indexed(limit, &mut segs);
+            }
+            Mode::Scan => {
+                sh.settle_scan(&mut segs);
+                sh.run_window_scan(limit, &mut segs);
+            }
+        }
+        std::mem::swap(&mut sh.trace, &mut self.trace);
+        self.now = if clamp { sh.now.max(limit) } else { sh.now };
+        self.events.append(&mut sh.events);
+    }
+
+    /// Multi-shard windowed run. Shards settle their entry instant, then
+    /// the coordinator loops lookahead windows until nothing is due at or
+    /// before `limit`; see `Engine`.
+    fn drive_sharded(&mut self, limit: SimTime, mode: Mode, clamp: bool) {
+        std::mem::swap(&mut self.shards[0].get_mut().trace, &mut self.trace);
+        for sb in &mut self.shards {
+            let sh = sb.get_mut();
+            sh.now = self.now;
+            sh.record_events = self.record_events;
+            sh.start_apps();
+            let mut segs: Segs = None;
+            match mode {
+                Mode::Indexed => {
+                    sh.sync_all(&mut segs);
+                    sh.settle_dirty(false, &mut segs);
+                }
+                Mode::Scan => sh.settle_scan(&mut segs),
+            }
+        }
+        let shards = std::mem::take(&mut self.shards);
+        let mut segments = std::mem::take(&mut self.segments);
+        let seg_hosts = std::mem::take(&mut self.seg_hosts);
+        let mut pending = std::mem::take(&mut self.pending);
+        let mut spare = std::mem::take(&mut self.spare_frames);
+        let mut events = std::mem::take(&mut self.events);
+        let workers = self.workers.min(shards.len());
+        {
+            let mut eng = Engine {
+                shards: &shards,
+                segments: &mut segments,
+                seg_hosts: &seg_hosts,
+                pending: &mut pending,
+                spare: &mut spare,
+                events: &mut events,
+                mode,
+                limit,
+            };
+            // Entry settles may already have emitted cross-shard traffic.
+            eng.collect();
+            if workers <= 1 {
+                eng.run_serial();
+            } else {
+                eng.run_parallel(workers);
+            }
+        }
+        self.shards = shards;
+        self.segments = segments;
+        self.seg_hosts = seg_hosts;
+        self.pending = pending;
+        self.spare_frames = spare;
+        self.events = events;
+        std::mem::swap(&mut self.shards[0].get_mut().trace, &mut self.trace);
+        let mut now = self.now;
+        for sb in &mut self.shards {
+            now = now.max(sb.get_mut().now);
+        }
+        self.now = if clamp { now.max(limit) } else { now };
+    }
+}
+
+/// Steps one shard through one window (deferred-Ethernet mode).
+fn step_shard(sh: &mut ShardData, w_end: SimTime, mode: Mode) {
+    let mut segs: Segs = None;
+    match mode {
+        Mode::Indexed => sh.run_window_indexed(w_end, &mut segs),
+        Mode::Scan => sh.run_window_scan(w_end, &mut segs),
+    }
+}
+
+/// The multi-shard window coordinator. Per window:
+///
+/// 1. `t_next` = the earliest pending thing anywhere (shard events,
+///    queued deliveries, segment completions, deferred sends);
+///    stop when it passes the limit.
+/// 2. `w_end = min(limit, t_next + LOOKAHEAD)`.
+/// 3. `apply_ether(w_end)`: replay deferred sends and segment
+///    completions up to `w_end` in global time order (completions
+///    before same-time sends, send ties by `(shard, seq)`, completion
+///    ties by segment index), queuing deliveries into shard mailboxes
+///    at their exact times. Sends emitted *during* a window get effect
+///    `≥ w_end` (the lookahead guarantee), so this phase never misses
+///    one.
+/// 4. Step every shard to `w_end` — independently, in parallel if asked;
+///    shards see only their mailbox, never the segments.
+/// 5. `collect()`: gather emitted sends into the pending heap, append
+///    shard events (stable-sorted by time; windows never interleave
+///    times), and recycle spent delivery frames.
+struct Engine<'a> {
+    shards: &'a [ShardBox],
+    segments: &'a mut Vec<Segment>,
+    seg_hosts: &'a [HashMap<NicId, (u32, u32)>],
+    pending: &'a mut BinaryHeap<Reverse<PendingSend>>,
+    spare: &'a mut Vec<EtherFrame>,
+    events: &'a mut Vec<(HostId, SimTime, StackAction)>,
+    mode: Mode,
+    limit: SimTime,
+}
+
+// The coordinator's `steal` calls are the other half of the `shard::cell`
+// contract: every call site is a coordinator phase (workers parked at the
+// barrier or never spawned) or a ticket-claimed stepping phase.
+#[allow(unsafe_code)]
+impl Engine<'_> {
+    /// The earliest pending event in the whole world.
+    fn t_next(&self) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        let mut fold = |t: Option<SimTime>| {
+            if let Some(t) = t {
+                best = Some(best.map_or(t, |b: SimTime| b.min(t)));
+            }
+        };
+        for sb in self.shards {
+            // SAFETY: coordinator phase — workers are parked at the
+            // barrier (or do not exist), so no shard is claimed.
+            let sh = unsafe { sb.steal() };
+            fold(match self.mode {
+                Mode::Indexed => sh.next_event_indexed(),
+                Mode::Scan => sh.scan_next_deadline(None),
+            });
+        }
+        for s in self.segments.iter() {
+            fold(s.next_deadline());
+        }
+        fold(self.pending.peek().map(|r| r.0.effect));
+        best
+    }
+
+    /// Replays deferred sends and segment completions with time ≤ `upto`
+    /// in global time order, queuing deliveries into shard mailboxes at
+    /// their exact completion times. Afterwards every segment deadline
+    /// and pending send is > `upto`, and every mailbox is stamped in
+    /// nondecreasing order.
+    fn apply_ether(&mut self, upto: SimTime) {
+        loop {
+            let comp = self
+                .segments
+                .iter()
+                .enumerate()
+                .filter_map(|(si, s)| s.next_deadline().map(|t| (t, si)))
+                .min()
+                .filter(|&(t, _)| t <= upto);
+            let send = self
+                .pending
+                .peek()
+                .map(|r| r.0.effect)
+                .filter(|&t| t <= upto);
+            match (comp, send) {
+                (None, None) => return,
+                // Completions apply before same-time sends: in the
+                // single-shard engine the segment advances (settle step 4)
+                // before hosts flush new sends (step 5) at one instant.
+                (Some((c, si)), send) if send.is_none_or(|e| c <= e) => {
+                    let shards = self.shards;
+                    let seg_hosts = &self.seg_hosts[si];
+                    let spare = &mut *self.spare;
+                    // `c` is the global minimum, so exactly the one
+                    // completion at `c` fires (a chained next frame
+                    // finishes strictly later) — every delivery below
+                    // happens at `c`.
+                    self.segments[si].advance_with(c, |nic, frame| {
+                        if let Some(&(s, l)) = seg_hosts.get(&nic) {
+                            let mut buf = spare.pop().unwrap_or_else(EtherFrame::empty);
+                            frame.clone_into(&mut buf);
+                            // SAFETY: coordinator phase (as in `t_next`).
+                            let sh = unsafe { shards[s as usize].steal() };
+                            sh.ether_in.push((c, l as usize, buf));
+                        }
+                    });
+                }
+                _ => {
+                    let Reverse(p) = self.pending.pop().expect("send was peeked");
+                    self.segments[p.seg].send(p.effect, p.nic, p.frame);
+                }
+            }
+        }
+    }
+
+    /// Gathers every shard's window output: deferred sends → pending
+    /// heap, events → world log (stable-sorted by time; shard order
+    /// breaks ties), consumed delivery frames → spare pool.
+    fn collect(&mut self) {
+        let tail = self.events.len();
+        for (si, sb) in self.shards.iter().enumerate() {
+            // SAFETY: coordinator phase (as in `t_next`).
+            let sh = unsafe { sb.steal() };
+            for of in sh.ether_out.drain(..) {
+                self.pending.push(Reverse(PendingSend {
+                    effect: of.time + LOOKAHEAD,
+                    shard: si as u32,
+                    seq: of.seq,
+                    seg: of.seg,
+                    nic: of.nic,
+                    frame: of.frame,
+                }));
+            }
+            self.events.append(&mut sh.events);
+            self.spare.append(&mut sh.spent);
+        }
+        self.events[tail..].sort_by_key(|e| e.1);
+    }
+
+    /// The window loop, stepping shards on the caller's thread.
+    fn run_serial(&mut self) {
+        loop {
+            let Some(tn) = self.t_next() else { return };
+            if tn > self.limit {
+                return;
+            }
+            let w_end = (tn + LOOKAHEAD).min(self.limit);
+            self.apply_ether(w_end);
+            for sb in self.shards {
+                // SAFETY: serial stepping — no other claimant exists.
+                let sh = unsafe { sb.steal() };
+                step_shard(sh, w_end, self.mode);
+            }
+            self.collect();
+        }
+    }
+
+    /// The window loop on a worker pool: `workers − 1` spawned threads
+    /// plus the coordinator claim shards through an atomic ticket; two
+    /// barrier waits bound each window (coordinator phases in between).
+    fn run_parallel(&mut self, workers: usize) {
+        let shards = self.shards;
+        let mode = self.mode;
+        let nshards = shards.len();
+        // (window end, shut down) — written by the coordinator before the
+        // opening barrier of each window.
+        let spec: Mutex<(SimTime, bool)> = Mutex::new((SimTime::ZERO, false));
+        let barrier = Barrier::new(workers);
+        let ticket = AtomicUsize::new(0);
+        let claim_and_step = |w_end: SimTime| loop {
+            let i = ticket.fetch_add(1, Ordering::Relaxed);
+            if i >= nshards {
                 break;
             }
-            self.now = self.now.max(d);
-            self.settle_scan();
-        }
-    }
-
-    /// Processes everything due at `self.now` until the instant is quiet,
-    /// visiting every component on every pass.
-    fn settle_scan(&mut self) {
-        let now = self.now;
-        for _pass in 0..10_000 {
-            let mut progressed = false;
-
-            // 1. Serial lines: finish due characters, route rx bytes.
-            for li in 0..self.lines.len() {
-                if self.lines[li].next_deadline().is_some_and(|t| t <= now) {
-                    self.lines[li].advance(now);
-                }
-                // Host side (End::A).
-                let host_bytes = self.lines[li].take_rx(End::A);
-                if !host_bytes.is_empty() {
-                    progressed = true;
-                    if let Some(h) = self.hosts.iter_mut().find(|h| h.serial == Some(li)) {
-                        h.host.on_serial_bytes(now, &host_bytes);
+            // SAFETY: the ticket hands each shard to exactly one thread;
+            // the barriers on both sides of the stepping phase order it
+            // with every coordinator access.
+            let sh = unsafe { shards[i].steal() };
+            step_shard(sh, w_end, mode);
+        };
+        std::thread::scope(|scope| {
+            for _ in 1..workers {
+                let spec = &spec;
+                let barrier = &barrier;
+                let claim_and_step = &claim_and_step;
+                scope.spawn(move || loop {
+                    barrier.wait();
+                    let (w_end, done) = *spec.lock().expect("window spec lock");
+                    if done {
+                        return;
                     }
-                }
-                // TNC side (End::B).
-                let tnc_bytes = self.lines[li].take_rx(End::B);
-                if !tnc_bytes.is_empty() {
-                    progressed = true;
-                    if let Some(t) = self.tncs.iter_mut().find(|t| t.line == li) {
-                        for b in tnc_bytes {
-                            t.tnc.on_serial_byte(b);
-                        }
-                    }
-                }
+                    claim_and_step(w_end);
+                    barrier.wait();
+                });
             }
-
-            // 2. Radio channels: completed transmissions become receptions.
-            for ci in 0..self.channels.len() {
-                if self.channels[ci].next_deadline().is_none_or(|t| t > now) {
-                    continue;
+            while let Some(tn) = self.t_next() {
+                if tn > self.limit {
+                    break;
                 }
-                let receptions = self.channels[ci].advance(now);
-                if !receptions.is_empty() {
-                    progressed = true;
-                }
-                for rx in receptions {
-                    self.route_reception(now, ChanId(ci), rx.to, &rx);
-                }
+                let w_end = (tn + LOOKAHEAD).min(self.limit);
+                self.apply_ether(w_end);
+                *spec.lock().expect("window spec lock") = (w_end, false);
+                ticket.store(0, Ordering::Relaxed);
+                barrier.wait();
+                claim_and_step(w_end);
+                barrier.wait();
+                self.collect();
             }
-
-            // 3. MAC polls (TNCs, digipeaters, beacons).
-            for t in &mut self.tncs {
-                t.tnc.poll(now, &mut self.channels[t.chan.0], &mut self.rng);
-            }
-            for d in &mut self.digis {
-                d.digi
-                    .poll(now, &mut self.channels[d.chan.0], &mut self.rng);
-            }
-            for b in &mut self.beacons {
-                b.beacon.poll(now, &mut self.channels[b.chan.0]);
-            }
-
-            // 4. Ethernet segments.
-            for si in 0..self.segments.len() {
-                if self.segments[si].next_deadline().is_none_or(|t| t > now) {
-                    continue;
-                }
-                let deliveries = self.segments[si].advance(now);
-                if !deliveries.is_empty() {
-                    progressed = true;
-                }
-                for (nic, frame) in deliveries {
-                    if let Some(h) = self
-                        .hosts
-                        .iter_mut()
-                        .find(|h| h.nic == Some((SegId(si), nic)))
-                    {
-                        h.host.on_ether_frame(now, &frame);
-                    }
-                }
-            }
-
-            // 5. Hosts: CPU-gated stack work, then route their output.
-            for hi in 0..self.hosts.len() {
-                if self.hosts[hi]
-                    .host
-                    .next_deadline()
-                    .is_some_and(|t| t <= now)
-                {
-                    self.hosts[hi].host.advance(now);
-                }
-                progressed |= self.flush_host(now, HostId(hi));
-            }
-
-            // 6. Applications.
-            progressed |= self.run_apps(now);
-
-            if !progressed {
-                return;
-            }
-        }
-        panic!("world did not settle at {now}");
-    }
-
-    // --- Shared routing (both steppers) -------------------------------------
-
-    fn route_reception(
-        &mut self,
-        now: SimTime,
-        chan: ChanId,
-        to: StationId,
-        rx: &radio::channel::Reception,
-    ) {
-        if self.trace.is_enabled() {
-            self.trace.record(
-                now,
-                sim::trace::Category::Radio,
-                format!("sta{}", to.0),
-                format!(
-                    "heard {}B from sta{}{}",
-                    rx.data.len(),
-                    rx.from.0,
-                    if rx.corrupted { " (corrupted)" } else { "" }
-                ),
-            );
-        }
-        for i in 0..self.tncs.len() {
-            if self.tncs[i].chan == chan && self.tncs[i].tnc.station() == to {
-                if let Some(bytes) = self.tncs[i].tnc.on_reception(rx) {
-                    if self.trace.is_enabled() {
-                        self.trace.record(
-                            now,
-                            sim::trace::Category::Kiss,
-                            format!("tnc:{}", self.tncs[i].tnc.addr()),
-                            format!("passed {}B frame up the serial line", bytes.len()),
-                        );
-                    }
-                    let li = self.tncs[i].line;
-                    self.lines[li].send(now, End::B, &bytes);
-                    self.reg_line(li);
-                }
-                return;
-            }
-        }
-        for d in &mut self.digis {
-            if d.chan == chan && d.digi.station() == to {
-                d.digi.on_reception(rx);
-                return;
-            }
-        }
-        // Beacons ignore receptions.
-    }
-
-    /// Routes a host's outbox and records/dispatches its events. Links the
-    /// host pushed output into get their new deadlines registered here, so
-    /// both steppers keep the calendar coherent.
-    fn flush_host(&mut self, now: SimTime, id: HostId) -> bool {
-        let mut progressed = false;
-        let outs = self.hosts[id.0].host.take_outbox();
-        let serial = self.hosts[id.0].serial;
-        let nic = self.hosts[id.0].nic;
-        for out in outs {
-            progressed = true;
-            match out {
-                HostOut::SerialTx(bytes) => {
-                    if let Some(li) = serial {
-                        self.lines[li].send(now, End::A, &bytes);
-                        self.reg_line(li);
-                    }
-                }
-                HostOut::EtherTx(frame) => {
-                    if let Some((seg, nic)) = nic {
-                        self.segments[seg.0].send(now, nic, frame);
-                        self.reg_seg(seg.0);
-                    }
-                }
-            }
-        }
-        let events = self.hosts[id.0].host.take_events();
-        if !events.is_empty() {
-            progressed = true;
-            let mut apps = std::mem::take(&mut self.apps);
-            for ev in events {
-                if self.trace.is_enabled() {
-                    self.trace.record(
-                        now,
-                        sim::trace::Category::App,
-                        self.hosts[id.0].host.name.clone(),
-                        format!("{ev:?}"),
-                    );
-                }
-                for entry in apps.iter_mut().filter(|a| a.host == id) {
-                    entry.app.on_event(now, &ev, &mut self.hosts[id.0].host);
-                }
-                if self.record_events {
-                    self.events.push((id, now, ev));
-                }
-            }
-            self.apps = apps;
-        }
-        progressed
-    }
-
-    /// Reference-stepper app step: poll every app, then flush every host.
-    fn run_apps(&mut self, now: SimTime) -> bool {
-        let mut progressed = false;
-        let mut apps = std::mem::take(&mut self.apps);
-        for entry in &mut apps {
-            entry.app.poll(now, &mut self.hosts[entry.host.0].host);
-        }
-        self.apps = apps;
-        // App activity shows up as host outbox/event work.
-        for hi in 0..self.hosts.len() {
-            progressed |= self.flush_host(now, HostId(hi));
-        }
-        progressed
+            spec.lock().expect("window spec lock").1 = true;
+            barrier.wait();
+        });
     }
 }
 

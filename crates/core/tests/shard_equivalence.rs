@@ -1,0 +1,211 @@
+//! Sharded-engine equivalence (DESIGN.md §11): on a multi-shard mesh the
+//! windowed engine must produce byte-identical event logs and component
+//! statistics at every worker count — 1, 2, 4, 8 — all equal to the
+//! full-scan reference stepper. Cross-island pings force tunnel traffic
+//! through the coordinator's mailboxes, so the hand-off path itself is
+//! under test, including its merge order and its no-reallocation warm
+//! ring.
+
+use gateway::host::Host;
+use gateway::scenario::{self, city};
+use gateway::world::{App, ChanId, HostId, World};
+use proptest::prelude::*;
+use sim::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+/// An app that issues pings at scripted instants — deterministic traffic
+/// with real ICMP/ARP timers behind it (same shape as the single-shard
+/// suite's pinger; the core crate has no dev-dependency on `apps`).
+struct ScriptedPinger {
+    dst: Ipv4Addr,
+    times: Vec<SimTime>,
+    seq: u16,
+}
+
+impl App for ScriptedPinger {
+    fn poll(&mut self, now: SimTime, host: &mut Host) {
+        while self.times.first().is_some_and(|&t| t <= now) {
+            self.times.remove(0);
+            self.seq += 1;
+            host.ping(now, self.dst, 0x15e7, self.seq, 64);
+        }
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.times.first().copied()
+    }
+}
+
+/// Which engine drives the world.
+#[derive(Clone, Copy, Debug)]
+enum Driver {
+    /// Full-scan reference stepper (windowed Scan mode on multi-shard).
+    Reference,
+    /// Deadline-indexed engine on `n` workers.
+    Workers(usize),
+}
+
+/// Builds `mesh(gateways, hosts_per_gw, seed)` with cross-island traffic:
+/// host `(g, i)` pings host `((g+1) % gateways, i)` at staggered instants,
+/// and the wired internet host pings into the last island. Runs `secs`
+/// simulated seconds under `driver` and returns the full fingerprint.
+fn mesh_run(gateways: usize, hosts_per_gw: usize, seed: u64, secs: u64, driver: Driver) -> String {
+    let mut m = scenario::mesh(gateways, hosts_per_gw, seed);
+    for g in 0..gateways {
+        for i in 0..hosts_per_gw {
+            let t = 500 + 977 * (g * hosts_per_gw + i) as u64;
+            m.world.add_app(
+                m.hosts[g][i],
+                Box::new(ScriptedPinger {
+                    dst: city::host_ip((g + 1) % gateways, i),
+                    times: vec![SimTime::from_millis(t), SimTime::from_millis(t + 15_000)],
+                    seq: 0,
+                }),
+            );
+        }
+    }
+    m.world.add_app(
+        m.internet_host,
+        Box::new(ScriptedPinger {
+            dst: city::host_ip(gateways - 1, 0),
+            times: vec![SimTime::from_millis(250)],
+            seq: 0,
+        }),
+    );
+    match driver {
+        Driver::Reference => m
+            .world
+            .run_until_reference(SimTime::from_millis(secs * 1000)),
+        Driver::Workers(n) => {
+            m.world.set_workers(n);
+            m.world.run_for(SimDuration::from_secs(secs));
+        }
+    }
+    fingerprint(
+        &mut m.world,
+        &m.gateways,
+        m.internet_host,
+        &m.hosts,
+        &m.channels,
+    )
+}
+
+/// Everything observable: the event log, every host's stack counters and
+/// input-queue accounting, and every channel's stats.
+fn fingerprint(
+    w: &mut World,
+    gateways: &[HostId],
+    internet_host: HostId,
+    islands: &[Vec<HostId>],
+    channels: &[ChanId],
+) -> String {
+    let mut out = String::new();
+    for (h, t, e) in w.take_events() {
+        out.push_str(&format!("{h:?} {t} {e:?}\n"));
+    }
+    let mut hosts: Vec<_> = gateways.to_vec();
+    hosts.push(internet_host);
+    hosts.extend(islands.iter().flatten().copied());
+    for h in hosts {
+        out.push_str(&format!(
+            "{h:?} {:?} iq len={} drops={} peak={}\n",
+            w.host(h).stack.stats(),
+            w.host(h).input_queue_len(),
+            w.host(h).input_queue_drops(),
+            w.host(h).input_queue_peak(),
+        ));
+    }
+    for &c in channels {
+        out.push_str(&format!("{c:?} {:?}\n", w.channel(c).stats()));
+    }
+    out
+}
+
+fn fnv(log: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in log.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// The CI smoke test check.sh gates on: two workers over three islands
+/// must reproduce the reference run bit-for-bit, with traffic flowing.
+#[test]
+fn two_worker_digest_smoke() {
+    let reference = mesh_run(3, 1, 42, 25, Driver::Reference);
+    assert!(
+        reference.contains("PingReply"),
+        "cross-island traffic must flow:\n{reference}"
+    );
+    let got = mesh_run(3, 1, 42, 25, Driver::Workers(2));
+    assert_eq!(
+        fnv(&got),
+        fnv(&reference),
+        "2-worker digest diverged from reference"
+    );
+    assert_eq!(got, reference);
+}
+
+/// Worker-count independence: 1, 2, 4, and 8 workers all equal the
+/// reference, and the run actually crossed shards through the mailboxes.
+#[test]
+fn worker_counts_match_reference() {
+    let reference = mesh_run(4, 2, 7, 40, Driver::Reference);
+    assert!(reference.contains("PingReply"), "traffic must flow");
+    for workers in [1, 2, 4, 8] {
+        let got = mesh_run(4, 2, 7, 40, Driver::Workers(workers));
+        assert_eq!(got, reference, "{workers} workers diverged from reference");
+    }
+}
+
+/// The warm hand-off ring stops reallocating: after the first half of a
+/// steady ping load has sized the mailboxes, the second half pushes
+/// plenty more frames without a single ring growth (§11's zero-allocation
+/// contract, backed further by the `shard_sync` counting-allocator bench).
+#[test]
+fn mailbox_growth_stabilizes() {
+    let mut m = scenario::mesh(2, 1, 11);
+    for (g, island) in m.hosts.iter().enumerate() {
+        m.world.add_app(
+            island[0],
+            Box::new(ScriptedPinger {
+                dst: city::host_ip((g + 1) % 2, 0),
+                times: (1..40).map(|k| SimTime::from_millis(3_000 * k)).collect(),
+                seq: 0,
+            }),
+        );
+    }
+    m.world.set_workers(2);
+    m.world.run_for(SimDuration::from_secs(60));
+    let warm = m.world.mailbox_stats();
+    assert!(warm.pushed > 0, "pings must cross shards");
+    m.world.run_for(SimDuration::from_secs(60));
+    let done = m.world.mailbox_stats();
+    assert!(done.pushed > warm.pushed, "second half must keep pushing");
+    assert_eq!(
+        done.grows, warm.grows,
+        "warm mailbox rings must not reallocate"
+    );
+    assert_eq!(done.pushed, done.popped, "every hand-off is consumed");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Seed sweep: random seeds and small random meshes — every worker
+    /// count's digest equals the reference digest.
+    #[test]
+    fn seed_sweep_digests_match(
+        seed in 0u64..1_000,
+        gateways in 2usize..4,
+        hosts_per_gw in 1usize..3,
+    ) {
+        let reference = fnv(&mesh_run(gateways, hosts_per_gw, seed, 20, Driver::Reference));
+        for workers in [1, 2, 4, 8] {
+            let got = fnv(&mesh_run(gateways, hosts_per_gw, seed, 20, Driver::Workers(workers)));
+            prop_assert_eq!(got, reference, "{} workers diverged (seed {})", workers, seed);
+        }
+    }
+}

@@ -152,6 +152,28 @@ impl EtherFrame {
         }
     }
 
+    /// An empty placeholder frame, useful as a reusable clone target for
+    /// [`EtherFrame::clone_into`].
+    pub fn empty() -> EtherFrame {
+        EtherFrame {
+            dst: MacAddr::new([0; 6]),
+            src: MacAddr::new([0; 6]),
+            ethertype: EtherType::Other(0),
+            payload: Vec::new(),
+        }
+    }
+
+    /// Copies this frame into `dst`, reusing `dst`'s payload allocation.
+    /// A warmed-up target frame makes repeated copies allocation-free —
+    /// the cross-shard delivery path relies on this (DESIGN.md §11).
+    pub fn clone_into(&self, dst: &mut EtherFrame) {
+        dst.dst = self.dst;
+        dst.src = self.src;
+        dst.ethertype = self.ethertype;
+        dst.payload.clear();
+        dst.payload.extend_from_slice(&self.payload);
+    }
+
     /// On-wire length in octets, including header and minimum-size padding
     /// (used for serialization-delay math).
     pub fn wire_len(&self) -> usize {
@@ -300,6 +322,15 @@ impl Segment {
     /// deliveries for every NIC that should receive it.
     pub fn advance(&mut self, now: SimTime) -> Vec<(NicId, EtherFrame)> {
         let mut out = Vec::new();
+        self.advance_with(now, |nic, frame| out.push((nic, frame.clone())));
+        out
+    }
+
+    /// Like [`Segment::advance`], but hands each delivery to `deliver` by
+    /// reference instead of returning clones, so the caller controls the
+    /// copy (e.g. into a recycled frame — the sharded engine's zero-alloc
+    /// delivery path).
+    pub fn advance_with(&mut self, now: SimTime, mut deliver: impl FnMut(NicId, &EtherFrame)) {
         while let Some((done, _, _)) = &self.in_flight {
             if *done > now {
                 break;
@@ -311,14 +342,13 @@ impl Segment {
                 }
                 if nic.promiscuous || frame.dst.is_broadcast() || frame.dst == nic.mac {
                     self.stats.delivered += 1;
-                    out.push((NicId(i), frame.clone()));
+                    deliver(NicId(i), &frame);
                 }
             }
             if let Some((next_from, next_frame)) = self.queue.pop_front() {
                 self.start(done, next_from, next_frame);
             }
         }
-        out
     }
 
     /// Frames queued or on the wire.

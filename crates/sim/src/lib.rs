@@ -45,6 +45,7 @@
 
 pub mod bytekernels;
 pub mod fxhash;
+pub mod mailbox;
 pub mod pktbuf;
 pub mod queue;
 pub mod rng;
@@ -54,6 +55,7 @@ pub mod time;
 pub mod trace;
 pub mod wire;
 
+pub use mailbox::{Mailbox, MailboxStats};
 pub use pktbuf::{BufPool, ByteSink, FrameSink, PacketBuf, PoolStats, SinkFn};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;

@@ -31,6 +31,12 @@ cargo bench -p bench --bench byte_kernels -- --test
 echo "==> cargo bench -p bench --bench socket_ops -- --test"
 cargo bench -p bench --bench socket_ops -- --test
 
+echo "==> cargo bench -p bench --bench shard_sync -- --test"
+cargo bench -p bench --bench shard_sync -- --test
+
+echo "==> sharded-engine digest smoke (2 workers vs reference)"
+cargo test -q -p gateway --test shard_equivalence two_worker_digest_smoke
+
 echo "==> scripts/bench.sh (non-gating)"
 bash scripts/bench.sh || echo "WARN: bench snapshot failed (non-gating)"
 

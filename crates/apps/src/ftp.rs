@@ -22,8 +22,10 @@ use socket::{Readiness, SocketHandle};
 
 use crate::sockapp::{SockApp, SockCtx, SocketProgram};
 
-/// Deterministic file contents: byte `i` of file `name`.
-pub(crate) fn file_byte(name: &str, i: usize) -> u8 {
+/// Deterministic file contents: byte `i` of file `name`. Public so
+/// out-of-crate clients (the `workload` fleet) can verify transfers
+/// byte-for-byte without carrying the file.
+pub fn file_byte(name: &str, i: usize) -> u8 {
     let seed: u32 = name.bytes().fold(0x811C9DC5u32, |h, b| {
         (h ^ u32::from(b)).wrapping_mul(16777619)
     });
@@ -47,14 +49,18 @@ struct FileServerProgram {
     listener: Option<SocketHandle>,
     catalogue: HashMap<String, usize>,
     sessions: HashMap<SocketHandle, Vec<u8>>,
-    /// Sends in progress: handle → (name, next offset, size).
-    sending: HashMap<SocketHandle, (String, usize, usize)>,
+    /// Sends in progress, FIFO: (handle, name, next offset, size).
+    /// A `Vec` rather than a map so the `on_tick` pump visits sessions
+    /// in accept order — map iteration order would differ run to run
+    /// and break the sharded engine's digest-equivalence contract once
+    /// several transfers overlap.
+    sending: Vec<(SocketHandle, String, usize, usize)>,
     report: crate::Shared<FileServerReport>,
 }
 
 impl FileServerProgram {
     fn pump_send(&mut self, now: SimTime, h: SocketHandle, cx: &mut SockCtx<'_>) {
-        let Some((name, offset, size)) = self.sending.get_mut(&h) else {
+        let Some((_, name, offset, size)) = self.sending.iter_mut().find(|(s, ..)| *s == h) else {
             return;
         };
         while *offset < *size {
@@ -71,7 +77,7 @@ impl FileServerProgram {
                 return;
             }
         }
-        self.sending.remove(&h);
+        self.sending.retain(|(s, ..)| *s != h);
         self.sessions.remove(&h);
         cx.close(now, h);
     }
@@ -91,7 +97,7 @@ impl SocketProgram for FileServerProgram {
         }
         if ready.error() {
             self.sessions.remove(&h);
-            self.sending.remove(&h);
+            self.sending.retain(|(s, ..)| *s != h);
             cx.close(now, h);
             return;
         }
@@ -108,7 +114,7 @@ impl SocketProgram for FileServerProgram {
                                 self.report.borrow_mut().serves += 1;
                                 let header = format!("OK {size}\n");
                                 let _ = cx.host.sock_send(now, h, header.as_bytes());
-                                self.sending.insert(h, (name.to_string(), 0, size));
+                                self.sending.push((h, name.to_string(), 0, size));
                                 self.pump_send(now, h, cx);
                             }
                             None => {
@@ -123,13 +129,16 @@ impl SocketProgram for FileServerProgram {
             }
             return;
         }
-        if ready.eof() && self.sessions.remove(&h).is_some() && !self.sending.contains_key(&h) {
+        if ready.eof()
+            && self.sessions.remove(&h).is_some()
+            && !self.sending.iter().any(|(s, ..)| *s == h)
+        {
             cx.close(now, h);
         }
     }
 
     fn on_tick(&mut self, now: SimTime, cx: &mut SockCtx<'_>) {
-        let handles: Vec<SocketHandle> = self.sending.keys().copied().collect();
+        let handles: Vec<SocketHandle> = self.sending.iter().map(|(s, ..)| *s).collect();
         for h in handles {
             self.pump_send(now, h, cx);
         }
@@ -152,7 +161,7 @@ impl FileServer {
                 listener: None,
                 catalogue: files.iter().map(|(n, s)| (n.to_string(), *s)).collect(),
                 sessions: HashMap::new(),
-                sending: HashMap::new(),
+                sending: Vec::new(),
                 report: report.clone(),
             }),
             report,

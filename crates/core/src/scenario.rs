@@ -683,6 +683,52 @@ pub struct MeshNet {
     pub hosts: Vec<Vec<HostId>>,
 }
 
+impl MeshNet {
+    /// Number of radio islands (= shards = gateways).
+    pub fn islands(&self) -> usize {
+        self.gateways.len()
+    }
+
+    /// The radio hosts behind gateway `g`, in address order
+    /// (`44.x.y.2 ..`).
+    pub fn island_hosts(&self, g: usize) -> &[HostId] {
+        &self.hosts[g]
+    }
+
+    /// Radio host `(g, i)`'s IP address.
+    pub fn host_addr(&self, g: usize, i: usize) -> Ipv4Addr {
+        city::host_ip(g, i)
+    }
+
+    /// Gateway `g`'s host id.
+    pub fn gateway(&self, g: usize) -> HostId {
+        self.gateways[g]
+    }
+
+    /// Gateway `g`'s `(radio, ether)` addresses.
+    pub fn gateway_addrs(&self, g: usize) -> (Ipv4Addr, Ipv4Addr) {
+        (city::gw_radio_ip(g), city::gw_ether_ip(g))
+    }
+
+    /// Island `g`'s radio channel.
+    pub fn island_channel(&self, g: usize) -> ChanId {
+        self.channels[g]
+    }
+
+    /// Every radio host with its coordinates: `(island, slot, id,
+    /// address)`, islands then slots in order. The handle fleet
+    /// builders attach through instead of reaching into [`World`]
+    /// internals.
+    pub fn iter_hosts(&self) -> impl Iterator<Item = (usize, usize, HostId, Ipv4Addr)> + '_ {
+        self.hosts.iter().enumerate().flat_map(|(g, island)| {
+            island
+                .iter()
+                .enumerate()
+                .map(move |(i, &h)| (g, i, h, city::host_ip(g, i)))
+        })
+    }
+}
+
 /// Builds the city-scale AMPRnet of EXPERIMENTS.md E15: `gateways` radio
 /// islands — one 1200 b/s channel, one MicroVAX gateway, `hosts_per_gw`
 /// PCs each — joined by one department Ethernet carrying IPIP tunnels

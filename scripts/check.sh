@@ -34,6 +34,9 @@ cargo bench -p bench --bench socket_ops -- --test
 echo "==> cargo bench -p bench --bench shard_sync -- --test"
 cargo bench -p bench --bench shard_sync -- --test
 
+echo "==> cargo bench -p bench --bench workload_gen -- --test (asserts 0-alloc recorder path)"
+cargo bench -p bench --bench workload_gen -- --test
+
 echo "==> sharded-engine digest smoke (2 workers vs reference)"
 cargo test -q -p gateway --test shard_equivalence two_worker_digest_smoke
 

@@ -16,3 +16,4 @@ pub use netstack;
 pub use radio;
 pub use serial;
 pub use sim;
+pub use workload;

@@ -13,12 +13,15 @@
 //! costs an interrupt, every packet costs protocol time, and IP inputs
 //! wait in a bounded `ifqueue` until the simulated CPU gets to them.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
+use std::rc::Rc;
 
 use ax25::addr::Ax25Addr;
 use ax25::frame::Frame;
 use ether::{EtherFrame, MacAddr};
+use filter::{FilterConfig, FilterEngine, FilterNote, FilterStats};
 use netstack::icmp::IcmpMessage;
 use netstack::stack::{IfaceConfig, IfaceId, NetStack, SockId, StackAction, StackConfig};
 use netstack::NetError;
@@ -69,6 +72,11 @@ pub struct HostConfig {
     pub ether: Option<EtherIfConfig>,
     /// §4.3 access control (gateways only).
     pub acl: Option<AclConfig>,
+    /// The compiled packet-filter engine (DESIGN.md §13). Supersedes
+    /// `acl` when set: the engine carries the same §4.3 gate plus
+    /// compiled rules, the decision cache, and rate limiting, evaluated
+    /// at the driver hooks instead of only at the forwarding step.
+    pub filter: Option<FilterConfig>,
 }
 
 impl HostConfig {
@@ -81,6 +89,7 @@ impl HostConfig {
             radio: None,
             ether: None,
             acl: None,
+            filter: None,
         }
     }
 }
@@ -110,6 +119,8 @@ pub struct Host {
     eth: Option<(IfaceId, EtherDriver)>,
     /// §4.3 access control, present on gateways.
     pub acl: Option<GatewayAcl>,
+    /// The packet-filter engine, shared with the radio driver's hooks.
+    filter: Option<Rc<RefCell<FilterEngine>>>,
     /// The bounded IP input queue (CPU-gated).
     input_queue: IfQueue<(IfaceId, Vec<u8>)>,
     /// Non-IP frames diverted for user programs (§2.4).
@@ -126,6 +137,9 @@ impl Host {
     /// Builds a host from its configuration.
     pub fn new(cfg: HostConfig) -> Host {
         let mut stack = NetStack::new(cfg.stack);
+        let filter = cfg
+            .filter
+            .map(|f| Rc::new(RefCell::new(FilterEngine::new(f))));
         let pr = cfg.radio.map(|r| {
             let iface = stack.add_iface(IfaceConfig {
                 name: "pr0".into(),
@@ -133,17 +147,18 @@ impl Host {
                 prefix_len: r.prefix_len,
                 mtu: AX25_MTU,
             });
-            (
-                iface,
-                PacketRadioDriver::new(
-                    PrConfig {
-                        my_call: r.call,
-                        broadcast: vec![Ax25Addr::broadcast()],
-                        arp: ArpConfig::default(),
-                    },
-                    r.ip,
-                ),
-            )
+            let mut drv = PacketRadioDriver::new(
+                PrConfig {
+                    my_call: r.call,
+                    broadcast: vec![Ax25Addr::broadcast()],
+                    arp: ArpConfig::default(),
+                },
+                r.ip,
+            );
+            if let Some(f) = &filter {
+                drv.set_filter(Rc::clone(f));
+            }
+            (iface, drv)
         });
         let eth = cfg.ether.map(|e| {
             let iface = stack.add_iface(IfaceConfig {
@@ -162,6 +177,7 @@ impl Host {
             pr,
             eth,
             acl: cfg.acl.map(GatewayAcl::new),
+            filter,
             input_queue: IfQueue::new(IFQ_MAXLEN),
             tty_queue: VecDeque::new(),
             outbox: Vec::new(),
@@ -194,6 +210,33 @@ impl Host {
     /// The Ethernet driver, if present.
     pub fn ether_driver(&self) -> Option<&EtherDriver> {
         self.eth.as_ref().map(|(_, d)| d)
+    }
+
+    /// The packet-filter engine, if one is installed.
+    pub fn filter_engine(&self) -> Option<&Rc<RefCell<FilterEngine>>> {
+        self.filter.as_ref()
+    }
+
+    /// Filter counters, if a filter is installed.
+    pub fn filter_stats(&self) -> Option<FilterStats> {
+        self.filter.as_ref().map(|f| f.borrow().stats())
+    }
+
+    /// Turns per-decision filter logging on or off (driven by the
+    /// world's trace state; decisions drain into the gateway-policy
+    /// trace category).
+    pub fn set_filter_logging(&mut self, on: bool) {
+        if let Some(f) = &self.filter {
+            f.borrow_mut().set_logging(on);
+        }
+    }
+
+    /// Drains logged filter decisions (empty without a filter or with
+    /// logging off).
+    pub fn take_filter_notes(&mut self) -> Vec<FilterNote> {
+        self.filter
+            .as_ref()
+            .map_or_else(Vec::new, |f| f.borrow_mut().take_notes())
     }
 
     /// The station callsign, if the host has a radio.
@@ -385,6 +428,9 @@ impl Host {
         fold(self.stack.next_deadline());
         fold(self.sockets.next_deadline());
         fold(self.input_queue.next_ready());
+        if let Some(f) = &self.filter {
+            fold(f.borrow().next_deadline());
+        }
         let arp_pending = self
             .pr
             .as_ref()
@@ -412,6 +458,12 @@ impl Host {
             self.sockets.on_deadline(&mut self.stack, now);
             let out = self.stack.drain_actions();
             self.handle_actions(now, out);
+        }
+        if let Some(f) = &self.filter {
+            let mut f = f.borrow_mut();
+            if f.next_deadline().is_some_and(|t| t <= now) {
+                f.expire(now);
+            }
         }
         if now.saturating_since(self.last_arp_age) >= sim::SimDuration::from_secs(1) {
             self.last_arp_age = now;
@@ -475,11 +527,25 @@ impl Host {
                     self.route_output(now, iface, next_hop, packet);
                 }
                 StackAction::ForwardNeeded { ingress, packet } => {
-                    let verdict = match &mut self.acl {
-                        Some(acl) => acl.check(now, &packet),
-                        None => AclVerdict::Allow,
+                    let allow = if let Some(f) = &self.filter {
+                        // A radio-equipped host already judged this
+                        // packet at the driver's rint hook and will
+                        // judge the egress side at the output hook;
+                        // evaluating here too would double-charge token
+                        // buckets and double-refresh gate entries. Only
+                        // hosts with no radio police the forwarding
+                        // step itself.
+                        self.pr.is_some()
+                            || f.borrow_mut()
+                                .eval(now, &filter::PacketMeta::of(&packet))
+                                .is_allow()
+                    } else {
+                        match &mut self.acl {
+                            Some(acl) => acl.check(now, &packet) == AclVerdict::Allow,
+                            None => true,
+                        }
                     };
-                    if verdict == AclVerdict::Allow {
+                    if allow {
                         self.stack.forward(packet);
                         work.extend(self.stack.drain_actions());
                     }
@@ -490,8 +556,11 @@ impl Host {
                     ingress,
                     message,
                 } => {
-                    if let Some(acl) = &mut self.acl {
-                        let from_amateur_side = Some(ingress) == self.pr.as_ref().map(|(i, _)| *i);
+                    let from_amateur_side = Some(ingress) == self.pr.as_ref().map(|(i, _)| *i);
+                    if let Some(f) = &self.filter {
+                        f.borrow_mut()
+                            .on_gate_message(now, from_amateur_side, &message);
+                    } else if let Some(acl) = &mut self.acl {
                         acl.on_gate_message(now, from_amateur_side, &message);
                     }
                     // Keep it visible to tests/apps as well.
@@ -898,6 +967,66 @@ mod tests {
         gw.handle_actions(SimTime::ZERO, actions);
         assert!(gw.take_outbox().is_empty(), "denied: nothing forwarded");
         assert_eq!(gw.acl.as_ref().unwrap().stats().denied_inbound, 1);
+    }
+
+    #[test]
+    fn filter_engine_polices_transit_at_the_driver_hooks() {
+        let mut cfg = HostConfig::named("gw");
+        cfg.stack.forwarding = true;
+        cfg.radio = Some(RadioIfConfig {
+            call: a("N7AKR-1"),
+            ip: Ipv4Addr::new(44, 24, 0, 28),
+            prefix_len: 16,
+        });
+        cfg.ether = Some(EtherIfConfig {
+            mac: MacAddr::local(1),
+            ip: Ipv4Addr::new(128, 95, 1, 100),
+            prefix_len: 24,
+        });
+        cfg.filter = Some(FilterConfig::gateway());
+        let mut gw = Host::new(cfg);
+        let now = SimTime::ZERO;
+        // Unsolicited foreign->amateur transit: the forward step lets it
+        // through (the radio driver polices), the output hook denies it
+        // before ARP — nothing transmitted, no resolution broadcast.
+        let p = netstack::ip::Ipv4Packet::new(
+            Ipv4Addr::new(128, 95, 1, 4),
+            Ipv4Addr::new(44, 24, 0, 5),
+            Proto::Udp,
+            vec![0; 8],
+        );
+        let eth_if = gw.ether_iface().unwrap();
+        let actions = gw.stack.input(now, eth_if, &p.encode());
+        gw.handle_actions(now, actions);
+        assert!(gw.take_outbox().is_empty(), "denied: nothing transmitted");
+        let drv = gw.pr_driver().unwrap();
+        assert_eq!(drv.stats().filter_drop_out, 1);
+        assert_eq!(drv.arp().pending_resolutions(), 0, "no ARP for drops");
+        let fs = gw.filter_stats().unwrap();
+        assert_eq!(fs.gate_denied, 1);
+
+        // An amateur-side datagram arriving over the radio opens the
+        // gate (judged at rint), after which the same foreign packet
+        // transits.
+        let am = netstack::ip::Ipv4Packet::new(
+            Ipv4Addr::new(44, 24, 0, 5),
+            Ipv4Addr::new(128, 95, 1, 4),
+            Proto::Udp,
+            vec![0; 8],
+        );
+        let frame = Frame::ui(a("N7AKR-1"), a("KB7DZ"), ax25::frame::Pid::Ip, am.encode());
+        let wire = kiss::encode(0, kiss::Command::Data, &frame.encode());
+        gw.on_serial_bytes(now, &wire);
+        let ready = gw.next_deadline().expect("queued work");
+        gw.advance(ready);
+        assert_eq!(gw.filter_stats().unwrap().gate_opened, 1);
+        let actions = gw.stack.input(ready, eth_if, &p.encode());
+        gw.handle_actions(ready, actions);
+        let out = gw.take_outbox();
+        assert!(
+            out.iter().any(|o| matches!(o, HostOut::SerialTx(_))),
+            "admitted transit reaches the radio (ARP or data): {out:?}"
+        );
     }
 
     #[test]

@@ -21,11 +21,14 @@
 
 use ax25::addr::Ax25Addr;
 use ax25::frame::{Frame, FrameHeader, Pid};
+use filter::{FilterEngine, PacketMeta};
 use kiss::{Command, Deframer};
 use netstack::arp::{hw_type, ArpPacket};
 use netstack::ip::Ipv4Packet;
 use sim::{BufPool, FrameSink, PoolStats, SimTime};
+use std::cell::RefCell;
 use std::net::Ipv4Addr;
+use std::rc::Rc;
 
 use crate::arp_engine::{ArpConfig, ArpEngine, Resolution};
 use crate::hwaddr::Ax25Hw;
@@ -84,6 +87,12 @@ pub struct PrStats {
     /// VJ frames (PID 0x06/0x07) dropped by the decompressor: tossed
     /// while awaiting a refresh, or failing reconstruction.
     pub vj_drop: u64,
+    /// Inbound IP packets dropped by the packet-filter engine before
+    /// reaching the input queue (DESIGN.md §13).
+    pub filter_drop_in: u64,
+    /// Outbound IP packets dropped by the packet-filter engine before
+    /// ARP resolution.
+    pub filter_drop_out: u64,
 }
 
 /// What `rint` hands the rest of the kernel when a frame completes.
@@ -109,6 +118,10 @@ pub struct PacketRadioDriver {
     pool: BufPool,
     /// RFC 1144 header compression state, when enabled on this link.
     vj: Option<VjLink>,
+    /// The packet-filter engine, shared with the owning host so driver
+    /// hooks and the host's forward/control paths see one table
+    /// (DESIGN.md §13). `None` means no policy: zero per-packet cost.
+    filter: Option<Rc<RefCell<FilterEngine>>>,
 }
 
 /// Both halves of the RFC 1144 state for one radio link: this station
@@ -134,7 +147,18 @@ impl PacketRadioDriver {
             // + MTU, doubled, plus delimiters.
             pool: BufPool::new(2 * (AX25_MTU + 72) + 3),
             vj: None,
+            filter: None,
         }
+    }
+
+    /// Installs the packet-filter engine on this interface. Inbound IP
+    /// frames are judged in `rint` before their info field is even
+    /// copied out of the deframer buffer — a denied flood costs the
+    /// fast-path classification and nothing else — and outbound packets
+    /// are judged in [`output`](PacketRadioDriver::output) before ARP
+    /// resolution, so denied traffic never generates ARP queries.
+    pub fn set_filter(&mut self, engine: Rc<RefCell<FilterEngine>>) {
+        self.filter = Some(engine);
     }
 
     /// Turns on RFC 1144 TCP/IP header compression for this link (both
@@ -289,6 +313,13 @@ impl PacketRadioDriver {
         match hdr.pid {
             Some(Pid::Ip) => {
                 self.stats.ip_in += 1;
+                // The filter judges the datagram in place, before the
+                // info field is copied, before ARP learns anything from
+                // the frame: a denied flood teaches us nothing and
+                // costs no allocation.
+                if !self.inbound_allowed(now, &payload[hdr.info_start..]) {
+                    return None;
+                }
                 if hdr.num_digipeaters == 0 {
                     // Direct traffic: hand the info field up without even
                     // materializing a Frame.
@@ -320,6 +351,9 @@ impl PacketRadioDriver {
                 match link.decomp.refresh(&mut bytes) {
                     Ok(()) => {
                         self.stats.ip_in += 1;
+                        if !self.inbound_allowed(now, &bytes) {
+                            return None;
+                        }
                         Some(PrEvent::IpPacket(bytes))
                     }
                     Err(_) => {
@@ -334,6 +368,9 @@ impl PacketRadioDriver {
                 match link.decomp.decompress(&payload[hdr.info_start..], &mut out) {
                     Ok(()) => {
                         self.stats.ip_in += 1;
+                        if !self.inbound_allowed(now, &out) {
+                            return None;
+                        }
                         Some(PrEvent::IpPacket(out))
                     }
                     Err(_) => {
@@ -369,6 +406,25 @@ impl PacketRadioDriver {
                 let frame = Frame::decode(payload).expect("peek-validated frame");
                 Some(PrEvent::Divert(frame))
             }
+        }
+    }
+
+    /// Judges an inbound IP datagram against the installed filter,
+    /// counting the drop. Malformed headers pass through unjudged — the
+    /// stack's own input validation owns that accounting.
+    #[inline]
+    fn inbound_allowed(&mut self, now: SimTime, ip_bytes: &[u8]) -> bool {
+        let Some(engine) = &self.filter else {
+            return true;
+        };
+        let Some(meta) = PacketMeta::parse(ip_bytes) else {
+            return true;
+        };
+        if engine.borrow_mut().eval(now, &meta).is_allow() {
+            true
+        } else {
+            self.stats.filter_drop_in += 1;
+            false
         }
     }
 
@@ -442,6 +498,17 @@ impl PacketRadioDriver {
             let frame = Frame::ui(Ax25Addr::broadcast(), self.cfg.my_call, Pid::Ip, bytes);
             self.emit_kiss(&frame, tx);
             return;
+        }
+        // Outbound policy runs before ARP: a denied packet (a spoofed
+        // flood in transit toward the channel, say) must not trigger a
+        // resolution broadcast or hold a pending-queue slot. Broadcast
+        // announcements above are link control and bypass the filter.
+        if let Some(engine) = &self.filter {
+            let meta = PacketMeta::of(&packet);
+            if !engine.borrow_mut().eval(now, &meta).is_allow() {
+                self.stats.filter_drop_out += 1;
+                return;
+            }
         }
         match self.arp.resolve(now, next_hop, packet) {
             Resolution::Send(hw_bytes, packet) => match Ax25Hw::decode(&hw_bytes) {

@@ -55,6 +55,12 @@ pub struct PaperConfig {
     pub cpu: CpuConfig,
     /// Install the §4.3 access-control table on the gateway.
     pub acl: bool,
+    /// Install the compiled packet-filter engine on the gateway
+    /// (DESIGN.md §13). Supersedes `acl` when set — the engine carries
+    /// the same §4.3 gate plus compiled rules, the per-flow decision
+    /// cache, and rate limiting, enforced at the driver hooks. `None` —
+    /// the default — keeps the E1–E16 goldens byte-identical.
+    pub filter: Option<filter::FilterConfig>,
     /// Enable RFC 1144 VJ header compression on the radio link (both the
     /// PC and the gateway; they must agree on the slot count). `None` —
     /// the default — reproduces the paper's uncompressed link and keeps
@@ -74,6 +80,7 @@ impl Default for PaperConfig {
             mac: MacConfig::default(),
             cpu: CpuConfig::default(),
             acl: true,
+            filter: None,
             vj: None,
             clamp_mss: false,
         }
@@ -147,7 +154,9 @@ pub fn paper_topology(cfg: PaperConfig, seed: u64) -> PaperScenario {
         ip: GW_ETHER_IP,
         prefix_len: 24,
     });
-    if cfg.acl {
+    if let Some(f) = cfg.filter {
+        gw_cfg.filter = Some(f);
+    } else if cfg.acl {
         gw_cfg.acl = Some(AclConfig::default());
     }
     let gw = world.add_host(gw_cfg);

@@ -1241,6 +1241,25 @@ impl ShardData {
                 }
             }
         }
+        if self.trace.is_enabled() && self.hosts[hi].host.filter_engine().is_some() {
+            // Tracing drives the filter's decision log: flip it on the
+            // first time we flush under an enabled trace, then drain
+            // each decision as one gateway-policy entry.
+            let host = &mut self.hosts[hi].host;
+            host.set_filter_logging(true);
+            let notes = host.take_filter_notes();
+            if !notes.is_empty() {
+                let name = self.hosts[hi].host.name.clone();
+                for note in notes {
+                    self.trace.record(
+                        now,
+                        sim::trace::Category::Acl,
+                        name.clone(),
+                        note.to_string(),
+                    );
+                }
+            }
+        }
         let events = self.hosts[hi].host.take_events();
         if !events.is_empty() {
             progressed = true;

@@ -1,0 +1,593 @@
+//! The filter engine: gate + compiled rules + decision cache + buckets.
+//!
+//! Evaluation order on a cache miss (the "full walk"):
+//!
+//! 1. the §4.3 **gate**: foreign→amateur traffic without a live soft-state
+//!    entry is denied outright; amateur→foreign traffic opens/refreshes
+//!    the return entry (when `auto_open`);
+//! 2. the **compiled ruleset**: most-specific-match over the flattened
+//!    arrays (`crate::compiled`);
+//! 3. the **action**: `Allow`/`Deny` directly, `Limit` charges the
+//!    source's token bucket and drops when it is empty.
+//!
+//! The conclusion of steps 1–2 — not the final verdict — is inserted
+//! into the per-flow decision cache keyed `(src, dst, proto)`, so the
+//! steady-state path is one hash-and-compare plus, for `Limit` flows,
+//! one bucket charge (the bucket must see every packet; caching its
+//! outcome would turn a rate into a latch). Port-dependent walks are
+//! never cached. See `crate::cache` for the three invalidation rules.
+
+use std::fmt;
+
+use netstack::icmp::IcmpMessage;
+use sim::SimTime;
+
+use crate::bucket::{LimitConfig, TokenBuckets};
+use crate::cache::{CachedDecision, DecisionCache};
+use crate::compiled::CompiledRuleset;
+use crate::gate::{ControlOutcome, GateConfig, GateTable, Mutation};
+use crate::rule::{Action, PacketMeta, Rule};
+
+/// Full engine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterConfig {
+    /// §4.3 soft-state gate; `None` disables it (pure rule filter).
+    pub gate: Option<GateConfig>,
+    /// The rule table (order-independent; specificity decides).
+    pub rules: Vec<Rule>,
+    /// Action when no rule matches.
+    pub default_action: Action,
+    /// log2 of the decision-cache size; 0 disables caching.
+    pub cache_bits: u8,
+    /// Token-bucket parameters for [`Action::Limit`].
+    pub limit: LimitConfig,
+}
+
+impl FilterConfig {
+    /// Everything allowed, no gate, no rules — policy-transparent: the
+    /// E1–E16 scenarios run byte-identically with this installed, which
+    /// the transparency test asserts.
+    pub fn permissive() -> FilterConfig {
+        FilterConfig {
+            gate: None,
+            rules: Vec::new(),
+            default_action: Action::Allow,
+            cache_bits: 12,
+            limit: LimitConfig::default(),
+        }
+    }
+
+    /// The paper's gateway posture: §4.3 gate on with defaults, no
+    /// extra rules.
+    pub fn gateway() -> FilterConfig {
+        FilterConfig {
+            gate: Some(GateConfig::default()),
+            ..FilterConfig::permissive()
+        }
+    }
+}
+
+/// The filter's answer for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Pass it on.
+    Allow,
+    /// Drop it.
+    Deny,
+}
+
+impl Verdict {
+    /// True for [`Verdict::Allow`].
+    pub fn is_allow(self) -> bool {
+        self == Verdict::Allow
+    }
+}
+
+/// Engine counters (E17's scoreboard; also surfaced through
+/// `workload::report::EngineTelemetry`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Evaluations answered by the decision cache.
+    pub cache_hits: u64,
+    /// Evaluations that paid the full walk.
+    pub cache_misses: u64,
+    /// Final allow verdicts.
+    pub allowed: u64,
+    /// Final deny verdicts (all causes).
+    pub denied: u64,
+    /// Denials because no live gate entry admitted the foreign source.
+    pub gate_denied: u64,
+    /// Gate entries opened by amateur-side traffic.
+    pub gate_opened: u64,
+    /// Gate entries refreshed by amateur-side traffic.
+    pub gate_refreshed: u64,
+    /// Gate entries removed by TTL expiry.
+    pub gate_expired: u64,
+    /// Gate entries force-closed by GateClose.
+    pub gate_closed: u64,
+    /// Gate entries opened/refreshed by authorized GateOpen messages.
+    pub opened_by_message: u64,
+    /// Control messages rejected for bad or missing credentials.
+    pub auth_failures: u64,
+    /// `Limit` packets dropped with an empty token bucket.
+    pub tokens_exhausted: u64,
+}
+
+/// Why a verdict came out the way it did (trace labelling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoteWhy {
+    /// Answered from the decision cache.
+    Cached,
+    /// Matched the rule at this compiled index.
+    Rule(u16),
+    /// No rule matched; the default action applied.
+    Default,
+    /// Foreign→amateur with no live gate entry.
+    GateNoEntry,
+    /// A `Limit` flow whose token bucket ran dry.
+    Exhausted,
+}
+
+/// One logged decision, drained into the `sim::trace` gateway-policy
+/// category when tracing is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterNote {
+    /// The packet's match fields.
+    pub meta: PacketMeta,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// What decided it.
+    pub why: NoteWhy,
+}
+
+impl fmt::Display for FilterNote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = match self.verdict {
+            Verdict::Allow => "allow",
+            Verdict::Deny => "deny",
+        };
+        write!(
+            f,
+            "{v} {} > {} proto {}",
+            self.meta.src_addr(),
+            self.meta.dst_addr(),
+            self.meta.proto
+        )?;
+        if self.meta.has_port {
+            write!(f, " port {}", self.meta.dport)?;
+        }
+        match self.why {
+            NoteWhy::Cached => write!(f, " [cached]"),
+            NoteWhy::Rule(i) => write!(f, " [rule {i}]"),
+            NoteWhy::Default => write!(f, " [default]"),
+            NoteWhy::GateNoEntry => write!(f, " [no gate entry]"),
+            NoteWhy::Exhausted => write!(f, " [rate limit]"),
+        }
+    }
+}
+
+/// Decision-log bound: tracing is a debugging aid, not a flight
+/// recorder; beyond this the oldest unread notes are simply counted.
+const MAX_NOTES: usize = 4096;
+
+/// The compiled packet-filter engine (DESIGN.md §13).
+#[derive(Debug)]
+pub struct FilterEngine {
+    rules: CompiledRuleset,
+    cache: DecisionCache,
+    buckets: TokenBuckets,
+    gate: Option<GateTable>,
+    /// Bumped on any verdict-changing table mutation; cache slots
+    /// stamped with an older value are dead. Starts at 1 so a zeroed
+    /// slot can never match.
+    generation: u32,
+    stats: FilterStats,
+    log_enabled: bool,
+    notes: Vec<FilterNote>,
+    notes_dropped: u64,
+}
+
+impl FilterEngine {
+    /// Builds the engine, compiling the configured rules.
+    pub fn new(cfg: FilterConfig) -> FilterEngine {
+        FilterEngine {
+            rules: CompiledRuleset::compile(&cfg.rules, cfg.default_action),
+            cache: DecisionCache::new(cfg.cache_bits),
+            buckets: TokenBuckets::new(cfg.limit),
+            gate: cfg.gate.map(GateTable::new),
+            generation: 1,
+            stats: FilterStats::default(),
+            log_enabled: false,
+            notes: Vec::new(),
+            notes_dropped: 0,
+        }
+    }
+
+    /// Judges one packet. This is the per-packet hot path: allocation-free
+    /// (asserted by the `filter_eval` bench) and, on a cache hit, one
+    /// hash-and-compare.
+    #[inline]
+    pub fn eval(&mut self, now: SimTime, m: &PacketMeta) -> Verdict {
+        if let Some(hit) = self.cache.lookup(m, self.generation, now) {
+            self.stats.cache_hits += 1;
+            if hit.refresh_gate {
+                self.touch_gate(now, m);
+            }
+            return self.apply(now, m, hit.action, NoteWhy::Cached);
+        }
+        self.stats.cache_misses += 1;
+        self.eval_miss(now, m)
+    }
+
+    /// The cache-miss path: gate, then the full rule walk.
+    fn eval_miss(&mut self, now: SimTime, m: &PacketMeta) -> Verdict {
+        let mut expires = SimTime::MAX;
+        let mut refresh_gate = false;
+        let mut gate_deny = false;
+        if let Some(g) = &self.gate {
+            let src_am = g.is_amateur(m.src);
+            let dst_am = g.is_amateur(m.dst);
+            if src_am && !dst_am {
+                refresh_gate = g.cfg().auto_open;
+            } else if !src_am && dst_am {
+                match g.live_expiry(now, m.dst, m.src) {
+                    // The admission is only as durable as the entry.
+                    Some(exp) => expires = exp,
+                    None => gate_deny = true,
+                }
+            }
+        }
+        if gate_deny {
+            self.stats.gate_denied += 1;
+            // Cacheable: only an entry opening flips this, and opening
+            // bumps the generation.
+            self.cache.insert(
+                m,
+                self.generation,
+                CachedDecision {
+                    action: Action::Deny,
+                    refresh_gate: false,
+                    expires: SimTime::MAX,
+                },
+            );
+            return self.apply(now, m, Action::Deny, NoteWhy::GateNoEntry);
+        }
+        if refresh_gate {
+            // May bump the generation (re-opening an expired pair), so
+            // it runs before the insert below reads the counter.
+            self.touch_gate(now, m);
+        }
+        let w = self.rules.walk(m);
+        if !w.port_dependent {
+            self.cache.insert(
+                m,
+                self.generation,
+                CachedDecision {
+                    action: w.action,
+                    refresh_gate,
+                    expires,
+                },
+            );
+        }
+        let why = if w.rule == u16::MAX {
+            NoteWhy::Default
+        } else {
+            NoteWhy::Rule(w.rule)
+        };
+        self.apply(now, m, w.action, why)
+    }
+
+    /// Opens or refreshes the gate entry for an amateur→foreign packet.
+    #[inline]
+    fn touch_gate(&mut self, now: SimTime, m: &PacketMeta) {
+        let Some(g) = &mut self.gate else { return };
+        let ttl = g.cfg().entry_ttl;
+        match g.open(now, m.src, m.dst, ttl) {
+            Mutation::Opened => {
+                self.generation += 1;
+                self.stats.gate_opened += 1;
+            }
+            Mutation::Refreshed => self.stats.gate_refreshed += 1,
+            _ => {}
+        }
+    }
+
+    /// Turns a matched action into a final verdict, counting and
+    /// logging it.
+    #[inline]
+    fn apply(&mut self, now: SimTime, m: &PacketMeta, action: Action, why: NoteWhy) -> Verdict {
+        let mut why = why;
+        let v = match action {
+            Action::Allow => Verdict::Allow,
+            Action::Deny => Verdict::Deny,
+            Action::Limit => {
+                if self.buckets.charge(m.src, now) {
+                    Verdict::Allow
+                } else {
+                    self.stats.tokens_exhausted += 1;
+                    why = NoteWhy::Exhausted;
+                    Verdict::Deny
+                }
+            }
+        };
+        match v {
+            Verdict::Allow => self.stats.allowed += 1,
+            Verdict::Deny => self.stats.denied += 1,
+        }
+        if self.log_enabled {
+            if self.notes.len() < MAX_NOTES {
+                self.notes.push(FilterNote {
+                    meta: *m,
+                    verdict: v,
+                    why,
+                });
+            } else {
+                self.notes_dropped += 1;
+            }
+        }
+        v
+    }
+
+    // --- Control plane ------------------------------------------------------
+
+    /// Applies a §4.3 gate-control ICMP message; bumps the cache
+    /// generation when (and only when) a verdict changed.
+    pub fn on_gate_message(
+        &mut self,
+        now: SimTime,
+        from_amateur_side: bool,
+        msg: &IcmpMessage,
+    ) -> ControlOutcome {
+        let Some(g) = &mut self.gate else {
+            return ControlOutcome::NoEntry;
+        };
+        let (outcome, mutation) = g.on_message(now, from_amateur_side, msg);
+        match mutation {
+            Mutation::Opened => {
+                self.generation += 1;
+                self.stats.opened_by_message += 1;
+            }
+            Mutation::Refreshed => self.stats.opened_by_message += 1,
+            Mutation::Closed => {
+                self.generation += 1;
+                self.stats.gate_closed += 1;
+            }
+            Mutation::NoOp => {}
+        }
+        if outcome == ControlOutcome::AuthFailed {
+            self.stats.auth_failures += 1;
+        }
+        outcome
+    }
+
+    /// Replaces the rule table (recompiles; invalidates the cache).
+    pub fn set_rules(&mut self, rules: &[Rule]) {
+        let default_action = self.rules.default_action();
+        self.rules = CompiledRuleset::compile(rules, default_action);
+        self.generation += 1;
+    }
+
+    // --- Soft-state maintenance ---------------------------------------------
+
+    /// Sweeps expired gate entries (called when
+    /// [`next_deadline`](FilterEngine::next_deadline) comes due; verdicts
+    /// never depend on the sweep, see `crate::gate`).
+    pub fn expire(&mut self, now: SimTime) {
+        if let Some(g) = &mut self.gate {
+            self.stats.gate_expired += g.expire(now);
+        }
+    }
+
+    /// The earliest instant soft state can decay — folded into the
+    /// host's scheduler deadline, per the PR 2 discipline.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.gate.as_ref().and_then(|g| g.next_deadline())
+    }
+
+    // --- Introspection ------------------------------------------------------
+
+    /// Counters.
+    pub fn stats(&self) -> FilterStats {
+        self.stats
+    }
+
+    /// Current cache generation.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Compiled rule count.
+    pub fn rules_len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Live + not-yet-swept gate entries.
+    pub fn gate_len(&self) -> usize {
+        self.gate.as_ref().map_or(0, |g| g.len())
+    }
+
+    /// Decision-cache slot count.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Whether the §4.3 gate is configured.
+    pub fn gate_enabled(&self) -> bool {
+        self.gate.is_some()
+    }
+
+    // --- Decision log -------------------------------------------------------
+
+    /// Turns per-decision logging on or off (the trace integration sets
+    /// this from the world's trace state; off is the default and costs
+    /// one branch per packet).
+    pub fn set_logging(&mut self, on: bool) {
+        self.log_enabled = on;
+        if !on {
+            self.notes.clear();
+        }
+    }
+
+    /// Whether decisions are being logged.
+    pub fn logging(&self) -> bool {
+        self.log_enabled
+    }
+
+    /// Drains logged decisions (oldest first).
+    pub fn take_notes(&mut self) -> Vec<FilterNote> {
+        std::mem::take(&mut self.notes)
+    }
+
+    /// Notes discarded because the log bound was hit between drains.
+    pub fn notes_dropped(&self) -> u64 {
+        self.notes_dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netstack::route::Prefix;
+    use sim::SimDuration;
+    use std::net::Ipv4Addr;
+
+    fn meta(src: [u8; 4], dst: [u8; 4], proto: u8) -> PacketMeta {
+        PacketMeta {
+            src: u32::from(Ipv4Addr::from(src)),
+            dst: u32::from(Ipv4Addr::from(dst)),
+            proto,
+            dport: 0,
+            has_port: false,
+        }
+    }
+
+    const AM: [u8; 4] = [44, 24, 0, 5];
+    const FO: [u8; 4] = [128, 95, 1, 4];
+
+    #[test]
+    fn gate_round_trip_through_the_engine() {
+        let mut e = FilterEngine::new(FilterConfig::gateway());
+        let t0 = SimTime::ZERO;
+        // Unsolicited foreign→amateur: denied (and cached as denied).
+        assert_eq!(e.eval(t0, &meta(FO, AM, 6)), Verdict::Deny);
+        assert_eq!(e.eval(t0, &meta(FO, AM, 6)), Verdict::Deny);
+        assert_eq!(e.stats().cache_hits, 1);
+        assert_eq!(e.stats().gate_denied, 1, "second deny came from cache");
+        // Amateur initiates: opens the pair, bumps the generation, and
+        // the stale cached denial dies with it.
+        assert_eq!(e.eval(t0, &meta(AM, FO, 6)), Verdict::Allow);
+        assert_eq!(e.eval(t0, &meta(FO, AM, 6)), Verdict::Allow);
+        // Pairwise only.
+        assert_eq!(e.eval(t0, &meta([128, 95, 1, 9], AM, 6)), Verdict::Deny);
+        assert_eq!(e.stats().gate_opened, 1);
+    }
+
+    #[test]
+    fn cached_amateur_flow_keeps_refreshing_the_entry() {
+        let mut e = FilterEngine::new(FilterConfig::gateway());
+        let mut t = SimTime::ZERO;
+        // Steady amateur→foreign traffic, one packet per 400 s: every
+        // one refreshes the 600 s entry, so the return path stays open
+        // far beyond the original TTL — even though all but the first
+        // evaluation is a cache hit.
+        for _ in 0..5 {
+            assert_eq!(e.eval(t, &meta(AM, FO, 17)), Verdict::Allow);
+            t += SimDuration::from_secs(400);
+        }
+        assert!(e.stats().cache_hits >= 4);
+        assert_eq!(e.stats().gate_refreshed, 4);
+        assert_eq!(e.eval(t, &meta(FO, AM, 17)), Verdict::Allow);
+    }
+
+    #[test]
+    fn entry_expiry_closes_the_return_path_without_a_sweep() {
+        let mut e = FilterEngine::new(FilterConfig::gateway());
+        let t0 = SimTime::ZERO;
+        e.eval(t0, &meta(AM, FO, 17));
+        assert_eq!(e.eval(t0, &meta(FO, AM, 17)), Verdict::Allow);
+        let late = t0 + SimDuration::from_secs(601);
+        // The cached admission carried the entry's expiry stamp.
+        assert_eq!(e.eval(late, &meta(FO, AM, 17)), Verdict::Deny);
+        // Deadline-driven sweep accounts for it.
+        assert_eq!(e.next_deadline(), Some(t0 + SimDuration::from_secs(600)));
+        e.expire(late);
+        assert_eq!(e.stats().gate_expired, 1);
+        assert_eq!(e.gate_len(), 0);
+    }
+
+    #[test]
+    fn gate_close_invalidates_cached_admissions() {
+        let mut e = FilterEngine::new(FilterConfig::gateway());
+        let t0 = SimTime::ZERO;
+        e.eval(t0, &meta(AM, FO, 6));
+        assert_eq!(e.eval(t0, &meta(FO, AM, 6)), Verdict::Allow);
+        assert_eq!(e.eval(t0, &meta(FO, AM, 6)), Verdict::Allow, "cached");
+        let gen = e.generation();
+        let close = IcmpMessage::GateClose {
+            amateur: Ipv4Addr::from(AM),
+            foreign: Ipv4Addr::from(FO),
+            auth: None,
+        };
+        assert_eq!(e.on_gate_message(t0, true, &close), ControlOutcome::Applied);
+        assert_eq!(e.generation(), gen + 1);
+        assert_eq!(e.eval(t0, &meta(FO, AM, 6)), Verdict::Deny);
+    }
+
+    #[test]
+    fn limit_rules_throttle_but_never_latch() {
+        let mut cfg = FilterConfig::permissive();
+        cfg.rules = vec![Rule::any(Action::Limit).from(Prefix::new(Ipv4Addr::from(FO), 24))];
+        cfg.limit = LimitConfig {
+            rate_per_sec: 1,
+            burst: 2,
+            bucket_bits: 4,
+        };
+        let mut e = FilterEngine::new(cfg);
+        let t0 = SimTime::ZERO;
+        let m = meta(FO, AM, 17);
+        assert_eq!(e.eval(t0, &m), Verdict::Allow);
+        assert_eq!(e.eval(t0, &m), Verdict::Allow);
+        assert_eq!(e.eval(t0, &m), Verdict::Deny, "burst exhausted");
+        assert_eq!(e.stats().tokens_exhausted, 1);
+        // A second later the bucket has a token again — the cached
+        // Limit classification consults the bucket every time.
+        let t1 = t0 + SimDuration::from_secs(1);
+        assert_eq!(e.eval(t1, &m), Verdict::Allow);
+        assert!(e.stats().cache_hits >= 2);
+    }
+
+    #[test]
+    fn set_rules_takes_effect_on_cached_flows() {
+        let mut e = FilterEngine::new(FilterConfig::permissive());
+        let t0 = SimTime::ZERO;
+        let m = meta([1, 2, 3, 4], [5, 6, 7, 8], 6);
+        assert_eq!(e.eval(t0, &m), Verdict::Allow);
+        assert_eq!(e.eval(t0, &m), Verdict::Allow, "cached");
+        e.set_rules(&[Rule::any(Action::Deny)]);
+        assert_eq!(e.eval(t0, &m), Verdict::Deny);
+    }
+
+    #[test]
+    fn permissive_engine_is_inert() {
+        let mut e = FilterEngine::new(FilterConfig::permissive());
+        assert_eq!(e.next_deadline(), None);
+        assert_eq!(e.eval(SimTime::ZERO, &meta(FO, AM, 6)), Verdict::Allow);
+        assert_eq!(e.eval(SimTime::ZERO, &meta(AM, FO, 6)), Verdict::Allow);
+        assert_eq!(e.next_deadline(), None, "no soft state accrues");
+        assert_eq!(e.gate_len(), 0);
+    }
+
+    #[test]
+    fn notes_are_logged_only_when_enabled() {
+        let mut e = FilterEngine::new(FilterConfig::gateway());
+        e.eval(SimTime::ZERO, &meta(FO, AM, 6));
+        assert!(e.take_notes().is_empty());
+        e.set_logging(true);
+        e.eval(SimTime::ZERO, &meta(FO, AM, 6));
+        let notes = e.take_notes();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].verdict, Verdict::Deny);
+        let s = notes[0].to_string();
+        assert!(s.contains("deny 128.95.1.4 > 44.24.0.5"), "{s}");
+    }
+}

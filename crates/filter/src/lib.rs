@@ -1,0 +1,41 @@
+//! §4.3 at hostile scale: the line-rate packet-filter engine.
+//!
+//! The paper proposes amateur-initiated access control — a table of
+//! permitted sources with TTL soft state, managed by two authenticated
+//! ICMP messages. `gateway::acl` models that table minimally (E5); this
+//! crate builds the idea out to an engine a gateway can run on every
+//! packet at line rate under attack:
+//!
+//! * **compiled rules** ([`Rule`] → flattened match arrays, most
+//!   specific wins — the route table's longest-prefix discipline
+//!   applied to policy);
+//! * a direct-mapped per-flow **decision cache** keyed `(src, dst,
+//!   proto)`, invalidated by generation counter on table change, so the
+//!   steady state is one hash-and-compare instead of a rule walk;
+//! * the §4.3 **soft-state gate** with GateOpen/GateClose control and
+//!   deadline-driven expiry;
+//! * per-source **token buckets** for the spoofed-flood case.
+//!
+//! Zero-allocation discipline throughout the packet path, same as the
+//! PR 5 byte kernels; the `filter_eval` bench asserts it. The
+//! [`NaiveInterpreter`] is the executable reference spec the
+//! differential proptests check the engine against. DESIGN.md §13 has
+//! the full compile/cache/invalidation contract; experiment E17 puts
+//! the engine under a spoofed-source flood with control-plane churn.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bucket;
+mod cache;
+mod compiled;
+mod engine;
+mod gate;
+mod oracle;
+mod rule;
+
+pub use bucket::LimitConfig;
+pub use engine::{FilterConfig, FilterEngine, FilterNote, FilterStats, NoteWhy, Verdict};
+pub use gate::{ControlOutcome, GateConfig};
+pub use oracle::NaiveInterpreter;
+pub use rule::{Action, PacketMeta, Rule};

@@ -1,0 +1,217 @@
+//! Differential properties for the compiled filter engine (DESIGN.md §13):
+//! the flattened-array walk plus decision cache must be observationally
+//! identical to the naive first-match interpreter (`filter::NaiveInterpreter`)
+//! over random rule tables, packet streams, and mid-stream table swaps —
+//! and a cached engine must be indistinguishable from an uncached twin
+//! even with the §4.3 gate, token buckets, and control churn in play.
+
+use filter::{
+    Action, FilterConfig, FilterEngine, GateConfig, LimitConfig, NaiveInterpreter, PacketMeta, Rule,
+};
+use netstack::icmp::IcmpMessage;
+use netstack::route::Prefix;
+use proptest::prelude::*;
+use sim::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+/// Addresses clustered in four /24s — two amateur (44/8), two foreign —
+/// with tiny host parts, so random rules and random packets collide
+/// constantly instead of sailing past each other.
+fn arb_addr() -> impl Strategy<Value = u32> {
+    const NETS: [u32; 4] = [0x2C18_0000, 0x2C18_0100, 0x805F_0100, 0x0A00_0000];
+    (0usize..4, 0u32..8).prop_map(|(net, host)| NETS[net] | host)
+}
+
+/// A prefix over the same clustered pool, any of the natural lengths.
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    const LENS: [u8; 5] = [0, 8, 16, 24, 32];
+    (arb_addr(), 0usize..5).prop_map(|(a, l)| Prefix::new(Ipv4Addr::from(a), LENS[l]))
+}
+
+/// One policy line. `limit` widens the action choice to include
+/// [`Action::Limit`]; the oracle comparisons keep it off because the
+/// interpreter speaks classifications, not token buckets.
+fn arb_rule(limit: bool) -> impl Strategy<Value = Rule> {
+    (
+        arb_prefix(),
+        arb_prefix(),
+        prop_oneof![
+            Just(None),
+            Just(Some(6u8)),
+            Just(Some(17u8)),
+            Just(Some(1u8))
+        ],
+        prop_oneof![
+            Just(None),
+            Just(Some((0u16, 1023u16))),
+            Just(Some((23u16, 23u16))),
+            Just(Some((1024u16, u16::MAX))),
+        ],
+        0u8..3,
+    )
+        .prop_map(move |(src, dst, proto, dports, a)| Rule {
+            src,
+            dst,
+            proto,
+            dports,
+            action: match a {
+                0 => Action::Allow,
+                _ if a == 2 && limit => Action::Limit,
+                _ => Action::Deny,
+            },
+        })
+}
+
+/// A packet over the same pool. Ports are biased toward the rule
+/// boundaries (23, the 1023/1024 split); non-first fragments hide them.
+fn arb_packet() -> impl Strategy<Value = PacketMeta> {
+    (
+        arb_addr(),
+        arb_addr(),
+        0usize..4,
+        prop_oneof![Just(23u16), 0u16..1024, any::<u16>()],
+        any::<bool>(),
+    )
+        .prop_map(|(src, dst, p, dport, frag)| {
+            let proto = [6u8, 17, 1, 89][p];
+            let transport = proto == 6 || proto == 17;
+            PacketMeta {
+                src,
+                dst,
+                proto,
+                dport: if transport { dport } else { 0 },
+                has_port: transport && !frag,
+            }
+        })
+}
+
+proptest! {
+    /// The compiled walk — cached or not — answers exactly like the
+    /// naive interpreter for pure Allow/Deny tables. Every packet is
+    /// evaluated twice so the second pass exercises the decision cache
+    /// (and the port-dependent never-cache rule) against the same oracle.
+    #[test]
+    fn engine_agrees_with_the_naive_interpreter(
+        rules in proptest::collection::vec(arb_rule(false), 0..24),
+        default_deny in any::<bool>(),
+        cache_bits in prop_oneof![Just(0u8), Just(4u8), Just(10u8)],
+        packets in proptest::collection::vec(arb_packet(), 1..64),
+    ) {
+        let default_action = if default_deny { Action::Deny } else { Action::Allow };
+        let cfg = FilterConfig {
+            gate: None,
+            rules: rules.clone(),
+            default_action,
+            cache_bits,
+            limit: LimitConfig::default(),
+        };
+        let mut engine = FilterEngine::new(cfg);
+        let oracle = NaiveInterpreter::new(&rules, default_action);
+        for m in &packets {
+            let want = oracle.classify(m) == Action::Allow;
+            prop_assert_eq!(
+                engine.eval(SimTime::ZERO, m).is_allow(), want,
+                "cold walk diverged on {:?} ({} rules, cache_bits {})",
+                m, rules.len(), cache_bits
+            );
+            prop_assert_eq!(
+                engine.eval(SimTime::ZERO, m).is_allow(), want,
+                "warm (cached) answer diverged on {:?}", m
+            );
+        }
+    }
+
+    /// Mid-stream table swaps: warm the cache under one table, swap to a
+    /// second, and every verdict — including for flows whose decisions
+    /// were cached under the old table — must flip to the new oracle's.
+    #[test]
+    fn rule_swaps_take_effect_on_cached_flows(
+        rules_a in proptest::collection::vec(arb_rule(false), 0..16),
+        rules_b in proptest::collection::vec(arb_rule(false), 0..16),
+        packets in proptest::collection::vec(arb_packet(), 1..48),
+    ) {
+        let cfg = FilterConfig {
+            gate: None,
+            rules: rules_a.clone(),
+            default_action: Action::Allow,
+            cache_bits: 8,
+            limit: LimitConfig::default(),
+        };
+        let mut engine = FilterEngine::new(cfg);
+        let mut oracle = NaiveInterpreter::new(&rules_a, Action::Allow);
+        for m in &packets {
+            prop_assert_eq!(
+                engine.eval(SimTime::ZERO, m).is_allow(),
+                oracle.classify(m) == Action::Allow,
+                "pre-swap divergence on {:?}", m
+            );
+        }
+        engine.set_rules(&rules_b);
+        oracle.set_rules(&rules_b);
+        for m in &packets {
+            prop_assert_eq!(
+                engine.eval(SimTime::ZERO, m).is_allow(),
+                oracle.classify(m) == Action::Allow,
+                "stale cached verdict survived set_rules on {:?}", m
+            );
+        }
+    }
+
+    /// The decision cache is semantically invisible: a cached engine and
+    /// an uncached twin, fed the same timed stream — §4.3 gate on, Limit
+    /// rules charging real token buckets, TTL expiries crossed, GateClose
+    /// churn injected, and a mid-stream table swap — must emit identical
+    /// verdicts at every step.
+    #[test]
+    fn cached_engine_matches_uncached_twin_under_gate_and_limits(
+        rules_a in proptest::collection::vec(arb_rule(true), 0..12),
+        rules_b in proptest::collection::vec(arb_rule(true), 0..12),
+        swap_at in 0usize..64,
+        steps in proptest::collection::vec((arb_packet(), 0u64..300), 1..96),
+    ) {
+        let cfg = |cache_bits| FilterConfig {
+            gate: Some(GateConfig::default()),
+            rules: rules_a.clone(),
+            default_action: Action::Allow,
+            cache_bits,
+            limit: LimitConfig { rate_per_sec: 1, burst: 2, bucket_bits: 4 },
+        };
+        // 16 slots: plenty of collisions/evictions in a 96-step stream.
+        let mut cached = FilterEngine::new(cfg(4));
+        let mut plain = FilterEngine::new(cfg(0));
+        let mut now = SimTime::ZERO;
+        for (i, (m, dt)) in steps.iter().enumerate() {
+            now += SimDuration::from_secs(*dt);
+            if i == swap_at {
+                cached.set_rules(&rules_b);
+                plain.set_rules(&rules_b);
+            }
+            if i % 13 == 7 {
+                // Control churn: force-close the packet's pair when it
+                // crosses the gate, on both twins.
+                let (src_am, dst_am) = (m.src >> 24 == 44, m.dst >> 24 == 44);
+                if src_am != dst_am {
+                    let (am, fo) = if src_am { (m.src, m.dst) } else { (m.dst, m.src) };
+                    let close = IcmpMessage::GateClose {
+                        amateur: Ipv4Addr::from(am),
+                        foreign: Ipv4Addr::from(fo),
+                        auth: None,
+                    };
+                    cached.on_gate_message(now, true, &close);
+                    plain.on_gate_message(now, true, &close);
+                }
+            }
+            prop_assert_eq!(
+                cached.eval(now, m), plain.eval(now, m),
+                "twins diverged at step {} ({:?}, t={:?})", i, m, now
+            );
+        }
+        prop_assert_eq!(plain.stats().cache_hits, 0, "uncached twin must never hit");
+        let s = cached.stats();
+        prop_assert_eq!(
+            s.allowed + s.denied,
+            plain.stats().allowed + plain.stats().denied,
+            "twins judged different packet counts"
+        );
+    }
+}

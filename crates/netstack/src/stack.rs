@@ -291,6 +291,13 @@ impl NetStack {
         }
     }
 
+    /// Turns IP forwarding on or off at runtime. Hosts built as plain
+    /// endpoints leave it off; test and experiment harnesses that need a
+    /// non-gateway box to route (E17's flood injector) flip it here.
+    pub fn set_forwarding(&mut self, on: bool) {
+        self.cfg.forwarding = on;
+    }
+
     /// Takes every action the stack has produced since the last drain.
     ///
     /// Socket and output calls (`tcp_send`, `udp_send`, `ping`, …) no

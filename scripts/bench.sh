@@ -5,7 +5,8 @@
 # tunnel hot path, the `vj_hdr` RFC 1144 header compression path, the
 # `byte_kernels` bulk/scalar pairs, the `socket_ops` shim, the
 # `shard_sync` cross-shard hand-off, the `workload_gen` fleet
-# schedule/recorder group, and the E15/E16 city-scale scaling runs,
+# schedule/recorder group, the `filter_eval` packet-filter hot path,
+# and the E15/E16 city-scale scaling runs,
 # and APPENDS every measurement to BENCH_engine.json as
 #   {"bench": <name>, "median_ns": <ns/iter>, "threads": <n>, "timestamp": <utc>}
 # so the file accumulates a history. The `threads` field is parsed from a
@@ -45,6 +46,9 @@ cargo bench -p bench --bench shard_sync | tee -a "$tmp"
 
 echo "==> cargo bench -p bench --bench workload_gen"
 cargo bench -p bench --bench workload_gen | tee -a "$tmp"
+
+echo "==> cargo bench -p bench --bench filter_eval"
+cargo bench -p bench --bench filter_eval | tee -a "$tmp"
 
 echo "==> E15 city-scale scaling run (scaled-down mesh; see EXPERIMENTS.md)"
 cargo build --release -p bench --bin e15_city_scale

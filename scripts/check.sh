@@ -37,8 +37,15 @@ cargo bench -p bench --bench shard_sync -- --test
 echo "==> cargo bench -p bench --bench workload_gen -- --test (asserts 0-alloc recorder path)"
 cargo bench -p bench --bench workload_gen -- --test
 
+echo "==> cargo bench -p bench --bench filter_eval -- --test (asserts 0-alloc eval paths)"
+cargo bench -p bench --bench filter_eval -- --test
+
 echo "==> sharded-engine digest smoke (2 workers vs reference)"
 cargo test -q -p gateway --test shard_equivalence two_worker_digest_smoke
+
+echo "==> E17 flood smoke (filter engine acceptance bars)"
+cargo build --release -p bench --bin e17_filter_flood
+./target/release/e17_filter_flood > /dev/null
 
 echo "==> scripts/bench.sh (non-gating)"
 bash scripts/bench.sh || echo "WARN: bench snapshot failed (non-gating)"

@@ -1,0 +1,260 @@
+//! E18 — the compiled forwarding plane under city-mesh load.
+//!
+//! §4.2's aggregate route ("all of net 44 via one gateway") kept the
+//! paper's tables tiny; a converged city of islands does not have that
+//! luxury — each gateway carries a learned `/24` for every other island,
+//! and every forwarded packet pays longest-prefix match over the lot,
+//! twice (once for the tunnel endpoint, once for the egress). This
+//! experiment exercises DESIGN.md §14's answer: the compiled multibit
+//! trie plus the per-destination next-hop cache.
+//!
+//! Three claims, the first two deterministic (this file's output is
+//! byte-stable), the third wall-clock and therefore printed to stderr:
+//!
+//! 1. **The walk is flat in table size**: the compiled trie answers any
+//!    lookup in at most four node visits whether the table holds 8
+//!    routes or 1024 — the shape sweep prints node counts and the
+//!    deepest walk over every installed prefix.
+//! 2. **The cache is invisible to the traffic**: a full-table mesh run
+//!    with the next-hop cache enabled delivers byte-identical events to
+//!    its cache-off twin (the system-level face of the `cached ≡
+//!    uncached` differential proptest), while the gateways' counters
+//!    show the hit rate doing the work.
+//! 3. **Per-packet lookup cost**: mean ns per compiled lookup at each
+//!    table size, flat where the linear scan grows linearly — wall
+//!    clock, so printed only in bench mode (`E18_BENCH=1`, used by
+//!    scripts/bench.sh) and to stderr.
+//!
+//! Knobs: `E18_GATEWAYS` (default 48), `E18_HOSTS` (default 3 per
+//! island), `E18_SECONDS` (default 40). The issue-brief full run is
+//! `E18_GATEWAYS=1000`, giving ~1000-route gateway tables.
+
+use apps::ping::Pinger;
+use bench::banner;
+use gateway::scenario::{self, city, MeshOptions};
+use netstack::route::{Prefix, RouteTable};
+use sim::stats::render_table;
+use sim::SimDuration;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A route table shaped like a converged E18 gateway's: `n` island
+/// `/24`s plus the default toward the wired internet.
+fn island_table(n: usize) -> RouteTable {
+    let mut rt = RouteTable::new();
+    for i in 0..n {
+        let addr = Ipv4Addr::from(0x2C00_0000 | ((i as u32) << 8));
+        rt.add(
+            Prefix::new(addr, 24),
+            Some(Ipv4Addr::new(10, 0, 0, 1)),
+            netstack::stack::IfaceId::new(0),
+        );
+    }
+    rt.add(
+        Prefix::default_route(),
+        Some(Ipv4Addr::new(10, 0, 0, 254)),
+        netstack::stack::IfaceId::new(1),
+    );
+    rt
+}
+
+/// FNV-1a over the event log (same digest as E15).
+fn event_digest(world: &mut gateway::World) -> (u64, usize, usize) {
+    let events = world.take_events();
+    let n = events.len();
+    let mut replies = 0;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for (h, t, e) in events {
+        let line = format!("{h:?} {t} {e:?}\n");
+        if line.contains("PingReply") {
+            replies += 1;
+        }
+        for b in line.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    (hash, n, replies)
+}
+
+/// Builds the full-table mesh and wires forwarding-heavy traffic: host 0
+/// of every island pings host 0 of the next island *and* host 1 (when
+/// present) pings two islands over, so each gateway forwards flows for
+/// several distinct destinations — a working set the next-hop cache must
+/// actually hold, not a single hot slot.
+fn build(gateways: usize, hosts_per_gw: usize, seed: u64, bits: u8) -> scenario::MeshNet {
+    let mut m = scenario::mesh_with(
+        gateways,
+        hosts_per_gw,
+        seed,
+        MeshOptions {
+            full_tables: true,
+            fwd_cache_bits: bits,
+        },
+    );
+    for g in 0..gateways {
+        let p = Pinger::new(
+            city::host_ip((g + 1) % gateways, 0),
+            g as u16,
+            9,
+            SimDuration::from_secs(4),
+            64,
+        )
+        .delayed(SimDuration::from_millis(300 + (41 * g as u64) % 2100));
+        m.world.add_app(m.hosts[g][0], Box::new(p));
+        if hosts_per_gw > 1 {
+            let p2 = Pinger::new(
+                city::host_ip((g + 2) % gateways, 0),
+                (gateways + g) as u16,
+                6,
+                SimDuration::from_secs(6),
+                64,
+            )
+            .delayed(SimDuration::from_millis(1100 + (53 * g as u64) % 2300));
+            m.world.add_app(m.hosts[g][1], Box::new(p2));
+        }
+    }
+    m
+}
+
+fn main() {
+    let gateways = env_usize("E18_GATEWAYS", 48);
+    let hosts_per_gw = env_usize("E18_HOSTS", 3);
+    let secs = env_usize("E18_SECONDS", 40) as u64;
+    let bench_mode = std::env::var("E18_BENCH").is_ok_and(|v| v == "1");
+    let seed = 2244;
+
+    banner(
+        "E18",
+        "compiled LPM forwarding plane with per-destination next-hop cache",
+        "a converged city has no §4.2 aggregate — every gateway carries a /24 \
+         per island, and per-packet lookup cost must stay flat in table size \
+         (DESIGN.md §14)",
+    );
+
+    // --- Claim 1: trie shape is flat in table size ----------------------
+    println!("compiled-trie shape (routes = island /24s + default):\n");
+    let mut rows = vec![vec![
+        "routes".to_string(),
+        "trie nodes".to_string(),
+        "max walk depth".to_string(),
+    ]];
+    for n in [8usize, 64, 256, 1024] {
+        let mut rt = island_table(n);
+        let (nodes, depth) = rt.compiled_shape();
+        rows.push(vec![
+            format!("{}", rt.routes().len()),
+            format!("{nodes}"),
+            format!("{depth}"),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+
+    // --- Claim 3 (bench mode, stderr): per-packet lookup cost -----------
+    for n in if bench_mode {
+        &[8usize, 64, 256, 1024][..]
+    } else {
+        &[]
+    } {
+        let n = *n;
+        let mut rt = island_table(n);
+        let probe = Ipv4Addr::new(9, 9, 9, 9);
+        rt.lookup_fast(probe);
+        let iters = 200_000u32;
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(rt.lookup_fast(std::hint::black_box(probe)));
+        }
+        let fast = t.elapsed().as_nanos() as f64 / f64::from(iters);
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(rt.lookup(std::hint::black_box(probe)));
+        }
+        let linear = t.elapsed().as_nanos() as f64 / f64::from(iters);
+        eprintln!(
+            "lookup cost at {:4} routes: compiled {fast:6.1} ns, linear {linear:8.1} ns",
+            rt.routes().len()
+        );
+    }
+
+    // --- Claim 2: cached ≡ uncached at the system level -----------------
+    println!(
+        "full-table mesh: {gateways} islands x {} stations, {}+ routes per \
+         gateway, {secs} s simulated\n",
+        hosts_per_gw + 1,
+        gateways + 1,
+    );
+    let mut rows = vec![vec![
+        "next-hop cache".to_string(),
+        "events".to_string(),
+        "ping replies".to_string(),
+        "digest".to_string(),
+        "fwd hits".to_string(),
+        "misses".to_string(),
+        "stale".to_string(),
+    ]];
+    let mut digests = Vec::new();
+    for bits in [0u8, 12] {
+        let mut m = build(gateways, hosts_per_gw, seed, bits);
+        let t0 = Instant::now();
+        m.world
+            .run_until_reference(sim::SimTime::from_millis(secs * 1000));
+        let wall = t0.elapsed();
+        let (d, n, replies) = event_digest(&mut m.world);
+        let (mut hits, mut misses, mut stale) = (0u64, 0u64, 0u64);
+        for g in 0..gateways {
+            let st = m.world.host(m.gateways[g]).stack.stats();
+            hits += st.fwd_cache_hits;
+            misses += st.fwd_cache_misses;
+            stale += st.fwd_cache_stale;
+        }
+        rows.push(vec![
+            if bits == 0 {
+                "off".to_string()
+            } else {
+                format!("2^{bits} slots")
+            },
+            format!("{n}"),
+            format!("{replies}"),
+            format!("{d:016x}"),
+            format!("{hits}"),
+            format!("{misses}"),
+            format!("{stale}"),
+        ]);
+        digests.push(d);
+        if bench_mode {
+            // The bench.sh row: ns per simulated second of mesh, so the
+            // cached and uncached engines are directly comparable.
+            let label = if bits == 0 { "nocache" } else { "cache" };
+            println!(
+                "e18_mesh/{label} ... {:.1} ns/iter",
+                wall.as_nanos() as f64 / secs as f64
+            );
+            eprintln!(
+                "mesh run (cache bits {bits}): {:.2} s wall",
+                wall.as_secs_f64()
+            );
+        }
+        if bits != 0 {
+            assert!(hits > 0, "the cached run must actually hit");
+            assert!(
+                hits > 2 * misses,
+                "the cache must absorb the bulk of the decisions \
+                 (hits {hits}, misses {misses})"
+            );
+        }
+    }
+    println!("{}", render_table(&rows));
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "cached and uncached meshes must deliver identical event logs"
+    );
+    println!("cached and cache-off runs: event logs byte-identical.");
+}

@@ -1,10 +1,17 @@
 //! E5 — §4.3: the access-control table. A scripted sequence walks every
 //! rule in the paper's design and prints the gateway's own counters
 //! after each phase.
+//!
+//! The table is the filter engine's soft-state gate (DESIGN.md §13):
+//! the legacy standalone ACL was folded into the engine, and this
+//! experiment's columns read the engine's counters — `denied` counts
+//! every deny verdict (cached ones included), `openings` counts
+//! amateur-side opens plus refreshes, exactly what the old table called
+//! an "opening".
 
 use apps::ping::Pinger;
 use bench::banner;
-use gateway::acl::{AclConfig, GatewayAcl};
+use filter::{FilterConfig, GateConfig};
 use gateway::scenario::{
     paper_topology, PaperConfig, ETHER_HOST_IP, GW_ETHER_IP, GW_RADIO_IP, PC_IP,
 };
@@ -20,16 +27,20 @@ fn main() {
          soft-state entries with TTL, plus authenticated ICMP control",
     );
 
-    let mut s = paper_topology(PaperConfig::default(), 5000);
     // Short TTL so the expiry phase fits the run; one control operator.
-    let mut acl_cfg = AclConfig {
-        entry_ttl: SimDuration::from_secs(180),
-        ..Default::default()
+    let filter_cfg = FilterConfig {
+        gate: Some(GateConfig {
+            entry_ttl: SimDuration::from_secs(180),
+            operators: vec![("N7AKR".to_string(), "seattle".to_string())],
+            ..GateConfig::default()
+        }),
+        ..FilterConfig::permissive()
     };
-    acl_cfg
-        .operators
-        .insert("N7AKR".to_string(), "seattle".to_string());
-    s.world.host_mut(s.gw).acl = Some(GatewayAcl::new(acl_cfg));
+    let cfg = PaperConfig {
+        filter: Some(filter_cfg),
+        ..PaperConfig::default()
+    };
+    let mut s = paper_topology(cfg, 5000);
 
     let mut rows = vec![vec![
         "phase".to_string(),
@@ -40,13 +51,13 @@ fn main() {
         "auth_fail".to_string(),
     ]];
     let mut phase = |s: &mut gateway::scenario::PaperScenario, name: &str, ok: u32| {
-        let st = s.world.host(s.gw).acl.as_ref().unwrap().stats();
+        let st = s.world.host(s.gw).filter_stats().unwrap();
         rows.push(vec![
             name.to_string(),
             ok.to_string(),
-            st.denied_inbound.to_string(),
-            st.openings.to_string(),
-            st.forced_closed.to_string(),
+            st.denied.to_string(),
+            (st.gate_opened + st.gate_refreshed).to_string(),
+            st.gate_closed.to_string(),
             st.auth_failures.to_string(),
         ]);
     };

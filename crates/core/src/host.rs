@@ -28,7 +28,6 @@ use netstack::NetError;
 use sim::{PacketBuf, SimTime, SinkFn};
 use socket::{Readiness, SockError, SocketHandle, SocketTable};
 
-use crate::acl::{AclConfig, AclVerdict, GatewayAcl};
 use crate::arp_engine::ArpConfig;
 use crate::cpu::{Cpu, CpuConfig};
 use crate::etherdrv::EtherDriver;
@@ -70,12 +69,10 @@ pub struct HostConfig {
     pub radio: Option<RadioIfConfig>,
     /// Ethernet interface, if any.
     pub ether: Option<EtherIfConfig>,
-    /// §4.3 access control (gateways only).
-    pub acl: Option<AclConfig>,
-    /// The compiled packet-filter engine (DESIGN.md §13). Supersedes
-    /// `acl` when set: the engine carries the same §4.3 gate plus
-    /// compiled rules, the decision cache, and rate limiting, evaluated
-    /// at the driver hooks instead of only at the forwarding step.
+    /// The compiled packet-filter engine (DESIGN.md §13), carrying the
+    /// §4.3 gate plus compiled rules, the decision cache, and rate
+    /// limiting, evaluated at the driver hooks (and at the forwarding
+    /// step on hosts with no radio driver to hook).
     pub filter: Option<FilterConfig>,
 }
 
@@ -88,7 +85,6 @@ impl HostConfig {
             cpu: CpuConfig::default(),
             radio: None,
             ether: None,
-            acl: None,
             filter: None,
         }
     }
@@ -117,8 +113,6 @@ pub struct Host {
     pub cpu: Cpu,
     pr: Option<(IfaceId, PacketRadioDriver)>,
     eth: Option<(IfaceId, EtherDriver)>,
-    /// §4.3 access control, present on gateways.
-    pub acl: Option<GatewayAcl>,
     /// The packet-filter engine, shared with the radio driver's hooks.
     filter: Option<Rc<RefCell<FilterEngine>>>,
     /// The bounded IP input queue (CPU-gated).
@@ -176,7 +170,6 @@ impl Host {
             cpu: Cpu::new(cfg.cpu),
             pr,
             eth,
-            acl: cfg.acl.map(GatewayAcl::new),
             filter,
             input_queue: IfQueue::new(IFQ_MAXLEN),
             tty_queue: VecDeque::new(),
@@ -511,7 +504,7 @@ impl Host {
     // --- User-level operations ---------------------------------------------
 
     /// Handles stack actions: egress goes to drivers, forwards pass the
-    /// ACL, app events accumulate for [`Host::take_events`].
+    /// filter engine, app events accumulate for [`Host::take_events`].
     pub fn handle_actions(&mut self, now: SimTime, actions: Vec<StackAction>) {
         let mut work: VecDeque<StackAction> = actions.into();
         while let Some(act) = work.pop_front() {
@@ -527,23 +520,21 @@ impl Host {
                     self.route_output(now, iface, next_hop, packet);
                 }
                 StackAction::ForwardNeeded { ingress, packet } => {
-                    let allow = if let Some(f) = &self.filter {
-                        // A radio-equipped host already judged this
-                        // packet at the driver's rint hook and will
-                        // judge the egress side at the output hook;
-                        // evaluating here too would double-charge token
-                        // buckets and double-refresh gate entries. Only
-                        // hosts with no radio police the forwarding
-                        // step itself.
-                        self.pr.is_some()
-                            || f.borrow_mut()
-                                .eval(now, &filter::PacketMeta::of(&packet))
-                                .is_allow()
-                    } else {
-                        match &mut self.acl {
-                            Some(acl) => acl.check(now, &packet) == AclVerdict::Allow,
-                            None => true,
+                    let allow = match &self.filter {
+                        Some(f) => {
+                            // A radio-equipped host already judged this
+                            // packet at the driver's rint hook and will
+                            // judge the egress side at the output hook;
+                            // evaluating here too would double-charge token
+                            // buckets and double-refresh gate entries. Only
+                            // hosts with no radio police the forwarding
+                            // step itself.
+                            self.pr.is_some()
+                                || f.borrow_mut()
+                                    .eval(now, &filter::PacketMeta::of(&packet))
+                                    .is_allow()
                         }
+                        None => true,
                     };
                     if allow {
                         self.stack.forward(packet);
@@ -560,8 +551,6 @@ impl Host {
                     if let Some(f) = &self.filter {
                         f.borrow_mut()
                             .on_gate_message(now, from_amateur_side, &message);
-                    } else if let Some(acl) = &mut self.acl {
-                        acl.on_gate_message(now, from_amateur_side, &message);
                     }
                     // Keep it visible to tests/apps as well.
                     self.events.push(StackAction::GateControl {
@@ -940,20 +929,17 @@ mod tests {
     }
 
     #[test]
-    fn gateway_acl_blocks_unsolicited_forwarding() {
+    fn filter_polices_forward_step_on_radioless_forwarders() {
+        // A forwarder with no radio driver has no rint/output hooks, so
+        // the §4.3 gate is enforced at the forwarding step itself.
         let mut cfg = HostConfig::named("gw");
         cfg.stack.forwarding = true;
-        cfg.radio = Some(RadioIfConfig {
-            call: a("N7AKR-1"),
-            ip: Ipv4Addr::new(44, 24, 0, 28),
-            prefix_len: 16,
-        });
         cfg.ether = Some(EtherIfConfig {
             mac: MacAddr::local(1),
             ip: Ipv4Addr::new(128, 95, 1, 100),
             prefix_len: 24,
         });
-        cfg.acl = Some(AclConfig::default());
+        cfg.filter = Some(FilterConfig::gateway());
         let mut gw = Host::new(cfg);
         // Unsolicited foreign->amateur packet arrives on Ethernet.
         let p = Ipv4Packet::new(
@@ -966,7 +952,10 @@ mod tests {
         let actions = gw.stack.input(SimTime::ZERO, eth_if, &p.encode());
         gw.handle_actions(SimTime::ZERO, actions);
         assert!(gw.take_outbox().is_empty(), "denied: nothing forwarded");
-        assert_eq!(gw.acl.as_ref().unwrap().stats().denied_inbound, 1);
+        let fs = gw.filter_stats().unwrap();
+        assert_eq!(fs.gate_denied, 1);
+        assert_eq!(fs.denied, 1);
+        assert_eq!(gw.stack.stats().forwarded, 0);
     }
 
     #[test]

@@ -26,8 +26,6 @@
 //!   programs (§2.2, §2.4).
 //! * [`etherdrv`] — the DEQNA-style Ethernet driver the gateway's other
 //!   leg uses.
-//! * [`acl`] — §4.3's access-control table: amateur-initiated soft state
-//!   with TTL, plus the proposed authenticated ICMP control messages.
 //! * [`host`] — a complete simulated machine: stack + drivers + CPU +
 //!   tty queue, configurable as a plain host, a PC with a radio, or the
 //!   MicroVAX gateway itself.
@@ -46,7 +44,6 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod acl;
 pub mod appgw;
 pub mod arp_engine;
 pub mod cpu;

@@ -24,7 +24,6 @@ use radio::csma::MacConfig;
 use radio::tnc::RxMode;
 use sim::Bandwidth;
 
-use crate::acl::AclConfig;
 use crate::cpu::CpuConfig;
 use crate::host::{EtherIfConfig, HostConfig, RadioIfConfig};
 use crate::hwaddr::Ax25Hw;
@@ -53,13 +52,14 @@ pub struct PaperConfig {
     pub mac: MacConfig,
     /// CPU cost model for the gateway and PC.
     pub cpu: CpuConfig,
-    /// Install the §4.3 access-control table on the gateway.
+    /// Install §4.3 access control on the gateway — the filter engine
+    /// in its gateway posture ([`filter::FilterConfig::gateway`]): the
+    /// soft-state gate with default TTL and auto-open, no extra rules.
     pub acl: bool,
-    /// Install the compiled packet-filter engine on the gateway
-    /// (DESIGN.md §13). Supersedes `acl` when set — the engine carries
-    /// the same §4.3 gate plus compiled rules, the per-flow decision
-    /// cache, and rate limiting, enforced at the driver hooks. `None` —
-    /// the default — keeps the E1–E16 goldens byte-identical.
+    /// Install an explicit packet-filter engine configuration on the
+    /// gateway (DESIGN.md §13). Supersedes `acl` when set — carries the
+    /// §4.3 gate plus compiled rules, the per-flow decision cache, and
+    /// rate limiting, enforced at the driver hooks.
     pub filter: Option<filter::FilterConfig>,
     /// Enable RFC 1144 VJ header compression on the radio link (both the
     /// PC and the gateway; they must agree on the slot count). `None` —
@@ -157,7 +157,7 @@ pub fn paper_topology(cfg: PaperConfig, seed: u64) -> PaperScenario {
     if let Some(f) = cfg.filter {
         gw_cfg.filter = Some(f);
     } else if cfg.acl {
-        gw_cfg.acl = Some(AclConfig::default());
+        gw_cfg.filter = Some(filter::FilterConfig::gateway());
     }
     let gw = world.add_host(gw_cfg);
     let gw_tnc = world.attach_radio(gw, chan, cfg.serial_baud, cfg.tnc_mode, cfg.mac);
@@ -738,6 +738,23 @@ impl MeshNet {
     }
 }
 
+/// Optional extras for [`mesh_with`] (E18's forwarding-plane benchmark).
+#[derive(Debug, Clone, Default)]
+pub struct MeshOptions {
+    /// Give every gateway a RIP-learned-style `/24` route to each other
+    /// island's radio subnet, via that island's gateway Ethernet address
+    /// ([`netstack::route::RouteSource::Learned`], metric 2). The tunnel
+    /// map still wins for cross-island traffic — these routes are the
+    /// table *load* a converged RIP44 exchange would leave behind, so a
+    /// 500-island mesh carries ~500-route gateway tables and every
+    /// per-packet lookup (tunnel-endpoint included) pays longest-prefix
+    /// match over them.
+    pub full_tables: bool,
+    /// Per-destination next-hop cache on the gateways: `2^bits` slots,
+    /// `0` (the default) disables it and keeps E15/E16 byte-identical.
+    pub fwd_cache_bits: u8,
+}
+
 /// Builds the city-scale AMPRnet of EXPERIMENTS.md E15: `gateways` radio
 /// islands — one 1200 b/s channel, one MicroVAX gateway, `hosts_per_gw`
 /// PCs each — joined by one department Ethernet carrying IPIP tunnels
@@ -750,6 +767,12 @@ impl MeshNet {
 /// time, which the DESIGN.md §11 digest-equivalence contract requires.
 /// No traffic is installed — callers attach their own apps.
 pub fn mesh(gateways: usize, hosts_per_gw: usize, seed: u64) -> MeshNet {
+    mesh_with(gateways, hosts_per_gw, seed, MeshOptions::default())
+}
+
+/// [`mesh`] with [`MeshOptions`]: full learned route tables and/or the
+/// gateways' next-hop cache, for the E18 forwarding-plane measurements.
+pub fn mesh_with(gateways: usize, hosts_per_gw: usize, seed: u64, opts: MeshOptions) -> MeshNet {
     assert!((1..=1000).contains(&gateways), "1..=1000 gateways");
     assert!(hosts_per_gw <= 97, "host octets run 44.x.y.2 ..= 44.x.y.99");
     let cfg = PaperConfig::default();
@@ -771,6 +794,7 @@ pub fn mesh(gateways: usize, hosts_per_gw: usize, seed: u64) -> MeshNet {
         gc.cpu = cfg.cpu;
         gc.stack.forwarding = true;
         gc.stack.ipip = true;
+        gc.stack.fwd_cache_bits = opts.fwd_cache_bits;
         gc.radio = Some(RadioIfConfig {
             call: Ax25Addr::parse_or_panic(&city::gw_call(g)),
             ip: city::gw_radio_ip(g),
@@ -788,6 +812,22 @@ pub fn mesh(gateways: usize, hosts_per_gw: usize, seed: u64) -> MeshNet {
             .host_mut(gw)
             .stack
             .set_tunnel_map(Box::new(StaticTunnels { own: g, gateways }));
+        if opts.full_tables {
+            let ether_if = world.host(gw).ether_iface().expect("gateway ether");
+            let routes = world.host_mut(gw).stack.routes_mut();
+            for p in 0..gateways {
+                if p == g {
+                    continue;
+                }
+                routes.insert(Route {
+                    prefix: Prefix::new(city::gw_radio_ip(p), 24),
+                    via: Some(city::gw_ether_ip(p)),
+                    iface: ether_if,
+                    source: RouteSource::Learned,
+                    metric: 2,
+                });
+            }
+        }
 
         let mut island = Vec::with_capacity(hosts_per_gw);
         for i in 0..hosts_per_gw {

@@ -288,6 +288,12 @@ impl FilterEngine {
                 self.stats.gate_opened += 1;
             }
             Mutation::Refreshed => self.stats.gate_refreshed += 1,
+            Mutation::Shortened => {
+                // The entry now dies earlier than the expiry stamped into
+                // cached admissions — they must not outlive it.
+                self.generation += 1;
+                self.stats.gate_refreshed += 1;
+            }
             _ => {}
         }
     }
@@ -348,6 +354,10 @@ impl FilterEngine {
                 self.stats.opened_by_message += 1;
             }
             Mutation::Refreshed => self.stats.opened_by_message += 1,
+            Mutation::Shortened => {
+                self.generation += 1;
+                self.stats.opened_by_message += 1;
+            }
             Mutation::Closed => {
                 self.generation += 1;
                 self.stats.gate_closed += 1;

@@ -1,7 +1,7 @@
 //! §4.3 soft state: the amateur-initiated access table, engine-grade.
 //!
-//! Same contract as the paper (and as `gateway::acl::GatewayAcl`, which
-//! stays behind as the minimal E5 model): traffic from the amateur side
+//! Same contract as the paper (this table replaced the minimal
+//! standalone ACL the E5 model started with): traffic from the amateur side
 //! opens or refreshes a `(amateur, foreign)` pair entry; traffic from
 //! the foreign side is admitted only through a live entry; entries decay
 //! on a TTL; the authenticated GateOpen/GateClose ICMP messages manage
@@ -13,10 +13,13 @@
 //!   it into the PR 2 scheduler instead of polling;
 //! * every mutation reports whether it *changed a verdict* — new entry,
 //!   forced close — because those (and only those) must bump the
-//!   engine's cache generation. A refresh of a live entry changes no
-//!   verdict and keeps the decision cache hot; expiry changes verdicts
-//!   only at an instant the cache already knows (the expiry stamp
-//!   travels with the cached decision).
+//!   engine's cache generation. A refresh that *extends* a live entry
+//!   changes no verdict and keeps the decision cache hot; one that pulls
+//!   the expiry earlier (a default-TTL auto-open landing on a long
+//!   GateOpen lease) must bump, or admissions stamped with the old, later
+//!   expiry would outlive the entry. Plain expiry changes verdicts only
+//!   at an instant the cache already knows (the expiry stamp travels
+//!   with the cached decision).
 
 use sim::fxhash::FxHashMap;
 use sim::{SimDuration, SimTime};
@@ -70,6 +73,11 @@ pub(crate) enum Mutation {
     Opened,
     /// A live pair had its expiry extended: no verdict changed.
     Refreshed,
+    /// A live pair had its expiry pulled *earlier* (e.g. an auto-open
+    /// refresh with the default TTL landing on a long GateOpen lease):
+    /// cached admissions stamped with the old, later expiry would
+    /// outlive the entry → generation bump.
+    Shortened,
     /// A live pair was force-closed: cached admissions are stale →
     /// generation bump.
     Closed,
@@ -126,15 +134,17 @@ impl GateTable {
         ttl: SimDuration,
     ) -> Mutation {
         let exp = now + ttl;
-        let was_live = self
-            .entries
-            .insert((amateur, foreign), exp)
-            .is_some_and(|old| old > now);
+        let old = self.entries.insert((amateur, foreign), exp);
         self.next_expiry = self.next_expiry.min(exp);
-        if was_live {
-            Mutation::Refreshed
-        } else {
-            Mutation::Opened
+        match old {
+            Some(prev) if prev > now => {
+                if exp < prev {
+                    Mutation::Shortened
+                } else {
+                    Mutation::Refreshed
+                }
+            }
+            _ => Mutation::Opened,
         }
     }
 

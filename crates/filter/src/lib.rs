@@ -2,9 +2,9 @@
 //!
 //! The paper proposes amateur-initiated access control — a table of
 //! permitted sources with TTL soft state, managed by two authenticated
-//! ICMP messages. `gateway::acl` models that table minimally (E5); this
-//! crate builds the idea out to an engine a gateway can run on every
-//! packet at line rate under attack:
+//! ICMP messages. This crate is that table's only implementation (E5
+//! runs on the gate below), built out to an engine a gateway can run on
+//! every packet at line rate under attack:
 //!
 //! * **compiled rules** ([`Rule`] → flattened match arrays, most
 //!   specific wins — the route table's longest-prefix discipline

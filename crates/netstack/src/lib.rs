@@ -21,14 +21,20 @@
 //!   contrasts**: a fixed RTO and an adaptive (Jacobson/Karn) RTO;
 //! * [`route`] — longest-prefix-match routing, including the single
 //!   class-A route for AMPRnet that §4.2 laments;
+//! * [`lpm`] — the compiled flat multibit trie the fast lookup path
+//!   walks (DESIGN.md §14);
+//! * [`fwd`] — the per-destination next-hop cache memoizing full
+//!   forwarding decisions with generation-stamped invalidation;
 //! * [`stack`] — a per-host stack tying it together behind a socket API.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arp;
+pub mod fwd;
 pub mod icmp;
 pub mod ip;
+pub mod lpm;
 pub mod route;
 pub mod stack;
 pub mod tcp;

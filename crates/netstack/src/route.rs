@@ -9,6 +9,7 @@
 use std::fmt;
 use std::net::Ipv4Addr;
 
+use crate::lpm::Lpm;
 use crate::stack::IfaceId;
 
 /// An IPv4 prefix (address + mask length).
@@ -125,12 +126,35 @@ pub struct NextHop {
 #[derive(Debug, Clone, Default)]
 pub struct RouteTable {
     routes: Vec<Route>,
+    /// Bumped (wrapping) on every mutation. Consumers that memoize
+    /// decisions derived from this table (the compiled LPM below, the
+    /// stack's next-hop cache) stamp what they saw and compare for
+    /// equality — one counter bump invalidates everything in O(1).
+    generation: u64,
+    /// Lazily compiled longest-prefix-match structure; rebuilt on the
+    /// first fast lookup after a mutation (see [`Lpm`]).
+    compiled: Lpm,
 }
 
 impl RouteTable {
     /// Creates an empty table.
     pub fn new() -> RouteTable {
         RouteTable::default()
+    }
+
+    /// The mutation generation. Any route add/remove/expiry changes it;
+    /// two equal readings bracket a window in which every cached decision
+    /// derived from this table remained valid. Wrapping: compare with
+    /// `==`, never `<`.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Test hook: plants the generation counter near a chosen value so
+    /// rollover behaviour can be exercised without 2^64 mutations.
+    #[doc(hidden)]
+    pub fn force_generation(&mut self, generation: u64) {
+        self.generation = generation;
     }
 
     /// Adds (or replaces) the static route for `prefix` with metric 0.
@@ -165,24 +189,38 @@ impl RouteTable {
         });
     }
 
+    /// The ordering the table maintains: longest prefix strictly first,
+    /// then metric, then static before learned. Prefix length must
+    /// dominate the metric — sorting by metric ahead of length would let
+    /// a cheap default route shadow every longer prefix.
+    fn order_key(r: &Route) -> (std::cmp::Reverse<u8>, u8, bool) {
+        (
+            std::cmp::Reverse(r.prefix.len),
+            r.metric,
+            r.source != RouteSource::Static,
+        )
+    }
+
     /// Inserts `route`, replacing any existing route with the same prefix
     /// *and* source.
+    ///
+    /// Placement is a binary search on the maintained ordering, inserted
+    /// *after* every equal key — exactly where a stable sort would leave a
+    /// freshly pushed element — so a RIP announce on a 1000-route table
+    /// shifts one run of entries instead of re-sorting the world. Full
+    /// ties keep insertion order (determinism).
     pub fn insert(&mut self, route: Route) {
-        self.routes
-            .retain(|r| !(r.prefix == route.prefix && r.source == route.source));
-        self.routes.push(route);
-        // Longest prefix strictly first, then metric, then static before
-        // learned. Prefix length must dominate the metric — sorting by
-        // metric ahead of length would let a cheap default route shadow
-        // every longer prefix. A stable sort keeps insertion order for
-        // full ties (determinism).
-        self.routes.sort_by_key(|r| {
-            (
-                std::cmp::Reverse(r.prefix.len),
-                r.metric,
-                r.source != RouteSource::Static,
-            )
-        });
+        if let Some(pos) = self
+            .routes
+            .iter()
+            .position(|r| r.prefix == route.prefix && r.source == route.source)
+        {
+            self.routes.remove(pos);
+        }
+        let key = Self::order_key(&route);
+        let at = self.routes.partition_point(|r| Self::order_key(r) <= key);
+        self.routes.insert(at, route);
+        self.generation = self.generation.wrapping_add(1);
     }
 
     /// Removes every route for `prefix` (any source); returns whether one
@@ -190,7 +228,11 @@ impl RouteTable {
     pub fn remove(&mut self, prefix: Prefix) -> bool {
         let before = self.routes.len();
         self.routes.retain(|r| r.prefix != prefix);
-        self.routes.len() != before
+        let changed = self.routes.len() != before;
+        if changed {
+            self.generation = self.generation.wrapping_add(1);
+        }
+        changed
     }
 
     /// Removes the learned route for `prefix`, leaving any static route in
@@ -199,10 +241,14 @@ impl RouteTable {
         let before = self.routes.len();
         self.routes
             .retain(|r| !(r.prefix == prefix && r.source == RouteSource::Learned));
-        self.routes.len() != before
+        let changed = self.routes.len() != before;
+        if changed {
+            self.generation = self.generation.wrapping_add(1);
+        }
+        changed
     }
 
-    /// Longest-prefix-match lookup.
+    /// Longest-prefix-match lookup (linear reference walk).
     pub fn lookup(&self, dst: Ipv4Addr) -> Option<NextHop> {
         self.lookup_route(dst).map(|r| NextHop {
             iface: r.iface,
@@ -213,8 +259,57 @@ impl RouteTable {
     /// Longest-prefix-match lookup returning the matched route itself —
     /// callers that maintain learned routes need the winning [`Prefix`]
     /// (and source) to know what to expire, not just the next hop.
+    ///
+    /// This is the executable oracle: a first-match scan of the ordered
+    /// table. The fast paths ([`lookup_fast`](Self::lookup_fast),
+    /// [`lookup_route_fast`](Self::lookup_route_fast)) must return the
+    /// identical answer — the differential proptests hold them to it.
     pub fn lookup_route(&self, dst: Ipv4Addr) -> Option<&Route> {
         self.routes.iter().find(|r| r.prefix.contains(dst))
+    }
+
+    /// Longest-prefix-match via the compiled structure, recompiling first
+    /// if the table changed since the last build. Zero allocations and at
+    /// most four memory touches per lookup once compiled; small tables
+    /// (≤ [`Lpm::LINEAR_CUTOFF`] routes) skip compilation entirely and
+    /// scan, which is both faster and keeps the ~10⁵ two-route host
+    /// stacks of the city worlds from holding tries.
+    pub fn lookup_route_fast(&mut self, dst: Ipv4Addr) -> Option<&Route> {
+        if self.compiled.stale(self.generation) {
+            self.compiled.rebuild(&self.routes, self.generation);
+        }
+        if self.compiled.is_linear() {
+            return self.lookup_route(dst);
+        }
+        self.compiled.walk(u32::from(dst)).map(|i| &self.routes[i])
+    }
+
+    /// [`lookup`](Self::lookup) on the compiled fast path.
+    pub fn lookup_fast(&mut self, dst: Ipv4Addr) -> Option<NextHop> {
+        self.lookup_route_fast(dst).map(|r| NextHop {
+            iface: r.iface,
+            hop: r.via.unwrap_or(dst),
+        })
+    }
+
+    /// (node count, deepest walk over every route's own address) of the
+    /// compiled structure — `(0, 0)` while in linear mode. Compiles first
+    /// if stale. E18 prints this to show the walk stays bounded while the
+    /// table grows.
+    pub fn compiled_shape(&mut self) -> (usize, usize) {
+        if self.compiled.stale(self.generation) {
+            self.compiled.rebuild(&self.routes, self.generation);
+        }
+        if self.compiled.is_linear() {
+            return (0, 0);
+        }
+        let depth = self
+            .routes
+            .iter()
+            .map(|r| self.compiled.walk_depth(u32::from(r.prefix.addr)))
+            .max()
+            .unwrap_or(0);
+        (self.compiled.node_count(), depth)
     }
 
     /// All routes, longest prefix first.
@@ -413,5 +508,250 @@ mod tests {
             rt.lookup(Ipv4Addr::new(44, 24, 0, 29)).unwrap().iface,
             ifid(0)
         );
+    }
+
+    /// The sort-based insert this table used before binary-search
+    /// placement: retain + push + stable sort. The incremental insert
+    /// must leave the vector in the identical order, ties included.
+    fn oracle_insert(routes: &mut Vec<Route>, route: Route) {
+        routes.retain(|r| !(r.prefix == route.prefix && r.source == route.source));
+        routes.push(route);
+        routes.sort_by_key(|r| {
+            (
+                std::cmp::Reverse(r.prefix.len),
+                r.metric,
+                r.source != RouteSource::Static,
+            )
+        });
+    }
+
+    #[test]
+    fn binary_insert_matches_sort_oracle_order() {
+        // A deterministic churn mix heavy in full-key ties (equal length,
+        // metric, and source differing only by iface) so stable-tie
+        // placement is actually exercised.
+        let mut lcg = 0x2545F491_4F6CDD1Du64;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) as u32
+        };
+        let mut rt = RouteTable::new();
+        let mut oracle: Vec<Route> = Vec::new();
+        for _ in 0..500 {
+            let r = next();
+            let prefix = Prefix::new(
+                Ipv4Addr::from(0x2C00_0000 | (r & 0x00FF_FF00)),
+                [0, 8, 16, 24, 32][(r % 5) as usize],
+            );
+            let route = Route {
+                prefix,
+                via: Some(Ipv4Addr::new(10, 0, 0, (r % 7) as u8)),
+                iface: ifid((r % 3) as usize),
+                source: if r & 1 == 0 {
+                    RouteSource::Static
+                } else {
+                    RouteSource::Learned
+                },
+                metric: ((r >> 8) % 3) as u8,
+            };
+            match r % 10 {
+                8 => {
+                    rt.remove(prefix);
+                    oracle.retain(|o| o.prefix != prefix);
+                }
+                9 => {
+                    rt.remove_learned(prefix);
+                    oracle.retain(|o| !(o.prefix == prefix && o.source == RouteSource::Learned));
+                }
+                _ => {
+                    rt.insert(route);
+                    oracle_insert(&mut oracle, route);
+                }
+            }
+            assert_eq!(rt.routes(), &oracle[..], "order diverged from sort oracle");
+        }
+        assert!(oracle.len() > 8, "churn mix must outgrow the linear cutoff");
+    }
+
+    /// Sweep addresses that hit every route boundary in the table plus
+    /// strays, asserting fast ≡ linear on each.
+    fn assert_fast_matches_linear(rt: &mut RouteTable) {
+        let mut probes: Vec<Ipv4Addr> = rt
+            .routes()
+            .iter()
+            .flat_map(|r| {
+                let base = u32::from(r.prefix.addr);
+                [
+                    base,
+                    base ^ 1,
+                    base.wrapping_add(0x0101),
+                    base ^ 0x8000_0000,
+                ]
+            })
+            .map(Ipv4Addr::from)
+            .collect();
+        probes.extend([
+            Ipv4Addr::new(44, 24, 0, 5),
+            Ipv4Addr::new(128, 95, 1, 4),
+            Ipv4Addr::new(255, 255, 255, 255),
+            Ipv4Addr::new(0, 0, 0, 0),
+        ]);
+        for dst in probes {
+            let slow = rt.lookup_route(dst).copied();
+            let fast = rt.lookup_route_fast(dst).copied();
+            assert_eq!(fast, slow, "fast ≠ linear for {dst}");
+        }
+    }
+
+    #[test]
+    fn compiled_walk_matches_linear_above_cutoff() {
+        let mut rt = RouteTable::new();
+        // Mixed lengths spanning every trie level, nested and disjoint,
+        // well past the linear cutoff so the trie actually builds.
+        for i in 0..10u8 {
+            rt.add(
+                Prefix::new(Ipv4Addr::new(44, i, 0, 0), 16),
+                Some(Ipv4Addr::new(10, 0, 0, 1)),
+                ifid(0),
+            );
+            rt.add(
+                Prefix::new(Ipv4Addr::new(44, i, i, 0), 24),
+                Some(Ipv4Addr::new(10, 0, 0, 2)),
+                ifid(1),
+            );
+        }
+        rt.add(Prefix::amprnet(), Some(Ipv4Addr::new(10, 0, 0, 3)), ifid(2));
+        rt.add(Prefix::new(Ipv4Addr::new(44, 3, 3, 9), 32), None, ifid(3));
+        rt.add(
+            Prefix::new(Ipv4Addr::new(128, 95, 0, 0), 12),
+            Some(Ipv4Addr::new(10, 0, 0, 4)),
+            ifid(4),
+        );
+        rt.add_learned(
+            Prefix::default_route(),
+            Some(Ipv4Addr::new(9, 9, 9, 9)),
+            ifid(5),
+            2,
+        );
+        assert_fast_matches_linear(&mut rt);
+        let (nodes, depth) = rt.compiled_shape();
+        assert!(nodes > 0, "table above cutoff must compile");
+        assert!(depth <= 4, "walk never exceeds four levels, got {depth}");
+    }
+
+    #[test]
+    fn default_route_only_table() {
+        let mut rt = RouteTable::new();
+        rt.add(
+            Prefix::default_route(),
+            Some(Ipv4Addr::new(9, 9, 9, 9)),
+            ifid(0),
+        );
+        for dst in [
+            Ipv4Addr::new(0, 0, 0, 0),
+            Ipv4Addr::new(44, 24, 0, 5),
+            Ipv4Addr::new(255, 255, 255, 255),
+        ] {
+            assert_eq!(rt.lookup_fast(dst).unwrap().iface, ifid(0));
+            assert_eq!(rt.lookup_fast(dst).unwrap().hop, Ipv4Addr::new(9, 9, 9, 9));
+        }
+        // Above the cutoff too: pad with /32s, the default still catches
+        // strays through the compiled root.
+        for i in 0..12u8 {
+            rt.add(Prefix::new(Ipv4Addr::new(10, 0, 0, i), 32), None, ifid(1));
+        }
+        assert_eq!(
+            rt.lookup_fast(Ipv4Addr::new(128, 95, 1, 4)).unwrap().iface,
+            ifid(0)
+        );
+        assert_fast_matches_linear(&mut rt);
+    }
+
+    #[test]
+    fn host_route_beats_shorter_prefixes_compiled() {
+        let mut rt = RouteTable::new();
+        for i in 0..10u8 {
+            rt.add(
+                Prefix::new(Ipv4Addr::new(44, i, 0, 0), 16),
+                Some(Ipv4Addr::new(10, 0, 0, 1)),
+                ifid(0),
+            );
+        }
+        rt.add(Prefix::new(Ipv4Addr::new(44, 3, 0, 0), 24), None, ifid(1));
+        rt.add(Prefix::new(Ipv4Addr::new(44, 3, 0, 7), 32), None, ifid(2));
+        assert_eq!(
+            rt.lookup_fast(Ipv4Addr::new(44, 3, 0, 7)).unwrap().iface,
+            ifid(2)
+        );
+        assert_eq!(
+            rt.lookup_fast(Ipv4Addr::new(44, 3, 0, 8)).unwrap().iface,
+            ifid(1)
+        );
+        assert_eq!(
+            rt.lookup_fast(Ipv4Addr::new(44, 3, 1, 7)).unwrap().iface,
+            ifid(0)
+        );
+        assert_fast_matches_linear(&mut rt);
+    }
+
+    #[test]
+    fn learned_expiry_restores_shadowed_static_compiled() {
+        let mut rt = RouteTable::new();
+        // Pad past the cutoff so expiry recompiles a real trie.
+        for i in 0..10u8 {
+            rt.add(
+                Prefix::new(Ipv4Addr::new(10, i, 0, 0), 16),
+                Some(Ipv4Addr::new(10, 0, 0, 1)),
+                ifid(3),
+            );
+        }
+        rt.insert(Route {
+            prefix: Prefix::amprnet(),
+            via: Some(Ipv4Addr::new(9, 9, 9, 9)),
+            iface: ifid(0),
+            source: RouteSource::Static,
+            metric: 5,
+        });
+        rt.add_learned(
+            Prefix::amprnet(),
+            Some(Ipv4Addr::new(8, 8, 8, 8)),
+            ifid(1),
+            0,
+        );
+        let g = rt.generation();
+        assert_eq!(
+            rt.lookup_fast(Ipv4Addr::new(44, 1, 1, 1)).unwrap().iface,
+            ifid(1)
+        );
+        assert!(rt.remove_learned(Prefix::amprnet()));
+        assert_ne!(rt.generation(), g, "expiry must bump the generation");
+        assert_eq!(
+            rt.lookup_fast(Ipv4Addr::new(44, 1, 1, 1)).unwrap().iface,
+            ifid(0),
+            "expiring the learned route restores the shadowed static"
+        );
+        assert_fast_matches_linear(&mut rt);
+    }
+
+    #[test]
+    fn lookup_during_generation_rollover() {
+        let mut rt = RouteTable::new();
+        rt.force_generation(u64::MAX);
+        rt.add(Prefix::amprnet(), Some(Ipv4Addr::new(9, 9, 9, 9)), ifid(0));
+        assert_eq!(rt.generation(), 0, "MAX wraps to 0, never panics");
+        assert_eq!(
+            rt.lookup_fast(Ipv4Addr::new(44, 1, 1, 1)).unwrap().iface,
+            ifid(0)
+        );
+        // Mutating across the wrap still invalidates the compiled view.
+        rt.add(Prefix::amprnet(), Some(Ipv4Addr::new(8, 8, 8, 8)), ifid(1));
+        assert_eq!(rt.generation(), 1);
+        assert_eq!(
+            rt.lookup_fast(Ipv4Addr::new(44, 1, 1, 1)).unwrap().iface,
+            ifid(1)
+        );
+        assert_fast_matches_linear(&mut rt);
     }
 }

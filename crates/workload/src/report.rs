@@ -426,6 +426,22 @@ pub struct FilterTelemetry {
     pub generation_max: u32,
 }
 
+/// Next-hop-cache counters (DESIGN.md §14), summed across every gateway
+/// whose stack enables the cache. Absent from [`EngineTelemetry`] when
+/// no gateway does (the default), so existing reports render unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FwdTelemetry {
+    /// Gateways with a next-hop cache enabled.
+    pub caches: usize,
+    /// Forwarding decisions replayed from the cache.
+    pub hits: u64,
+    /// Decisions computed and installed (cold or foreign slot).
+    pub misses: u64,
+    /// Misses caused by a generation bump — the churn-invalidation
+    /// count (always ≤ misses).
+    pub stale: u64,
+}
+
 /// A snapshot of the engine-side telemetry for one run: scheduler and
 /// mailbox counters plus channel utilization across the islands.
 #[derive(Debug, Clone)]
@@ -444,6 +460,8 @@ pub struct EngineTelemetry {
     pub chan_offered_mean: f64,
     /// Packet-filter counters, when any gateway runs an engine.
     pub filter: Option<FilterTelemetry>,
+    /// Next-hop-cache counters, when any gateway enables the cache.
+    pub fwd: Option<FwdTelemetry>,
 }
 
 impl EngineTelemetry {
@@ -461,8 +479,17 @@ impl EngineTelemetry {
         }
         let n = m.channels.len().max(1) as f64;
         let mut filter: Option<FilterTelemetry> = None;
+        let mut fwd: Option<FwdTelemetry> = None;
         for &gw in &m.gateways {
             let host = m.world.host(gw);
+            let st = host.stack.stats();
+            if st.fwd_cache_hits + st.fwd_cache_misses > 0 {
+                let w = fwd.get_or_insert_with(FwdTelemetry::default);
+                w.caches += 1;
+                w.hits += st.fwd_cache_hits;
+                w.misses += st.fwd_cache_misses;
+                w.stale += st.fwd_cache_stale;
+            }
             let Some(engine) = host.filter_engine() else {
                 continue;
             };
@@ -486,6 +513,7 @@ impl EngineTelemetry {
             chan_util_max: max,
             chan_offered_mean: offered / n,
             filter,
+            fwd,
         }
     }
 
@@ -536,6 +564,23 @@ impl EngineTelemetry {
                     f.rules.to_string(),
                     f.gate_entries.to_string(),
                     f.generation_max.to_string(),
+                ],
+            ]));
+        }
+        if let Some(w) = &self.fwd {
+            out.push('\n');
+            out.push_str(&render_table(&[
+                vec![
+                    "nh caches".into(),
+                    "fwd hits".into(),
+                    "misses".into(),
+                    "stale".into(),
+                ],
+                vec![
+                    w.caches.to_string(),
+                    w.hits.to_string(),
+                    w.misses.to_string(),
+                    w.stale.to_string(),
                 ],
             ]));
         }

@@ -85,9 +85,9 @@ fn main() {
     );
     let gw = s.world.host(s.gw);
     println!(
-        "  GW IP layer       : {} forwarded, {} denied by ACL",
+        "  GW IP layer       : {} forwarded, {} denied by the gate",
         gw.stack.stats().forwarded,
-        gw.acl.as_ref().unwrap().stats().denied_inbound
+        gw.filter_stats().unwrap().denied
     );
     println!(
         "  GW CPU            : {} char interrupts, {} packets, {:.1}% busy",

@@ -50,6 +50,9 @@ cargo bench -p bench --bench workload_gen | tee -a "$tmp"
 echo "==> cargo bench -p bench --bench filter_eval"
 cargo bench -p bench --bench filter_eval | tee -a "$tmp"
 
+echo "==> cargo bench -p bench --bench route_lookup"
+cargo bench -p bench --bench route_lookup | tee -a "$tmp"
+
 echo "==> E15 city-scale scaling run (scaled-down mesh; see EXPERIMENTS.md)"
 cargo build --release -p bench --bin e15_city_scale
 E15_BENCH=1 E15_GATEWAYS=32 E15_HOSTS=4 E15_SECONDS=30 \
@@ -59,6 +62,10 @@ echo "==> E16 fleet-load scaling run (scaled-down mesh; see EXPERIMENTS.md)"
 cargo build --release -p bench --bin e16_load_sweep
 E16_BENCH=1 E16_GATEWAYS=32 E16_HOSTS=4 E16_SECONDS=60 E16_SWEEP=0 \
     ./target/release/e16_load_sweep | tee -a "$tmp"
+
+echo "==> E18 forwarding-plane mesh run (cached vs cache-off wall clock)"
+cargo build --release -p bench --bin e18_forwarding_plane
+E18_BENCH=1 ./target/release/e18_forwarding_plane | tee -a "$tmp"
 
 # "name median" pairs from Criterion's "<name> ... <median> ns/iter" lines.
 awk '

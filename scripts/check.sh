@@ -40,6 +40,9 @@ cargo bench -p bench --bench workload_gen -- --test
 echo "==> cargo bench -p bench --bench filter_eval -- --test (asserts 0-alloc eval paths)"
 cargo bench -p bench --bench filter_eval -- --test
 
+echo "==> cargo bench -p bench --bench route_lookup -- --test (asserts 0-alloc lookup paths)"
+cargo bench -p bench --bench route_lookup -- --test
+
 echo "==> sharded-engine digest smoke (2 workers vs reference)"
 cargo test -q -p gateway --test shard_equivalence two_worker_digest_smoke
 

@@ -12,7 +12,7 @@ for e in e1_latency_breakdown e2_promiscuous_load e3_timeouts e4_routing \
          e5_access_control e6_services e7_digipeaters e8_appgw \
          e9_fragmentation e10_csma_ablation e11_netrom_backbone \
          e12_route_exchange e13_vj_compression e14_sockets_dns \
-         e15_city_scale e17_filter_flood; do
+         e15_city_scale e17_filter_flood e18_forwarding_plane; do
     echo "running $e …"
     ./target/release/"$e" > "results/$e.txt" 2>&1
 done

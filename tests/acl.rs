@@ -1,10 +1,24 @@
 //! E5 — §4.3's access-control table, exercised end-to-end through the
-//! running gateway (not just the unit-level table).
+//! running gateway (not just the unit-level table). The table is the
+//! filter engine's soft-state gate (DESIGN.md §13); custom TTLs and
+//! operators are installed at build time through `PaperConfig::filter`.
 
 use apps::ping::Pinger;
+use filter::{FilterConfig, GateConfig};
 use gateway::scenario::{paper_topology, PaperConfig, ETHER_HOST_IP, GW_RADIO_IP, PC_IP};
 use netstack::icmp::{GateAuth, IcmpMessage};
 use sim::SimDuration;
+
+fn gate_topology(gate: GateConfig, seed: u64) -> gateway::scenario::PaperScenario {
+    let cfg = PaperConfig {
+        filter: Some(FilterConfig {
+            gate: Some(gate),
+            ..FilterConfig::permissive()
+        }),
+        ..PaperConfig::default()
+    };
+    paper_topology(cfg, seed)
+}
 
 #[test]
 fn unsolicited_inbound_is_blocked_until_amateur_initiates() {
@@ -16,22 +30,16 @@ fn unsolicited_inbound_is_blocked_until_amateur_initiates() {
     s.world.add_app(s.ether_host, Box::new(p1));
     s.world.run_for(SimDuration::from_secs(60));
     assert_eq!(r1.borrow().received, 0, "unsolicited inbound must not pass");
-    let denied = s
-        .world
-        .host(s.gw)
-        .acl
-        .as_ref()
-        .unwrap()
-        .stats()
-        .denied_inbound;
+    let denied = s.world.host(s.gw).filter_stats().unwrap().denied;
     assert!(denied >= 3, "gateway counted denials: {denied}");
 
     // Phase 2: the PC (amateur side) pings out — this opens the pairing.
     let now = s.world.now;
     s.world.host_mut(s.pc).ping(now, ETHER_HOST_IP, 11, 1, 16);
     s.world.run_for(SimDuration::from_secs(60));
+    let st = s.world.host(s.gw).filter_stats().unwrap();
     assert!(
-        s.world.host(s.gw).acl.as_ref().unwrap().stats().openings >= 1,
+        st.gate_opened + st.gate_refreshed >= 1,
         "amateur-initiated traffic opened an entry"
     );
 
@@ -48,14 +56,13 @@ fn unsolicited_inbound_is_blocked_until_amateur_initiates() {
 
 #[test]
 fn entries_expire_without_amateur_refresh() {
-    let cfg = PaperConfig::default();
-    let acl_cfg = gateway::acl::AclConfig {
-        entry_ttl: SimDuration::from_secs(120),
-        ..Default::default()
-    };
-    let mut s = paper_topology(cfg.clone(), 302);
-    // Install the short-TTL table (paper_topology has no ACL hook).
-    s.world.host_mut(s.gw).acl = Some(gateway::acl::GatewayAcl::new(acl_cfg));
+    let mut s = gate_topology(
+        GateConfig {
+            entry_ttl: SimDuration::from_secs(120),
+            ..GateConfig::default()
+        },
+        302,
+    );
 
     // Open the gate by pinging out.
     let now = s.world.now;
@@ -99,16 +106,7 @@ fn gate_close_cuts_an_active_pairing() {
         },
     );
     s.world.run_for(SimDuration::from_secs(30));
-    assert_eq!(
-        s.world
-            .host(s.gw)
-            .acl
-            .as_ref()
-            .unwrap()
-            .stats()
-            .forced_closed,
-        1
-    );
+    assert_eq!(s.world.host(s.gw).filter_stats().unwrap().gate_closed, 1);
 
     // Inbound is blocked again.
     let p = Pinger::new(PC_IP, 2, 2, SimDuration::from_secs(5), 16);
@@ -120,13 +118,14 @@ fn gate_close_cuts_an_active_pairing() {
 
 #[test]
 fn foreign_side_control_requires_password() {
-    let mut s = paper_topology(PaperConfig::default(), 304);
-    // Install a control operator on the gateway's table.
-    let mut acl_cfg = gateway::acl::AclConfig::default();
-    acl_cfg
-        .operators
-        .insert("N7AKR".to_string(), "seattle".to_string());
-    s.world.host_mut(s.gw).acl = Some(gateway::acl::GatewayAcl::new(acl_cfg));
+    // A control operator on the gateway's gate.
+    let mut s = gate_topology(
+        GateConfig {
+            operators: vec![("N7AKR".to_string(), "seattle".to_string())],
+            ..GateConfig::default()
+        },
+        304,
+    );
 
     // Unauthenticated GateOpen from the Ethernet side: rejected.
     let now = s.world.now;
@@ -141,16 +140,7 @@ fn foreign_side_control_requires_password() {
         },
     );
     s.world.run_for(SimDuration::from_secs(5));
-    assert_eq!(
-        s.world
-            .host(s.gw)
-            .acl
-            .as_ref()
-            .unwrap()
-            .stats()
-            .auth_failures,
-        1
-    );
+    assert_eq!(s.world.host(s.gw).filter_stats().unwrap().auth_failures, 1);
 
     // With the right callsign+password: applied, inbound opens.
     let now = s.world.now;
@@ -169,13 +159,7 @@ fn foreign_side_control_requires_password() {
     );
     s.world.run_for(SimDuration::from_secs(5));
     assert_eq!(
-        s.world
-            .host(s.gw)
-            .acl
-            .as_ref()
-            .unwrap()
-            .stats()
-            .opened_by_message,
+        s.world.host(s.gw).filter_stats().unwrap().opened_by_message,
         1
     );
     let p = Pinger::new(PC_IP, 5, 1, SimDuration::from_secs(1), 16);
